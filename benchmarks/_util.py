@@ -1,0 +1,13 @@
+"""Shared constants/helpers for the benchmark suite (see conftest.py)."""
+
+# Proposal budgets: the paper uses 10M proposals / 16 threads; these
+# pure-Python budgets keep the whole suite in a few minutes.
+SEARCH_PROPOSALS = 2_000
+VALIDATION_PROPOSALS = 2_000
+TESTCASES = 16
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive function with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,98 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* ``reduction``: the paper's max-reduction (Section 5.2) vs original
+  STOKE's summation — max keeps the correctness cost bounded regardless
+  of test-set size.
+* ``compress``: log2 cost compression vs raw ULPs — with raw values and
+  a unit annealing constant, MCMC degenerates to hill climbing (nearly
+  zero uphill acceptances).
+* proposal mix: single-move-type searches vs the full four-move mix.
+* beta: acceptance-rate sensitivity to the annealing constant.
+"""
+
+import random
+
+import pytest
+
+from repro.core import CostConfig, SearchConfig, Stoke
+from repro.core.strategies import McmcStrategy
+from repro.core.transforms import Transforms
+from repro.kernels.libimf import exp_s3d_kernel
+
+from _util import TESTCASES, one_shot
+
+PROPOSALS = 1_200
+ETA = 1.0e12
+
+
+def _stoke(config: CostConfig, transforms=None):
+    spec = exp_s3d_kernel()
+    tests = spec.testcases(random.Random(0), TESTCASES)
+    return spec, Stoke(spec.program, tests, spec.live_outs, config,
+                       transforms=transforms)
+
+
+@pytest.mark.parametrize("reduction", ["max", "sum"])
+def test_reduction_ablation(benchmark, reduction):
+    spec, stoke = _stoke(CostConfig(eta=ETA, k=1.0, reduction=reduction))
+    result = one_shot(benchmark, stoke.optimize,
+                      SearchConfig(proposals=PROPOSALS, seed=5))
+    benchmark.extra_info.update({
+        "speedup": round(result.speedup(), 3),
+        "accept_rate": round(result.stats.acceptance_rate, 3),
+    })
+
+
+@pytest.mark.parametrize("compress", ["log2", "none"])
+def test_compression_ablation(benchmark, compress):
+    spec, stoke = _stoke(CostConfig(eta=ETA, k=1.0, compress=compress))
+    result = one_shot(benchmark, stoke.optimize,
+                      SearchConfig(proposals=PROPOSALS, seed=5))
+    benchmark.extra_info.update({
+        "speedup": round(result.speedup(), 3),
+        "accept_rate": round(result.stats.acceptance_rate, 3),
+    })
+
+
+@pytest.mark.parametrize("move", ["opcode", "operand", "swap",
+                                  "instruction", "all"])
+def test_proposal_mix_ablation(benchmark, move):
+    spec = exp_s3d_kernel()
+    tests = spec.testcases(random.Random(0), TESTCASES)
+
+    transforms = Transforms(spec.program)
+    if move != "all":
+        single = getattr(transforms, f"propose_{move}")
+        transforms.propose = lambda rng, prog: (single(rng, prog), move)
+    stoke = Stoke(spec.program, tests, spec.live_outs,
+                  CostConfig(eta=ETA, k=1.0), transforms=transforms)
+    result = one_shot(benchmark, stoke.optimize,
+                      SearchConfig(proposals=PROPOSALS, seed=5))
+    benchmark.extra_info["speedup"] = round(result.speedup(), 3)
+
+
+@pytest.mark.parametrize("beta", [0.1, 1.0, 10.0])
+def test_beta_sensitivity(benchmark, beta):
+    spec, stoke = _stoke(CostConfig(eta=ETA, k=1.0))
+    result = one_shot(
+        benchmark, stoke.search,
+        SearchConfig(proposals=PROPOSALS, seed=5),
+        McmcStrategy(beta=beta))
+    benchmark.extra_info.update({
+        "speedup": round(result.speedup(), 3),
+        "accept_rate": round(result.stats.acceptance_rate, 3),
+    })
+
+
+@pytest.mark.parametrize("testcases", [4, 16, 64])
+def test_testcase_count_sensitivity(benchmark, testcases):
+    spec = exp_s3d_kernel()
+    tests = spec.testcases(random.Random(0), testcases)
+    stoke = Stoke(spec.program, tests, spec.live_outs,
+                  CostConfig(eta=ETA, k=1.0))
+    result = one_shot(benchmark, stoke.optimize,
+                      SearchConfig(proposals=600, seed=5))
+    benchmark.extra_info.update({
+        "speedup": round(result.speedup(), 3),
+        "proposals_per_sec": round(result.stats.proposals_per_second),
+    })

@@ -1,0 +1,57 @@
+"""E9/E10 (Figure 10): search-strategy comparison.
+
+Paper shape, optimization: random search never improves the input; hill
+climbing is close to MCMC but slightly worse; annealing behaves like a
+random-then-greedy hybrid.  Validation: MCMC and hill climbing nearly
+tie; random search is inconsistent.
+"""
+
+import random
+
+import pytest
+
+from repro.core import CostConfig, SearchConfig, Stoke, make_strategy
+from repro.harness.figure10 import OPT_ETA, _reduced_precision_rewrite
+from repro.kernels.libimf import LIBIMF_KERNELS
+from repro.validation import ValidationConfig, Validator, make_validation_strategy
+
+from _util import TESTCASES, one_shot
+
+STRATEGIES = ("rand", "hill", "anneal", "mcmc")
+PROPOSALS = 1_500
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_optimization_strategy(benchmark, strategy):
+    spec = LIBIMF_KERNELS["sin"]()
+    tests = spec.testcases(random.Random(0), TESTCASES)
+    stoke = Stoke(spec.program, tests, spec.live_outs,
+                  CostConfig(eta=OPT_ETA, k=1.0))
+    base = stoke.cost_fn.cost(spec.program).total
+
+    def search():
+        return stoke.search(SearchConfig(proposals=PROPOSALS, seed=13),
+                            strategy=make_strategy(strategy))
+
+    result = one_shot(benchmark, search)
+    benchmark.extra_info.update({
+        "normalized_final_cost": round(100.0 * result.best_cost / base, 2),
+        "acceptance_rate": round(result.stats.acceptance_rate, 3),
+    })
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_validation_strategy(benchmark, strategy):
+    spec = LIBIMF_KERNELS["sin"]()
+    rewrite = _reduced_precision_rewrite("sin")
+    validator = Validator(spec.program, rewrite, spec.live_outs,
+                          dict(spec.ranges), spec.base_testcase)
+
+    def validate():
+        return validator.validate(
+            ValidationConfig(max_proposals=PROPOSALS,
+                             min_samples=PROPOSALS + 1, seed=17),
+            strategy=make_validation_strategy(strategy))
+
+    result = one_shot(benchmark, validate)
+    benchmark.extra_info["max_err"] = f"{result.max_err:.3e}"

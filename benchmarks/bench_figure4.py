@@ -1,0 +1,56 @@
+"""E2/E3 (Figure 4): LOC/speedup vs eta for the libimf kernels.
+
+Paper shape: increasing eta lets the search interpolate between double-,
+single- and half-precision implementations, shrinking LOC and growing
+speedup up to ~6x at extreme eta.  Each benchmark runs one (kernel, eta)
+search point and records LOC/speedup in ``extra_info``.
+"""
+
+import random
+
+import pytest
+
+from repro.core import CostConfig, SearchConfig, Stoke
+from repro.kernels.libimf import LIBIMF_KERNELS
+
+from _util import SEARCH_PROPOSALS, TESTCASES, one_shot
+
+POINTS = [
+    ("sin", 1.0e0), ("sin", 1.0e12), ("sin", 1.0e16),
+    ("log", 1.0e0), ("log", 1.0e12),
+    ("tan", 1.0e0), ("tan", 1.0e12),
+]
+
+
+@pytest.mark.parametrize("name,eta", POINTS,
+                         ids=[f"{n}-eta1e{len(str(int(e))) - 1}"
+                              for n, e in POINTS])
+def test_eta_sweep_point(benchmark, name, eta):
+    spec = LIBIMF_KERNELS[name]()
+    tests = spec.testcases(random.Random(0), TESTCASES)
+
+    def search():
+        stoke = Stoke(spec.program, tests, spec.live_outs,
+                      CostConfig(eta=eta, k=1.0))
+        return stoke.optimize(SearchConfig(proposals=SEARCH_PROPOSALS,
+                                           seed=11))
+
+    result = one_shot(benchmark, search)
+    best = result.best_correct
+    benchmark.extra_info.update({
+        "target_loc": spec.loc,
+        "rewrite_loc": best.loc if best else spec.loc,
+        "speedup": round(result.speedup(), 3),
+        "proposals_per_sec": round(result.stats.proposals_per_second),
+    })
+
+
+def test_error_curve_evaluation(benchmark):
+    """Figure 4d-f: evaluating a rewrite's ULP error curve."""
+    from repro.harness.figure4 import error_curve
+    from repro.kernels.libimf import sin_kernel
+
+    spec = sin_kernel()
+    low = sin_kernel(degree=5)
+    curve = benchmark(error_curve, spec, low.program, 100)
+    benchmark.extra_info["max_ulp_error"] = max(e for _, e in curve)

@@ -1,0 +1,59 @@
+"""E4/E5 (Figure 5): the S3D diffusion leaf task.
+
+Paper shape: increasing eta shrinks and speeds up the exp kernel; the
+diffusion task tolerates reduced precision up to a threshold (their
+instance: eta = 1e7, a 2x exp kernel, and a 27% full-task speedup by
+Amdahl's law).
+"""
+
+import random
+
+import pytest
+
+from repro.core import CostConfig, SearchConfig, Stoke
+from repro.kernels import exp_s3d_kernel, lift_kernel
+from repro.kernels.s3d import (
+    aggregate_error,
+    reference_diffusion,
+    run_diffusion,
+    task_speedup,
+    tolerates,
+)
+
+from _util import SEARCH_PROPOSALS, TESTCASES, one_shot
+
+ETAS = (1.0e0, 1.0e9, 1.0e15)
+
+
+@pytest.mark.parametrize("eta", ETAS,
+                         ids=[f"eta1e{len(str(int(e))) - 1}" for e in ETAS])
+def test_diffusion_point(benchmark, eta):
+    spec = exp_s3d_kernel()
+    tests = spec.testcases(random.Random(0), TESTCASES)
+    reference = reference_diffusion(n=4)
+
+    def run_point():
+        stoke = Stoke(spec.program, tests, spec.live_outs,
+                      CostConfig(eta=eta, k=1.0))
+        result = stoke.optimize(SearchConfig(proposals=SEARCH_PROPOSALS,
+                                             seed=1))
+        rewrite = result.best_correct or spec.program
+        task = run_diffusion(lift_kernel(spec, rewrite), n=4)
+        return result, rewrite, task
+
+    result, rewrite, task = one_shot(benchmark, run_point)
+    benchmark.extra_info.update({
+        "rewrite_loc": rewrite.loc,
+        "exp_speedup": round(result.speedup(), 3),
+        "task_speedup": round(task_speedup(result.speedup()), 3),
+        "aggregate_error": f"{aggregate_error(task, reference):.2e}",
+        "tolerated": tolerates(task, reference),
+    })
+
+
+def test_diffusion_leaf_task(benchmark):
+    """The leaf task itself, with the full-precision simulated kernel."""
+    kernel = lift_kernel(exp_s3d_kernel())
+    result = benchmark.pedantic(run_diffusion, args=(kernel,),
+                                kwargs={"n": 4}, rounds=2, iterations=1)
+    benchmark.extra_info["aggregate"] = f"{result.aggregate:.6f}"

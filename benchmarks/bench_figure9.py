@@ -1,0 +1,30 @@
+"""E8 (Figure 9): ray-traced images under kernel substitution.
+
+Paper shape: bit-wise rewrites render pixel-identical images; the valid
+imprecise delta rewrite looks identical but differs in a few pixels; the
+over-aggressive delta' loses depth-of-field blur and differs everywhere.
+"""
+
+from repro.harness.figure9 import run as figure9_run
+
+from _util import one_shot
+
+
+def test_figure9_renders_and_diffs(benchmark):
+    result = one_shot(benchmark, figure9_run, 20, 14, 2)
+    assert result.diffs["b_bitwise"] == 0
+    assert result.diffs["d_invalid"] > result.diffs["c_valid_imprecise"]
+    benchmark.extra_info.update({
+        "total_pixels": result.total_pixels,
+        "bitwise_error_pixels": result.diffs["b_bitwise"],
+        "valid_imprecise_error_pixels": result.diffs["c_valid_imprecise"],
+        "invalid_error_pixels": result.diffs["d_invalid"],
+    })
+
+
+def test_single_frame_reference_render(benchmark):
+    from repro.kernels.aek import RenderConfig, render_with
+
+    config = RenderConfig(width=12, height=8, samples=1)
+    image = one_shot(benchmark, render_with, config=config)
+    benchmark.extra_info["pixels"] = image.width * image.height

@@ -1,0 +1,50 @@
+"""Validation-path benchmarks: err() throughput and Geweke overhead.
+
+Paper: MCMC validation converges in under 100M proposals with runtimes
+under a minute; the termination test is the Geweke diagnostic.
+"""
+
+import numpy as np
+
+from repro.harness.figure10 import _reduced_precision_rewrite
+from repro.kernels.libimf import sin_kernel
+from repro.validation import ValidationConfig, Validator
+from repro.validation.geweke import geweke_z
+
+from _util import VALIDATION_PROPOSALS, one_shot
+
+
+def _validator():
+    spec = sin_kernel()
+    return Validator(spec.program, _reduced_precision_rewrite("sin"),
+                     spec.live_outs, dict(spec.ranges), spec.base_testcase)
+
+
+def test_err_evaluation(benchmark):
+    """Equation 13: one error-function sample (two executions + ULPs)."""
+    validator = _validator()
+    test = sin_kernel().base_testcase()
+    err = benchmark(validator.err, test)
+    benchmark.extra_info["err_ulps"] = f"{err:.3e}"
+
+
+def test_validation_run_to_convergence(benchmark):
+    validator = _validator()
+
+    def validate():
+        return validator.validate(ValidationConfig(
+            max_proposals=VALIDATION_PROPOSALS, min_samples=500,
+            check_interval=250, seed=2))
+
+    result = one_shot(benchmark, validate)
+    benchmark.extra_info.update({
+        "samples": result.samples,
+        "converged": result.converged,
+        "max_err": f"{result.max_err:.3e}",
+    })
+
+
+def test_geweke_diagnostic(benchmark):
+    chain = np.random.default_rng(0).standard_normal(5000)
+    z = benchmark(geweke_z, chain)
+    benchmark.extra_info["z"] = round(float(z), 3)

@@ -1,0 +1,41 @@
+"""E12 (Section 4): the decision-procedure scaling wall.
+
+Paper claim: bit-blasting decision procedures only handle kernels on the
+order of five instructions.  Our bounded-exhaustive analogue shows the
+same character: exact, but exponential in input resolution (and merely
+linear in kernel length, so input width is the binding constraint).
+"""
+
+import pytest
+
+from repro.harness.verify_scaling import _poly_kernel
+from repro.kernels.libimf import sin_kernel
+from repro.verify import exhaustive_check
+from repro.x86.testcase import TestCase
+
+
+@pytest.mark.parametrize("bits", [4, 6, 8])
+def test_exhaustive_vs_input_bits(benchmark, bits):
+    spec = sin_kernel()
+    result = benchmark.pedantic(
+        exhaustive_check,
+        args=(spec.program, spec.program, spec.live_outs,
+              dict(spec.ranges)),
+        kwargs={"base_testcase_factory": lambda: TestCase({}),
+                "bits_per_input": bits},
+        rounds=1, iterations=1)
+    benchmark.extra_info["cases"] = result.cases_checked
+    assert result.bitwise_equal
+
+
+@pytest.mark.parametrize("terms", [2, 8, 24])
+def test_exhaustive_vs_kernel_length(benchmark, terms):
+    program = _poly_kernel(terms)
+    result = benchmark.pedantic(
+        exhaustive_check,
+        args=(program, program, ["xmm0"], {"xmm0": (-1.0, 1.0)}),
+        kwargs={"base_testcase_factory": lambda: TestCase({}),
+                "bits_per_input": 6},
+        rounds=1, iterations=1)
+    benchmark.extra_info["instructions"] = program.loc
+    benchmark.extra_info["cases"] = result.cases_checked

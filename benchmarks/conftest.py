@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates (a scaled-down instance of) one of the
+paper's tables or figures; ``extra_info`` carries the actual rows/series
+so ``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+run.  EXPERIMENTS.md records paper-scale settings.
+"""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)

@@ -1,0 +1,55 @@
+"""Quickstart: superoptimize a tiny floating-point kernel.
+
+Assembles a wasteful kernel, runs a short MCMC search for a bit-wise
+correct faster version, and prints the result — the smallest end-to-end
+use of the library.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    CostConfig,
+    SearchConfig,
+    Stoke,
+    assemble,
+    uniform_testcases,
+)
+
+
+def main() -> None:
+    # A deliberately wasteful kernel: ((x * 2) * 0.5) * 2 * 2 == 4x.
+    target = assemble("""
+        movq $2.0d, xmm1
+        mulsd xmm1, xmm0
+        movq $0.5d, xmm2
+        mulsd xmm2, xmm0
+        addsd xmm0, xmm0
+        addsd xmm0, xmm0
+    """)
+    print("target:")
+    print(target.to_text())
+    print(f"  {target.loc} LOC, {target.latency} cycles (latency model)")
+
+    # Test cases over the input range we care about (Equation 16's
+    # [l_min, l_max]); eta = 0 demands bit-wise correctness.
+    tests = uniform_testcases(random.Random(0), 32,
+                              {"xmm0": (-100.0, 100.0)})
+    stoke = Stoke(target, tests, live_outs=["xmm0"],
+                  cost_config=CostConfig(eta=0.0, k=1.0))
+    result = stoke.optimize(SearchConfig(proposals=5000, seed=7))
+
+    assert result.found_correct, "search failed to find a correct rewrite"
+    rewrite = result.best_correct
+    print("best bit-wise correct rewrite:")
+    print(rewrite.to_text())
+    print(f"  {rewrite.loc} LOC, {rewrite.latency} cycles "
+          f"-> {result.speedup():.2f}x speedup")
+    print(f"  ({result.stats.proposals} proposals, "
+          f"{result.stats.proposals_per_second:.0f}/s, "
+          f"acceptance rate {result.stats.acceptance_rate:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Tunable precision: trade ULPs of the sin kernel for speed (Figure 4).
+
+Runs the stochastic search on the libimf-style sin kernel at several
+values of the minimum acceptable ULP error ``eta``, then validates each
+discovered rewrite with the MCMC input search of Section 4 and prints the
+LOC / speedup / validated-error frontier.
+
+Run:  python examples/tunable_precision.py [--proposals N]
+"""
+
+import argparse
+import random
+
+from repro import CostConfig, SearchConfig, Stoke, ValidationConfig, Validator
+from repro.kernels import sin_kernel
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--proposals", type=int, default=8000)
+    parser.add_argument("--testcases", type=int, default=32)
+    args = parser.parse_args()
+
+    spec = sin_kernel()
+    tests = spec.testcases(random.Random(0), args.testcases)
+    print(f"target sin kernel: {spec.loc} LOC, {spec.latency} cycles, "
+          f"inputs in [{spec.ranges['xmm0'][0]:.3f}, "
+          f"{spec.ranges['xmm0'][1]:.3f}]")
+    print()
+    print(f"{'eta':>8} {'LOC':>4} {'speedup':>8} {'validated max ULPs':>20}")
+
+    for exponent in (0, 4, 8, 12, 16):
+        eta = 10.0 ** exponent
+        stoke = Stoke(spec.program, tests, spec.live_outs,
+                      CostConfig(eta=eta, k=1.0))
+        result = stoke.optimize(SearchConfig(proposals=args.proposals,
+                                             seed=11))
+        rewrite = result.best_correct or spec.program
+        # Validate: how large can the error actually get over the range?
+        validator = Validator(spec.program, rewrite, spec.live_outs,
+                              dict(spec.ranges), spec.base_testcase)
+        vres = validator.validate(ValidationConfig(
+            eta=eta, max_proposals=4000, min_samples=1000, seed=3))
+        status = "<= eta" if vres.passed else "exceeds eta (unsound test set)"
+        print(f"1e{exponent:<6d} {rewrite.loc:>4d} "
+              f"{result.speedup():>7.2f}x {vres.max_err:>14.3e} {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Verification vs validation on the aek kernels (Sections 4 and 6.3).
+
+Shows the paper's three-way comparison on real rewrites:
+
+* the bit-wise dot/scale/add rewrites are *proved* equivalent with
+  floating-point operations treated as uninterpreted functions;
+* the imprecise delta rewrite cannot be proved, but interval analysis
+  gives a sound (and very coarse) ULP bound;
+* MCMC validation gives a far tighter empirical bound with a Geweke
+  convergence certificate.
+
+Run:  python examples/verify_rewrites.py
+"""
+
+from repro import ValidationConfig, Validator, check_equivalent_uf, interval_ulp_bound
+from repro.kernels.aek import vector as V
+from repro.x86.memory import Memory
+
+
+def main() -> None:
+    print("== Uninterpreted-function proofs (Figure 6) ==")
+    for name in ("scale", "dot", "add", "delta"):
+        spec = V.AEK_KERNELS[name]()
+        rewrite = V.AEK_REWRITES[name]()
+        result = check_equivalent_uf(
+            spec.program, rewrite, spec.live_outs,
+            memory=Memory(V.aek_segments()),
+            concrete_gp=V.CONCRETE_GP_INDICES)
+        verdict = "PROVED bit-wise equivalent" if result.proved \
+            else "unknown (not provable with UF)"
+        print(f"  {name:6s}: {verdict}")
+
+    print()
+    print("== Static vs dynamic bounds for the imprecise delta ==")
+    spec = V.delta_kernel()
+    rewrite = V.delta_rewrite()
+
+    ranges = dict(spec.ranges)
+    ranges.update(V.delta_mem_ranges())
+    static = interval_ulp_bound(
+        spec.program, rewrite, spec.live_outs, ranges,
+        memory=Memory(V.aek_segments()),
+        concrete_gp=V.CONCRETE_GP_INDICES, max_boxes=256)
+    print(f"  interval analysis (sound):   {static.bound_ulps:.3e} ULPs "
+          f"({static.boxes_explored} boxes)")
+
+    validator = Validator(spec.program, rewrite, spec.live_outs,
+                          dict(spec.ranges), spec.base_testcase)
+    dynamic = validator.validate(ValidationConfig(
+        max_proposals=10_000, min_samples=2_000, seed=0))
+    print(f"  MCMC validation (evidence):  {dynamic.max_err:.3e} ULPs "
+          f"(converged={dynamic.converged}, {dynamic.samples} samples)")
+    ratio = static.bound_ulps / max(dynamic.max_err, 1.0)
+    print(f"  static bound is {ratio:,.0f}x weaker — the Section 6.3 gap "
+          f"(paper: 1363.5 vs 5 ULPs)")
+
+
+if __name__ == "__main__":
+    main()

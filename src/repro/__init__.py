@@ -1,0 +1,84 @@
+"""Stochastic optimization of floating-point programs with tunable precision.
+
+A full reproduction of Schkufza, Sharma & Aiken (PLDI 2014): a STOKE-style
+stochastic superoptimizer for a faithfully modelled x86-64 subset, with a
+ULP-based tunable-precision cost function, an MCMC validation technique
+with Geweke-diagnosed termination, static verification stand-ins
+(uninterpreted functions, interval analysis, bounded-exhaustive checking),
+and the paper's three benchmark applications (libimf math kernels, the S3D
+diffusion leaf task, and the aek ray tracer).
+
+Quickstart::
+
+    from repro import assemble, Stoke, SearchConfig, CostConfig, uniform_testcases
+    import random
+
+    target = assemble('''
+        movq $2.0d, xmm1
+        mulsd xmm1, xmm0
+        addsd xmm0, xmm0
+    ''')
+    tests = uniform_testcases(random.Random(0), 32, {"xmm0": (-100, 100)})
+    stoke = Stoke(target, tests, ["xmm0"], CostConfig(eta=0.0, k=1.0))
+    result = stoke.optimize(SearchConfig(proposals=5000, seed=1))
+    print(result.best_correct.to_text(), result.speedup())
+"""
+
+from repro.core import (
+    CostConfig,
+    CostFunction,
+    SearchConfig,
+    SearchResult,
+    Stoke,
+    make_strategy,
+)
+from repro.fp import ETA_HALF, ETA_SINGLE, ulp_distance, ulp_distance_bits
+from repro.validation import ValidationConfig, ValidationResult, Validator, validate
+from repro.verify import check_equivalent_uf, exhaustive_check, interval_ulp_bound
+from repro.x86 import (
+    Emulator,
+    Instruction,
+    MachineState,
+    Memory,
+    Program,
+    Segment,
+    TestCase,
+    assemble,
+    compile_program,
+    disassemble,
+    uniform_testcases,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostConfig",
+    "CostFunction",
+    "SearchConfig",
+    "SearchResult",
+    "Stoke",
+    "make_strategy",
+    "ETA_HALF",
+    "ETA_SINGLE",
+    "ulp_distance",
+    "ulp_distance_bits",
+    "ValidationConfig",
+    "ValidationResult",
+    "Validator",
+    "validate",
+    "check_equivalent_uf",
+    "exhaustive_check",
+    "interval_ulp_bound",
+    "Emulator",
+    "Instruction",
+    "MachineState",
+    "Memory",
+    "Program",
+    "Segment",
+    "TestCase",
+    "assemble",
+    "compile_program",
+    "disassemble",
+    "uniform_testcases",
+    "__version__",
+]

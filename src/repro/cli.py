@@ -1,0 +1,173 @@
+"""Command-line front-end: optimize / validate / run assembly files.
+
+Makes the library usable without writing Python::
+
+    python -m repro optimize kernel.s --live-out xmm0 \\
+        --range xmm0=-3.14:3.14 --eta 1e9 --proposals 20000
+    python -m repro validate target.s rewrite.s --live-out xmm0 \\
+        --range xmm0=-1:1 --eta 1e6
+    python -m repro run kernel.s --set xmm0=2.5 --live-out xmm0
+    python -m repro trace kernel.s --set xmm0=2.5
+
+Ranges and inputs use ``location=value`` / ``location=lo:hi`` syntax with
+the location grammar of :mod:`repro.x86.locations`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Dict, List, Tuple
+
+from repro.core import CostConfig, SearchConfig, Stoke
+from repro.validation import ValidationConfig, Validator
+from repro.x86 import assemble
+from repro.x86.testcase import TestCase, uniform_testcases
+
+
+def _parse_ranges(items: List[str]) -> Dict[str, Tuple[float, float]]:
+    ranges = {}
+    for item in items:
+        loc, _, span = item.partition("=")
+        lo, _, hi = span.partition(":")
+        if not hi:
+            raise SystemExit(f"--range needs loc=lo:hi, got {item!r}")
+        ranges[loc] = (float(lo), float(hi))
+    return ranges
+
+
+def _parse_values(items: List[str]) -> Dict[str, float]:
+    values = {}
+    for item in items:
+        loc, _, value = item.partition("=")
+        if not value:
+            raise SystemExit(f"--set needs loc=value, got {item!r}")
+        values[loc] = float(value)
+    return values
+
+
+def _load_program(path: str):
+    with open(path) as fh:
+        return assemble(fh.read())
+
+
+def cmd_optimize(args) -> int:
+    target = _load_program(args.program)
+    ranges = _parse_ranges(args.range)
+    tests = uniform_testcases(random.Random(args.seed), args.testcases,
+                              ranges)
+    stoke = Stoke(target, tests, args.live_out,
+                  CostConfig(eta=args.eta, k=args.k))
+    result = stoke.optimize(SearchConfig(proposals=args.proposals,
+                                         seed=args.seed))
+    print(f"# target: {target.loc} LOC / {target.latency} cycles")
+    if result.best_correct is None:
+        print("# no correct rewrite found")
+        return 1
+    print(f"# rewrite: {result.best_correct.loc} LOC / "
+          f"{result.best_correct_latency} cycles "
+          f"({result.speedup():.2f}x, eta={args.eta:g})")
+    sys.stdout.write(result.best_correct.to_text())
+    return 0
+
+
+def cmd_validate(args) -> int:
+    target = _load_program(args.target)
+    rewrite = _load_program(args.rewrite)
+    ranges = _parse_ranges(args.range)
+    midpoints = {loc: (lo + hi) / 2 for loc, (lo, hi) in ranges.items()}
+    validator = Validator(target, rewrite, args.live_out, ranges,
+                          lambda: TestCase.from_values(midpoints))
+    result = validator.validate(ValidationConfig(
+        eta=args.eta, max_proposals=args.proposals, seed=args.seed))
+    print(f"max error: {result.max_err:.6g} ULPs "
+          f"({result.samples} samples, converged={result.converged})")
+    print(f"verdict: {'PASS' if result.passed else 'FAIL'} "
+          f"against eta={args.eta:g}")
+    if result.argmax is not None:
+        print(f"worst input: {result.argmax!r}")
+    return 0 if result.passed else 1
+
+
+def cmd_run(args) -> int:
+    program = _load_program(args.program)
+    from repro.core.runner import Runner
+    from repro.x86.testcase import decode_from
+
+    tc = TestCase.from_values(_parse_values(args.set))
+    runner = Runner(args.live_out)
+    outputs, signal = runner.run_program(program, tc)
+    if signal is not None:
+        print(f"signal: {signal.value}")
+        return 1
+    for loc, bits in outputs.items():
+        print(f"{loc} = {decode_from(loc, bits)!r}  (0x{bits:x})")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    program = _load_program(args.program)
+    from repro.x86.trace import trace_program
+
+    tc = TestCase.from_values(_parse_values(args.set))
+    trace = trace_program(program, tc.build_state())
+    print(trace.render())
+    return 1 if trace.signal is not None else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    opt = sub.add_parser("optimize", help="superoptimize an assembly file")
+    opt.add_argument("program")
+    opt.add_argument("--live-out", nargs="+", required=True)
+    opt.add_argument("--range", nargs="+", required=True,
+                     metavar="LOC=LO:HI")
+    opt.add_argument("--eta", type=float, default=0.0)
+    opt.add_argument("--k", type=float, default=1.0)
+    opt.add_argument("--proposals", type=int, default=10_000)
+    opt.add_argument("--testcases", type=int, default=32)
+    opt.add_argument("--seed", type=int, default=0)
+    opt.set_defaults(fn=cmd_optimize)
+
+    val = sub.add_parser("validate",
+                         help="bound the ULP error between two programs")
+    val.add_argument("target")
+    val.add_argument("rewrite")
+    val.add_argument("--live-out", nargs="+", required=True)
+    val.add_argument("--range", nargs="+", required=True,
+                     metavar="LOC=LO:HI")
+    val.add_argument("--eta", type=float, default=0.0)
+    val.add_argument("--proposals", type=int, default=20_000)
+    val.add_argument("--seed", type=int, default=0)
+    val.set_defaults(fn=cmd_validate)
+
+    runp = sub.add_parser("run", help="execute a program on given inputs")
+    runp.add_argument("program")
+    runp.add_argument("--set", nargs="+", default=[], metavar="LOC=VALUE")
+    runp.add_argument("--live-out", nargs="+", required=True)
+    runp.set_defaults(fn=cmd_run)
+
+    tr = sub.add_parser("trace",
+                        help="execute with a per-instruction trace")
+    tr.add_argument("program")
+    tr.add_argument("--set", nargs="+", default=[], metavar="LOC=VALUE")
+    tr.set_defaults(fn=cmd_trace)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # output piped into head etc.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

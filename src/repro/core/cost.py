@@ -1,0 +1,211 @@
+"""The floating-point cost function (Equations 9-11 and Section 5.2).
+
+``eq_fast`` measures, per test case, the ULP' distance between each
+live-out location of the rewrite and of the target, discards anything at
+or below the minimum acceptable rounding error ``eta``, adds a penalty for
+divergent signal behaviour, and reduces over the test set with ``⊕``
+(``max`` by default, per Section 5.2, so correctness cost cannot overflow
+no matter how many test cases are used).
+
+Two knobs the paper leaves implicit are exposed explicitly (and covered by
+ablation benchmarks):
+
+* ``compress`` — ULP excesses span ~19 orders of magnitude; with raw
+  values a unit annealing constant reduces MCMC to hill climbing.  The
+  default ``"log2"`` compresses each location's excess to its bit length,
+  keeping acceptance probabilities meaningful across the whole range.
+* ``reduction`` — ``"max"`` (the paper's choice) or ``"sum"`` (original
+  STOKE) over test cases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.fp.ieee754 import DOUBLE, SINGLE
+from repro.fp.ulp import ulp_distance_bits
+from repro.x86.locations import Loc, MemLoc
+from repro.x86.program import Program
+from repro.x86.testcase import TestCase
+
+from repro.core.perf import LatencyPerf
+from repro.core.runner import Location, Runner
+
+# Penalty used when the rewrite signals and the target does not; chosen to
+# dominate any achievable per-location error cost.
+_SIG_DEFAULT = 256.0
+
+
+@dataclass(frozen=True)
+class CostConfig:
+    """Weights and shape of the cost function.
+
+    Attributes:
+        eta: Minimum unacceptable ULP rounding error (Equation 10); errors
+            at or below ``eta`` are free.
+        k: Weight of the performance term (Equation 2); ``k = 0`` is
+            synthesis mode.
+        wr / wm / ws: Register / memory / signal error weights (Eq 9).
+        reduction: ``"max"`` (Section 5.2) or ``"sum"`` over test cases.
+        compress: ``"log2"`` or ``"none"`` compression of ULP excesses.
+        perf_scale: Exchange rate passed to :class:`LatencyPerf`.
+    """
+
+    eta: float = 0.0
+    k: float = 1.0
+    wr: float = 1.0
+    wm: float = 1.0
+    ws: float = _SIG_DEFAULT
+    reduction: str = "max"
+    compress: str = "log2"
+    perf_scale: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.reduction not in ("max", "sum"):
+            raise ValueError(f"bad reduction: {self.reduction!r}")
+        if self.compress not in ("log2", "none"):
+            raise ValueError(f"bad compress: {self.compress!r}")
+        if self.eta < 0:
+            raise ValueError("eta must be non-negative")
+
+
+@dataclass(frozen=True)
+class CostResult:
+    """Breakdown of one cost evaluation."""
+
+    total: float
+    eq: float
+    perf: float
+    signalled: bool
+
+    @property
+    def correct(self) -> bool:
+        """True when the rewrite met the eta bound on every test case."""
+        return self.eq == 0.0
+
+
+def location_ulp_distance(loc: Location, bits_a: int, bits_b: int) -> float:
+    """ULP' distance for FP locations; Hamming distance for fixed-point.
+
+    Using Hamming distance for integer locations matches the original
+    STOKE cost, and keeps mixed fixed/floating kernels well-behaved.
+    """
+    if loc.ftype == "f64":
+        return float(ulp_distance_bits(bits_a, bits_b, DOUBLE))
+    if loc.ftype == "f32":
+        return float(ulp_distance_bits(bits_a, bits_b, SINGLE))
+    return float(bin(bits_a ^ bits_b).count("1"))
+
+
+class CostFunction:
+    """``c(R; T) = eq(R; T) + k * perf(R; T)`` bound to a target."""
+
+    def __init__(
+        self,
+        target: Program,
+        tests: Sequence[TestCase],
+        live_outs: Sequence[Union[str, Location]],
+        config: CostConfig = CostConfig(),
+        backend: str = "jit",
+    ):
+        if not tests:
+            raise ValueError("at least one test case is required")
+        self.config = config
+        self.runner = Runner(live_outs, backend=backend)
+        self.target = target
+        self.tests = list(tests)
+        self.perf = LatencyPerf(target.latency, scale=config.perf_scale)
+        # The target must run cleanly on every test case.
+        self.target_outputs = self.runner.outputs_for(target, self.tests)
+        # Full (non-early-terminated) evaluations are memoized: MCMC
+        # proposals frequently revisit recently seen programs.
+        self._cache: Dict[Program, CostResult] = {}
+        self._cache_max = 8192
+
+    # -- equivalence -----------------------------------------------------
+
+    def _excess(self, ulps: float) -> float:
+        """max(0, ulps - eta), optionally log2-compressed."""
+        excess = ulps - self.config.eta
+        if excess <= 0.0:
+            return 0.0
+        if self.config.compress == "log2":
+            return math.log2(1.0 + excess)
+        return excess
+
+    def err_fast(self, outputs: Optional[Dict[Location, int]],
+                 expected: Dict[Location, int],
+                 signalled: bool) -> float:
+        """Per-test-case error (Equation 9) against precomputed outputs."""
+        cfg = self.config
+        if signalled or outputs is None:
+            return cfg.ws
+        total = 0.0
+        for loc, want in expected.items():
+            ulps = location_ulp_distance(loc, outputs[loc], want)
+            weight = cfg.wm if isinstance(loc, MemLoc) else cfg.wr
+            total += weight * self._excess(ulps)
+        return total
+
+    def eq_fast(self, rewrite: Program) -> Tuple[float, bool]:
+        """Reduce per-test errors with ⊕; returns (eq, any_signal)."""
+        prepared = self.runner.prepare(rewrite)
+        cfg = self.config
+        eq = 0.0
+        signalled = False
+        for test, expected in zip(self.tests, self.target_outputs):
+            outputs, signal = self.runner.run(prepared, test)
+            err = self.err_fast(outputs, expected, signal is not None)
+            signalled = signalled or signal is not None
+            if cfg.reduction == "max":
+                if err > eq:
+                    eq = err
+            else:
+                eq += err
+        return eq, signalled
+
+    # -- full cost -------------------------------------------------------
+
+    def cost(self, rewrite: Program,
+             early_reject_above: Optional[float] = None) -> CostResult:
+        """Evaluate ``c(R; T)``.
+
+        ``early_reject_above``: if the running lower bound on the total
+        cost exceeds this threshold, evaluation stops early and returns an
+        upper-bound-ish result; the search only uses this for proposals
+        it would reject with near certainty anyway.
+        """
+        cached = self._cache.get(rewrite)
+        if cached is not None:
+            return cached
+        cfg = self.config
+        perf = self.perf(rewrite) if cfg.k != 0.0 else 0.0
+        prepared = self.runner.prepare(rewrite)
+        eq = 0.0
+        signalled = False
+        completed = True
+        for test, expected in zip(self.tests, self.target_outputs):
+            outputs, signal = self.runner.run(prepared, test)
+            err = self.err_fast(outputs, expected, signal is not None)
+            signalled = signalled or signal is not None
+            if cfg.reduction == "max":
+                if err > eq:
+                    eq = err
+            else:
+                eq += err
+            if early_reject_above is not None:
+                if eq + cfg.k * perf > early_reject_above:
+                    completed = False
+                    break
+        total = eq + cfg.k * perf
+        result = CostResult(total=total, eq=eq, perf=perf, signalled=signalled)
+        if completed:
+            if len(self._cache) >= self._cache_max:
+                self._cache.clear()
+            self._cache[rewrite] = result
+        return result
+
+    def __call__(self, rewrite: Program) -> CostResult:
+        return self.cost(rewrite)

@@ -1,0 +1,43 @@
+"""Metropolis-Hastings machinery (Equations 1, 3, 4).
+
+With symmetric proposals the acceptance probability reduces to the
+Metropolis ratio ``min(1, exp(-beta * (c(x*) - c(x))))``; costs map to the
+(unnormalized) density ``p(x) ∝ exp(-beta * c(x))`` of Equation 3.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+def acceptance_probability(current_cost: float, proposal_cost: float,
+                           beta: float = 1.0) -> float:
+    """Equation 4: ``min(1, exp(-beta * (c(R*) - c(R))))``."""
+    delta = proposal_cost - current_cost
+    if delta <= 0.0:
+        return 1.0
+    exponent = -beta * delta
+    if exponent < -745.0:  # exp underflows to 0.0 below this
+        return 0.0
+    return math.exp(exponent)
+
+
+def metropolis_accept(rng: random.Random, current_cost: float,
+                      proposal_cost: float, beta: float = 1.0) -> bool:
+    """One Metropolis acceptance decision."""
+    p = acceptance_probability(current_cost, proposal_cost, beta)
+    return p >= 1.0 or rng.random() < p
+
+
+def rejection_threshold(current_cost: float, beta: float,
+                        log_tolerance: float = 46.0) -> float:
+    """A proposal cost above this is rejected with probability ~1 - 1e-20.
+
+    Used to stop evaluating test cases early on hopeless proposals: once
+    the running cost lower bound passes this threshold, the remaining
+    test cases cannot change the accept/reject outcome in practice.
+    """
+    if beta <= 0.0:
+        return math.inf
+    return current_cost + log_tolerance / beta

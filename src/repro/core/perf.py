@@ -1,0 +1,39 @@
+"""The performance term ``perf(R; T)`` of Equation 2.
+
+STOKE's performance estimate during search is a static sum of
+per-instruction latencies (fast to compute and monotone in the true cost
+for straight-line code); final speedup numbers reported by the harness are
+ratios of these latency sums, and wall-clock throughput is measured
+separately by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.x86.program import Program
+
+
+@dataclass(frozen=True)
+class LatencyPerf:
+    """Latency-ratio performance term, normalized to the target.
+
+    ``perf(R) = scale * latency(R) / latency(T)``, so a rewrite as fast as
+    the target costs ``scale`` and the empty rewrite costs 0.  ``scale``
+    fixes the exchange rate between cycles and the (log-compressed) ULP
+    error units of the equivalence term.
+    """
+
+    target_latency: int
+    scale: float = 20.0
+
+    def __call__(self, rewrite: Program) -> float:
+        if self.target_latency <= 0:
+            return float(rewrite.latency)
+        return self.scale * rewrite.latency / self.target_latency
+
+
+def speedup(target: Program, rewrite: Program) -> float:
+    """Speedup of a rewrite over the target under the latency model."""
+    rl = rewrite.latency
+    return float("inf") if rl == 0 else target.latency / rl

@@ -1,0 +1,62 @@
+"""Search results and cost traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.x86.program import Program
+
+
+@dataclass
+class SearchStats:
+    """Aggregate statistics of one search run."""
+
+    proposals: int = 0
+    accepted: int = 0
+    invalid_proposals: int = 0
+    elapsed_seconds: float = 0.0
+    moves_proposed: dict = field(default_factory=dict)
+    moves_accepted: dict = field(default_factory=dict)
+
+    @property
+    def acceptance_rate(self) -> float:
+        evaluated = self.proposals - self.invalid_proposals
+        return self.accepted / evaluated if evaluated else 0.0
+
+    @property
+    def proposals_per_second(self) -> float:
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.proposals / self.elapsed_seconds
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a STOKE search.
+
+    ``best_correct`` is the lowest-latency rewrite whose equivalence cost
+    was exactly zero (every test case within ``eta``); ``best_program`` is
+    the lowest-total-cost sample seen regardless of correctness.  The
+    ``trace`` records ``(iteration, best_cost_so_far)`` pairs for the
+    Figure 10 convergence plots.
+    """
+
+    target: Program
+    best_program: Program
+    best_cost: float
+    best_correct: Optional[Program]
+    best_correct_latency: Optional[int]
+    stats: SearchStats
+    trace: List[Tuple[int, float]] = field(default_factory=list)
+
+    @property
+    def found_correct(self) -> bool:
+        return self.best_correct is not None
+
+    def speedup(self) -> float:
+        """Latency-model speedup of the best correct rewrite."""
+        if self.best_correct is None:
+            return 1.0
+        latency = self.best_correct.latency
+        return float("inf") if latency == 0 else self.target.latency / latency

@@ -1,0 +1,75 @@
+"""Shared program-execution plumbing for cost functions and validation.
+
+A :class:`Runner` binds the live-out locations and a backend choice
+(``"jit"`` or ``"emulator"``) and turns (program, test case) pairs into
+output bit patterns or a signal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.x86.emulator import Emulator
+from repro.x86.jit import compile_program
+from repro.x86.locations import Loc, MemLoc, parse_loc
+from repro.x86.program import Program
+from repro.x86.signals import Signal
+from repro.x86.testcase import TestCase
+
+Location = Union[Loc, MemLoc]
+
+
+def resolve_locations(locs: Iterable[Union[str, Location]]) -> Tuple[Location, ...]:
+    """Accept location strings or objects; return Loc/MemLoc objects."""
+    out: List[Location] = []
+    for loc in locs:
+        out.append(parse_loc(loc) if isinstance(loc, str) else loc)
+    return tuple(out)
+
+
+class Runner:
+    """Executes programs on test cases and reads back live-out values."""
+
+    def __init__(self, live_outs: Iterable[Union[str, Location]],
+                 backend: str = "jit"):
+        if backend not in ("jit", "emulator"):
+            raise ValueError(f"unknown backend: {backend!r}")
+        self.live_outs = resolve_locations(live_outs)
+        self.backend = backend
+        self._emulator = Emulator() if backend == "emulator" else None
+
+    def prepare(self, program: Program):
+        """Pre-process a program for repeated execution."""
+        if self.backend == "jit":
+            return compile_program(program)
+        return program
+
+    def run(self, prepared, test: TestCase
+            ) -> Tuple[Optional[Dict[Location, int]], Optional[Signal]]:
+        """Execute and return ({location: bits}, None) or (None, signal)."""
+        state = test.build_state()
+        if self.backend == "jit":
+            outcome = prepared.run(state)
+        else:
+            outcome = self._emulator.run(prepared, state)
+        if not outcome.ok:
+            return None, outcome.signal
+        return {loc: loc.read(state) for loc in self.live_outs}, None
+
+    def run_program(self, program: Program, test: TestCase):
+        """One-shot convenience wrapper around prepare + run."""
+        return self.run(self.prepare(program), test)
+
+    def outputs_for(self, program: Program, tests: Sequence[TestCase]
+                    ) -> List[Dict[Location, int]]:
+        """Outputs on every test; raises if any execution signals."""
+        prepared = self.prepare(program)
+        results = []
+        for test in tests:
+            outputs, signal = self.run(prepared, test)
+            if signal is not None:
+                raise RuntimeError(
+                    f"program raised {signal.value} on {test!r}"
+                )
+            results.append(outputs)
+        return results

@@ -1,0 +1,162 @@
+"""The STOKE search driver.
+
+Runs the Metropolis-Hastings chain of Section 2.2 (or one of the
+Section 6.4 alternates) over programs: propose a transform, evaluate the
+cost function, accept or reject, and remember both the best-cost sample
+and the best *correct* rewrite seen.  ``k = 0`` in the cost config puts
+the search in synthesis mode; any other value is optimization mode.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.x86.instruction import UNUSED
+from repro.x86.liveness import dead_code_eliminate
+from repro.x86.program import Program
+
+from repro.core.cost import CostConfig, CostFunction
+from repro.core.mcmc import rejection_threshold
+from repro.core.result import SearchResult, SearchStats
+from repro.core.runner import Location
+from repro.core.strategies import McmcStrategy, Strategy
+from repro.core.transforms import Transforms
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Knobs of one search run.
+
+    The paper runs 10M proposals across 16 threads; pure-Python defaults
+    are scaled down and every harness documents its choice.
+    """
+
+    proposals: int = 20_000
+    seed: int = 0
+    init: str = "target"  # 'target' | 'empty'
+    extra_slots: int = 0  # UNUSED padding appended to the target
+    trace_points: int = 64
+    early_reject: bool = True
+
+
+class Stoke:
+    """A configured stochastic optimizer for one target program."""
+
+    def __init__(
+        self,
+        target: Program,
+        tests: Sequence,
+        live_outs: Sequence[Union[str, Location]],
+        cost_config: CostConfig = CostConfig(),
+        transforms: Optional[Transforms] = None,
+        backend: str = "jit",
+        slow_check=None,
+    ):
+        """``slow_check`` is the second tier of Equation 5: a callable
+        ``Program -> bool`` run on candidate best rewrites after they pass
+        the fast test-case check (see :mod:`repro.core.slowcheck`)."""
+        self.target = target
+        self.cost_fn = CostFunction(target, tests, live_outs,
+                                    config=cost_config, backend=backend)
+        self.transforms = transforms if transforms is not None \
+            else Transforms(target)
+        self.slow_check = slow_check
+        self._slow_check_failures = set()
+        self.live_out_names = {
+            getattr(loc, "reg", "mem") for loc in self.cost_fn.runner.live_outs
+        }
+
+    def _passes_slow_check(self, program: Program) -> bool:
+        if self.slow_check is None:
+            return True
+        if program in self._slow_check_failures:
+            return False
+        if self.slow_check(program):
+            return True
+        self._slow_check_failures.add(program)
+        return False
+
+    def _initial(self, config: SearchConfig) -> Program:
+        padded = self.target.padded(len(self.target.slots) + config.extra_slots)
+        if config.init == "target":
+            return padded
+        if config.init == "empty":
+            return Program([UNUSED] * len(padded.slots))
+        raise ValueError(f"unknown init: {config.init!r}")
+
+    def search(self, config: SearchConfig = SearchConfig(),
+               strategy: Optional[Strategy] = None) -> SearchResult:
+        """Run one chain and return the results."""
+        strategy = strategy if strategy is not None else McmcStrategy()
+        rng = random.Random(config.seed)
+        stats = SearchStats()
+        beta = getattr(strategy, "beta", 1.0)
+
+        current = self._initial(config)
+        current_cost = self.cost_fn.cost(current)
+        best_program, best_cost = current, current_cost.total
+        best_correct: Optional[Program] = None
+        best_correct_latency: Optional[int] = None
+        if current_cost.correct and self._passes_slow_check(current):
+            best_correct, best_correct_latency = current, current.latency
+
+        trace = [(0, best_cost)]
+        trace_stride = max(1, config.proposals // max(1, config.trace_points))
+        started = time.perf_counter()
+
+        for iteration in range(1, config.proposals + 1):
+            stats.proposals += 1
+            proposal, move = self.transforms.propose(rng, current)
+            stats.moves_proposed[move] = stats.moves_proposed.get(move, 0) + 1
+            if proposal is None:
+                stats.invalid_proposals += 1
+            else:
+                threshold = None
+                if config.early_reject and isinstance(strategy, McmcStrategy):
+                    threshold = rejection_threshold(current_cost.total, beta)
+                result = self.cost_fn.cost(proposal,
+                                           early_reject_above=threshold)
+                if result.correct:
+                    latency = proposal.latency
+                    if (best_correct is None
+                            or latency < best_correct_latency) \
+                            and self._passes_slow_check(proposal):
+                        best_correct, best_correct_latency = proposal, latency
+                if result.total < best_cost:
+                    best_program, best_cost = proposal, result.total
+                if strategy.accept(rng, current_cost.total, result.total,
+                                   iteration, config.proposals):
+                    stats.accepted += 1
+                    stats.moves_accepted[move] = (
+                        stats.moves_accepted.get(move, 0) + 1
+                    )
+                    current, current_cost = proposal, result
+            if iteration % trace_stride == 0 or iteration == config.proposals:
+                trace.append((iteration, best_cost))
+
+        stats.elapsed_seconds = time.perf_counter() - started
+        if best_correct is not None:
+            cleaned = dead_code_eliminate(best_correct, self.live_out_names)
+            # Keep the cleaned version only if it is still correct (it
+            # always should be; this guards the conservative analysis).
+            if cleaned != best_correct \
+                    and self.cost_fn.eq_fast(cleaned)[0] == 0.0 \
+                    and self._passes_slow_check(cleaned):
+                best_correct = cleaned
+                best_correct_latency = cleaned.latency
+        return SearchResult(
+            target=self.target,
+            best_program=best_program,
+            best_cost=best_cost,
+            best_correct=best_correct,
+            best_correct_latency=best_correct_latency,
+            stats=stats,
+            trace=trace,
+        )
+
+    def optimize(self, config: SearchConfig = SearchConfig()) -> SearchResult:
+        """MCMC optimization with the default strategy."""
+        return self.search(config, McmcStrategy())

@@ -1,0 +1,88 @@
+"""Slow equality checks — the second tier of Equation 5.
+
+STOKE's cost function uses a fast, unsound test-case check to discard
+most incorrect rewrites and reserves a slower, stronger check for those
+that pass (Equations 5 and 12).  For floating-point programs the paper's
+"slow" options are uninterpreted-function verification where it applies
+and MCMC validation elsewhere (Section 4); this module packages both as
+hooks the search driver invokes on candidate best rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.x86.memory import Memory
+from repro.x86.program import Program
+from repro.x86.testcase import TestCase
+
+SlowCheck = Callable[[Program], bool]
+
+
+@dataclass
+class SlowCheckStats:
+    """How often the slow tier ran and what it decided."""
+
+    invocations: int = 0
+    accepted: int = 0
+    rejected: int = 0
+
+
+def uf_slow_check(target: Program,
+                  live_outs: Sequence,
+                  memory: Optional[Memory] = None,
+                  concrete_gp: Optional[Dict[int, int]] = None,
+                  ) -> SlowCheck:
+    """A sound slow check: accept only UF-provable rewrites.
+
+    Incomplete — rewrites that are correct but not bit-wise identical in
+    UF terms are rejected, exactly as a sound-but-incomplete
+    ``verif(R;T)`` of Equation 12 would be.
+    """
+    from repro.verify.uf import check_equivalent_uf
+
+    def check(rewrite: Program) -> bool:
+        result = check_equivalent_uf(target, rewrite, live_outs,
+                                     memory=memory, concrete_gp=concrete_gp)
+        return result.proved
+
+    return check
+
+
+def validation_slow_check(target: Program,
+                          live_outs: Sequence,
+                          ranges: Dict[str, Tuple[float, float]],
+                          base_testcase_factory: Callable[[], TestCase],
+                          eta: float,
+                          max_proposals: int = 2_000,
+                          seed: int = 0) -> SlowCheck:
+    """The paper's validation as a slow check: a short MCMC input search
+    must fail to push the error above eta."""
+    from repro.validation.validator import ValidationConfig, Validator
+
+    def check(rewrite: Program) -> bool:
+        validator = Validator(target, rewrite, live_outs, ranges,
+                              base_testcase_factory)
+        result = validator.validate(ValidationConfig(
+            eta=eta, max_proposals=max_proposals,
+            min_samples=max(200, max_proposals // 4), seed=seed))
+        return result.passed
+
+    return check
+
+
+def counting(check: SlowCheck) -> Tuple[SlowCheck, SlowCheckStats]:
+    """Wrap a slow check with invocation statistics."""
+    stats = SlowCheckStats()
+
+    def wrapped(rewrite: Program) -> bool:
+        stats.invocations += 1
+        ok = check(rewrite)
+        if ok:
+            stats.accepted += 1
+        else:
+            stats.rejected += 1
+        return ok
+
+    return wrapped, stats

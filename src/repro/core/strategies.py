@@ -1,0 +1,99 @@
+"""Alternate search strategies (Section 6.4).
+
+The paper compares the MCMC search kernel against pure random search,
+greedy hill climbing, and simulated annealing, for both optimization and
+validation.  Each strategy is an acceptance rule over cost deltas; the
+surrounding search loop is shared.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.mcmc import metropolis_accept
+
+
+class Strategy:
+    """Acceptance policy interface."""
+
+    name = "strategy"
+
+    def accept(self, rng: random.Random, current_cost: float,
+               proposal_cost: float, iteration: int, total: int) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class McmcStrategy(Strategy):
+    """Metropolis-Hastings acceptance at fixed inverse temperature."""
+
+    beta: float = 1.0
+    name = "mcmc"
+
+    def accept(self, rng, current_cost, proposal_cost, iteration, total):
+        return metropolis_accept(rng, current_cost, proposal_cost, self.beta)
+
+
+@dataclass
+class HillClimbStrategy(Strategy):
+    """Greedy: accept only non-worsening proposals."""
+
+    name = "hill"
+
+    def accept(self, rng, current_cost, proposal_cost, iteration, total):
+        return proposal_cost <= current_cost
+
+
+@dataclass
+class RandomStrategy(Strategy):
+    """Pure random walk: accept everything, remember the best seen."""
+
+    name = "rand"
+
+    def accept(self, rng, current_cost, proposal_cost, iteration, total):
+        return True
+
+
+@dataclass
+class AnnealStrategy(Strategy):
+    """Simulated annealing with a geometric cooling schedule.
+
+    The temperature interpolates from ``t_start`` to ``t_end`` over the
+    run, so early behaviour approximates random search and late behaviour
+    approximates greedy hill climbing — the hybrid the paper describes.
+    """
+
+    t_start: float = 64.0
+    t_end: float = 0.05
+    name = "anneal"
+
+    def temperature(self, iteration: int, total: int) -> float:
+        if total <= 1:
+            return self.t_end
+        frac = min(1.0, iteration / (total - 1))
+        return self.t_start * (self.t_end / self.t_start) ** frac
+
+    def accept(self, rng, current_cost, proposal_cost, iteration, total):
+        delta = proposal_cost - current_cost
+        if delta <= 0.0:
+            return True
+        temp = self.temperature(iteration, total)
+        if temp <= 0.0:
+            return False
+        exponent = -delta / temp
+        return exponent > -745.0 and rng.random() < math.exp(exponent)
+
+
+def make_strategy(name: str, beta: float = 1.0) -> Strategy:
+    """Factory used by the Figure 10 harness."""
+    if name == "mcmc":
+        return McmcStrategy(beta=beta)
+    if name == "hill":
+        return HillClimbStrategy()
+    if name == "rand":
+        return RandomStrategy()
+    if name == "anneal":
+        return AnnealStrategy()
+    raise ValueError(f"unknown strategy: {name!r}")

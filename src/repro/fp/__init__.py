@@ -1,0 +1,70 @@
+"""IEEE-754 substrate: formats, ULP distances, and error functions.
+
+This package implements the floating-point machinery from Sections 2-3 of
+the paper: the IEEE-754 double-precision layout (Figure 1), the ULP'
+distance between two floating-point values (Equation 17 / Figure 3), the
+real-vs-float ULP measure (Equation 7), the absolute/relative error
+functions whose pathologies motivate ULPs (Equation 6 / Figure 2), and the
+precision constants used to tune ``eta`` (Section 6.1).
+"""
+
+from repro.fp.ieee754 import (
+    DOUBLE,
+    HALF,
+    SINGLE,
+    FloatClass,
+    Format,
+    bits_to_double,
+    bits_to_half,
+    bits_to_single,
+    classify_bits,
+    compose_bits,
+    decompose_bits,
+    double_to_bits,
+    half_to_bits,
+    single_to_bits,
+)
+from repro.fp.ulp import (
+    ordered_from_bits,
+    ulp_distance,
+    ulp_distance_bits,
+    ulp_distance_single,
+    ulp_distance_single_bits,
+    ulp_from_real,
+)
+from repro.fp.errors import absolute_error, relative_error
+from repro.fp.precision import (
+    ETA_HALF,
+    ETA_SINGLE,
+    eta_for_fraction_bits,
+    round_to_fraction_bits,
+)
+
+__all__ = [
+    "DOUBLE",
+    "HALF",
+    "SINGLE",
+    "FloatClass",
+    "Format",
+    "bits_to_double",
+    "bits_to_half",
+    "bits_to_single",
+    "classify_bits",
+    "compose_bits",
+    "decompose_bits",
+    "double_to_bits",
+    "half_to_bits",
+    "single_to_bits",
+    "ordered_from_bits",
+    "ulp_distance",
+    "ulp_distance_bits",
+    "ulp_distance_single",
+    "ulp_distance_single_bits",
+    "ulp_from_real",
+    "absolute_error",
+    "relative_error",
+    "ETA_HALF",
+    "ETA_SINGLE",
+    "eta_for_fraction_bits",
+    "round_to_fraction_bits",
+]

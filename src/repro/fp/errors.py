@@ -1,0 +1,28 @@
+"""Absolute and relative error (Equation 6).
+
+These are the two naive rounding-error measures the paper rejects in
+favour of ULPs: absolute error over-weights errors between large values
+(Figure 2a) and relative error diverges for denormal and zero values
+(Figure 2b).  They are retained both for the Figure 2 reproduction and for
+use by clients that want them.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def absolute_error(r1: float, r2: float) -> float:
+    """``|r1 - r2|``; infinity if either argument is non-finite."""
+    if not (math.isfinite(r1) and math.isfinite(r2)):
+        return math.inf
+    return abs(r1 - r2)
+
+
+def relative_error(r1: float, r2: float) -> float:
+    """``|(r1 - r2) / r1|``; diverges to infinity as ``r1`` approaches 0."""
+    if not (math.isfinite(r1) and math.isfinite(r2)):
+        return math.inf
+    if r1 == 0.0:
+        return 0.0 if r2 == 0.0 else math.inf
+    return abs((r1 - r2) / r1)

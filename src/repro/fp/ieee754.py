@@ -1,0 +1,144 @@
+"""IEEE-754 binary interchange formats (Figure 1 of the paper).
+
+Provides bit-exact conversions between Python values and the raw bit
+patterns of the half (binary16), single (binary32) and double (binary64)
+formats, plus field-level decomposition and classification.
+
+Python ``float`` is a C ``double`` with round-to-nearest-even semantics, so
+double conversions are exact reinterpretations.  Single and half
+conversions round through ``numpy.float32``/``numpy.float16``, which
+implement correct IEEE-754 rounding.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+_PACK_D = struct.Struct("<d")
+_PACK_Q = struct.Struct("<Q")
+_PACK_F = struct.Struct("<f")
+_PACK_I = struct.Struct("<I")
+
+
+class FloatClass(enum.Enum):
+    """Classification of a floating-point bit pattern (Figure 1)."""
+
+    ZERO = "zero"
+    DENORMAL = "denormal"
+    NORMAL = "normal"
+    INFINITY = "infinity"
+    NAN = "nan"
+
+
+@dataclass(frozen=True)
+class Format:
+    """An IEEE-754 binary interchange format.
+
+    Attributes:
+        name: Human-readable name.
+        exponent_bits: Width of the exponent field.
+        fraction_bits: Width of the fraction (significand) field.
+    """
+
+    name: str
+    exponent_bits: int
+    fraction_bits: int
+
+    @property
+    def width(self) -> int:
+        """Total width in bits, including the sign bit."""
+        return 1 + self.exponent_bits + self.fraction_bits
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias (1023 for double, 127 for single, 15 for half)."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def max_exponent_field(self) -> int:
+        """All-ones exponent field value (2047 for double)."""
+        return (1 << self.exponent_bits) - 1
+
+    @property
+    def mask(self) -> int:
+        """Bit mask covering the whole representation."""
+        return (1 << self.width) - 1
+
+    @property
+    def sign_mask(self) -> int:
+        """Mask selecting the sign bit."""
+        return 1 << (self.width - 1)
+
+    @property
+    def fraction_mask(self) -> int:
+        """Mask selecting the fraction field."""
+        return (1 << self.fraction_bits) - 1
+
+
+HALF = Format("half", exponent_bits=5, fraction_bits=10)
+SINGLE = Format("single", exponent_bits=8, fraction_bits=23)
+DOUBLE = Format("double", exponent_bits=11, fraction_bits=52)
+
+
+def double_to_bits(value: float) -> int:
+    """Reinterpret a double as its 64-bit pattern (no rounding)."""
+    return _PACK_Q.unpack(_PACK_D.pack(value))[0]
+
+
+def bits_to_double(bits: int) -> float:
+    """Reinterpret a 64-bit pattern as a double (no rounding)."""
+    return _PACK_D.unpack(_PACK_Q.pack(bits & 0xFFFFFFFFFFFFFFFF))[0]
+
+
+def single_to_bits(value: float) -> int:
+    """Round a value to single precision and return its 32-bit pattern."""
+    return _PACK_I.unpack(_PACK_F.pack(np.float32(value)))[0]
+
+
+def bits_to_single(bits: int) -> float:
+    """Reinterpret a 32-bit pattern as a single, widened to a double."""
+    return _PACK_F.unpack(_PACK_I.pack(bits & 0xFFFFFFFF))[0]
+
+
+def half_to_bits(value: float) -> int:
+    """Round a value to half precision and return its 16-bit pattern."""
+    return int(np.float16(value).view(np.uint16))
+
+
+def bits_to_half(bits: int) -> float:
+    """Reinterpret a 16-bit pattern as a half, widened to a double."""
+    return float(np.uint16(bits & 0xFFFF).view(np.float16))
+
+
+def decompose_bits(bits: int, fmt: Format = DOUBLE) -> tuple[int, int, int]:
+    """Split a bit pattern into (sign, exponent field, fraction field)."""
+    bits &= fmt.mask
+    sign = bits >> (fmt.width - 1)
+    exponent = (bits >> fmt.fraction_bits) & fmt.max_exponent_field
+    fraction = bits & fmt.fraction_mask
+    return sign, exponent, fraction
+
+
+def compose_bits(sign: int, exponent: int, fraction: int, fmt: Format = DOUBLE) -> int:
+    """Assemble a bit pattern from (sign, exponent field, fraction field)."""
+    if sign not in (0, 1):
+        raise ValueError(f"sign must be 0 or 1, got {sign}")
+    if not 0 <= exponent <= fmt.max_exponent_field:
+        raise ValueError(f"exponent field out of range for {fmt.name}: {exponent}")
+    if not 0 <= fraction <= fmt.fraction_mask:
+        raise ValueError(f"fraction field out of range for {fmt.name}: {fraction}")
+    return (sign << (fmt.width - 1)) | (exponent << fmt.fraction_bits) | fraction
+
+
+def classify_bits(bits: int, fmt: Format = DOUBLE) -> FloatClass:
+    """Classify a bit pattern per the Figure 1 taxonomy."""
+    _, exponent, fraction = decompose_bits(bits, fmt)
+    if exponent == 0:
+        return FloatClass.ZERO if fraction == 0 else FloatClass.DENORMAL
+    if exponent == fmt.max_exponent_field:
+        return FloatClass.INFINITY if fraction == 0 else FloatClass.NAN
+    return FloatClass.NORMAL

@@ -1,0 +1,59 @@
+"""Tunable-precision constants and helpers (Section 6.1).
+
+The paper highlights two values of the minimum acceptable ULP error
+``eta``: 5e9 and 4e12, which correspond to asking STOKE for single- and
+half-precision versions of a double-precision kernel.  This module exposes
+those constants, a formula relating an effective significand width to an
+``eta`` value, and a rounding helper used by tests and by the reference
+reduced-precision kernels.
+"""
+
+from __future__ import annotations
+
+from repro.fp.ieee754 import DOUBLE, bits_to_double, double_to_bits
+
+# Paper constants (Section 6.1): the ULP rounding error between the
+# single-/half-precision representation of a value and its double-precision
+# representation.  Setting eta to one of these asks the optimizer for a
+# single- or half-precision implementation of a double-precision kernel.
+ETA_SINGLE = 5.0e9
+ETA_HALF = 4.0e12
+
+
+def eta_for_fraction_bits(fraction_bits: int) -> float:
+    """ULP-error budget for keeping ``fraction_bits`` of double's 52.
+
+    Rounding a double to an effective ``p``-bit significand perturbs it by
+    at most half of a ``p``-bit ULP, i.e. ``2**(52 - p - 1)`` double ULPs
+    for normal values.  This is the order-of-magnitude rule used to pick
+    sweep points; the paper's headline constants (:data:`ETA_SINGLE`,
+    :data:`ETA_HALF`) are slightly larger because the narrower formats also
+    clamp the exponent range.
+    """
+    if not 0 <= fraction_bits <= DOUBLE.fraction_bits:
+        raise ValueError(f"fraction_bits must be in [0, 52], got {fraction_bits}")
+    return float(1 << (DOUBLE.fraction_bits - fraction_bits - 1)) if fraction_bits < 52 else 0.5
+
+
+def round_to_fraction_bits(value: float, fraction_bits: int) -> float:
+    """Round a double to an effective ``fraction_bits``-bit significand.
+
+    Uses round-to-nearest-even on the retained bits.  Infinities and NaNs
+    are returned unchanged; the exponent range is not narrowed.
+    """
+    if not 0 <= fraction_bits <= DOUBLE.fraction_bits:
+        raise ValueError(f"fraction_bits must be in [0, 52], got {fraction_bits}")
+    bits = double_to_bits(value)
+    exponent = (bits >> DOUBLE.fraction_bits) & DOUBLE.max_exponent_field
+    if exponent == DOUBLE.max_exponent_field:  # infinity or NaN
+        return value
+    drop = DOUBLE.fraction_bits - fraction_bits
+    if drop == 0:
+        return value
+    keep_mask = ~((1 << drop) - 1) & 0xFFFFFFFFFFFFFFFF
+    half = 1 << (drop - 1)
+    low = bits & ((1 << drop) - 1)
+    rounded = bits & keep_mask
+    if low > half or (low == half and (rounded >> drop) & 1):
+        rounded = (rounded + (1 << drop)) & 0xFFFFFFFFFFFFFFFF
+    return bits_to_double(rounded)

@@ -1,0 +1,19 @@
+"""Experiment drivers: one module per table/figure in the paper.
+
+Run any driver as a module, e.g.::
+
+    python -m repro.harness.throughput       # E1  (Section 5.1)
+    python -m repro.harness.figure4          # E2/E3
+    python -m repro.harness.figure5          # E4/E5
+    python -m repro.harness.figure8          # E6/E7/E11
+    python -m repro.harness.figure9          # E8
+    python -m repro.harness.figure10         # E9/E10
+    python -m repro.harness.verify_scaling   # E12
+
+See DESIGN.md for the experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.harness import report
+
+__all__ = ["report"]

@@ -1,0 +1,102 @@
+"""Ablation driver for the design choices DESIGN.md §5 calls out.
+
+Runs matched searches varying one knob at a time — test-case reduction
+(max vs sum), cost compression (log2 vs raw), proposal mix (single move
+kinds vs all four), annealing constant beta, and test-case count — and
+prints a comparison table for each.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.core import CostConfig, SearchConfig, Stoke
+from repro.core.strategies import McmcStrategy
+from repro.core.transforms import Transforms
+from repro.harness.report import format_table
+from repro.kernels.libimf import exp_s3d_kernel
+
+ETA = 1.0e12
+
+
+def _run(config: CostConfig, proposals: int, seed: int,
+         transforms=None, strategy=None) -> Tuple[float, float]:
+    spec = exp_s3d_kernel()
+    tests = spec.testcases(random.Random(0), 16)
+    stoke = Stoke(spec.program, tests, spec.live_outs, config,
+                  transforms=transforms)
+    result = stoke.search(SearchConfig(proposals=proposals, seed=seed),
+                          strategy=strategy or McmcStrategy())
+    return result.speedup(), result.stats.acceptance_rate
+
+
+def ablate_reduction(proposals: int, seed: int) -> List[Tuple]:
+    rows = []
+    for reduction in ("max", "sum"):
+        speedup, accept = _run(CostConfig(eta=ETA, k=1.0,
+                                          reduction=reduction),
+                               proposals, seed)
+        rows.append((reduction, f"{speedup:.2f}x", f"{accept:.3f}"))
+    return rows
+
+
+def ablate_compression(proposals: int, seed: int) -> List[Tuple]:
+    rows = []
+    for compress in ("log2", "none"):
+        speedup, accept = _run(CostConfig(eta=ETA, k=1.0,
+                                          compress=compress),
+                               proposals, seed)
+        rows.append((compress, f"{speedup:.2f}x", f"{accept:.3f}"))
+    return rows
+
+
+def ablate_moves(proposals: int, seed: int) -> List[Tuple]:
+    spec = exp_s3d_kernel()
+    rows = []
+    for move in ("opcode", "operand", "swap", "instruction", "all"):
+        transforms = Transforms(spec.program)
+        if move != "all":
+            single = getattr(transforms, f"propose_{move}")
+            transforms.propose = \
+                lambda rng, prog, _f=single, _m=move: (_f(rng, prog), _m)
+        speedup, accept = _run(CostConfig(eta=ETA, k=1.0), proposals, seed,
+                               transforms=transforms)
+        rows.append((move, f"{speedup:.2f}x", f"{accept:.3f}"))
+    return rows
+
+
+def ablate_beta(proposals: int, seed: int) -> List[Tuple]:
+    rows = []
+    for beta in (0.1, 1.0, 10.0):
+        speedup, accept = _run(CostConfig(eta=ETA, k=1.0), proposals, seed,
+                               strategy=McmcStrategy(beta=beta))
+        rows.append((beta, f"{speedup:.2f}x", f"{accept:.3f}"))
+    return rows
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--proposals", type=int, default=4000)
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    headers = ("setting", "speedup", "accept rate")
+    print(format_table(headers, ablate_reduction(args.proposals, args.seed),
+                       title="Ablation: test-case reduction (⊕)"))
+    print()
+    print(format_table(headers,
+                       ablate_compression(args.proposals, args.seed),
+                       title="Ablation: ULP cost compression"))
+    print()
+    print(format_table(headers, ablate_moves(args.proposals, args.seed),
+                       title="Ablation: proposal move mix"))
+    print()
+    print(format_table(headers, ablate_beta(args.proposals, args.seed),
+                       title="Ablation: annealing constant beta"))
+
+
+if __name__ == "__main__":
+    main()

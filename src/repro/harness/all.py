@@ -1,0 +1,110 @@
+"""Run every experiment and write a single consolidated report.
+
+``python -m repro.harness.all --out report.txt`` regenerates E1-E12 at a
+chosen scale and writes the tables/series to one file — the one-command
+reproduction entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+import time
+from contextlib import redirect_stdout
+
+from repro.harness import (
+    ablations,
+    figure2,
+    figure4,
+    figure5,
+    figure8,
+    figure9,
+    figure10,
+    throughput,
+    verify_scaling,
+)
+
+
+def _capture(title: str, fn, out) -> None:
+    print(f"== {title} ==", file=out)
+    start = time.perf_counter()
+    buffer = io.StringIO()
+    try:
+        with redirect_stdout(buffer):
+            fn()
+        out.write(buffer.getvalue())
+    except Exception as exc:  # pragma: no cover - report and continue
+        out.write(buffer.getvalue())
+        print(f"!! {title} failed: {exc!r}", file=out)
+    print(f"-- {title} took {time.perf_counter() - start:.1f}s --\n",
+          file=out)
+
+
+def run_all(out, proposals: int, seed: int) -> None:
+    _capture("Figures 1-2: formats and error functions", figure2.main, out)
+    _capture("E1: throughput (Section 5.1)", throughput.main, out)
+
+    def fig4():
+        sweeps = figure4.run(("sin", "log", "tan"),
+                             proposals=proposals, seed=seed)
+        for sweep in sweeps.values():
+            print(figure4.report_sweep(sweep))
+            print()
+
+    _capture("E2/E3: Figure 4 eta sweeps", fig4, out)
+
+    def fig5():
+        print(figure5.report(figure5.run(proposals=proposals, seed=seed)))
+
+    _capture("E4/E5: Figure 5 S3D diffusion", fig5, out)
+
+    def fig8():
+        rows = figure8.run(proposals=proposals, seed=seed)
+        print(figure8.report(rows))
+        bounds = figure8.delta_bounds(seed=seed)
+        print(f"interval static bound: "
+              f"{bounds['interval_static_ulps']:.3e} ULPs")
+        print(f"MCMC validated bound:  "
+              f"{bounds['mcmc_validated_ulps']:.3e} ULPs")
+
+    _capture("E6/E7/E11: Figure 8 aek kernels", fig8, out)
+
+    def fig9():
+        print(figure9.report(figure9.run()))
+
+    _capture("E8: Figure 9 images", fig9, out)
+
+    def fig10():
+        opt = figure10.optimization_traces(proposals=proposals, seed=seed)
+        print(figure10.report(opt))
+        val = figure10.validation_traces(proposals=proposals, seed=seed)
+        print(figure10.report(val))
+
+    _capture("E9/E10: Figure 10 strategies", fig10, out)
+    _capture("E12: verification scaling", verify_scaling.main, out)
+    _capture("Ablations", ablations.main, out)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the report to this file")
+    parser.add_argument("--proposals", type=int, default=6000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    # The sub-drivers parse sys.argv themselves when invoked as mains;
+    # neutralize it so they use their defaults.
+    sys.argv = [sys.argv[0]]
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            run_all(fh, args.proposals, args.seed)
+        print(f"report written to {args.out}")
+    else:
+        run_all(sys.stdout, args.proposals, args.seed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""E9/E10: search-strategy comparison (Figure 10).
+
+Optimization (a-d): run rand / hill / anneal / mcmc on the libimf kernels
+at eta = 1e6 and record the best-cost-so-far trace, normalized to 0-100
+against the starting cost.
+
+Validation (e-h): run the four input-search variants on a fixed
+reduced-precision rewrite of each kernel and record the max-error-so-far
+trace, normalized against the best bound any strategy found.
+
+Expected shape (paper): for optimization, random search never improves,
+hill climbing is close to MCMC but slightly worse, annealing matches hill
+climbing but takes longer; for validation, MCMC and hill climbing are
+nearly identical and random search is inconsistent.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.x86.program import Program
+
+from repro.core import CostConfig, SearchConfig, Stoke, make_strategy
+from repro.harness.report import format_series
+from repro.kernels.libimf import LIBIMF_KERNELS
+from repro.validation import ValidationConfig, Validator, make_validation_strategy
+
+STRATEGIES = ("rand", "hill", "anneal", "mcmc")
+OPT_ETA = 1.0e6
+
+
+@dataclass
+class StrategyTraces:
+    """Normalized best-so-far traces per kernel per strategy."""
+
+    kind: str  # 'optimization' or 'validation'
+    traces: Dict[Tuple[str, str], List[Tuple[int, float]]] = field(
+        default_factory=dict)
+
+
+def _reduced_precision_rewrite(name: str) -> Program:
+    """A fixed reduced-precision rewrite: the same kernel refit at a much
+    lower polynomial degree (the validation subject for Figure 10 e-h)."""
+    return LIBIMF_KERNELS[name](degree=4).program
+
+
+def optimization_traces(kernels=("sin", "log", "tan"),
+                        proposals: int = 5_000, testcases: int = 32,
+                        seed: int = 0) -> StrategyTraces:
+    out = StrategyTraces(kind="optimization")
+    for name in kernels:
+        spec = LIBIMF_KERNELS[name]()
+        tests = spec.testcases(random.Random(seed), testcases)
+        stoke = Stoke(spec.program, tests, spec.live_outs,
+                      CostConfig(eta=OPT_ETA, k=1.0))
+        # Baseline cost for normalization: the target's own cost.
+        base = stoke.cost_fn.cost(spec.program).total
+        for strat_name in STRATEGIES:
+            result = stoke.search(
+                SearchConfig(proposals=proposals, seed=seed + 13),
+                strategy=make_strategy(strat_name),
+            )
+            trace = [(it, 100.0 * cost / base if base else 0.0)
+                     for it, cost in result.trace]
+            out.traces[(name, strat_name)] = trace
+    return out
+
+
+def validation_traces(kernels=("sin", "log", "tan"),
+                      proposals: int = 5_000,
+                      seed: int = 0) -> StrategyTraces:
+    out = StrategyTraces(kind="validation")
+    for name in kernels:
+        spec = LIBIMF_KERNELS[name]()
+        rewrite = _reduced_precision_rewrite(name)
+        validator = Validator(spec.program, rewrite, spec.live_outs,
+                              dict(spec.ranges), spec.base_testcase)
+        results = {}
+        for strat_name in STRATEGIES:
+            config = ValidationConfig(max_proposals=proposals,
+                                      min_samples=proposals + 1,
+                                      seed=seed + 17)
+            results[strat_name] = validator.validate(
+                config, strategy=make_validation_strategy(strat_name))
+        best = max(r.max_err for r in results.values()) or 1.0
+        for strat_name, res in results.items():
+            trace = [(it, 100.0 * err / best) for it, err in res.trace]
+            out.traces[(name, strat_name)] = trace
+    return out
+
+
+def report(traces: StrategyTraces) -> str:
+    blocks = []
+    for (kernel, strategy), trace in sorted(traces.traces.items()):
+        label = ("cost (% of start)" if traces.kind == "optimization"
+                 else "max err (% of best)")
+        blocks.append(format_series(
+            f"Figure 10 {traces.kind}: {kernel} / {strategy}",
+            trace[:: max(1, len(trace) // 12)],
+            labels=("iteration", label)))
+    return "\n\n".join(blocks)
+
+
+def summarize_final(traces: StrategyTraces) -> Dict[Tuple[str, str], float]:
+    """Final normalized value per (kernel, strategy) — the headline."""
+    return {key: trace[-1][1] for key, trace in traces.traces.items()}
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--proposals", type=int, default=5_000)
+    parser.add_argument("--kernels", nargs="+", default=["sin", "log", "tan"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    opt = optimization_traces(tuple(args.kernels),
+                              proposals=args.proposals, seed=args.seed)
+    print(report(opt))
+    print()
+    val = validation_traces(tuple(args.kernels),
+                            proposals=args.proposals, seed=args.seed)
+    print(report(val))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Figures 1-2 reproduction: format taxonomy and error-function pathologies.
+
+Figure 1 is the IEEE-754 double layout table; Figure 2 shows why absolute
+error diverges for large inputs and relative error for denormal inputs,
+motivating the ULP measure.  This driver regenerates both as text.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.fp.errors import absolute_error, relative_error
+from repro.fp.ieee754 import DOUBLE, FloatClass, bits_to_double, classify_bits
+from repro.harness.report import format_series, format_table
+
+
+def figure1_table() -> str:
+    """The Figure 1 taxonomy, regenerated from classify_bits."""
+    samples = [
+        ("Zero", 0x0000000000000000),
+        ("Denormal", 0x0000000000000001),
+        ("Denormal", 0x000FFFFFFFFFFFFF),
+        ("Normal", 0x0010000000000000),
+        ("Normal", 0x3FF0000000000000),
+        ("Normal", 0x7FEFFFFFFFFFFFFF),
+        ("Infinity", 0x7FF0000000000000),
+        ("NaN", 0x7FF0000000000001),
+        ("NaN", 0x7FF8000000000000),
+    ]
+    rows = []
+    for expected, bits in samples:
+        cls = classify_bits(bits, DOUBLE)
+        exponent = (bits >> 52) & 0x7FF
+        fraction = bits & ((1 << 52) - 1)
+        value = bits_to_double(bits)
+        rows.append((expected, f"0x{exponent:03x}", f"0x{fraction:x}",
+                     repr(value), cls.value))
+        assert cls.value == expected.lower() or (
+            expected == "Denormal" and cls is FloatClass.DENORMAL)
+    return format_table(
+        ("class", "exponent", "fraction", "value", "classified"),
+        rows, title="Figure 1: IEEE-754 double-precision taxonomy")
+
+
+def adjacent_error_series(kind: str, count: int = 24
+                          ) -> List[Tuple[float, float]]:
+    """Error between adjacent doubles across the magnitude range.
+
+    ``kind`` is 'absolute' or 'relative'.  Absolute error grows with
+    magnitude (Figure 2a); relative error is flat for normals and
+    diverges in the denormal range (Figure 2b).
+    """
+    series = []
+    for exponent in range(-320, 309, max(1, 629 // count)):
+        x = 10.0 ** exponent
+        succ = math.nextafter(x, math.inf)
+        if kind == "absolute":
+            err = absolute_error(x, succ)
+        else:
+            err = relative_error(x, succ)
+        series.append((x, err))
+    return series
+
+
+def main() -> None:
+    print(figure1_table())
+    print()
+    for kind in ("absolute", "relative"):
+        series = adjacent_error_series(kind)
+        print(format_series(
+            f"Figure 2 ({kind} error between adjacent doubles)",
+            [(f"1e{int(math.log10(x)):+d}", err) for x, err in series],
+            labels=("magnitude", "error")))
+        print()
+    print("Absolute error spans ~600 orders of magnitude across the range;")
+    print("relative error is ~2^-52 for all normals but diverges below")
+    print("1e-308 — ULPs (Figure 3) are uniform everywhere instead.")
+
+
+if __name__ == "__main__":
+    main()

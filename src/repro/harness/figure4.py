@@ -1,0 +1,143 @@
+"""E2/E3: LOC & speedup vs eta and rewrite error curves (Figure 4).
+
+For each libimf kernel, sweep the minimum acceptable ULP error ``eta``
+from 1 to 1e18, run the search at each point, and report the LOC and
+latency-model speedup of the best rewrite found (Figure 4a-c).  For the
+error curves (Figure 4d-f), evaluate each rewrite against the target over
+an input grid and report max/ULP-error samples.
+
+Paper scale: 10M proposals, 1024 test cases, 16 threads.  Defaults here
+are scaled down (documented in EXPERIMENTS.md); pass larger values to
+approach paper scale.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fp.ulp import ulp_distance
+from repro.x86.program import Program
+
+from repro.core import CostConfig, SearchConfig, Stoke
+from repro.harness.report import format_series, format_table
+from repro.kernels.libimf import LIBIMF_KERNELS
+from repro.kernels.lift import lift_kernel
+from repro.kernels.spec import KernelSpec
+
+DEFAULT_ETAS = tuple(10.0 ** k for k in (0, 2, 4, 6, 8, 10, 12, 14, 16, 18))
+
+
+@dataclass
+class SweepPoint:
+    eta: float
+    loc: int
+    latency: int
+    speedup: float
+    found: bool
+    rewrite: Optional[Program]
+
+
+@dataclass
+class KernelSweep:
+    kernel: str
+    target_loc: int
+    target_latency: int
+    points: List[SweepPoint] = field(default_factory=list)
+
+
+def sweep_kernel(name: str, etas=DEFAULT_ETAS, proposals: int = 10_000,
+                 testcases: int = 32, seed: int = 0) -> KernelSweep:
+    """Run the eta sweep for one kernel (Figure 4a-c data)."""
+    spec = LIBIMF_KERNELS[name]()
+    rng = random.Random(seed)
+    tests = spec.testcases(rng, testcases)
+    sweep = KernelSweep(kernel=name, target_loc=spec.loc,
+                        target_latency=spec.latency)
+    for eta in etas:
+        stoke = Stoke(spec.program, tests, spec.live_outs,
+                      CostConfig(eta=eta, k=1.0))
+        result = stoke.search(SearchConfig(proposals=proposals,
+                                           seed=seed + 1))
+        best = result.best_correct
+        sweep.points.append(SweepPoint(
+            eta=eta,
+            loc=best.loc if best else spec.loc,
+            latency=best.latency if best else spec.latency,
+            speedup=result.speedup(),
+            found=result.found_correct,
+            rewrite=best,
+        ))
+    return sweep
+
+
+def error_curve(spec: KernelSpec, rewrite: Program,
+                samples: int = 200) -> List[Tuple[float, float]]:
+    """ULP error of a rewrite vs the target over the input grid (Fig 4d-f)."""
+    target_fn = lift_kernel(spec)
+    rewrite_fn = lift_kernel(spec, rewrite)
+    (lo, hi) = next(iter(spec.ranges.values()))
+    curve = []
+    for i in range(samples):
+        x = lo + (hi - lo) * i / (samples - 1)
+        want = target_fn(x)
+        got = rewrite_fn(x)
+        if math.isnan(want) or math.isnan(got):
+            continue
+        curve.append((x, float(ulp_distance(want, got))))
+    return curve
+
+
+def report_sweep(sweep: KernelSweep) -> str:
+    rows = [
+        (f"1e{int(math.log10(p.eta)):d}", p.loc, p.latency,
+         f"{p.speedup:.2f}x", "yes" if p.found else "no")
+        for p in sweep.points
+    ]
+    header = (f"E2 (Figure 4): {sweep.kernel} — target "
+              f"{sweep.target_loc} LOC / {sweep.target_latency} cycles")
+    return format_table(("eta", "LOC", "latency", "speedup", "found"),
+                        rows, title=header)
+
+
+def run(kernels=("sin", "log", "tan"), etas=DEFAULT_ETAS,
+        proposals: int = 10_000, testcases: int = 32,
+        seed: int = 0) -> Dict[str, KernelSweep]:
+    return {name: sweep_kernel(name, etas, proposals, testcases, seed)
+            for name in kernels}
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kernels", nargs="+",
+                        default=["sin", "log", "tan"])
+    parser.add_argument("--proposals", type=int, default=10_000)
+    parser.add_argument("--testcases", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--curves", action="store_true",
+                        help="also print Figure 4d-f error curves")
+    args = parser.parse_args()
+
+    sweeps = run(args.kernels, proposals=args.proposals,
+                 testcases=args.testcases, seed=args.seed)
+    for sweep in sweeps.values():
+        print(report_sweep(sweep))
+        print()
+        if args.curves:
+            spec = LIBIMF_KERNELS[sweep.kernel]()
+            for point in sweep.points:
+                if point.rewrite is None or not point.found:
+                    continue
+                curve = error_curve(spec, point.rewrite, samples=60)
+                print(format_series(
+                    f"Figure 4d-f: {sweep.kernel} eta={point.eta:.0e}",
+                    curve, labels=("input", "ULP error")))
+                print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""E4/E5: the S3D diffusion leaf task (Figure 5).
+
+Sweeps eta on the shipped S3D exp kernel, and for each rewrite reports:
+LOC, kernel speedup, the Amdahl full-task speedup, whether the diffusion
+task still tolerates the rewrite (aggregate error within tolerance), and
+the MCMC-validated max ULP error.  The largest tolerable eta is the
+vertical bar of Figure 5a; the paper's instance was eta = 1e7 with a 2x
+kernel / 27% task speedup.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.x86.program import Program
+
+from repro.core import CostConfig, SearchConfig, Stoke
+from repro.harness.report import format_table
+from repro.kernels.libimf import exp_s3d_kernel
+from repro.kernels.lift import lift_kernel
+from repro.kernels.s3d import (
+    aggregate_error,
+    reference_diffusion,
+    run_diffusion,
+    task_speedup,
+    tolerates,
+)
+from repro.validation import ValidationConfig, Validator
+
+DEFAULT_ETAS = tuple(10.0 ** k for k in (0, 3, 6, 9, 12, 15, 18))
+
+
+@dataclass
+class DiffusionPoint:
+    eta: float
+    loc: int
+    kernel_speedup: float
+    task_speedup: float
+    aggregate_error: float
+    tolerated: bool
+    validated_max_ulps: Optional[float]
+    rewrite: Optional[Program]
+
+
+@dataclass
+class DiffusionSweep:
+    target_loc: int
+    target_latency: int
+    points: List[DiffusionPoint] = field(default_factory=list)
+    max_tolerable_eta: Optional[float] = None
+
+
+def run(etas=DEFAULT_ETAS, proposals: int = 10_000, testcases: int = 32,
+        grid: int = 6, seed: int = 0, validate: bool = True
+        ) -> DiffusionSweep:
+    spec = exp_s3d_kernel()
+    rng = random.Random(seed)
+    tests = spec.testcases(rng, testcases)
+    reference = reference_diffusion(n=grid, seed=seed)
+    sweep = DiffusionSweep(target_loc=spec.loc,
+                           target_latency=spec.latency)
+    for eta in etas:
+        stoke = Stoke(spec.program, tests, spec.live_outs,
+                      CostConfig(eta=eta, k=1.0))
+        result = stoke.search(SearchConfig(proposals=proposals,
+                                           seed=seed + 1))
+        rewrite = result.best_correct
+        if rewrite is None:
+            rewrite = spec.program
+        kernel_fn = lift_kernel(spec, rewrite)
+        task = run_diffusion(kernel_fn, n=grid, seed=seed)
+        err = aggregate_error(task, reference)
+        ok = tolerates(task, reference)
+        max_ulps = None
+        if validate:
+            validator = Validator(spec.program, rewrite, spec.live_outs,
+                                  dict(spec.ranges), spec.base_testcase)
+            vres = validator.validate(ValidationConfig(
+                eta=eta, max_proposals=4000, min_samples=1000,
+                seed=seed + 2))
+            max_ulps = vres.max_err
+        point = DiffusionPoint(
+            eta=eta,
+            loc=rewrite.loc,
+            kernel_speedup=result.speedup(),
+            task_speedup=task_speedup(result.speedup()),
+            aggregate_error=err,
+            tolerated=ok,
+            validated_max_ulps=max_ulps,
+            rewrite=rewrite,
+        )
+        sweep.points.append(point)
+        if ok:
+            sweep.max_tolerable_eta = eta
+    return sweep
+
+
+def report(sweep: DiffusionSweep) -> str:
+    rows = []
+    for p in sweep.points:
+        rows.append((
+            f"1e{int(math.log10(p.eta)) if p.eta >= 1 else 0:d}",
+            p.loc,
+            f"{p.kernel_speedup:.2f}x",
+            f"{p.task_speedup:.2f}x",
+            f"{p.aggregate_error:.2e}",
+            "yes" if p.tolerated else "no",
+            f"{p.validated_max_ulps:.2e}" if p.validated_max_ulps is not None
+            else "-",
+        ))
+    title = (f"E4 (Figure 5): S3D diffusion — exp target "
+             f"{sweep.target_loc} LOC / {sweep.target_latency} cycles; "
+             f"max tolerable eta = {sweep.max_tolerable_eta}")
+    return format_table(
+        ("eta", "LOC", "exp speedup", "task speedup", "agg err",
+         "tolerated", "validated max ULPs"),
+        rows, title=title)
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--proposals", type=int, default=10_000)
+    parser.add_argument("--grid", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    print(report(run(proposals=args.proposals, grid=args.grid,
+                     seed=args.seed)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,182 @@
+"""E6/E7/E11: the aek kernel table (Figure 8) and its verification story.
+
+For each vector kernel, runs a STOKE search from the gcc-style target,
+reports target/rewrite latency and LOC, whether the best rewrite is
+bit-wise correct on the test set, and what each static technique can say
+about it:
+
+* UF verification (Figure 6): proves the bit-wise rewrites equivalent.
+* Interval analysis (Section 6.3): bounds the imprecise delta rewrite,
+  far more coarsely than MCMC validation does (1363.5 vs 5 ULPs in the
+  paper's instance).
+
+The known paper rewrites are also measured as a reference row, since a
+scaled-down search does not always rediscover the best rewrite.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.x86.memory import Memory
+from repro.x86.program import Program
+
+from repro.core import CostConfig, SearchConfig, Stoke
+from repro.harness.report import format_table
+from repro.kernels.aek import vector as V
+from repro.validation import ValidationConfig, Validator
+from repro.verify import (
+    IntervalUnsupported,
+    check_equivalent_uf,
+    interval_ulp_bound,
+)
+
+# eta used when searching the delta kernel (the imprecise one); bit-wise
+# kernels are searched at eta = 0.
+DELTA_ETA = 1.0e5
+
+
+@dataclass
+class KernelRow:
+    kernel: str
+    target_latency: int
+    rewrite_latency: int
+    target_loc: int
+    rewrite_loc: int
+    speedup: float
+    bitwise: bool
+    uf_proved: Optional[bool]
+    source: str  # 'search' or 'paper'
+    rewrite: Optional[Program] = None
+
+
+def _uf_check(spec, rewrite: Program) -> bool:
+    result = check_equivalent_uf(
+        spec.program, rewrite, spec.live_outs,
+        memory=Memory(V.aek_segments()),
+        concrete_gp=V.CONCRETE_GP_INDICES,
+    )
+    return result.proved
+
+
+def measure_rewrite(name: str, rewrite: Program, spec, tests,
+                    source: str) -> KernelRow:
+    cost = Stoke(spec.program, tests, spec.live_outs,
+                 CostConfig(eta=0.0, k=0.0)).cost_fn
+    eq, _ = cost.eq_fast(rewrite)
+    bitwise = eq == 0.0
+    return KernelRow(
+        kernel=name,
+        target_latency=spec.latency,
+        rewrite_latency=rewrite.latency,
+        target_loc=spec.loc,
+        rewrite_loc=rewrite.loc,
+        speedup=spec.latency / rewrite.latency if rewrite.latency else
+        float("inf"),
+        bitwise=bitwise,
+        uf_proved=_uf_check(spec, rewrite),
+        source=source,
+        rewrite=rewrite,
+    )
+
+
+def search_kernel(name: str, proposals: int = 8_000, testcases: int = 32,
+                  seed: int = 0) -> Optional[KernelRow]:
+    spec = V.AEK_KERNELS[name]()
+    rng = random.Random(seed)
+    tests = spec.testcases(rng, testcases)
+    eta = DELTA_ETA if name == "delta" else 0.0
+    stoke = Stoke(spec.program, tests, spec.live_outs,
+                  CostConfig(eta=eta, k=1.0))
+    result = stoke.search(SearchConfig(proposals=proposals, seed=seed + 1))
+    if result.best_correct is None:
+        return None
+    return measure_rewrite(name, result.best_correct, spec, tests, "search")
+
+
+def paper_rows(testcases: int = 32, seed: int = 0) -> List[KernelRow]:
+    rows = []
+    for name in ("scale", "dot", "add", "delta"):
+        spec = V.AEK_KERNELS[name]()
+        tests = spec.testcases(random.Random(seed), testcases)
+        rewrite = V.AEK_REWRITES[name]()
+        rows.append(measure_rewrite(name, rewrite, spec, tests, "paper"))
+    # delta': the over-aggressive rewrite (unusable; Figure 9d).
+    spec = V.delta_kernel()
+    tests = spec.testcases(random.Random(seed), testcases)
+    rows.append(measure_rewrite("delta'", V.delta_prime(), spec, tests,
+                                "paper"))
+    return rows
+
+
+def delta_bounds(seed: int = 0) -> Dict[str, float]:
+    """E11: static interval bound vs MCMC-validated bound for delta."""
+    spec = V.delta_kernel()
+    rewrite = V.delta_rewrite()
+    ranges = dict(spec.ranges)
+    ranges.update(V.delta_mem_ranges())
+    try:
+        static = interval_ulp_bound(
+            spec.program, rewrite, spec.live_outs, ranges,
+            memory=Memory(V.aek_segments()),
+            concrete_gp=V.CONCRETE_GP_INDICES, max_boxes=256,
+        ).bound_ulps
+    except IntervalUnsupported:
+        static = float("inf")
+    validator = Validator(spec.program, rewrite, spec.live_outs,
+                          dict(spec.ranges), spec.base_testcase)
+    mcmc = validator.validate(ValidationConfig(
+        max_proposals=8000, min_samples=2000, seed=seed)).max_err
+    return {"interval_static_ulps": static, "mcmc_validated_ulps": mcmc}
+
+
+def run(proposals: int = 8_000, testcases: int = 32,
+        seed: int = 0, include_search: bool = True) -> List[KernelRow]:
+    rows = paper_rows(testcases=testcases, seed=seed)
+    if include_search:
+        for name in ("scale", "dot", "add", "delta"):
+            row = search_kernel(name, proposals=proposals,
+                                testcases=testcases, seed=seed)
+            if row is not None:
+                rows.append(row)
+    return rows
+
+
+def report(rows: List[KernelRow]) -> str:
+    table = [
+        (r.kernel, r.source, r.target_latency, r.rewrite_latency,
+         r.target_loc, r.rewrite_loc, f"{r.speedup:.2f}x",
+         "yes" if r.bitwise else "no",
+         "yes" if r.uf_proved else "no")
+        for r in rows
+    ]
+    return format_table(
+        ("kernel", "rewrite", "lat T", "lat R", "LOC T", "LOC R",
+         "speedup", "bit-wise", "UF-proved"),
+        table,
+        title="E7 (Figure 8): aek kernel speedups",
+    )
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--proposals", type=int, default=8_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-search", action="store_true")
+    args = parser.parse_args()
+    rows = run(proposals=args.proposals, seed=args.seed,
+               include_search=not args.no_search)
+    print(report(rows))
+    print()
+    bounds = delta_bounds(seed=args.seed)
+    print("E11 (Section 6.3): delta rewrite error bounds")
+    print(f"  interval static bound: {bounds['interval_static_ulps']:.1f} ULPs")
+    print(f"  MCMC validated bound:  {bounds['mcmc_validated_ulps']:.1f} ULPs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Benchmark workloads: libimf kernels, the S3D task, and the aek tracer."""
+
+from repro.kernels.libimf import (
+    LIBIMF_KERNELS,
+    cos_kernel,
+    exp_kernel,
+    exp_s3d_kernel,
+    kernel_by_name,
+    log_kernel,
+    sin_kernel,
+    tan_kernel,
+)
+from repro.kernels.lift import KernelSignalled, LiftedKernel, lift_kernel
+from repro.kernels.polynomial import chebyshev_fit, horner, horner_asm
+from repro.kernels.spec import KernelSpec
+
+__all__ = [
+    "LIBIMF_KERNELS",
+    "cos_kernel",
+    "exp_kernel",
+    "exp_s3d_kernel",
+    "kernel_by_name",
+    "log_kernel",
+    "sin_kernel",
+    "tan_kernel",
+    "KernelSignalled",
+    "LiftedKernel",
+    "lift_kernel",
+    "chebyshev_fit",
+    "horner",
+    "horner_asm",
+    "KernelSpec",
+]

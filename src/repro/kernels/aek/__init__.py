@@ -1,0 +1,51 @@
+"""The aek ray tracer benchmark (Section 6.3)."""
+
+from repro.kernels.aek.image import Image, error_map, error_pixels
+from repro.kernels.aek.raytracer import (
+    KernelOps,
+    RayTracer,
+    RenderConfig,
+    render_with,
+)
+from repro.kernels.aek.vector import (
+    AEK_KERNELS,
+    AEK_REWRITES,
+    CAMERA_U,
+    CAMERA_V,
+    CONCRETE_GP_INDICES,
+    add_kernel,
+    add_rewrite,
+    aek_segments,
+    delta_kernel,
+    delta_prime,
+    delta_rewrite,
+    dot_kernel,
+    dot_rewrite,
+    scale_kernel,
+    scale_rewrite,
+)
+
+__all__ = [
+    "Image",
+    "error_map",
+    "error_pixels",
+    "KernelOps",
+    "RayTracer",
+    "RenderConfig",
+    "render_with",
+    "AEK_KERNELS",
+    "AEK_REWRITES",
+    "CAMERA_U",
+    "CAMERA_V",
+    "CONCRETE_GP_INDICES",
+    "add_kernel",
+    "add_rewrite",
+    "aek_segments",
+    "delta_kernel",
+    "delta_prime",
+    "delta_rewrite",
+    "dot_kernel",
+    "dot_rewrite",
+    "scale_kernel",
+    "scale_rewrite",
+]

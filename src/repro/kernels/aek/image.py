@@ -1,0 +1,56 @@
+"""Tiny image container for the ray tracer (Figure 9).
+
+8-bit RGB, PPM output, and the error-pixel diff used to compare images
+rendered with different kernel variants.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class Image:
+    """A width x height RGB image with byte-valued channels."""
+
+    def __init__(self, width: int, height: int):
+        self.width = width
+        self.height = height
+        self.pixels = bytearray(3 * width * height)
+
+    def put(self, x: int, y: int, rgb: Tuple[int, int, int]) -> None:
+        i = 3 * (y * self.width + x)
+        self.pixels[i] = max(0, min(255, rgb[0]))
+        self.pixels[i + 1] = max(0, min(255, rgb[1]))
+        self.pixels[i + 2] = max(0, min(255, rgb[2]))
+
+    def get(self, x: int, y: int) -> Tuple[int, int, int]:
+        i = 3 * (y * self.width + x)
+        return self.pixels[i], self.pixels[i + 1], self.pixels[i + 2]
+
+    def write_ppm(self, path: str) -> None:
+        with open(path, "wb") as fh:
+            fh.write(f"P6\n{self.width} {self.height}\n255\n".encode())
+            fh.write(bytes(self.pixels))
+
+
+def error_pixels(a: Image, b: Image, threshold: int = 0) -> int:
+    """Pixels whose channel difference exceeds ``threshold`` (Figure 9c/e)."""
+    if (a.width, a.height) != (b.width, b.height):
+        raise ValueError("image dimensions differ")
+    count = 0
+    for i in range(0, len(a.pixels), 3):
+        if (abs(a.pixels[i] - b.pixels[i]) > threshold
+                or abs(a.pixels[i + 1] - b.pixels[i + 1]) > threshold
+                or abs(a.pixels[i + 2] - b.pixels[i + 2]) > threshold):
+            count += 1
+    return count
+
+
+def error_map(a: Image, b: Image, threshold: int = 0) -> Image:
+    """White-on-black map of differing pixels (the Figure 9c/e images)."""
+    out = Image(a.width, a.height)
+    for y in range(a.height):
+        for x in range(a.width):
+            if a.get(x, y) != b.get(x, y):
+                out.put(x, y, (255, 255, 255))
+    return out

@@ -1,0 +1,213 @@
+"""The aek ray tracer (Section 6.3, Figure 9).
+
+A compact but complete tracer: textured (checkered) floor, gradient sky,
+reflective spheres placed from a bitmask, soft shadows, and depth-of-field
+blur induced by randomly perturbing the camera ray with the ``delta``
+kernel — the structure of the business-card original.
+
+All vector arithmetic in the inner loop goes through :class:`KernelOps`,
+whose four operations execute *simulated machine code* (the gcc-style
+targets or any STOKE rewrite), so the bit-level behaviour of an
+optimization is what lands in the image.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.x86.program import Program
+
+from repro.kernels.aek import scene as S
+from repro.kernels.aek import vector as V
+from repro.kernels.aek.image import Image
+from repro.kernels.lift import lift_kernel
+
+Vec = Tuple[float, float, float]
+
+
+class KernelOps:
+    """Vector operations backed by simulated kernels.
+
+    Pass rewrite programs to substitute optimized kernels; ``None`` keeps
+    the gcc-style target.
+    """
+
+    def __init__(self, scale: Optional[Program] = None,
+                 dot: Optional[Program] = None,
+                 add: Optional[Program] = None,
+                 delta: Optional[Program] = None):
+        self._scale = lift_kernel(V.scale_kernel(), scale)
+        self._dot = lift_kernel(V.dot_kernel(), dot)
+        self._add = lift_kernel(V.add_kernel(), add)
+        self._delta = lift_kernel(V.delta_kernel(), delta)
+
+    def scale(self, v: Vec, k: float) -> Vec:
+        return self._scale(v[0], v[1], v[2], k)
+
+    def dot(self, a: Vec, b: Vec) -> float:
+        return self._dot(a[0], a[1], a[2], b[0], b[1], b[2])
+
+    def add(self, a: Vec, b: Vec) -> Vec:
+        return self._add(a[0], a[1], a[2], b[0], b[1], b[2])
+
+    def delta(self, r1: float, r2: float) -> Vec:
+        return self._delta(r1, r2)
+
+    # Derived helpers (the "rest of the program" gcc compiled; these stay
+    # fixed while the four kernels vary).
+    def sub(self, a: Vec, b: Vec) -> Vec:
+        return self.add(a, self.scale(b, -1.0))
+
+    def norm(self, v: Vec) -> Vec:
+        length = math.sqrt(max(self.dot(v, v), 1e-30))
+        return self.scale(v, 1.0 / length)
+
+
+@dataclass
+class RenderConfig:
+    """Rendering parameters (kept small: every op is simulated)."""
+
+    width: int = 48
+    height: int = 32
+    samples: int = 4
+    seed: int = 12345
+    depth_of_field: bool = True
+
+
+def _normalize_py(v: Vec) -> Vec:
+    length = math.sqrt(v[0] ** 2 + v[1] ** 2 + v[2] ** 2) or 1.0
+    return (v[0] / length, v[1] / length, v[2] / length)
+
+
+class RayTracer:
+    """Renders the scene with a given set of kernel implementations."""
+
+    def __init__(self, ops: KernelOps):
+        self.ops = ops
+        self.spheres = S.sphere_centers()
+        self.light = _normalize_py(S.LIGHT_DIR)
+
+    # -- geometry ----------------------------------------------------------
+
+    def _hit_spheres(self, origin: Vec, direction: Vec
+                     ) -> Tuple[float, Optional[Vec]]:
+        """Nearest sphere intersection along a (unit) ray."""
+        ops = self.ops
+        best_t, best_center = math.inf, None
+        r2 = S.SPHERE_RADIUS * S.SPHERE_RADIUS
+        for center in self.spheres:
+            oc = ops.sub(origin, center)
+            b = ops.dot(oc, direction)
+            c = ops.dot(oc, oc) - r2
+            disc = b * b - c
+            if disc <= 0.0:
+                continue
+            t = -b - math.sqrt(disc)
+            if 1e-3 < t < best_t:
+                best_t, best_center = t, center
+        return best_t, best_center
+
+    def _shadowed(self, point: Vec) -> bool:
+        t, _ = self._hit_spheres(point, self.light)
+        return t < math.inf
+
+    # -- shading -----------------------------------------------------------
+
+    def shade(self, origin: Vec, direction: Vec, depth: int = 2
+              ) -> Tuple[float, float, float]:
+        ops = self.ops
+        t, center = self._hit_spheres(origin, direction)
+
+        floor_t = math.inf
+        if direction[2] < -1e-6:
+            floor_t = (S.FLOOR_Z - origin[2]) / direction[2]
+
+        if t < floor_t and center is not None:
+            point = ops.add(origin, ops.scale(direction, t))
+            normal = ops.norm(ops.sub(point, center))
+            diffuse = max(0.0, ops.dot(normal, self.light))
+            if diffuse > 0.0 and self._shadowed(ops.add(point, ops.scale(
+                    normal, 1e-2))):
+                diffuse = 0.0
+            base = (0.25 + 0.5 * diffuse)
+            color = (base * 90.0, base * 90.0, base * 240.0)
+            if depth > 0:
+                reflect = ops.sub(
+                    direction, ops.scale(normal, 2.0 * ops.dot(direction,
+                                                               normal)))
+                bounce = self.shade(ops.add(point, ops.scale(normal, 1e-2)),
+                                    _normalize_py(reflect), depth - 1)
+                color = tuple(0.6 * c + 0.4 * b for c, b in zip(color,
+                                                                bounce))
+            return color
+
+        if floor_t < math.inf:
+            point = ops.add(origin, ops.scale(direction, floor_t))
+            checker = (int(math.floor(point[0])) + int(math.floor(point[1]))) & 1
+            tile = S.FLOOR_A if checker else S.FLOOR_B
+            lit = 1.0
+            if self._shadowed((point[0], point[1], point[2] + 1e-2)):
+                lit = 0.35
+            fade = max(0.25, 1.0 - floor_t / 60.0)
+            return tuple(ch * lit * fade for ch in tile)
+
+        # Sky gradient by elevation.
+        g = max(0.0, min(1.0, direction[2]))
+        return tuple(h + (t_ - h) * g
+                     for h, t_ in zip(S.SKY_HORIZON, S.SKY_TOP))
+
+    # -- camera ------------------------------------------------------------
+
+    def render(self, config: RenderConfig = RenderConfig()) -> Image:
+        ops = self.ops
+        rng = random.Random(config.seed)
+        image = Image(config.width, config.height)
+        gaze = _normalize_py(S.CAMERA_GAZE)
+        # Camera basis: right in the horizontal plane, up from cross.
+        right = _normalize_py((gaze[1], -gaze[0], 0.0))
+        up = _normalize_py((
+            gaze[1] * right[2] - gaze[2] * right[1],
+            gaze[2] * right[0] - gaze[0] * right[2],
+            gaze[0] * right[1] - gaze[1] * right[0],
+        ))
+        fov = 0.9
+        for y in range(config.height):
+            for x in range(config.width):
+                acc = [0.0, 0.0, 0.0]
+                for _ in range(config.samples):
+                    u = ((x + rng.random()) / config.width - 0.5) * fov \
+                        * config.width / config.height
+                    v = (0.5 - (y + rng.random()) / config.height) * fov
+                    direction = _normalize_py((
+                        gaze[0] + u * right[0] + v * up[0],
+                        gaze[1] + u * right[1] + v * up[1],
+                        gaze[2] + u * right[2] + v * up[2],
+                    ))
+                    origin = S.CAMERA_POS
+                    if config.depth_of_field:
+                        # Depth-of-field blur: perturb the ray origin with
+                        # the delta kernel (the camera constants live in
+                        # its sandbox) and re-aim at the focal plane.
+                        jitter = ops.delta(rng.random(), rng.random())
+                        origin = ops.add(origin, ops.scale(jitter, 160.0))
+                        focal = ops.add(S.CAMERA_POS, ops.scale(direction,
+                                                                12.0))
+                        direction = _normalize_py(ops.sub(focal, origin))
+                    color = self.shade(origin, direction)
+                    for i in range(3):
+                        acc[i] += color[i]
+                image.put(x, y, tuple(int(c / config.samples) for c in acc))
+        return image
+
+
+def render_with(scale: Optional[Program] = None,
+                dot: Optional[Program] = None,
+                add: Optional[Program] = None,
+                delta: Optional[Program] = None,
+                config: RenderConfig = RenderConfig()) -> Image:
+    """Render the scene with the given kernel substitutions."""
+    tracer = RayTracer(KernelOps(scale=scale, dot=dot, add=add, delta=delta))
+    return tracer.render(config)

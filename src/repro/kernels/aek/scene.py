@@ -1,0 +1,44 @@
+"""Scene description for the aek ray tracer.
+
+Like the business-card original, the spheres are placed from a bitmask —
+rows of bits spell out initials — above a checkered floor, under a
+gradient sky with a single directional light.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+# Rows of sphere bits, top row first (spells a compact "EK").
+ART = (
+    0b111010010,
+    0b100010100,
+    0b111011000,
+    0b100010100,
+    0b111010010,
+)
+
+SPHERE_RADIUS = 0.55
+LIGHT_DIR = (-0.5, -0.65, 0.57)  # roughly normalized, pointing at scene
+FLOOR_Z = 0.0
+
+CAMERA_POS = (2.0, -9.0, 3.2)
+CAMERA_GAZE = (0.22, 1.0, -0.12)  # normalized by the tracer
+SKY_TOP = (60, 80, 255)
+SKY_HORIZON = (200, 210, 255)
+FLOOR_A = (196, 48, 48)
+FLOOR_B = (220, 220, 220)
+
+
+def sphere_centers() -> List[Tuple[float, float, float]]:
+    """Sphere positions from the ART bitmask, centered on x."""
+    centers = []
+    rows = len(ART)
+    width = max(row.bit_length() for row in ART)
+    for r, row in enumerate(ART):
+        for c in range(width):
+            if row & (1 << (width - 1 - c)):
+                x = 1.3 * (c - (width - 1) / 2.0)
+                z = 1.3 * (rows - r) + 0.6
+                centers.append((x, 4.0, z))
+    return centers

@@ -1,0 +1,362 @@
+"""aek vector kernels (Section 6.3, Figures 6-8).
+
+The ray tracer's vectors are triplets of floats and — following the
+program-wide data-structure layout gcc chose for the original program —
+are passed split across two SSE registers::
+
+    v = [xmm0[63:32] = y, xmm0[31:0] = x, xmm1[31:0] = z]
+
+Memory-resident vectors live at ``(reg), 4(reg), 8(reg)`` (x, y, z).
+Each kernel is provided in two forms: a gcc -O3-style *target* (with the
+stack spills and scalar data movement the paper shows in Figure 6/7) and
+the paper's STOKE *rewrite*, used by the verification experiments and the
+Figure 9 renderings.  Figure 8's searches rediscover rewrites of the same
+shape from the targets.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from repro.x86.assembler import assemble
+from repro.x86.locations import MemLoc
+from repro.x86.memory import Segment
+from repro.x86.program import Program
+
+from repro.kernels.spec import KernelSpec
+
+# Sandbox layout shared by all aek kernels.
+V1_BASE = 0x2000
+V2_BASE = 0x3000
+STACK_BASE = 0x7000
+STACK_SIZE = 64
+RSP = STACK_BASE + 48  # leaves room for red-zone style negative offsets
+
+CONCRETE_GP = {"rdi": V1_BASE, "rsi": V2_BASE, "rsp": RSP}
+# GP64 indices for the verification entry points.
+CONCRETE_GP_INDICES = {7: V1_BASE, 6: V2_BASE, 4: RSP}
+
+COMPONENT_RANGE = (-10.0, 10.0)
+SCALAR_RANGE = (-4.0, 4.0)
+UNIT_RANGE = (0.0, 1.0)
+
+
+def _vec_segment(name: str, base: int) -> Segment:
+    # 20 bytes: x, y, z floats plus padding so 16-byte loads at +4 stay
+    # in bounds (the Figure 7 rewrite uses lddqu 4(rdi)).
+    return Segment(name, base, bytes(20), writable=True)
+
+
+def aek_segments() -> List[Segment]:
+    """Fresh sandbox segments for one aek test case."""
+    return [
+        _vec_segment("v1", V1_BASE),
+        _vec_segment("v2", V2_BASE),
+        Segment("stack", STACK_BASE, bytes(STACK_SIZE), writable=True),
+    ]
+
+
+def _mem_ranges(segment: str) -> Dict[MemLoc, Tuple[float, float]]:
+    return {
+        MemLoc(segment, 4 * i, "f32"): COMPONENT_RANGE for i in range(3)
+    }
+
+
+_VEC_IN_REGS = {
+    "xmm0:s0": COMPONENT_RANGE,  # v.x
+    "xmm0:s1": COMPONENT_RANGE,  # v.y
+    "xmm1:s0": COMPONENT_RANGE,  # v.z
+}
+
+_POINTER_INPUTS = {"rdi": V1_BASE, "rsi": V2_BASE, "rsp": RSP}
+
+
+def _spec(name: str, asm: str, live_outs, ranges, reference,
+          description: str) -> KernelSpec:
+    return KernelSpec(
+        name=name,
+        program=assemble(asm),
+        live_ins=tuple(ranges) + tuple(_POINTER_INPUTS),
+        live_outs=tuple(live_outs),
+        ranges=dict(ranges),
+        reference=reference,
+        segments_factory=aek_segments,
+        fixed_inputs=dict(_POINTER_INPUTS),
+        description=description,
+    )
+
+
+# ---------------------------------------------------------------------------
+# k * v  (vector scale)
+
+_SCALE_TARGET = """
+    movq xmm0, -16(rsp)
+    movss -16(rsp), xmm3     # x
+    mulss xmm2, xmm3
+    movss -12(rsp), xmm4     # y
+    mulss xmm2, xmm4
+    mulss xmm2, xmm1         # z*k
+    punpckldq xmm4, xmm3
+    movq xmm3, xmm0
+"""
+
+_SCALE_REWRITE = """
+    pshufd $0, xmm2, xmm3
+    mulps xmm3, xmm0
+    mulss xmm2, xmm1
+"""
+
+
+def scale_kernel() -> KernelSpec:
+    """``k * v``: v in registers, k in xmm2[31:0]."""
+    ranges = dict(_VEC_IN_REGS)
+    ranges["xmm2:s0"] = SCALAR_RANGE
+    return _spec(
+        "scale", _SCALE_TARGET,
+        live_outs=("xmm0:s0", "xmm0:s1", "xmm1:s0"),
+        ranges=ranges,
+        reference=lambda x, y, z, k: (k * x, k * y, k * z),
+        description="vector scale k*v (Figure 8 row 1)",
+    )
+
+
+def scale_rewrite() -> Program:
+    return assemble(_SCALE_REWRITE)
+
+
+# ---------------------------------------------------------------------------
+# <v1, v2>  (dot product, Figure 6 verbatim)
+
+_DOT_TARGET = """
+    movq xmm0, -16(rsp)
+    mulss 8(rdi), xmm1
+    movss (rdi), xmm0
+    movss 4(rdi), xmm2
+    mulss -16(rsp), xmm0
+    mulss -12(rsp), xmm2
+    addss xmm2, xmm0
+    addss xmm1, xmm0
+"""
+
+_DOT_REWRITE = """
+    vpshuflw $-2, xmm0, xmm2
+    mulss 8(rdi), xmm1
+    mulss (rdi), xmm0
+    mulss 4(rdi), xmm2
+    vaddss xmm0, xmm2, xmm5
+    vaddss xmm5, xmm1, xmm0
+"""
+
+
+def dot_kernel() -> KernelSpec:
+    """``<v1, v2>``: v1 in registers, v2 at (rdi); float result.
+
+    Note the memory-resident vector lives at ``(rdi)``, i.e. the ``v1``
+    segment, matching the Figure 6 listing's use of ``rdi``.
+    """
+    ranges = dict(_VEC_IN_REGS)
+    ranges.update(_mem_ranges("v1"))
+    return _spec(
+        "dot", _DOT_TARGET,
+        live_outs=("xmm0:s0",),
+        ranges=ranges,
+        reference=None,
+        description="vector dot product (Figures 6 and 8 row 2)",
+    )
+
+
+def dot_rewrite() -> Program:
+    return assemble(_DOT_REWRITE)
+
+
+def dot_mem_ranges() -> Dict[MemLoc, Tuple[float, float]]:
+    return _mem_ranges("v2")
+
+
+# ---------------------------------------------------------------------------
+# v1 + v2  (vector add)
+
+_ADD_TARGET = """
+    movq xmm0, -16(rsp)
+    movss (rdi), xmm2
+    addss -16(rsp), xmm2     # x + v2.x
+    movss 4(rdi), xmm3
+    addss -12(rsp), xmm3     # y + v2.y
+    addss 8(rdi), xmm1       # z + v2.z
+    punpckldq xmm3, xmm2
+    movq xmm2, xmm0
+"""
+
+_ADD_REWRITE = """
+    addps (rdi), xmm0
+    addss 8(rdi), xmm1
+"""
+
+
+def add_kernel() -> KernelSpec:
+    """``v1 + v2``: v1 in registers, v2 at (rdi); vector result."""
+    ranges = dict(_VEC_IN_REGS)
+    ranges.update(_mem_ranges("v1"))
+    return _spec(
+        "add", _ADD_TARGET,
+        live_outs=("xmm0:s0", "xmm0:s1", "xmm1:s0"),
+        ranges=ranges,
+        reference=None,
+        description="vector add (Figure 8 row 3)",
+    )
+
+
+def add_rewrite() -> Program:
+    return assemble(_ADD_REWRITE)
+
+
+def add_mem_ranges() -> Dict[MemLoc, Tuple[float, float]]:
+    return _mem_ranges("v1")
+
+
+# ---------------------------------------------------------------------------
+# delta(v1, v2, r1, r2)  (random camera perturbation, Figure 7 verbatim)
+#
+#   gcc:   99*(v1*(r1-0.5)) + 99*(v2*(r2-0.5)), componentwise
+#   STOKE: drops the relatively negligible cross terms:
+#          (99*(v1.x*(r1-.5)), 99*(v1.y*(r1-.5)), v2.z*(99*(r2-.5)))
+
+_DELTA_TARGET = """
+    movl $0.5, eax
+    movd eax, xmm2
+    subss xmm2, xmm0
+    movss 8(rdi), xmm3
+    subss xmm2, xmm1
+    movss 4(rdi), xmm5
+    movss 8(rsi), xmm2
+    movss 4(rsi), xmm6
+    mulss xmm0, xmm3
+    movl $99.0, eax
+    movd eax, xmm4
+    mulss xmm1, xmm2
+    mulss xmm0, xmm5
+    mulss xmm1, xmm6
+    mulss (rdi), xmm0
+    mulss (rsi), xmm1
+    mulss xmm4, xmm5
+    mulss xmm4, xmm6
+    mulss xmm4, xmm3
+    mulss xmm4, xmm2
+    mulss xmm4, xmm0
+    mulss xmm4, xmm1
+    addss xmm6, xmm5
+    addss xmm1, xmm0
+    movss xmm5, -20(rsp)
+    movaps xmm3, xmm1
+    addss xmm2, xmm1
+    movss xmm0, -24(rsp)
+    movq -24(rsp), xmm0
+"""
+
+_DELTA_REWRITE = """
+    movl $0.5, eax
+    movd eax, xmm2
+    subps xmm2, xmm0
+    movl $99.0, eax
+    subps xmm2, xmm1
+    movd eax, xmm4
+    mulss xmm4, xmm1
+    lddqu 4(rdi), xmm5
+    mulss xmm0, xmm5
+    mulss (rdi), xmm0
+    mulss xmm4, xmm0
+    mulps xmm4, xmm5
+    punpckldq xmm5, xmm0
+    mulss 8(rsi), xmm1
+"""
+
+# The over-aggressive rewrite STOKE finds when eta exceeds the randomness
+# noise floor: the perturbation disappears entirely (Figure 9d).
+_DELTA_PRIME = """
+    xorps xmm0, xmm0
+    xorps xmm1, xmm1
+"""
+
+# The aek camera basis vectors passed to delta() are program-wide
+# constants (Section 6.3): the right vector u lies exactly in the image
+# plane (u.z == 0) and the up vector v has only a negligible in-plane
+# component, which is why dropping the cross terms is valid — the error
+# lands at or below the depth-of-field noise floor.
+CAMERA_U = (0.0028, 0.0021, 0.0)
+CAMERA_V = (3.0e-8, 2.0e-8, 0.0026)
+
+
+def delta_fixed_inputs() -> Dict[object, float]:
+    """Pointer and camera-constant live-ins for the delta kernel."""
+    fixed: Dict[object, float] = dict(_POINTER_INPUTS)
+    for i, value in enumerate(CAMERA_U):
+        fixed[MemLoc("v1", 4 * i, "f32")] = value
+    for i, value in enumerate(CAMERA_V):
+        fixed[MemLoc("v2", 4 * i, "f32")] = value
+    return fixed
+
+
+def delta_kernel() -> KernelSpec:
+    """Camera perturbation: r1 in xmm0[31:0], r2 in xmm1[31:0],
+    v1 = camera u at (rdi), v2 = camera v at (rsi); vector result in the
+    register layout.  The camera vectors are fixed program constants."""
+    ranges = {"xmm0:s0": UNIT_RANGE, "xmm1:s0": UNIT_RANGE}
+    return KernelSpec(
+        name="delta",
+        program=assemble(_DELTA_TARGET),
+        live_ins=tuple(ranges) + ("rdi", "rsi", "rsp"),
+        live_outs=("xmm0:s0", "xmm0:s1", "xmm1:s0"),
+        ranges=ranges,
+        reference=None,
+        segments_factory=aek_segments,
+        fixed_inputs=delta_fixed_inputs(),
+        description="random camera perturbation (Figures 7-9)",
+    )
+
+
+def delta_rewrite() -> Program:
+    return assemble(_DELTA_REWRITE)
+
+
+def delta_prime() -> Program:
+    return assemble(_DELTA_PRIME)
+
+
+def delta_mem_ranges() -> Dict[MemLoc, Tuple[float, float]]:
+    """Point ranges pinning the camera constants (for interval analysis).
+
+    The constants are rounded through single precision first, since that
+    is what the kernel actually loads from memory.
+    """
+    import numpy as np
+
+    ranges: Dict[MemLoc, Tuple[float, float]] = {}
+    for i, value in enumerate(CAMERA_U):
+        v = float(np.float32(value))
+        ranges[MemLoc("v1", 4 * i, "f32")] = (v, v)
+    for i, value in enumerate(CAMERA_V):
+        v = float(np.float32(value))
+        ranges[MemLoc("v2", 4 * i, "f32")] = (v, v)
+    return ranges
+
+
+AEK_KERNELS = {
+    "scale": scale_kernel,
+    "dot": dot_kernel,
+    "add": add_kernel,
+    "delta": delta_kernel,
+}
+
+AEK_REWRITES = {
+    "scale": scale_rewrite,
+    "dot": dot_rewrite,
+    "add": add_rewrite,
+    "delta": delta_rewrite,
+    "delta_prime": delta_prime,
+}
+
+
+def pack_vector(segment: Segment, x: float, y: float, z: float) -> None:
+    """Write three packed singles into a vector segment."""
+    segment.data[0:12] = struct.pack("<3f", x, y, z)

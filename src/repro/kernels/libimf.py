@@ -1,0 +1,291 @@
+"""libimf-style math kernels: sin, cos, tan, log, exp (Section 6.1).
+
+Hand-written kernels in the style of Intel's ``math.h`` implementation:
+polynomial (near-minimax) approximation with Horner evaluation, plus the
+bit-level tricks high-performance libraries use — exponent-field
+extraction (``log``), integer/fraction splitting and exponent-field
+construction (``exp``), and branchless range adjustment with
+``ucomisd``/``cmov`` (``log``).  ``exp`` and ``log`` therefore interleave
+fixed- and floating-point computation, the mixture that defeats the
+static verification techniques of Section 4.
+
+The S3D ``exp`` variant mirrors the solver's shipped kernel: a plain
+polynomial on a bounded range with no range reduction and deliberately no
+error handling for irregular values (Section 6.2).
+
+All kernels take their argument in ``xmm0`` and return in ``xmm0``.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.fp.ieee754 import double_to_bits
+from repro.x86.assembler import assemble
+
+from repro.kernels.polynomial import chebyshev_fit, horner_asm
+from repro.kernels.spec import KernelSpec
+
+# fdlibm-style high/low split of ln(2), so e*ln2 keeps extra precision.
+_LN2_HI = 6.93147180369123816490e-01  # 0x3FE62E42FEE00000
+_LN2_LO = 1.90821492927058770002e-10  # 0x3DEA39EF35793C76
+_LOG2E = 1.4426950408889634
+_SQRT2 = 1.4142135623730951
+
+SIN_RANGE = (-math.pi, math.pi)
+COS_RANGE = (-math.pi, math.pi)
+TAN_RANGE = (-1.5, 1.5)
+LOG_RANGE = (1.0e-3, 10.0)
+EXP_RANGE = (-10.0, 10.0)
+EXP_S3D_RANGE = (-3.0, 0.0)
+
+
+def _imm(value: float) -> str:
+    return f"$0x{double_to_bits(value):016x}"
+
+
+@lru_cache(maxsize=None)
+def _sin_coeffs(degree: int) -> tuple:
+    # sin(x) = x * P(x^2);  P(z) = sin(sqrt(z)) / sqrt(z) on z in [0, pi^2].
+    lo, hi = SIN_RANGE
+    def g(z: float) -> float:
+        if z <= 0.0:
+            return 1.0
+        r = math.sqrt(z)
+        return math.sin(r) / r
+    return tuple(chebyshev_fit(g, 1e-12, hi * hi, degree))
+
+
+@lru_cache(maxsize=None)
+def _cos_coeffs(degree: int) -> tuple:
+    def g(z: float) -> float:
+        return math.cos(math.sqrt(z)) if z > 0.0 else 1.0
+    hi = COS_RANGE[1]
+    return tuple(chebyshev_fit(g, 1e-12, hi * hi, degree))
+
+
+@lru_cache(maxsize=None)
+def _tan_sin_coeffs(degree: int) -> tuple:
+    hi = TAN_RANGE[1]
+    def g(z: float) -> float:
+        if z <= 0.0:
+            return 1.0
+        r = math.sqrt(z)
+        return math.sin(r) / r
+    return tuple(chebyshev_fit(g, 1e-12, hi * hi, degree))
+
+
+@lru_cache(maxsize=None)
+def _tan_cos_coeffs(degree: int) -> tuple:
+    hi = TAN_RANGE[1]
+    def g(z: float) -> float:
+        return math.cos(math.sqrt(z)) if z > 0.0 else 1.0
+    return tuple(chebyshev_fit(g, 1e-12, hi * hi, degree))
+
+
+@lru_cache(maxsize=None)
+def _exp_reduced_coeffs(degree: int) -> tuple:
+    # exp(r) on the reduced range [-ln2/2, ln2/2].
+    half_ln2 = math.log(2.0) / 2.0
+    return tuple(chebyshev_fit(math.exp, -half_ln2, half_ln2, degree))
+
+
+@lru_cache(maxsize=None)
+def _log1p_coeffs(degree: int) -> tuple:
+    # log(1 + t) on t in [sqrt2/2 - 1, sqrt2 - 1].  The constant term is
+    # pinned to zero (log1p(0) = 0 exactly) so the kernel's ULP error
+    # stays bounded near x = 1, as a hand-written library's would.
+    coeffs = list(chebyshev_fit(math.log1p, _SQRT2 / 2.0 - 1.0,
+                                _SQRT2 - 1.0, degree))
+    coeffs[0] = 0.0
+    return tuple(coeffs)
+
+
+@lru_cache(maxsize=None)
+def _exp_s3d_coeffs(degree: int) -> tuple:
+    lo, hi = EXP_S3D_RANGE
+    return tuple(chebyshev_fit(math.exp, lo, hi, degree))
+
+
+def sin_kernel(degree: int = 11) -> KernelSpec:
+    """sin(x) on [-pi, pi]: odd polynomial x * P(x^2)."""
+    coeffs = _sin_coeffs(degree)
+    asm = (
+        "movsd xmm0, xmm1\n"
+        "mulsd xmm0, xmm1        # z = x*x\n"
+        + horner_asm(coeffs, "xmm1", "xmm2", "xmm3")
+        + "mulsd xmm2, xmm0        # x * P(z)\n"
+    )
+    return KernelSpec(
+        name="sin",
+        program=assemble(asm),
+        live_ins=("xmm0",),
+        live_outs=("xmm0",),
+        ranges={"xmm0": SIN_RANGE},
+        reference=math.sin,
+        description="bounded periodic kernel (Figure 4a/4d)",
+    )
+
+
+def cos_kernel(degree: int = 11) -> KernelSpec:
+    """cos(x) on [-pi, pi]: even polynomial P(x^2)."""
+    coeffs = _cos_coeffs(degree)
+    asm = (
+        "movsd xmm0, xmm1\n"
+        "mulsd xmm0, xmm1        # z = x*x\n"
+        + horner_asm(coeffs, "xmm1", "xmm2", "xmm3")
+        + "movsd xmm2, xmm0\n"
+    )
+    return KernelSpec(
+        name="cos",
+        program=assemble(asm),
+        live_ins=("xmm0",),
+        live_outs=("xmm0",),
+        ranges={"xmm0": COS_RANGE},
+        reference=math.cos,
+        description="bounded periodic kernel (results similar to sin)",
+    )
+
+
+def tan_kernel(degree: int = 10) -> KernelSpec:
+    """tan(x) on [-1.5, 1.5]: sin/cos polynomial ratio (discontinuous
+    parent function, Figure 4c/4f)."""
+    sin_c = _tan_sin_coeffs(degree)
+    cos_c = _tan_cos_coeffs(degree)
+    asm = (
+        "movsd xmm0, xmm1\n"
+        "mulsd xmm0, xmm1        # z = x*x\n"
+        + horner_asm(sin_c, "xmm1", "xmm2", "xmm3")
+        + "mulsd xmm0, xmm2        # sin = x * Ps(z)\n"
+        + horner_asm(cos_c, "xmm1", "xmm5", "xmm3")
+        + "divsd xmm5, xmm2        # tan = sin / cos\n"
+        + "movsd xmm2, xmm0\n"
+    )
+    return KernelSpec(
+        name="tan",
+        program=assemble(asm),
+        live_ins=("xmm0",),
+        live_outs=("xmm0",),
+        ranges={"xmm0": TAN_RANGE},
+        reference=math.tan,
+        description="discontinuous unbounded kernel (Figure 4c/4f)",
+    )
+
+
+def exp_kernel(degree: int = 10) -> KernelSpec:
+    """exp(x) on [-10, 10] with bitwise 2^k scaling (mixed fixed/float)."""
+    coeffs = _exp_reduced_coeffs(degree)
+    asm = (
+        f"movq {_imm(_LOG2E)}, xmm3\n"
+        "movsd xmm0, xmm1\n"
+        "mulsd xmm3, xmm1        # x * log2(e)\n"
+        "cvtsd2si xmm1, rax      # k = round_nearest(x/ln2)\n"
+        "cvtsi2sd rax, xmm1      # k as double\n"
+        f"movq {_imm(_LN2_HI)}, xmm3\n"
+        "mulsd xmm1, xmm3\n"
+        "subsd xmm3, xmm0        # r = x - k*ln2_hi\n"
+        f"movq {_imm(_LN2_LO)}, xmm3\n"
+        "mulsd xmm1, xmm3\n"
+        "subsd xmm3, xmm0        # r -= k*ln2_lo\n"
+        + horner_asm(coeffs, "xmm0", "xmm2", "xmm3")
+        + "add $1023, rax\n"
+        "shl $52, rax            # bits of 2^k\n"
+        "movq rax, xmm1\n"
+        "mulsd xmm1, xmm2        # P(r) * 2^k\n"
+        "movsd xmm2, xmm0\n"
+    )
+    return KernelSpec(
+        name="exp",
+        program=assemble(asm),
+        live_ins=("xmm0",),
+        live_outs=("xmm0",),
+        ranges={"xmm0": EXP_RANGE},
+        reference=math.exp,
+        description="continuous unbounded kernel, bit-level 2^k scaling",
+    )
+
+
+def log_kernel(degree: int = 14) -> KernelSpec:
+    """log(x) on [1e-3, 10]: exponent extraction + branchless sqrt(2)
+    adjustment (ucomisd/cmov) + polynomial (Figure 4b/4e)."""
+    coeffs = _log1p_coeffs(degree)
+    asm = (
+        "movq xmm0, rax          # raw bits of x (x > 0)\n"
+        "mov rax, rcx\n"
+        "shr $52, rcx            # biased exponent\n"
+        "movabs $0x000fffffffffffff, rdx\n"
+        "and rdx, rax            # fraction field\n"
+        "movabs $0x3ff0000000000000, rbx\n"
+        "or rbx, rax             # mantissa m in [1, 2)\n"
+        "mov rax, rdx\n"
+        "movabs $0x0010000000000000, rbx\n"
+        "sub rbx, rdx            # bits of m/2\n"
+        "mov rcx, rsi\n"
+        "add $1, rsi             # e + 1\n"
+        "movq rax, xmm1          # m\n"
+        f"movq {_imm(_SQRT2)}, xmm2\n"
+        "ucomisd xmm2, xmm1      # m ? sqrt(2)\n"
+        "cmovae rdx, rax         # if m >= sqrt2: m /= 2 ...\n"
+        "cmovae rsi, rcx         # ... and e += 1\n"
+        "movq rax, xmm1          # m' in [sqrt2/2, sqrt2)\n"
+        "sub $1023, rcx          # unbias\n"
+        "cvtsi2sd rcx, xmm4      # e' as double\n"
+        f"movq {_imm(1.0)}, xmm2\n"
+        "subsd xmm2, xmm1        # t = m' - 1\n"
+        + horner_asm(coeffs, "xmm1", "xmm5", "xmm3")
+        + f"movq {_imm(_LN2_LO)}, xmm3\n"
+        "mulsd xmm4, xmm3\n"
+        "addsd xmm3, xmm5        # P(t) + e*ln2_lo\n"
+        f"movq {_imm(_LN2_HI)}, xmm3\n"
+        "mulsd xmm4, xmm3\n"
+        "addsd xmm5, xmm3        # + e*ln2_hi\n"
+        "movsd xmm3, xmm0\n"
+    )
+    return KernelSpec(
+        name="log",
+        program=assemble(asm),
+        live_ins=("xmm0",),
+        live_outs=("xmm0",),
+        ranges={"xmm0": LOG_RANGE},
+        reference=math.log,
+        description="continuous unbounded kernel, exponent bit extraction",
+    )
+
+
+def exp_s3d_kernel(degree: int = 12) -> KernelSpec:
+    """The S3D diffusion solver's shipped exp: a bare polynomial on the
+    task's input range, no range reduction, no irregular-value handling."""
+    coeffs = _exp_s3d_coeffs(degree)
+    asm = (
+        horner_asm(coeffs, "xmm0", "xmm2", "xmm3")
+        + "movsd xmm2, xmm0\n"
+    )
+    return KernelSpec(
+        name="exp_s3d",
+        program=assemble(asm),
+        live_ins=("xmm0",),
+        live_outs=("xmm0",),
+        ranges={"xmm0": EXP_S3D_RANGE},
+        reference=math.exp,
+        description="S3D diffusion leaf-task exp kernel (Figure 5)",
+    )
+
+
+LIBIMF_KERNELS = {
+    "sin": sin_kernel,
+    "cos": cos_kernel,
+    "tan": tan_kernel,
+    "log": log_kernel,
+    "exp": exp_kernel,
+}
+
+
+def kernel_by_name(name: str, **kwargs) -> KernelSpec:
+    """Factory lookup covering both libimf and the S3D exp."""
+    factories = dict(LIBIMF_KERNELS)
+    factories["exp_s3d"] = exp_s3d_kernel
+    try:
+        return factories[name](**kwargs)
+    except KeyError:
+        raise ValueError(f"unknown kernel: {name!r}") from None

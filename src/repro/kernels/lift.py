@@ -1,0 +1,71 @@
+"""Lift ISA programs to Python callables.
+
+The end-to-end applications (the S3D diffusion task and the aek ray
+tracer) execute their kernels through the simulator, so a rewrite's exact
+bit-level semantics — including any precision loss — propagates into the
+application's results.  A :class:`LiftedKernel` wraps a JIT-compiled
+program as a plain Python function over floats.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.x86.jit import compile_program
+from repro.x86.locations import Loc, MemLoc, parse_loc
+from repro.x86.program import Program
+from repro.x86.testcase import TestCase, decode_from, encode_for
+
+from repro.kernels.spec import KernelSpec
+
+LocLike = Union[str, Loc, MemLoc]
+
+
+def _as_loc(loc: LocLike):
+    return loc if isinstance(loc, (Loc, MemLoc)) else parse_loc(loc)
+
+
+class KernelSignalled(RuntimeError):
+    """The lifted kernel raised a signal on the given arguments."""
+
+
+class LiftedKernel:
+    """A program as a Python function ``f(*args) -> float | tuple``."""
+
+    def __init__(self, program: Program, arg_locs: Sequence[LocLike],
+                 out_locs: Sequence[LocLike],
+                 base_testcase: Optional[TestCase] = None):
+        self.program = program
+        self.compiled = compile_program(program)
+        self.arg_locs = [_as_loc(loc) for loc in arg_locs]
+        self.out_locs = [_as_loc(loc) for loc in out_locs]
+        base = base_testcase if base_testcase is not None else TestCase({})
+        # One template state reused (copied) per call.
+        self._template = base.build_state()
+
+    def __call__(self, *args: float):
+        if len(args) != len(self.arg_locs):
+            raise TypeError(
+                f"kernel takes {len(self.arg_locs)} args, got {len(args)}"
+            )
+        state = self._template.copy()
+        for loc, value in zip(self.arg_locs, args):
+            loc.write(state, encode_for(loc, value))
+        outcome = self.compiled.run(state)
+        if not outcome.ok:
+            raise KernelSignalled(f"{outcome.signal.value} on args {args!r}")
+        values = tuple(decode_from(loc, loc.read(state))
+                       for loc in self.out_locs)
+        return values[0] if len(values) == 1 else values
+
+
+def lift_kernel(spec: KernelSpec,
+                program: Optional[Program] = None) -> LiftedKernel:
+    """Lift a kernel spec (or a rewrite of it) using the spec's ranged
+    inputs as the argument order and its fixed inputs as the environment."""
+    return LiftedKernel(
+        program if program is not None else spec.program,
+        arg_locs=list(spec.ranges),
+        out_locs=list(spec.live_outs),
+        base_testcase=spec.base_testcase(),
+    )

@@ -1,0 +1,87 @@
+"""Polynomial approximation machinery for the libimf-style kernels.
+
+Intel's math library approximates the transcendental functions with
+polynomials whose term count sets their precision (Section 6.1).  This
+module fits near-minimax polynomials (Chebyshev interpolation, refit to
+the power basis) and emits Horner-scheme assembly for our ISA.
+
+The emitted Horner code deliberately loads each coefficient with a
+``movq`` immediate and accumulates with ``mulsd``/``addsd`` pairs: a
+single opcode move (``addsd`` → ``movsd``) then truncates the polynomial,
+which is precisely the kind of shortcut the stochastic search discovers
+when ``eta`` permits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.fp.ieee754 import double_to_bits
+
+
+def chebyshev_fit(fn: Callable[[float], float], lo: float, hi: float,
+                  degree: int) -> List[float]:
+    """Near-minimax power-basis coefficients for ``fn`` on ``[lo, hi]``.
+
+    Interpolates at Chebyshev nodes and converts to the power basis.
+    Returns coefficients ``[c0, c1, ..., c_degree]`` (ascending powers).
+    """
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    nodes = np.cos((2 * np.arange(degree + 1) + 1) * np.pi
+                   / (2 * (degree + 1)))
+    xs = 0.5 * (hi - lo) * nodes + 0.5 * (hi + lo)
+    ys = np.array([fn(float(x)) for x in xs])
+    # polyfit on exactly degree+1 points interpolates.
+    coeffs = np.polynomial.polynomial.polyfit(xs, ys, degree)
+    return [float(c) for c in coeffs]
+
+
+def horner(coeffs: Sequence[float], x: float) -> float:
+    """Reference Horner evaluation (ascending coefficients)."""
+    acc = 0.0
+    for c in reversed(list(coeffs)):
+        acc = acc * x + c
+    return acc
+
+
+def horner_asm(coeffs: Sequence[float], x_reg: str, acc_reg: str,
+               scratch_reg: str) -> str:
+    """Horner-scheme assembly: ``acc = P(x)``.
+
+    ``x_reg`` holds the evaluation point (preserved); the polynomial
+    accumulates in ``acc_reg`` using ``scratch_reg`` for coefficient
+    loads.  Coefficients are ascending; evaluation runs high-to-low.
+    """
+    ordered = list(coeffs)
+    if not ordered:
+        raise ValueError("need at least one coefficient")
+    lines = [f"movq $0x{double_to_bits(ordered[-1]):016x}, {acc_reg}"
+             f"  # c{len(ordered) - 1} = {ordered[-1]!r}"]
+    for power in range(len(ordered) - 2, -1, -1):
+        c = ordered[power]
+        lines.append(f"mulsd {x_reg}, {acc_reg}")
+        lines.append(f"movq $0x{double_to_bits(c):016x}, {scratch_reg}"
+                     f"  # c{power} = {c!r}")
+        lines.append(f"addsd {scratch_reg}, {acc_reg}")
+    return "\n".join(lines) + "\n"
+
+
+def max_error_ulps(fn: Callable[[float], float],
+                   approx: Callable[[float], float],
+                   lo: float, hi: float, samples: int = 2001) -> float:
+    """Max observed ULP error of an approximation over a sample grid."""
+    from repro.fp.ulp import ulp_distance
+
+    worst = 0.0
+    for i in range(samples):
+        x = lo + (hi - lo) * i / (samples - 1)
+        want = fn(x)
+        got = approx(x)
+        if math.isnan(want) or math.isnan(got):
+            continue
+        worst = max(worst, float(ulp_distance(want, got)))
+    return worst

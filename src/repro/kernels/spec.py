@@ -1,0 +1,76 @@
+"""Kernel specifications: a program plus everything needed to optimize it.
+
+A :class:`KernelSpec` bundles the target program with its calling
+convention (live-ins/live-outs), the user-specified input ranges
+(Equation 16), the sandbox layout, and a Python reference implementation,
+so the search, validation, verification, and benchmark layers all consume
+kernels uniformly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.x86.locations import parse_loc
+from repro.x86.memory import Segment
+from repro.x86.program import Program
+from repro.x86.testcase import TestCase, encode_for, uniform_testcases
+
+
+@dataclass
+class KernelSpec:
+    """A named optimization target."""
+
+    name: str
+    program: Program
+    live_ins: Tuple[str, ...]
+    live_outs: Tuple[str, ...]
+    ranges: Dict[str, Tuple[float, float]]
+    reference: Optional[Callable] = None
+    segments_factory: Optional[Callable[[], Sequence[Segment]]] = None
+    fixed_inputs: Dict[str, float] = field(default_factory=dict)
+    description: str = ""
+
+    def base_testcase(self) -> TestCase:
+        """A test case with ranged inputs at range midpoints."""
+        values: Dict[str, float] = {}
+        for loc_text, (lo, hi) in self.ranges.items():
+            values[loc_text] = (lo + hi) / 2.0
+        values.update(self.fixed_inputs)
+        segments = self.segments_factory() if self.segments_factory else ()
+        return TestCase.from_values(values, segments)
+
+    def testcases(self, rng: random.Random, count: int) -> List[TestCase]:
+        """Random test cases over the declared input ranges."""
+        cases = uniform_testcases(
+            rng, count, dict(self.ranges),
+            segments_factory=self.segments_factory,
+        )
+        if self.fixed_inputs:
+            fixed = {_loc_of(k): v for k, v in self.fixed_inputs.items()}
+            cases = [
+                _with_fixed(tc, fixed) for tc in cases
+            ]
+        return cases
+
+    @property
+    def loc(self) -> int:
+        return self.program.loc
+
+    @property
+    def latency(self) -> int:
+        return self.program.latency
+
+
+def _loc_of(key):
+    from repro.x86.locations import Loc, MemLoc
+
+    return key if isinstance(key, (Loc, MemLoc)) else parse_loc(key)
+
+
+def _with_fixed(tc: TestCase, fixed) -> TestCase:
+    for loc, value in fixed.items():
+        tc = tc.replace(loc, encode_for(loc, value))
+    return tc

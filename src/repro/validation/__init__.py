@@ -1,0 +1,46 @@
+"""MCMC validation of floating-point optimizations (Section 4)."""
+
+from repro.validation.geweke import (
+    gelman_rubin,
+    geweke_z,
+    is_converged,
+    spectral_density_at_zero,
+)
+from repro.validation.proposals import InputRange, TestCaseProposer
+from repro.validation.strategies import (
+    ValidationAnneal,
+    ValidationHill,
+    ValidationMcmc,
+    ValidationRandom,
+    ValidationStrategy,
+    make_validation_strategy,
+)
+from repro.validation.validator import (
+    MultiChainResult,
+    SIGNAL_ERR,
+    ValidationConfig,
+    ValidationResult,
+    Validator,
+    validate,
+)
+
+__all__ = [
+    "gelman_rubin",
+    "geweke_z",
+    "MultiChainResult",
+    "is_converged",
+    "spectral_density_at_zero",
+    "InputRange",
+    "TestCaseProposer",
+    "ValidationAnneal",
+    "ValidationHill",
+    "ValidationMcmc",
+    "ValidationRandom",
+    "ValidationStrategy",
+    "make_validation_strategy",
+    "SIGNAL_ERR",
+    "ValidationConfig",
+    "ValidationResult",
+    "Validator",
+    "validate",
+]

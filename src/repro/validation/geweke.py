@@ -1,0 +1,93 @@
+"""The Geweke convergence diagnostic (Section 5.3, Equations 18-19).
+
+Splits a chain of samples into an early window and a late window and
+compares their means, normalized by spectral density estimates at zero
+frequency.  For a stationary chain the statistic converges to a standard
+normal, so a small ``|Z|`` is evidence the chain has mixed well.
+
+The spectral density at zero frequency is estimated with a Bartlett
+(Newey-West) lag window, the standard choice in statistical computing
+packages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def spectral_density_at_zero(samples: Sequence[float],
+                             max_lag: Optional[int] = None) -> float:
+    """Newey-West estimate ``s(0) = γ₀ + 2 Σ (1 - k/(L+1)) γₖ``."""
+    x = np.asarray(samples, dtype=float)
+    n = len(x)
+    if n < 2:
+        return 0.0
+    if max_lag is None:
+        max_lag = min(n - 1, max(1, int(round(n ** (1.0 / 3.0)))))
+    x = x - x.mean()
+    gamma0 = float(np.dot(x, x)) / n
+    s = gamma0
+    for k in range(1, max_lag + 1):
+        gamma_k = float(np.dot(x[:-k], x[k:])) / n
+        s += 2.0 * (1.0 - k / (max_lag + 1.0)) * gamma_k
+    return max(s, 0.0)
+
+
+def geweke_z(samples: Sequence[float], first: float = 0.1,
+             last: float = 0.5) -> float:
+    """The Geweke Z statistic over the first and last chain windows.
+
+    ``first`` and ``last`` are the window fractions (defaults are the
+    conventional 10%/50%).  Returns ``inf`` when a variance estimate
+    degenerates on a constant window (a constant chain returns 0).
+    """
+    x = np.asarray(samples, dtype=float)
+    n = len(x)
+    if n < 10:
+        raise ValueError("need at least 10 samples for the Geweke test")
+    if not (0.0 < first < 1.0 and 0.0 < last < 1.0 and first + last < 1.0):
+        raise ValueError("window fractions must be in (0, 1) and disjoint")
+    n1 = max(2, int(n * first))
+    n2 = max(2, int(n * last))
+    theta1 = x[:n1]
+    theta2 = x[n - n2:]
+    var = spectral_density_at_zero(theta1) / n1 \
+        + spectral_density_at_zero(theta2) / n2
+    diff = float(theta1.mean() - theta2.mean())
+    if var <= 0.0:
+        return 0.0 if diff == 0.0 else math.inf
+    return diff / math.sqrt(var)
+
+
+def is_converged(samples: Sequence[float], z_threshold: float = 1.96,
+                 first: float = 0.1, last: float = 0.5) -> bool:
+    """True when ``|Z|`` is below the threshold."""
+    return abs(geweke_z(samples, first, last)) < z_threshold
+
+
+def gelman_rubin(chains: Sequence[Sequence[float]]) -> float:
+    """The Gelman-Rubin potential-scale-reduction factor (R-hat).
+
+    A multi-chain complement to the single-chain Geweke test: values near
+    1 indicate the independent chains are sampling the same distribution.
+    Used by the multi-chain validation mode.
+    """
+    arrays = [np.asarray(c, dtype=float) for c in chains]
+    if len(arrays) < 2:
+        raise ValueError("need at least two chains")
+    n = min(len(a) for a in arrays)
+    if n < 4:
+        raise ValueError("chains too short for R-hat")
+    x = np.stack([a[:n] for a in arrays])
+    m = x.shape[0]
+    chain_means = x.mean(axis=1)
+    chain_vars = x.var(axis=1, ddof=1)
+    w = float(chain_vars.mean())
+    b = float(n * chain_means.var(ddof=1))
+    if w == 0.0:
+        return 1.0 if b == 0.0 else math.inf
+    var_plus = (n - 1) / n * w + b / n
+    return math.sqrt(var_plus / w)

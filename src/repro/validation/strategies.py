@@ -1,0 +1,97 @@
+"""Input-search strategies for validation (Figure 10 e-h).
+
+Validation *maximizes* the error function, sampling in proportion to its
+value (Section 4), so these are distinct from the cost-minimizing search
+strategies: the MCMC variant uses the ratio of error values as its
+acceptance probability, and the random variant redraws inputs uniformly
+instead of walking.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class ValidationStrategy:
+    """Acceptance rule + proposal style for the input search."""
+
+    name = "strategy"
+    uniform_proposals = False
+
+    def accept(self, rng: random.Random, current_err: float,
+               proposal_err: float, iteration: int, total: int) -> bool:
+        raise NotImplementedError
+
+
+class ValidationMcmc(ValidationStrategy):
+    """Metropolis sampling from ``p(t) ∝ err(t) + 1``.
+
+    The +1 smoothing keeps zero-error regions reachable so the chain can
+    cross flat valleys between error peaks.
+    """
+
+    name = "mcmc"
+
+    def accept(self, rng, current_err, proposal_err, iteration, total):
+        if proposal_err >= current_err:
+            return True
+        ratio = (proposal_err + 1.0) / (current_err + 1.0)
+        return rng.random() < ratio
+
+
+class ValidationHill(ValidationStrategy):
+    """Greedy ascent: accept only non-decreasing error."""
+
+    name = "hill"
+
+    def accept(self, rng, current_err, proposal_err, iteration, total):
+        return proposal_err >= current_err
+
+
+class ValidationRandom(ValidationStrategy):
+    """Pure random testing: fresh uniform inputs every step."""
+
+    name = "rand"
+    uniform_proposals = True
+
+    def accept(self, rng, current_err, proposal_err, iteration, total):
+        return True
+
+
+class ValidationAnneal(ValidationStrategy):
+    """Simulated annealing on ``-err`` with geometric cooling.
+
+    Temperatures are in units of log-error ratio, so early in the run
+    large drops in error are accepted and late in the run behaviour
+    approaches greedy ascent.
+    """
+
+    name = "anneal"
+
+    def __init__(self, t_start: float = 8.0, t_end: float = 0.05):
+        self.t_start = t_start
+        self.t_end = t_end
+
+    def accept(self, rng, current_err, proposal_err, iteration, total):
+        if proposal_err >= current_err:
+            return True
+        frac = min(1.0, iteration / max(1, total - 1))
+        temp = self.t_start * (self.t_end / self.t_start) ** frac
+        drop = math.log1p(current_err) - math.log1p(proposal_err)
+        exponent = -drop / temp if temp > 0 else -math.inf
+        return exponent > -745.0 and rng.random() < math.exp(exponent)
+
+
+def make_validation_strategy(name: str) -> ValidationStrategy:
+    """Factory used by the Figure 10 harness."""
+    strategies = {
+        "mcmc": ValidationMcmc,
+        "hill": ValidationHill,
+        "rand": ValidationRandom,
+        "anneal": ValidationAnneal,
+    }
+    try:
+        return strategies[name]()
+    except KeyError:
+        raise ValueError(f"unknown validation strategy: {name!r}") from None

@@ -1,0 +1,53 @@
+"""Static verification stand-ins (Section 4 comparisons).
+
+Three techniques with exactly the paper's trade-offs:
+
+* :func:`check_equivalent_uf` — sound bit-wise equivalence with FP ops
+  uninterpreted; succeeds on data-movement rewrites (Figure 6), reports
+  "unknown" otherwise.
+* :func:`interval_ulp_bound` — sound but coarse interval analysis; fails
+  on bit-level code (libimf) and over-approximates heavily elsewhere.
+* :func:`exhaustive_check` — exact on a quantized subdomain, exponential
+  in input width (the decision-procedure analogue).
+"""
+
+from repro.verify.exhaustive import ExhaustiveResult, exhaustive_check
+from repro.verify.interval import (
+    IntervalBound,
+    IntervalD,
+    IntervalUnsupported,
+    interval_ulp_bound,
+)
+from repro.verify.symbolic import (
+    Const,
+    InputNode,
+    Node,
+    OpNode,
+    SymbolicUnsupported,
+    concat,
+    extract,
+    op,
+    symbolic_execute,
+)
+from repro.verify.uf import UfResult, VerifyOutcome, check_equivalent_uf
+
+__all__ = [
+    "ExhaustiveResult",
+    "exhaustive_check",
+    "IntervalBound",
+    "IntervalD",
+    "IntervalUnsupported",
+    "interval_ulp_bound",
+    "Const",
+    "InputNode",
+    "Node",
+    "OpNode",
+    "SymbolicUnsupported",
+    "concat",
+    "extract",
+    "op",
+    "symbolic_execute",
+    "UfResult",
+    "VerifyOutcome",
+    "check_equivalent_uf",
+]

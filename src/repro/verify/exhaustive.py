@@ -1,0 +1,103 @@
+"""Bounded-exhaustive bit-level equivalence checking.
+
+The stand-in for the bit-blasting decision procedures of Section 4: an
+exact equivalence check obtained by enumerating every input assignment of
+a quantized subdomain and executing both programs bit-for-bit.  Like the
+decision procedures it replaces, it is sound and complete *on its domain*
+but scales exponentially — with input bit-width here, where an SMT
+bit-blaster scales with formula size — and is therefore usable only for
+tiny kernels (the paper puts the practical limit at roughly five
+instructions).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.x86.locations import Loc, parse_loc
+from repro.x86.program import Program
+from repro.x86.testcase import TestCase
+
+from repro.core.cost import location_ulp_distance
+from repro.core.runner import Location, Runner
+
+
+@dataclass
+class ExhaustiveResult:
+    """Result of a bounded-exhaustive check."""
+
+    max_ulps: float
+    cases_checked: int
+    counterexample: Optional[TestCase]
+
+    @property
+    def bitwise_equal(self) -> bool:
+        return self.max_ulps == 0.0
+
+
+def _lane_values(loc: Loc, lo: float, hi: float, bits: int) -> List[int]:
+    """All bit patterns of a ``bits``-wide grid over ``[lo, hi]``."""
+    from repro.x86.testcase import encode_for
+
+    count = 1 << bits
+    if count == 1:
+        return [encode_for(loc, lo)]
+    step = (hi - lo) / (count - 1)
+    return [encode_for(loc, lo + i * step) for i in range(count)]
+
+
+def exhaustive_check(
+    target: Program,
+    rewrite: Program,
+    live_outs: Sequence[Union[str, Location]],
+    ranges: Dict[str, Tuple[float, float]],
+    base_testcase_factory: Callable[[], TestCase],
+    bits_per_input: int = 8,
+    max_ulps: float = 0.0,
+    backend: str = "jit",
+) -> ExhaustiveResult:
+    """Check equivalence over the full cross product of quantized inputs.
+
+    ``bits_per_input`` controls the grid resolution per live-in; the total
+    number of executions is ``2**(bits_per_input * len(ranges))`` — the
+    exponential blow-up that makes this a small-kernel-only technique.
+    Returns the max ULP error over the grid and the first counterexample
+    exceeding ``max_ulps`` (the check still completes the sweep so the
+    reported max is over the whole grid).
+    """
+    runner = Runner(live_outs, backend=backend)
+    prepared_t = runner.prepare(target)
+    prepared_r = runner.prepare(rewrite)
+
+    locs = [parse_loc(k) if isinstance(k, str) else k for k in ranges]
+    grids = [_lane_values(loc, lo, hi, bits_per_input)
+             for loc, (lo, hi) in zip(locs, ranges.values())]
+
+    worst = 0.0
+    counterexample: Optional[TestCase] = None
+    checked = 0
+    base = base_testcase_factory()
+    for assignment in itertools.product(*grids):
+        test = base
+        for loc, bits in zip(locs, assignment):
+            test = test.replace(loc, bits)
+        checked += 1
+        t_out, t_sig = runner.run(prepared_t, test)
+        r_out, r_sig = runner.run(prepared_r, test)
+        if t_sig is not None or r_sig is not None:
+            if t_sig != r_sig:
+                worst = float("inf")
+                if counterexample is None:
+                    counterexample = test
+            continue
+        err = 0.0
+        for loc in runner.live_outs:
+            err += location_ulp_distance(loc, r_out[loc], t_out[loc])
+        if err > worst:
+            worst = err
+        if err > max_ulps and counterexample is None:
+            counterexample = test
+    return ExhaustiveResult(max_ulps=worst, cases_checked=checked,
+                            counterexample=counterexample)

@@ -1,0 +1,663 @@
+"""Interval abstract interpretation with outward rounding.
+
+A sound but coarse static analysis in the spirit of the range-based
+abstract interpreters the paper compares against (Section 6.3): each
+floating-point value is tracked as a closed interval with endpoints
+rounded outward one ULP after every operation, and a ULP error bound
+between target and rewrite is derived from the output intervals (refined
+by adaptive subdivision of the input box).
+
+As in the paper, the analysis *cannot* handle bit-level operations on
+non-constant data — running it on the libimf kernels raises
+:class:`IntervalUnsupported`, while the pure-FP aek camera-perturbation
+kernel analyzes fine but yields a bound orders of magnitude above the one
+MCMC validation finds (1363.5 vs 5 ULPs in the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.fp.ulp import ulp_distance, ulp_distance_single
+from repro.x86.locations import Loc, MemLoc
+from repro.x86.memory import Memory
+from repro.x86.operands import Imm, Mem, Reg32, Reg64, Xmm
+from repro.x86.program import Program
+from repro.x86.registers import XMM_INDEX
+from repro.x86.scalar import u2d, u2f
+
+from repro.core.runner import Location, resolve_locations
+
+
+class IntervalUnsupported(Exception):
+    """The program is outside the interval analysis' reach."""
+
+
+TOP = "top"
+
+
+@dataclass(frozen=True)
+class IntervalD:
+    """A closed interval of doubles."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self):
+        if math.isnan(self.lo) or math.isnan(self.hi) or self.lo > self.hi:
+            raise IntervalUnsupported(f"bad interval [{self.lo}, {self.hi}]")
+
+    @classmethod
+    def point(cls, x: float) -> "IntervalD":
+        return cls(x, x)
+
+
+def _down(x: float) -> float:
+    return x if math.isinf(x) else math.nextafter(x, -math.inf)
+
+
+def _up(x: float) -> float:
+    return x if math.isinf(x) else math.nextafter(x, math.inf)
+
+
+def _down32(x: float) -> float:
+    f = np.float32(x)
+    return float(np.nextafter(f, np.float32(-np.inf))) if np.isfinite(f) \
+        else float(f)
+
+
+def _up32(x: float) -> float:
+    f = np.float32(x)
+    return float(np.nextafter(f, np.float32(np.inf))) if np.isfinite(f) \
+        else float(f)
+
+
+class _Arith:
+    """Directed-rounding interval arithmetic, parameterized by precision."""
+
+    def __init__(self, single: bool):
+        self.round_down = _down32 if single else _down
+        self.round_up = _up32 if single else _up
+
+    def add(self, a: IntervalD, b: IntervalD) -> IntervalD:
+        return IntervalD(self.round_down(a.lo + b.lo),
+                         self.round_up(a.hi + b.hi))
+
+    def sub(self, a: IntervalD, b: IntervalD) -> IntervalD:
+        return IntervalD(self.round_down(a.lo - b.hi),
+                         self.round_up(a.hi - b.lo))
+
+    def mul(self, a: IntervalD, b: IntervalD) -> IntervalD:
+        products = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi]
+        products = [0.0 if math.isnan(p) else p for p in products]
+        return IntervalD(self.round_down(min(products)),
+                         self.round_up(max(products)))
+
+    def div(self, a: IntervalD, b: IntervalD) -> IntervalD:
+        if b.lo <= 0.0 <= b.hi:
+            return IntervalD(-math.inf, math.inf)
+        quotients = [a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi]
+        return IntervalD(self.round_down(min(quotients)),
+                         self.round_up(max(quotients)))
+
+    def sqrt(self, a: IntervalD) -> IntervalD:
+        if a.lo < 0.0:
+            raise IntervalUnsupported("sqrt of possibly-negative interval")
+        return IntervalD(self.round_down(math.sqrt(a.lo)),
+                         self.round_up(math.sqrt(a.hi)))
+
+    def min(self, a: IntervalD, b: IntervalD) -> IntervalD:
+        return IntervalD(min(a.lo, b.lo), min(a.hi, b.hi))
+
+    def max(self, a: IntervalD, b: IntervalD) -> IntervalD:
+        return IntervalD(max(a.lo, b.lo), max(a.hi, b.hi))
+
+
+_ARITH_D = _Arith(single=False)
+_ARITH_F = _Arith(single=True)
+
+_OPS = {"add": "add", "sub": "sub", "mul": "mul", "div": "div",
+        "min": "min", "max": "max"}
+
+
+class _Half:
+    """One 64-bit XMM half: a double interval, two single-lane values,
+    concrete bits, or TOP."""
+
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value):
+        self.kind = kind  # 'f64' | 'f32pair' | 'bits' | 'top'
+        self.value = value
+
+    @classmethod
+    def top(cls) -> "_Half":
+        return cls("top", None)
+
+    @classmethod
+    def bits(cls, value: int) -> "_Half":
+        return cls("bits", value & 0xFFFFFFFFFFFFFFFF)
+
+    def as_f64(self) -> Union[IntervalD, str]:
+        if self.kind == "f64":
+            return self.value
+        if self.kind == "bits":
+            x = u2d(self.value)
+            if math.isnan(x):
+                raise IntervalUnsupported("NaN constant")
+            return IntervalD.point(x)
+        return TOP
+
+    def lane(self, index: int) -> Union[IntervalD, str]:
+        """Lane as a float32 interval (index 0 or 1)."""
+        if self.kind == "f32pair":
+            return self.value[index]
+        if self.kind == "bits":
+            x = u2f(self.value >> (32 * index))
+            if math.isnan(x):
+                raise IntervalUnsupported("NaN constant lane")
+            return IntervalD.point(x)
+        return TOP
+
+    def with_lane(self, index: int, lane_value) -> "_Half":
+        lanes = [self.lane(0), self.lane(1)]
+        lanes[index] = lane_value
+        return _Half("f32pair", tuple(lanes))
+
+
+class _IntervalState:
+    """Abstract machine state."""
+
+    def __init__(self, mem: Memory, concrete_gp: Dict[int, int],
+                 mem_inputs: Dict[Tuple[str, int], Tuple[str, IntervalD]]):
+        self.gp: List[Union[int, str]] = [TOP] * 16
+        for idx, value in concrete_gp.items():
+            self.gp[idx] = value
+        self.xmm: List[List[_Half]] = [
+            [_Half.top(), _Half.top()] for _ in range(16)
+        ]
+        self.mem = mem
+        # (segment, offset) -> ('f32'|'f64', interval)
+        self.mem_inputs = mem_inputs
+        self.mem_stores: Dict[int, Tuple[str, object]] = {}
+
+    def addr(self, m: Mem) -> int:
+        base = self.gp[m.base]
+        if base is TOP:
+            raise IntervalUnsupported("symbolic base address")
+        total = base + m.disp
+        if m.index is not None:
+            idx = self.gp[m.index]
+            if idx is TOP:
+                raise IntervalUnsupported("symbolic index register")
+            total += idx * m.scale
+        return total & 0xFFFFFFFFFFFFFFFF
+
+    def _mem_value(self, addr: int, size: int):
+        """('f64'|'f32', interval_or_TOP) or ('bits', int) at an address."""
+        if addr in self.mem_stores:
+            kind, value = self.mem_stores[addr]
+            return kind, value
+        seg = self.mem._find(addr, size)
+        off = addr - seg.base
+        if not seg.writable:
+            bits = int.from_bytes(seg.data[off:off + size], "little")
+            return "bits", bits
+        key = (seg.name, off)
+        if key in self.mem_inputs:
+            return self.mem_inputs[key]
+        return "top", None
+
+    def load_f64(self, addr: int) -> Union[IntervalD, str]:
+        kind, value = self._mem_value(addr, 8)
+        if kind == "f64":
+            return value
+        if kind == "bits":
+            x = u2d(value)
+            if math.isnan(x):
+                raise IntervalUnsupported("NaN in memory")
+            return IntervalD.point(x)
+        return TOP
+
+    def load_half64(self, addr: int) -> "_Half":
+        """An 8-byte load as an XMM half: a double, or two stored singles."""
+        if addr in self.mem_stores:
+            kind, value = self.mem_stores[addr]
+            if kind == "f64":
+                return _Half("f64", value)
+            if kind == "f32" and (addr + 4) in self.mem_stores:
+                kind2, value2 = self.mem_stores[addr + 4]
+                if kind2 == "f32":
+                    return _Half("f32pair", (value, value2))
+            raise IntervalUnsupported("mixed-width stack reload")
+        kind, value = self._mem_value(addr, 8)
+        if kind == "f64":
+            return _Half("f64", value)
+        if kind == "bits":
+            return _Half.bits(value)
+        # Fall back to two singles (e.g. a vector in an input segment).
+        return _Half("f32pair", (self.load_f32(addr), self.load_f32(addr + 4)))
+
+    def load_f32(self, addr: int) -> Union[IntervalD, str]:
+        kind, value = self._mem_value(addr, 4)
+        if kind == "f32":
+            return value
+        if kind == "bits":
+            x = u2f(value)
+            if math.isnan(x):
+                raise IntervalUnsupported("NaN in memory")
+            return IntervalD.point(x)
+        return TOP
+
+    # source-value readers used by the transfer functions ------------------
+
+    def src_f64(self, operand) -> Union[IntervalD, str]:
+        if isinstance(operand, Xmm):
+            return self.xmm[operand.index][0].as_f64()
+        if isinstance(operand, Mem):
+            return self.load_f64(self.addr(operand))
+        if isinstance(operand, Imm):
+            x = u2d(operand.value)
+            if math.isnan(x):
+                raise IntervalUnsupported("NaN immediate")
+            return IntervalD.point(x)
+        raise IntervalUnsupported(f"f64 source {operand!r}")
+
+    def src_f32(self, operand) -> Union[IntervalD, str]:
+        if isinstance(operand, Xmm):
+            return self.xmm[operand.index][0].lane(0)
+        if isinstance(operand, Mem):
+            return self.load_f32(self.addr(operand))
+        if isinstance(operand, Imm):
+            x = u2f(operand.value)
+            if math.isnan(x):
+                raise IntervalUnsupported("NaN immediate")
+            return IntervalD.point(x)
+        raise IntervalUnsupported(f"f32 source {operand!r}")
+
+    def src_lanes(self, operand) -> List[Union[IntervalD, str]]:
+        """Four float32 lanes of a 128-bit source."""
+        if isinstance(operand, Xmm):
+            halves = self.xmm[operand.index]
+            return [halves[0].lane(0), halves[0].lane(1),
+                    halves[1].lane(0), halves[1].lane(1)]
+        if isinstance(operand, Mem):
+            addr = self.addr(operand)
+            return [self.load_f32(addr + 4 * lane) for lane in range(4)]
+        raise IntervalUnsupported(f"128-bit source {operand!r}")
+
+    def src_halves_f64(self, operand) -> List[Union[IntervalD, str]]:
+        if isinstance(operand, Xmm):
+            return [h.as_f64() for h in self.xmm[operand.index]]
+        if isinstance(operand, Mem):
+            addr = self.addr(operand)
+            return [self.load_f64(addr), self.load_f64(addr + 8)]
+        raise IntervalUnsupported(f"128-bit source {operand!r}")
+
+
+def _apply(arith: _Arith, name: str, a, b):
+    if a is TOP or b is TOP:
+        return TOP
+    return getattr(arith, name)(a, b)
+
+
+def _exec_interval(state: _IntervalState, instr) -> None:
+    name = instr.opcode
+    ops = instr.operands
+    if name == "nop":
+        return
+
+    sd = {"addsd": "add", "subsd": "sub", "mulsd": "mul", "divsd": "div",
+          "minsd": "min", "maxsd": "max"}
+    if name in sd:
+        src = state.src_f64(ops[0])
+        dst = state.xmm[ops[1].index]
+        dst[0] = _Half("f64", _apply(_ARITH_D, sd[name], dst[0].as_f64(), src))
+        return
+    if name == "sqrtsd":
+        src = state.src_f64(ops[0])
+        value = TOP if src is TOP else _ARITH_D.sqrt(src)
+        state.xmm[ops[1].index][0] = _Half("f64", value)
+        return
+
+    ss = {"addss": "add", "subss": "sub", "mulss": "mul", "divss": "div",
+          "minss": "min", "maxss": "max"}
+    if name in ss:
+        src = state.src_f32(ops[0])
+        dst = state.xmm[ops[1].index]
+        result = _apply(_ARITH_F, ss[name], dst[0].lane(0), src)
+        dst[0] = dst[0].with_lane(0, result)
+        return
+    if name == "sqrtss":
+        src = state.src_f32(ops[0])
+        value = TOP if src is TOP else _ARITH_F.sqrt(src)
+        dst = state.xmm[ops[1].index]
+        dst[0] = dst[0].with_lane(0, value)
+        return
+
+    avx_sd = {"vaddsd": "add", "vsubsd": "sub", "vmulsd": "mul",
+              "vdivsd": "div", "vminsd": "min", "vmaxsd": "max"}
+    if name in avx_sd:
+        s1 = state.src_f64(ops[0])
+        s2 = state.xmm[ops[1].index]
+        result = _apply(_ARITH_D, avx_sd[name], s2[0].as_f64(), s1)
+        state.xmm[ops[2].index] = [_Half("f64", result), s2[1]]
+        return
+
+    avx_ss = {"vaddss": "add", "vsubss": "sub", "vmulss": "mul",
+              "vdivss": "div"}
+    if name in avx_ss:
+        s1 = state.src_f32(ops[0])
+        s2 = state.xmm[ops[1].index]
+        result = _apply(_ARITH_F, avx_ss[name], s2[0].lane(0), s1)
+        state.xmm[ops[2].index] = [s2[0].with_lane(0, result), s2[1]]
+        return
+
+    pd = {"addpd": "add", "subpd": "sub", "mulpd": "mul", "divpd": "div"}
+    if name in pd:
+        src = state.src_halves_f64(ops[0])
+        dst = state.xmm[ops[1].index]
+        for half in (0, 1):
+            dst[half] = _Half(
+                "f64", _apply(_ARITH_D, pd[name], dst[half].as_f64(),
+                              src[half]))
+        return
+
+    ps = {"addps": "add", "subps": "sub", "mulps": "mul", "divps": "div"}
+    if name in ps:
+        src = state.src_lanes(ops[0])
+        dst = state.xmm[ops[1].index]
+        lanes = [dst[0].lane(0), dst[0].lane(1), dst[1].lane(0),
+                 dst[1].lane(1)]
+        out = [_apply(_ARITH_F, ps[name], lanes[j], src[j]) for j in range(4)]
+        dst[0] = _Half("f32pair", (out[0], out[1]))
+        dst[1] = _Half("f32pair", (out[2], out[3]))
+        return
+
+    fma = {"vfmadd132sd": "132", "vfmadd213sd": "213", "vfmadd231sd": "231"}
+    if name in fma:
+        o1 = state.src_f64(ops[0])
+        o2 = state.xmm[ops[1].index][0].as_f64()
+        dst = state.xmm[ops[2].index]
+        d = dst[0].as_f64()
+        order = fma[name]
+        if order == "132":
+            prod, addend = _apply(_ARITH_D, "mul", d, o1), o2
+        elif order == "213":
+            prod, addend = _apply(_ARITH_D, "mul", o2, d), o1
+        else:
+            prod, addend = _apply(_ARITH_D, "mul", o2, o1), d
+        # A fused result is at least as accurate as the two-op interval.
+        dst[0] = _Half("f64", _apply(_ARITH_D, "add", prod, addend))
+        return
+
+    if name == "movsd":
+        src, dst = ops
+        if isinstance(dst, Mem):
+            value = state.xmm[src.index][0].as_f64()
+            state.mem_stores[state.addr(dst)] = ("f64", value)
+        elif isinstance(src, Mem):
+            state.xmm[dst.index] = [state.load_half64(state.addr(src)),
+                                    _Half.bits(0)]
+        else:
+            state.xmm[dst.index][0] = state.xmm[src.index][0]
+        return
+
+    if name == "movss":
+        src, dst = ops
+        if isinstance(dst, Mem):
+            value = state.xmm[src.index][0].lane(0)
+            state.mem_stores[state.addr(dst)] = ("f32", value)
+        elif isinstance(src, Mem):
+            value = state.load_f32(state.addr(src))
+            state.xmm[dst.index] = [
+                _Half("f32pair", (value, IntervalD.point(0.0))),
+                _Half.bits(0),
+            ]
+        else:
+            value = state.xmm[src.index][0].lane(0)
+            state.xmm[dst.index][0] = state.xmm[dst.index][0].with_lane(0, value)
+        return
+
+    if name in ("movapd", "movaps", "movdqa", "movups", "movdqu", "lddqu"):
+        src, dst = ops
+        if isinstance(dst, Mem):
+            raise IntervalUnsupported("128-bit store")
+        if isinstance(src, Mem):
+            lanes = state.src_lanes(src)
+            state.xmm[dst.index] = [_Half("f32pair", (lanes[0], lanes[1])),
+                                    _Half("f32pair", (lanes[2], lanes[3]))]
+        else:
+            state.xmm[dst.index] = [
+                state.xmm[src.index][0], state.xmm[src.index][1]
+            ]
+        return
+
+    if name == "movddup":
+        src = state.src_f64(ops[0])
+        state.xmm[ops[1].index] = [_Half("f64", src), _Half("f64", src)]
+        return
+
+    if name == "movq":
+        src, dst = ops
+        if isinstance(dst, Xmm) and isinstance(src, Imm):
+            state.xmm[dst.index] = [_Half.bits(src.value), _Half.bits(0)]
+            return
+        if isinstance(dst, Xmm) and isinstance(src, Mem):
+            state.xmm[dst.index] = [state.load_half64(state.addr(src)),
+                                    _Half.bits(0)]
+            return
+        if isinstance(dst, Mem) and isinstance(src, Xmm):
+            state.mem_stores[state.addr(dst)] = (
+                "f64", state.xmm[src.index][0].as_f64())
+            return
+        raise IntervalUnsupported("movq form outside the FP fragment")
+
+    if name == "movd":
+        src, dst = ops
+        if isinstance(dst, Xmm):
+            if isinstance(src, Imm):
+                bits = src.value & 0xFFFFFFFF
+            elif isinstance(src, (Reg32, Reg64)):
+                value = state.gp[src.index]
+                if value is TOP:
+                    raise IntervalUnsupported("movd from symbolic register")
+                bits = value & 0xFFFFFFFF
+            else:
+                raise IntervalUnsupported("movd from memory")
+            state.xmm[dst.index] = [_Half.bits(bits), _Half.bits(0)]
+            return
+        raise IntervalUnsupported("movd to GP register")
+
+    if name in ("mov", "movabs"):
+        src, dst = ops
+        if isinstance(dst, (Reg64, Reg32)) and isinstance(src, Imm):
+            mask = 0xFFFFFFFFFFFFFFFF if isinstance(dst, Reg64) else 0xFFFFFFFF
+            state.gp[dst.index] = src.value & mask
+            return
+        if isinstance(dst, (Reg64, Reg32)) and isinstance(src, (Reg64, Reg32)):
+            state.gp[dst.index] = state.gp[src.index]
+            return
+        raise IntervalUnsupported("mov form outside the FP fragment")
+
+    if name == "lea":
+        state.gp[ops[1].index] = state.addr(ops[0])
+        return
+
+    if name == "punpckldq":
+        src, dst = ops
+        s = state.src_lanes(src) if not isinstance(src, Mem) else \
+            state.src_lanes(src)
+        d = state.xmm[dst.index]
+        d0, d1 = d[0].lane(0), d[0].lane(1)
+        state.xmm[dst.index] = [_Half("f32pair", (d0, s[0])),
+                                _Half("f32pair", (d1, s[1]))]
+        return
+
+    if name == "unpcklpd":
+        src, dst = ops
+        lo = state.src_f64(src)
+        state.xmm[dst.index][1] = _Half("f64", lo)
+        return
+
+    if name == "unpckhpd":
+        src, dst = ops
+        halves = state.src_halves_f64(src)
+        d = state.xmm[dst.index]
+        state.xmm[dst.index] = [_Half("f64", d[1].as_f64()),
+                                _Half("f64", halves[1])]
+        return
+
+    if name == "cvtss2sd":
+        src = state.src_f32(ops[0])
+        state.xmm[ops[1].index][0] = _Half("f64", src)
+        return
+
+    if name == "cvtsd2ss":
+        src = state.src_f64(ops[0])
+        if src is TOP:
+            value = TOP
+        else:
+            value = IntervalD(_down32(src.lo), _up32(src.hi))
+        dst = state.xmm[ops[1].index]
+        dst[0] = dst[0].with_lane(0, value)
+        return
+
+    raise IntervalUnsupported(
+        f"opcode {name} outside the interval-analyzable fragment"
+    )
+
+
+def _run_interval(program: Program, mem: Memory,
+                  concrete_gp: Dict[int, int],
+                  mem_inputs, reg_inputs) -> _IntervalState:
+    state = _IntervalState(mem, concrete_gp, mem_inputs)
+    for loc, (kind, interval) in reg_inputs.items():
+        idx = XMM_INDEX[loc.reg]
+        if kind == "f64":
+            state.xmm[idx][loc.lane] = _Half("f64", interval)
+        else:
+            half = state.xmm[idx][loc.lane // 2]
+            state.xmm[idx][loc.lane // 2] = half.with_lane(loc.lane % 2,
+                                                           interval)
+    for instr in program.slots:
+        _exec_interval(state, instr)
+    return state
+
+
+def _read_output(state: _IntervalState, loc: Location):
+    if isinstance(loc, MemLoc):
+        seg = state.mem.segment(loc.segment)
+        addr = seg.base + loc.offset
+        kind, value = state.mem_stores.get(addr, (None, None))
+        if kind is None:
+            kind2, raw = state._mem_value(addr, loc.width // 8)
+            if kind2 == "bits":
+                x = u2d(raw) if loc.ftype == "f64" else u2f(raw)
+                return IntervalD.point(x)
+            return raw if raw is not None else TOP
+        return value
+    xmm = state.xmm[XMM_INDEX[loc.reg]]
+    if loc.ftype == "f64":
+        return xmm[loc.lane].as_f64()
+    return xmm[loc.lane // 2].lane(loc.lane % 2)
+
+
+def _interval_ulp_pair(loc: Location, a, b) -> float:
+    """Sound max ULP distance between any u in a and v in b."""
+    if a is TOP or b is TOP:
+        raise IntervalUnsupported(f"live-out {loc} is unbounded (TOP)")
+    dist = ulp_distance_single if loc.ftype == "f32" else ulp_distance
+    return float(max(dist(a.lo, b.hi), dist(a.hi, b.lo)))
+
+
+@dataclass
+class IntervalBound:
+    """Result of the static error-bound analysis."""
+
+    bound_ulps: float
+    boxes_explored: int
+    per_location: Dict[str, float]
+
+
+def interval_ulp_bound(
+    target: Program,
+    rewrite: Program,
+    live_outs: Sequence[Union[str, Location]],
+    ranges: Dict[Union[str, Location], Tuple[float, float]],
+    memory: Optional[Memory] = None,
+    concrete_gp: Optional[Dict[int, int]] = None,
+    max_boxes: int = 256,
+) -> IntervalBound:
+    """Sound ULP bound between two programs over an input box.
+
+    Adaptively subdivides the input ranges (splitting the box with the
+    worst bound along its widest dimension) until ``max_boxes`` boxes have
+    been analyzed; the returned bound is the max over leaf boxes.
+    """
+    locations = resolve_locations(live_outs)
+    mem = memory if memory is not None else Memory()
+    concrete_gp = dict(concrete_gp or {})
+
+    dims: List[Tuple[Union[Loc, MemLoc], str, float, float]] = []
+    for key, (lo, hi) in ranges.items():
+        loc = key if isinstance(key, (Loc, MemLoc)) else None
+        if loc is None:
+            from repro.x86.locations import parse_loc
+
+            loc = parse_loc(key)
+        dims.append((loc, loc.ftype, float(lo), float(hi)))
+
+    def analyze(box: Tuple[Tuple[float, float], ...]) -> Tuple[float, Dict[str, float]]:
+        mem_inputs = {}
+        reg_inputs = {}
+        for (loc, ftype, _, _), (lo, hi) in zip(dims, box):
+            interval = IntervalD(lo, hi)
+            if isinstance(loc, MemLoc):
+                mem_inputs[(loc.segment, loc.offset)] = (ftype, interval)
+            else:
+                reg_inputs[loc] = (ftype, interval)
+        t_state = _run_interval(target, mem.copy(), concrete_gp,
+                                mem_inputs, reg_inputs)
+        r_state = _run_interval(rewrite, mem.copy(), concrete_gp,
+                                mem_inputs, reg_inputs)
+        per_loc: Dict[str, float] = {}
+        worst = 0.0
+        for loc in locations:
+            t_out = _read_output(t_state, loc)
+            r_out = _read_output(r_state, loc)
+            bound = _interval_ulp_pair(loc, t_out, r_out)
+            per_loc[str(loc)] = bound
+            worst = max(worst, bound)
+        return worst, per_loc
+
+    initial_box = tuple((lo, hi) for (_, _, lo, hi) in dims)
+    bound, per_loc = analyze(initial_box)
+    # Max-heap keyed on negative bound.
+    counter = itertools.count()
+    heap = [(-bound, next(counter), initial_box)]
+    explored = 1
+    while heap and explored < max_boxes and dims:
+        neg_bound, _, box = heapq.heappop(heap)
+        widths = [hi - lo for lo, hi in box]
+        dim = widths.index(max(widths))
+        lo, hi = box[dim]
+        if hi - lo <= 0.0:
+            heapq.heappush(heap, (neg_bound, next(counter), box))
+            break
+        mid = (lo + hi) / 2.0
+        for half in ((lo, mid), (mid, hi)):
+            sub = tuple(half if i == dim else b for i, b in enumerate(box))
+            sub_bound, _ = analyze(sub)
+            heapq.heappush(heap, (-sub_bound, next(counter), sub))
+            explored += 1
+
+    final = -heap[0][0] if heap else bound
+    return IntervalBound(bound_ulps=final, boxes_explored=explored,
+                         per_location=per_loc)

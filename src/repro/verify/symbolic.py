@@ -1,0 +1,640 @@
+"""Symbolic execution over the x86 subset with uninterpreted FP operators.
+
+Floating-point instructions become uninterpreted operator nodes; moves,
+shuffles and unpacks become structural ``Extract``/``Concat`` operations
+that canonicalize away.  Two programs whose live-out expressions
+canonicalize identically are bit-wise equivalent for all inputs — the
+uninterpreted-function verification the paper applies to the aek vector
+kernels (Figure 6).
+
+The executor deliberately supports only the instruction subset this style
+of proof can handle; anything else raises :class:`SymbolicUnsupported`,
+which the UF checker reports as "unknown" (verification is sound but
+incomplete, Equation 12).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.x86.instruction import Instruction
+from repro.x86.memory import Memory
+from repro.x86.operands import Imm, Mem, Reg32, Reg64, Xmm
+from repro.x86.program import Program
+
+M32 = 0xFFFFFFFF
+M64 = 0xFFFFFFFFFFFFFFFF
+
+
+class SymbolicUnsupported(Exception):
+    """The program uses a construct the symbolic executor cannot model."""
+
+
+# ---------------------------------------------------------------------------
+# expression nodes
+
+
+class Node:
+    """Base class for expression DAG nodes; all nodes are immutable."""
+
+    __slots__ = ("width", "_key")
+
+    def __init__(self, width: int, key: tuple):
+        self.width = width
+        self._key = (type(self).__name__, width) + key
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Node) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+
+class Const(Node):
+    """A literal bit pattern."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, width: int):
+        value &= (1 << width) - 1
+        self.value = value
+        super().__init__(width, (value,))
+
+    def __repr__(self) -> str:
+        return f"0x{self.value:x}:{self.width}"
+
+
+class InputNode(Node):
+    """A live-in value (register slice or initial memory content)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, width: int):
+        self.name = name
+        super().__init__(width, (name,))
+
+    def __repr__(self) -> str:
+        return f"{self.name}:{self.width}"
+
+
+# FP / integer operators whose argument order does not matter bit-wise.
+_COMMUTATIVE = {
+    "addss", "mulss", "addsd", "mulsd", "fma_mul",
+    "and", "or", "xor",
+}
+
+
+class OpNode(Node):
+    """An uninterpreted operator application."""
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op: str, args: Tuple[Node, ...], width: int):
+        if op in _COMMUTATIVE:
+            args = tuple(sorted(args, key=lambda n: n._key))
+        self.op = op
+        self.args = args
+        super().__init__(width, (op,) + tuple(a._key for a in args))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.op}({inner})"
+
+
+class ExtractNode(Node):
+    """Bits ``[offset, offset + width)`` of a wider node."""
+
+    __slots__ = ("child", "offset")
+
+    def __init__(self, child: Node, offset: int, width: int):
+        self.child = child
+        self.offset = offset
+        super().__init__(width, (offset, child._key))
+
+    def __repr__(self) -> str:
+        return f"{self.child!r}[{self.offset}:{self.offset + self.width}]"
+
+
+class ConcatNode(Node):
+    """``hi << lo.width | lo`` of two nodes."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Node, hi: Node):
+        self.lo = lo
+        self.hi = hi
+        super().__init__(lo.width + hi.width, (lo._key, hi._key))
+
+    def __repr__(self) -> str:
+        return f"({self.hi!r} . {self.lo!r})"
+
+
+def extract(node: Node, offset: int, width: int) -> Node:
+    """Canonicalizing Extract constructor."""
+    if offset == 0 and width == node.width:
+        return node
+    if offset + width > node.width:
+        raise SymbolicUnsupported("extract out of range")
+    if isinstance(node, Const):
+        return Const(node.value >> offset, width)
+    if isinstance(node, ExtractNode):
+        return extract(node.child, node.offset + offset, width)
+    if isinstance(node, ConcatNode):
+        if offset + width <= node.lo.width:
+            return extract(node.lo, offset, width)
+        if offset >= node.lo.width:
+            return extract(node.hi, offset - node.lo.width, width)
+    return ExtractNode(node, offset, width)
+
+
+def concat(lo: Node, hi: Node) -> Node:
+    """Canonicalizing Concat constructor (merges adjacent extracts)."""
+    if isinstance(lo, Const) and isinstance(hi, Const):
+        return Const(lo.value | (hi.value << lo.width), lo.width + hi.width)
+    if (isinstance(lo, ExtractNode) and isinstance(hi, ExtractNode)
+            and lo.child is not None and lo.child == hi.child
+            and hi.offset == lo.offset + lo.width):
+        return extract(lo.child, lo.offset, lo.width + hi.width)
+    return ConcatNode(lo, hi)
+
+
+def op(name: str, *args: Node, width: int) -> Node:
+    """Uninterpreted operator with a couple of algebraic identities."""
+    if name == "xor" and len(args) == 2 and args[0] == args[1]:
+        return Const(0, width)
+    if name in ("and", "or") and len(args) == 2 and args[0] == args[1]:
+        return args[0]
+    return OpNode(name, args, width)
+
+
+# ---------------------------------------------------------------------------
+# symbolic machine state
+
+
+class _XmmValue:
+    """One XMM register: two 64-bit halves, each a node."""
+
+    __slots__ = ("halves",)
+
+    def __init__(self, halves: List[Node]):
+        self.halves = halves  # [lo64, hi64]
+
+    def copy(self) -> "_XmmValue":
+        return _XmmValue(list(self.halves))
+
+    def read64(self, half: int) -> Node:
+        return self.halves[half]
+
+    def write64(self, half: int, node: Node) -> None:
+        self.halves[half] = node
+
+    def read32(self, lane: int) -> Node:
+        return extract(self.halves[lane // 2], 32 * (lane % 2), 32)
+
+    def write32(self, lane: int, node: Node) -> None:
+        half = lane // 2
+        old = self.halves[half]
+        if lane % 2 == 0:
+            self.halves[half] = concat(node, extract(old, 32, 32))
+        else:
+            self.halves[half] = concat(extract(old, 0, 32), node)
+
+
+class SymbolicMemory:
+    """Byte-addressed symbolic memory over the concrete sandbox layout.
+
+    Reads from read-only segments yield constants; reads from writable
+    segments yield per-slot input nodes (or previously stored nodes).
+    Only aligned, non-overlapping accesses at concrete addresses are
+    supported.
+    """
+
+    def __init__(self, mem: Memory):
+        self.mem = mem
+        self.stores: Dict[Tuple[int, int], Node] = {}
+
+    def load(self, addr: int, size: int) -> Node:
+        if (addr, size) in self.stores:
+            return self.stores[(addr, size)]
+        for (base, ssize), node in self.stores.items():
+            if base <= addr and addr + size <= base + ssize:
+                # Partial load from within a store (e.g. movss after a
+                # movq stack spill).
+                return extract(node, 8 * (addr - base), 8 * size)
+        overlapping = [
+            (base, ssize) for (base, ssize) in self.stores
+            if addr < base + ssize and base < addr + size
+        ]
+        if overlapping:
+            # A load spanning several adjacent stores (movq over two
+            # movss spills) composes left to right.
+            cursor = addr
+            parts: List[Node] = []
+            while cursor < addr + size:
+                piece = self.stores.get((cursor, 4)) or self.stores.get(
+                    (cursor, 8))
+                if piece is None:
+                    raise SymbolicUnsupported("overlapping symbolic store/load")
+                parts.append(piece)
+                cursor += piece.width // 8
+            if cursor != addr + size:
+                raise SymbolicUnsupported("misaligned composite load")
+            node = parts[0]
+            for part in parts[1:]:
+                node = concat(node, part)
+            return node
+        seg = self.mem._find(addr, size)
+        if seg.writable:
+            return InputNode(f"{seg.name}+{addr - seg.base}", 8 * size)
+        off = addr - seg.base
+        bits = int.from_bytes(seg.data[off:off + size], "little")
+        return Const(bits, 8 * size)
+
+    def store(self, addr: int, size: int, node: Node) -> None:
+        for (base, ssize) in list(self.stores):
+            if (base, ssize) != (addr, size) and addr < base + ssize \
+                    and base < addr + size:
+                raise SymbolicUnsupported("overlapping symbolic stores")
+        self.stores[(addr, size)] = node
+
+
+class SymbolicState:
+    """Register file + memory holding expression nodes."""
+
+    def __init__(self, mem: Memory,
+                 concrete_gp: Optional[Dict[int, int]] = None):
+        self.gp: List[Node] = [InputNode(f"r{i}", 64) for i in range(16)]
+        if concrete_gp:
+            for idx, value in concrete_gp.items():
+                self.gp[idx] = Const(value, 64)
+        self.xmm: List[_XmmValue] = [
+            _XmmValue([InputNode(f"x{i}l", 64), InputNode(f"x{i}h", 64)])
+            for i in range(16)
+        ]
+        self.mem = SymbolicMemory(mem)
+
+    # -- operand access ---------------------------------------------------
+
+    def addr(self, m: Mem) -> int:
+        base = self.gp[m.base]
+        if not isinstance(base, Const):
+            raise SymbolicUnsupported(f"symbolic base address {base!r}")
+        total = base.value + m.disp
+        if m.index is not None:
+            idx = self.gp[m.index]
+            if not isinstance(idx, Const):
+                raise SymbolicUnsupported(f"symbolic index {idx!r}")
+            total += idx.value * m.scale
+        return total & M64
+
+    def read64(self, operand) -> Node:
+        if isinstance(operand, Xmm):
+            return self.xmm[operand.index].read64(0)
+        if isinstance(operand, Reg64):
+            return self.gp[operand.index]
+        if isinstance(operand, Imm):
+            return Const(operand.value, 64)
+        if isinstance(operand, Mem):
+            return self.mem.load(self.addr(operand), 8)
+        raise SymbolicUnsupported(f"read64 of {operand!r}")
+
+    def read32(self, operand) -> Node:
+        if isinstance(operand, Xmm):
+            return self.xmm[operand.index].read32(0)
+        if isinstance(operand, (Reg64, Reg32)):
+            return extract(self.gp[operand.index], 0, 32)
+        if isinstance(operand, Imm):
+            return Const(operand.value, 32)
+        if isinstance(operand, Mem):
+            return self.mem.load(self.addr(operand), 4)
+        raise SymbolicUnsupported(f"read32 of {operand!r}")
+
+    def read_lane(self, operand: Xmm, lane: int) -> Node:
+        return self.xmm[operand.index].read32(lane)
+
+
+# ---------------------------------------------------------------------------
+# instruction semantics (UF-checkable subset)
+
+
+def _exec_instr(state: SymbolicState, instr: Instruction) -> None:
+    name = instr.opcode
+    ops = instr.operands
+
+    if name == "nop":
+        return
+
+    # scalar double binops -> uninterpreted op on low halves
+    sd_binops = {"addsd": "addsd", "subsd": "subsd", "mulsd": "mulsd",
+                 "divsd": "divsd", "minsd": "minsd", "maxsd": "maxsd"}
+    if name in sd_binops:
+        src = state.read64(ops[0])
+        dst = state.xmm[ops[1].index]
+        dst.write64(0, op(sd_binops[name], dst.read64(0), src, width=64))
+        return
+    if name == "sqrtsd":
+        state.xmm[ops[1].index].write64(
+            0, op("sqrtsd", state.read64(ops[0]), width=64))
+        return
+
+    ss_binops = {"addss": "addss", "subss": "subss", "mulss": "mulss",
+                 "divss": "divss", "minss": "minss", "maxss": "maxss"}
+    if name in ss_binops:
+        src = state.read32(ops[0])
+        dst = state.xmm[ops[1].index]
+        dst.write32(0, op(ss_binops[name], dst.read32(0), src, width=32))
+        return
+    if name == "sqrtss":
+        state.xmm[ops[1].index].write32(
+            0, op("sqrtss", state.read32(ops[0]), width=32))
+        return
+
+    avx_sd = {"vaddsd": "addsd", "vsubsd": "subsd", "vmulsd": "mulsd",
+              "vdivsd": "divsd", "vminsd": "minsd", "vmaxsd": "maxsd"}
+    if name in avx_sd:
+        s1 = state.read64(ops[0])
+        s2 = state.xmm[ops[1].index]
+        dst = state.xmm[ops[2].index]
+        result = op(avx_sd[name], s2.read64(0), s1, width=64)
+        dst.write64(1, s2.read64(1))
+        dst.write64(0, result)
+        return
+
+    avx_ss = {"vaddss": "addss", "vsubss": "subss", "vmulss": "mulss",
+              "vdivss": "divss"}
+    if name in avx_ss:
+        s1 = state.read32(ops[0])
+        s2 = state.xmm[ops[1].index]
+        dst = state.xmm[ops[2].index]
+        result = op(avx_ss[name], s2.read32(0), s1, width=32)
+        new_lo = concat(result, s2.read32(1))
+        dst.write64(1, s2.read64(1))
+        dst.write64(0, new_lo)
+        return
+
+    # packed ops decompose lane-wise into the scalar operators, so packed
+    # and scalar computations of the same value canonicalize identically.
+    pd_binops = {"addpd": "addsd", "subpd": "subsd",
+                 "mulpd": "mulsd", "divpd": "divsd"}
+    if name in pd_binops:
+        if isinstance(ops[0], Mem):
+            addr = state.addr(ops[0])
+            src = [state.mem.load(addr, 8), state.mem.load(addr + 8, 8)]
+        else:
+            src = [state.xmm[ops[0].index].read64(h) for h in (0, 1)]
+        dst = state.xmm[ops[1].index]
+        for half in (0, 1):
+            dst.write64(half, op(pd_binops[name], dst.read64(half),
+                                 src[half], width=64))
+        return
+
+    ps_binops = {"addps": "addss", "subps": "subss",
+                 "mulps": "mulss", "divps": "divss"}
+    if name in ps_binops:
+        if isinstance(ops[0], Mem):
+            addr = state.addr(ops[0])
+            src = [state.mem.load(addr + 4 * lane, 4) for lane in range(4)]
+        else:
+            src = [state.xmm[ops[0].index].read32(lane) for lane in range(4)]
+        dst = state.xmm[ops[1].index]
+        for lane in range(4):
+            dst.write32(lane, op(ps_binops[name], dst.read32(lane),
+                                 src[lane], width=32))
+        return
+
+    bitwise = {"andpd": "and", "orpd": "or", "xorpd": "xor",
+               "andps": "and", "orps": "or", "xorps": "xor",
+               "pand": "and", "por": "or", "pxor": "xor"}
+    if name in bitwise:
+        if isinstance(ops[0], Mem):
+            addr = state.addr(ops[0])
+            src = [state.mem.load(addr, 8), state.mem.load(addr + 8, 8)]
+        else:
+            src = [state.xmm[ops[0].index].read64(h) for h in (0, 1)]
+        dst = state.xmm[ops[1].index]
+        for half in (0, 1):
+            dst.write64(half, op(bitwise[name], dst.read64(half),
+                                 src[half], width=64))
+        return
+
+    fma_sd = {"vfmadd132sd": "132", "vfmadd213sd": "213",
+              "vfmadd231sd": "231"}
+    if name in fma_sd:
+        o1 = state.read64(ops[0])
+        o2 = state.xmm[ops[1].index].read64(0)
+        dst = state.xmm[ops[2].index]
+        d = dst.read64(0)
+        order = fma_sd[name]
+        if order == "132":
+            args = (op("fma_mul", d, o1, width=64), o2)
+        elif order == "213":
+            args = (op("fma_mul", o2, d, width=64), o1)
+        else:
+            args = (op("fma_mul", o2, o1, width=64), d)
+        dst.write64(0, op("fma_add", *args, width=64))
+        return
+
+    # moves ---------------------------------------------------------------
+    if name == "movsd":
+        src, dst = ops
+        if isinstance(dst, Mem):
+            state.mem.store(state.addr(dst), 8,
+                            state.xmm[src.index].read64(0))
+        elif isinstance(src, Mem):
+            state.xmm[dst.index].write64(0, state.mem.load(state.addr(src), 8))
+            state.xmm[dst.index].write64(1, Const(0, 64))
+        else:
+            state.xmm[dst.index].write64(0, state.xmm[src.index].read64(0))
+        return
+
+    if name == "movss":
+        src, dst = ops
+        if isinstance(dst, Mem):
+            state.mem.store(state.addr(dst), 4,
+                            state.xmm[src.index].read32(0))
+        elif isinstance(src, Mem):
+            state.xmm[dst.index].write64(
+                0, concat(state.mem.load(state.addr(src), 4), Const(0, 32)))
+            state.xmm[dst.index].write64(1, Const(0, 64))
+        else:
+            state.xmm[dst.index].write32(0, state.xmm[src.index].read32(0))
+        return
+
+    if name in ("movapd", "movaps", "movdqa", "movups", "movdqu", "lddqu"):
+        src, dst = ops
+        if isinstance(dst, Mem):
+            addr = state.addr(dst)
+            state.mem.store(addr, 8, state.xmm[src.index].read64(0))
+            state.mem.store(addr + 8, 8, state.xmm[src.index].read64(1))
+        elif isinstance(src, Mem):
+            addr = state.addr(src)
+            state.xmm[dst.index].write64(0, state.mem.load(addr, 8))
+            state.xmm[dst.index].write64(1, state.mem.load(addr + 8, 8))
+        else:
+            for half in (0, 1):
+                state.xmm[dst.index].write64(
+                    half, state.xmm[src.index].read64(half))
+        return
+
+    if name == "movddup":
+        src = state.read64(ops[0])
+        state.xmm[ops[1].index].write64(0, src)
+        state.xmm[ops[1].index].write64(1, src)
+        return
+
+    if name == "movq":
+        src, dst = ops
+        if isinstance(dst, Xmm):
+            state.xmm[dst.index].write64(0, state.read64(src))
+            state.xmm[dst.index].write64(1, Const(0, 64))
+        elif isinstance(dst, Reg64):
+            state.gp[dst.index] = state.read64(src)
+        else:
+            state.mem.store(state.addr(dst), 8, state.read64(src))
+        return
+
+    if name == "movd":
+        src, dst = ops
+        if isinstance(dst, Xmm):
+            state.xmm[dst.index].write64(
+                0, concat(state.read32(src), Const(0, 32)))
+            state.xmm[dst.index].write64(1, Const(0, 64))
+        else:
+            state.gp[dst.index] = concat(state.read32(src), Const(0, 32))
+        return
+
+    if name in ("mov", "movabs"):
+        src, dst = ops
+        if isinstance(dst, Reg64):
+            state.gp[dst.index] = state.read64(src)
+        elif isinstance(dst, Reg32):
+            state.gp[dst.index] = concat(state.read32(src), Const(0, 32))
+        elif dst.size == 8:
+            state.mem.store(state.addr(dst), 8, state.read64(src))
+        else:
+            state.mem.store(state.addr(dst), 4, state.read32(src))
+        return
+
+    # shuffles / unpacks ----------------------------------------------------
+    if name == "unpcklpd":
+        src, dst = ops
+        lo = (state.mem.load(state.addr(src), 8) if isinstance(src, Mem)
+              else state.xmm[src.index].read64(0))
+        state.xmm[dst.index].write64(1, lo)
+        return
+
+    if name == "unpckhpd":
+        src, dst = ops
+        hi = (state.mem.load(state.addr(src) + 8, 8) if isinstance(src, Mem)
+              else state.xmm[src.index].read64(1))
+        d = state.xmm[dst.index]
+        d.write64(0, d.read64(1))
+        d.write64(1, hi)
+        return
+
+    if name == "punpckldq":
+        src, dst = ops
+        if isinstance(src, Mem):
+            addr = state.addr(src)
+            s = [state.mem.load(addr + 4 * lane, 4) for lane in range(4)]
+        else:
+            s = [state.xmm[src.index].read32(lane) for lane in range(4)]
+        d = state.xmm[dst.index]
+        d0, d1 = d.read32(0), d.read32(1)
+        d.write64(0, concat(d0, s[0]))
+        d.write64(1, concat(d1, s[1]))
+        return
+
+    if name in ("pshufd",):
+        imm = ops[0].value & 0xFF
+        src = ops[1]
+        if isinstance(src, Mem):
+            addr = state.addr(src)
+            lanes = [state.mem.load(addr + 4 * lane, 4) for lane in range(4)]
+        else:
+            lanes = [state.xmm[src.index].read32(lane) for lane in range(4)]
+        d = state.xmm[ops[2].index]
+        sel = [(imm >> (2 * j)) & 3 for j in range(4)]
+        d.write64(0, concat(lanes[sel[0]], lanes[sel[1]]))
+        d.write64(1, concat(lanes[sel[2]], lanes[sel[3]]))
+        return
+
+    if name in ("pshuflw", "vpshuflw"):
+        imm = ops[0].value & 0xFF
+        src = ops[1]
+        if isinstance(src, Mem):
+            addr = state.addr(src)
+            lo64 = state.mem.load(addr, 8)
+            hi64 = state.mem.load(addr + 8, 8)
+        else:
+            lo64 = state.xmm[src.index].read64(0)
+            hi64 = state.xmm[src.index].read64(1)
+        words = [extract(lo64, 16 * j, 16) for j in range(4)]
+        sel = [(imm >> (2 * j)) & 3 for j in range(4)]
+        new_lo = concat(concat(words[sel[0]], words[sel[1]]),
+                        concat(words[sel[2]], words[sel[3]]))
+        d = state.xmm[ops[2].index]
+        d.write64(0, new_lo)
+        d.write64(1, hi64)
+        return
+
+    # conversions as uninterpreted unary operators
+    conversions = {"cvtsd2ss": (64, 32), "cvtss2sd": (32, 64)}
+    if name in conversions:
+        in_w, out_w = conversions[name]
+        src = state.read64(ops[0]) if in_w == 64 else state.read32(ops[0])
+        dst = state.xmm[ops[1].index]
+        result = op(name, src, width=out_w)
+        if out_w == 64:
+            dst.write64(0, result)
+        else:
+            dst.write32(0, result)
+        return
+
+    if name == "lea":
+        state.gp[ops[1].index] = Const(state.addr(ops[0]), 64)
+        return
+
+    if name == "movlhps":
+        src, dst = ops
+        state.xmm[dst.index].write64(1, state.xmm[src.index].read64(0))
+        return
+
+    if name == "movhlps":
+        src, dst = ops
+        state.xmm[dst.index].write64(0, state.xmm[src.index].read64(1))
+        return
+
+    if name == "shufpd":
+        imm = ops[0].value
+        if isinstance(ops[1], Mem):
+            addr = state.addr(ops[1])
+            src_halves = [state.mem.load(addr, 8),
+                          state.mem.load(addr + 8, 8)]
+        else:
+            src_halves = [state.xmm[ops[1].index].read64(h) for h in (0, 1)]
+        d = state.xmm[ops[2].index]
+        new_lo = d.read64(1) if imm & 1 else d.read64(0)
+        new_hi = src_halves[1] if imm & 2 else src_halves[0]
+        d.write64(0, new_lo)
+        d.write64(1, new_hi)
+        return
+
+    if name == "roundsd":
+        imm = ops[0].value & 3
+        src = state.read64(ops[1])
+        state.xmm[ops[2].index].write64(
+            0, op(f"roundsd{imm}", src, width=64))
+        return
+
+    raise SymbolicUnsupported(f"opcode {name} not in the UF-checkable subset")
+
+
+def symbolic_execute(program: Program, mem: Memory,
+                     concrete_gp: Optional[Dict[int, int]] = None,
+                     ) -> SymbolicState:
+    """Run a program symbolically; raises on unsupported constructs."""
+    state = SymbolicState(mem, concrete_gp)
+    for instr in program.slots:
+        _exec_instr(state, instr)
+    return state

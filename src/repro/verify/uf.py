@@ -1,0 +1,101 @@
+"""Uninterpreted-function equivalence checking (the Figure 6 proof).
+
+Both programs are executed symbolically from the same initial state; if
+every live-out location's expression canonicalizes to the same DAG, the
+programs are bit-wise equivalent for all inputs (sound).  A mismatch or an
+unsupported construct yields ``UNKNOWN`` — the procedure is incomplete,
+as Equation 12 permits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.x86.locations import Loc, MemLoc
+from repro.x86.memory import Memory
+from repro.x86.program import Program
+from repro.x86.registers import GP64_INDEX, XMM_INDEX
+
+from repro.core.runner import Location, resolve_locations
+from repro.verify.symbolic import (
+    Node,
+    SymbolicState,
+    SymbolicUnsupported,
+    extract,
+    symbolic_execute,
+)
+
+
+class VerifyOutcome(enum.Enum):
+    """Result of a verification attempt."""
+
+    EQUIVALENT = "equivalent"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class UfResult:
+    """Outcome plus per-location detail for diagnostics."""
+
+    outcome: VerifyOutcome
+    detail: str = ""
+    expressions: Optional[Dict[str, Tuple[Node, Node]]] = None
+
+    @property
+    def proved(self) -> bool:
+        return self.outcome is VerifyOutcome.EQUIVALENT
+
+
+def _read_location(state: SymbolicState, loc: Location) -> Node:
+    if isinstance(loc, MemLoc):
+        seg = state.mem.mem.segment(loc.segment)
+        addr = seg.base + loc.offset
+        return state.mem.load(addr, loc.width // 8)
+    if loc.reg in XMM_INDEX:
+        xmm = state.xmm[XMM_INDEX[loc.reg]]
+        if loc.width == 64:
+            return xmm.read64(loc.lane)
+        return xmm.read32(loc.lane)
+    node = state.gp[GP64_INDEX[loc.reg]]
+    return node if loc.width == 64 else extract(node, 0, 32)
+
+
+def check_equivalent_uf(
+    target: Program,
+    rewrite: Program,
+    live_outs: Sequence[Union[str, Location]],
+    memory: Optional[Memory] = None,
+    concrete_gp: Optional[Dict[int, int]] = None,
+) -> UfResult:
+    """Attempt a bit-wise equivalence proof with FP ops uninterpreted.
+
+    ``memory`` provides the sandbox layout (constant tables become
+    constants; writable segments become symbolic inputs) and
+    ``concrete_gp`` pins pointer-valued registers to concrete sandbox
+    addresses, exactly as the test harness lays them out.
+    """
+    locations = resolve_locations(live_outs)
+    mem = memory if memory is not None else Memory()
+    try:
+        t_state = symbolic_execute(target, mem, concrete_gp)
+        r_state = symbolic_execute(rewrite, mem.copy(), concrete_gp)
+    except SymbolicUnsupported as exc:
+        return UfResult(VerifyOutcome.UNKNOWN, detail=str(exc))
+
+    expressions: Dict[str, Tuple[Node, Node]] = {}
+    for loc in locations:
+        try:
+            t_node = _read_location(t_state, loc)
+            r_node = _read_location(r_state, loc)
+        except SymbolicUnsupported as exc:
+            return UfResult(VerifyOutcome.UNKNOWN, detail=str(exc))
+        expressions[str(loc)] = (t_node, r_node)
+        if t_node != r_node:
+            return UfResult(
+                VerifyOutcome.UNKNOWN,
+                detail=f"{loc}: {t_node!r} vs {r_node!r}",
+                expressions=expressions,
+            )
+    return UfResult(VerifyOutcome.EQUIVALENT, expressions=expressions)

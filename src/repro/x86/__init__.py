@@ -1,0 +1,61 @@
+"""The x86-64 subset substrate: ISA, assembler, and two evaluator backends.
+
+Public surface::
+
+    from repro.x86 import assemble, Program, Instruction, UNUSED
+    from repro.x86 import Emulator, compile_program
+    from repro.x86 import MachineState, Memory, Segment, TestCase
+"""
+
+from repro.x86.assembler import AsmError, assemble, disassemble, parse_instruction
+from repro.x86.emulator import Emulator, Outcome
+from repro.x86.instruction import UNUSED, Instruction
+from repro.x86.jit import CompiledProgram, compile_program, generate_source
+from repro.x86.liveness import dead_code_eliminate, uses_and_defs
+from repro.x86.locations import Loc, MemLoc, parse_loc
+from repro.x86.memory import Memory, Segment
+from repro.x86.opcodes import OPCODES, OpcodeSpec, instruction_latency
+from repro.x86.operands import Imm, Kind, Mem, Reg32, Reg64, Xmm
+from repro.x86.program import Program
+from repro.x86.signals import SegFault, Signal, SignalError
+from repro.x86.state import MachineState
+from repro.x86.testcase import TestCase, decode_from, encode_for, uniform_testcases
+
+__all__ = [
+    "AsmError",
+    "assemble",
+    "disassemble",
+    "parse_instruction",
+    "Emulator",
+    "Outcome",
+    "UNUSED",
+    "Instruction",
+    "CompiledProgram",
+    "compile_program",
+    "generate_source",
+    "dead_code_eliminate",
+    "uses_and_defs",
+    "Loc",
+    "MemLoc",
+    "parse_loc",
+    "Memory",
+    "Segment",
+    "OPCODES",
+    "OpcodeSpec",
+    "instruction_latency",
+    "Imm",
+    "Kind",
+    "Mem",
+    "Reg32",
+    "Reg64",
+    "Xmm",
+    "Program",
+    "SegFault",
+    "Signal",
+    "SignalError",
+    "MachineState",
+    "TestCase",
+    "decode_from",
+    "encode_for",
+    "uniform_testcases",
+]

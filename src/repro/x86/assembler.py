@@ -1,0 +1,274 @@
+"""AT&T-syntax assembler for the x86-64 subset.
+
+Accepts the dialect the paper's listings use::
+
+    mulss 8(rdi), xmm1
+    vaddss xmm0, xmm2, xmm5
+    movl $0.5, eax          # 32-bit float immediate
+    movq $0x3ff0000000000000, xmm2   # pseudo: movabs+movq fused
+
+Conveniences:
+
+* ``%`` register prefixes are optional.
+* Floating-point immediates: ``$1.5d`` (double bits), ``$1.5f`` (single
+  bits), or a bare ``$1.5`` whose width is inferred from the destination.
+* Size-suffixed opcode aliases (``movl``, ``movq`` on GP operands,
+  ``addq`` …) resolve to the width-polymorphic opcodes in the registry.
+* Comments start with ``#``; blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.fp.ieee754 import double_to_bits, single_to_bits
+from repro.x86.instruction import Instruction
+from repro.x86.opcodes import OPCODES, spec_of
+from repro.x86.operands import Imm, Kind, Mem, Operand, Reg32, Reg64, Xmm
+from repro.x86.program import Program
+from repro.x86.registers import GP32_INDEX, GP64_INDEX, XMM_INDEX
+
+
+class AsmError(ValueError):
+    """Raised on any parse or operand-resolution failure."""
+
+
+@dataclass
+class _RawMem:
+    """A memory operand before its access size is known."""
+
+    base: int
+    disp: int
+    index: Optional[int]
+    scale: int
+
+
+@dataclass
+class _FloatImm:
+    """A float immediate before its width is known."""
+
+    value: float
+    explicit: Optional[str]  # 'd', 'f', or None
+
+
+_MEM_RE = re.compile(
+    r"^(?P<disp>-?(?:0x[0-9a-fA-F]+|\d+))?"
+    r"\((?P<base>%?\w+)"
+    r"(?:,(?P<index>%?\w+),(?P<scale>[1248]))?\)$"
+)
+
+_FLOAT_RE = re.compile(
+    r"^[-+]?(\d+\.\d*|\.\d+|\d+)([eE][-+]?\d+)?(?P<suffix>[df])?$"
+)
+
+# Opcodes whose suffixed forms appear in compiler output / the paper.
+_SUFFIXABLE = {
+    "mov", "add", "sub", "and", "or", "xor", "imul", "cmp", "test",
+    "not", "neg", "shl", "shr", "sar", "lea",
+}
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def _gp_index(name: str) -> Optional[Tuple[str, int]]:
+    name = name.lstrip("%")
+    if name in GP64_INDEX:
+        return "r64", GP64_INDEX[name]
+    if name in GP32_INDEX:
+        return "r32", GP32_INDEX[name]
+    if name in XMM_INDEX:
+        return "xmm", XMM_INDEX[name]
+    return None
+
+
+def _parse_operand(token: str):
+    token = token.strip()
+    if not token:
+        raise AsmError("empty operand")
+    if token.startswith("$"):
+        body = token[1:]
+        m = _FLOAT_RE.match(body)
+        if m and ("." in body or "e" in body.lower() or m.group("suffix")):
+            suffix = m.group("suffix")
+            literal = body[:-1] if suffix else body
+            return _FloatImm(float(literal), suffix)
+        try:
+            return Imm(_parse_int(body))
+        except ValueError as exc:
+            raise AsmError(f"bad immediate: {token!r}") from exc
+    m = _MEM_RE.match(token)
+    if m:
+        base = _gp_index(m.group("base"))
+        if base is None or base[0] != "r64":
+            raise AsmError(f"bad base register in {token!r}")
+        index = None
+        if m.group("index"):
+            idx = _gp_index(m.group("index"))
+            if idx is None or idx[0] != "r64":
+                raise AsmError(f"bad index register in {token!r}")
+            index = idx[1]
+        disp = _parse_int(m.group("disp")) if m.group("disp") else 0
+        scale = int(m.group("scale")) if m.group("scale") else 1
+        return _RawMem(base[1], disp, index, scale)
+    reg = _gp_index(token)
+    if reg is not None:
+        kind, idx = reg
+        if kind == "r64":
+            return Reg64(idx)
+        if kind == "r32":
+            return Reg32(idx)
+        return Xmm(idx)
+    # Bare float literal (paper style: "movl 0.5, eax").
+    m = _FLOAT_RE.match(token)
+    if m and ("." in token or m.group("suffix")):
+        suffix = m.group("suffix")
+        literal = token[:-1] if suffix else token
+        return _FloatImm(float(literal), suffix)
+    raise AsmError(f"cannot parse operand: {token!r}")
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas not inside parentheses."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def _mem_sizes_for(spec, slot_index: int, suffix_size: Optional[int],
+                   companions: List[Operand]) -> List[int]:
+    """Candidate sizes for a memory operand, most likely first."""
+    allowed = []
+    kinds = spec.slots[slot_index].kinds
+    for kind, size in ((Kind.M64, 8), (Kind.M32, 4), (Kind.M128, 16)):
+        if kind in kinds:
+            allowed.append(size)
+    if suffix_size in allowed:
+        allowed.remove(suffix_size)
+        allowed.insert(0, suffix_size)
+    for comp in companions:
+        hint = 8 if isinstance(comp, Reg64) else 4 if isinstance(comp, Reg32) else None
+        if hint in allowed:
+            allowed.remove(hint)
+            allowed.insert(0, hint)
+            break
+    return allowed
+
+
+def _float_imm_width(spec, raw_ops: List[object], suffix_size: Optional[int]) -> int:
+    """Infer the width (4 or 8 bytes) of an un-suffixed float immediate."""
+    if suffix_size in (4, 8):
+        return suffix_size
+    for op in raw_ops:
+        if isinstance(op, Reg32):
+            return 4
+        if isinstance(op, Reg64):
+            return 8
+    # XMM destination: default to double, the common case in our kernels.
+    return 8
+
+
+def parse_instruction(line: str) -> Instruction:
+    """Parse one assembly line into an :class:`Instruction`."""
+    line = line.split("#", 1)[0].strip()
+    if not line:
+        raise AsmError("empty line")
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    operand_text = parts[1] if len(parts) > 1 else ""
+    raw_ops = [_parse_operand(tok) for tok in _split_operands(operand_text)]
+
+    suffix_size: Optional[int] = None
+    name = mnemonic
+    if name not in OPCODES:
+        base, last = name[:-1], name[-1]
+        if base in _SUFFIXABLE and last in ("q", "l"):
+            name = base
+            suffix_size = 8 if last == "q" else 4
+        else:
+            raise AsmError(f"unknown opcode: {mnemonic!r}")
+    elif name == "movq" and not any(isinstance(op, Xmm) for op in raw_ops):
+        # "movq" over pure GP/mem operands is the GP move with a q suffix.
+        name, suffix_size = "mov", 8
+
+    spec = spec_of(name)
+    if len(raw_ops) != len(spec.slots):
+        raise AsmError(
+            f"{name} expects {len(spec.slots)} operands, got {len(raw_ops)}"
+        )
+
+    resolved: List[Operand] = []
+    for i, op in enumerate(raw_ops):
+        if isinstance(op, _FloatImm):
+            if op.explicit == "f":
+                width = 4
+            elif op.explicit == "d":
+                width = 8
+            else:
+                width = _float_imm_width(spec, raw_ops, suffix_size)
+            if width == 4:
+                bits = single_to_bits(op.value)
+                note = f"{op.value!r}f"
+            else:
+                bits = double_to_bits(op.value)
+                note = f"{op.value!r}d"
+            resolved.append(Imm(bits, note=note))
+        elif isinstance(op, _RawMem):
+            companions = [o for o in raw_ops if isinstance(o, (Reg64, Reg32))]
+            placed = None
+            for size in _mem_sizes_for(spec, i, suffix_size, companions):
+                candidate = Mem(size, op.base, op.disp, op.index, op.scale)
+                trial = resolved + [candidate] + raw_ops[i + 1 :]
+                if all(not isinstance(t, (_RawMem, _FloatImm)) for t in trial):
+                    if spec.accepts(tuple(trial)):
+                        placed = candidate
+                        break
+                else:
+                    placed = candidate
+                    break
+            if placed is None:
+                sizes = _mem_sizes_for(spec, i, suffix_size, companions)
+                if not sizes:
+                    raise AsmError(f"{name} does not take a memory operand here")
+                placed = Mem(sizes[0], op.base, op.disp, op.index, op.scale)
+            resolved.append(placed)
+        else:
+            resolved.append(op)
+
+    try:
+        return Instruction(name, tuple(resolved))
+    except ValueError as exc:
+        raise AsmError(f"{line!r}: {exc}") from exc
+
+
+def assemble(text: str, total_slots: int = 0) -> Program:
+    """Assemble multi-line text into a :class:`Program`."""
+    instructions = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].strip()
+        if not stripped:
+            continue
+        try:
+            instructions.append(parse_instruction(stripped))
+        except AsmError as exc:
+            raise AsmError(f"line {lineno}: {exc}") from exc
+    return Program.from_instructions(instructions, total_slots)
+
+
+def disassemble(program: Program, include_unused: bool = False) -> str:
+    """Render a program back to assembly text."""
+    return program.to_text(include_unused=include_unused)

@@ -1,0 +1,51 @@
+"""Instructions and the UNUSED token.
+
+A program in this system is a fixed-length sequence of slots, each holding
+either a real instruction or the UNUSED token (Section 2.2): proposing
+UNUSED deletes an instruction, replacing UNUSED inserts one.  UNUSED is
+modelled as the zero-latency ``nop`` opcode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.x86.opcodes import OpcodeSpec, instruction_latency, spec_of
+from repro.x86.operands import Operand
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """An opcode plus its operands, in AT&T order (sources first)."""
+
+    opcode: str
+    operands: Tuple[Operand, ...] = ()
+
+    def __post_init__(self) -> None:
+        spec = spec_of(self.opcode)
+        if not spec.accepts(self.operands):
+            rendered = ", ".join(str(op) for op in self.operands)
+            raise ValueError(
+                f"invalid operands for {self.opcode}: {rendered or '(none)'}"
+            )
+
+    @property
+    def spec(self) -> OpcodeSpec:
+        return spec_of(self.opcode)
+
+    @property
+    def is_unused(self) -> bool:
+        return self.opcode == "nop"
+
+    @property
+    def latency(self) -> int:
+        return instruction_latency(self.opcode, self.operands)
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return self.opcode
+        return f"{self.opcode} " + ", ".join(str(op) for op in self.operands)
+
+
+UNUSED = Instruction("nop", ())

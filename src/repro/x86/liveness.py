@@ -1,0 +1,94 @@
+"""Def/use analysis and dead-code elimination.
+
+Locations are tracked at register granularity (``"rax"``, ``"xmm3"``) plus
+two pseudo-locations: ``"flags"`` for the status flags and ``"mem"`` for
+any memory write.  Partial XMM writes (scalar SSE ops preserve bits the
+instruction does not define) conservatively count as uses of the
+destination, so dead-code elimination never removes an instruction whose
+preserved bits might matter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.x86.instruction import Instruction
+from repro.x86.operands import Mem, Reg32, Reg64, Xmm
+from repro.x86.program import Program
+from repro.x86.registers import GP64_NAMES, XMM_NAMES
+
+
+def uses_and_defs(instr: Instruction) -> Tuple[Set[str], Set[str]]:
+    """The (uses, defs) location sets of one instruction."""
+    uses: Set[str] = set()
+    defs: Set[str] = set()
+    spec = instr.spec
+    for op, sl in zip(instr.operands, spec.slots):
+        if isinstance(op, (Reg64, Reg32)):
+            name = GP64_NAMES[op.index]
+            if sl.read:
+                uses.add(name)
+            if sl.write:
+                defs.add(name)
+        elif isinstance(op, Xmm):
+            name = XMM_NAMES[op.index]
+            if sl.read:
+                uses.add(name)
+            if sl.write:
+                defs.add(name)
+                if spec.partial_dst:
+                    uses.add(name)
+        elif isinstance(op, Mem):
+            uses.add(GP64_NAMES[op.base])
+            if op.index is not None:
+                uses.add(GP64_NAMES[op.index])
+            if sl.read:
+                uses.add("mem")
+            if sl.write:
+                defs.add("mem")
+    if spec.reads_flags:
+        uses.add("flags")
+    if spec.writes_flags:
+        defs.add("flags")
+    return uses, defs
+
+
+def registers_referenced(program: Program) -> Tuple[Set[int], Set[int]]:
+    """GP and XMM register indices referenced anywhere in a program."""
+    gp: Set[int] = set()
+    xmm: Set[int] = set()
+    for instr in program:
+        for op in instr.operands:
+            if isinstance(op, (Reg64, Reg32)):
+                gp.add(op.index)
+            elif isinstance(op, Xmm):
+                xmm.add(op.index)
+            elif isinstance(op, Mem):
+                gp.add(op.base)
+                if op.index is not None:
+                    gp.add(op.index)
+    return gp, xmm
+
+
+def dead_code_eliminate(program: Program, live_out: Set[str]) -> Program:
+    """Remove instructions whose results are never observed.
+
+    ``live_out`` holds register names (``"xmm0"``) and optionally
+    ``"mem"``.  Slot positions are preserved by replacing dead
+    instructions with UNUSED so that search-internal bookkeeping remains
+    valid.
+    """
+    from repro.x86.instruction import UNUSED
+
+    live = set(live_out)
+    kept: List[Instruction] = [UNUSED] * len(program.slots)
+    for i in range(len(program.slots) - 1, -1, -1):
+        instr = program.slots[i]
+        if instr.is_unused:
+            continue
+        uses, defs = uses_and_defs(instr)
+        if defs & live or "mem" in defs and "mem" in live:
+            kept[i] = instr
+            live -= {d for d in defs if d != "mem"}
+            live |= uses
+    return Program(kept)

@@ -1,0 +1,141 @@
+"""Instruction operands: registers, immediates, and memory references.
+
+Operands print in AT&T syntax to match the listings in the paper
+(``mulss 8(rdi), xmm1``).  ``%``-prefixes are accepted by the assembler
+but not printed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.x86.registers import GP32_NAMES, GP64_NAMES, XMM_NAMES
+
+
+class Kind(enum.Enum):
+    """Operand kind, used to match operands against opcode signatures."""
+
+    R64 = "r64"
+    R32 = "r32"
+    XMM = "xmm"
+    IMM = "imm"
+    M32 = "m32"
+    M64 = "m64"
+    M128 = "m128"
+
+
+@dataclass(frozen=True)
+class Reg64:
+    """A 64-bit general-purpose register."""
+
+    index: int
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.R64
+
+    @property
+    def name(self) -> str:
+        return GP64_NAMES[self.index]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Reg32:
+    """A 32-bit general-purpose register view (writes zero-extend)."""
+
+    index: int
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.R32
+
+    @property
+    def name(self) -> str:
+        return GP32_NAMES[self.index]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Xmm:
+    """A 128-bit XMM register."""
+
+    index: int
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.XMM
+
+    @property
+    def name(self) -> str:
+        return XMM_NAMES[self.index]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate value, stored as a (possibly wide) unsigned integer.
+
+    Immediates that encode floating-point bit patterns keep an optional
+    ``note`` recording the literal the programmer wrote (e.g. ``1.5d``),
+    which round-trips through the assembler.
+    """
+
+    value: int
+    note: Optional[str] = None
+
+    @property
+    def kind(self) -> Kind:
+        return Kind.IMM
+
+    def __str__(self) -> str:
+        if self.note is not None:
+            return f"${self.note}"
+        if -4096 < self.value < 4096:
+            return f"${self.value}"
+        return f"$0x{self.value:x}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory reference ``disp(base, index, scale)`` of 4, 8 or 16 bytes."""
+
+    size: int
+    base: int  # GP64 register index
+    disp: int = 0
+    index: Optional[int] = None  # GP64 register index
+    scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size not in (4, 8, 16):
+            raise ValueError(f"unsupported memory operand size: {self.size}")
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported scale: {self.scale}")
+
+    @property
+    def kind(self) -> Kind:
+        return {4: Kind.M32, 8: Kind.M64, 16: Kind.M128}[self.size]
+
+    def __str__(self) -> str:
+        disp = str(self.disp) if self.disp else ""
+        if self.index is None:
+            return f"{disp}({GP64_NAMES[self.base]})"
+        return f"{disp}({GP64_NAMES[self.base]},{GP64_NAMES[self.index]},{self.scale})"
+
+
+Operand = Union[Reg64, Reg32, Xmm, Imm, Mem]
+
+MEM_KINDS = frozenset({Kind.M32, Kind.M64, Kind.M128})
+
+
+def is_memory(op: Operand) -> bool:
+    """True if the operand references memory."""
+    return isinstance(op, Mem)

@@ -1,0 +1,40 @@
+"""Register model for the x86-64 subset.
+
+Sixteen 64-bit general-purpose registers (with 32-bit views, written with
+zero-extension per x86-64 semantics) and sixteen 128-bit XMM registers.
+"""
+
+from __future__ import annotations
+
+GP64_NAMES = (
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+GP32_NAMES = (
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+    "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+)
+
+XMM_NAMES = tuple(f"xmm{i}" for i in range(16))
+
+GP64_INDEX = {name: i for i, name in enumerate(GP64_NAMES)}
+GP32_INDEX = {name: i for i, name in enumerate(GP32_NAMES)}
+XMM_INDEX = {name: i for i, name in enumerate(XMM_NAMES)}
+
+FLAG_NAMES = ("zf", "cf", "sf", "of", "pf")
+
+
+def is_gp64(name: str) -> bool:
+    """True if ``name`` is a 64-bit general-purpose register."""
+    return name in GP64_INDEX
+
+
+def is_gp32(name: str) -> bool:
+    """True if ``name`` is a 32-bit general-purpose register view."""
+    return name in GP32_INDEX
+
+
+def is_xmm(name: str) -> bool:
+    """True if ``name`` is an XMM register."""
+    return name in XMM_INDEX

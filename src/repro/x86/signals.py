@@ -1,0 +1,37 @@
+"""Signal model for the sandboxed evaluator.
+
+The paper's cost function (Equation 9) penalizes rewrites whose execution
+raises a signal the target does not.  In our subset the only trappable
+events are memory-sandbox violations (SIGSEGV) and the execution of an
+instruction outside the supported set (SIGILL); x86 floating-point
+arithmetic is non-trapping by default and produces infinities and NaNs
+instead.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Signal(enum.Enum):
+    """The signals an execution can raise."""
+
+    SIGSEGV = "SIGSEGV"
+    SIGFPE = "SIGFPE"
+    SIGILL = "SIGILL"
+
+
+class SignalError(Exception):
+    """Raised inside the evaluator when a program triggers a signal."""
+
+    def __init__(self, signal: Signal, detail: str = ""):
+        super().__init__(f"{signal.value}: {detail}" if detail else signal.value)
+        self.signal = signal
+        self.detail = detail
+
+
+class SegFault(SignalError):
+    """A memory access outside the sandbox's mapped segments."""
+
+    def __init__(self, detail: str = ""):
+        super().__init__(Signal.SIGSEGV, detail)

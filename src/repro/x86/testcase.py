@@ -1,0 +1,114 @@
+"""Test cases: maps from live-in hardware locations to values.
+
+A test case (Section 2.2) assigns a raw bit pattern to each live-in
+location and provides the initial memory image (the sandbox segments).
+Building a :class:`~repro.x86.state.MachineState` from a test case copies
+only writable segments, so large read-only constant tables are shared
+across the millions of executions a search performs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.fp.ieee754 import double_to_bits, single_to_bits
+from repro.x86.locations import Loc, MemLoc, parse_loc
+from repro.x86.memory import Memory, Segment
+from repro.x86.state import MachineState
+
+LocLike = Union[str, Loc, MemLoc]
+
+
+def _as_loc(loc: LocLike):
+    return loc if isinstance(loc, (Loc, MemLoc)) else parse_loc(loc)
+
+
+class TestCase:
+    """Live-in values plus the initial memory image."""
+
+    __test__ = False  # not a pytest test class, despite the name
+    __slots__ = ("inputs", "segments", "_template")
+
+    def __init__(self, inputs: Dict[LocLike, int],
+                 segments: Sequence[Segment] = ()):
+        self.inputs: Dict[Loc, int] = {_as_loc(k): v for k, v in inputs.items()}
+        self.segments: Tuple[Segment, ...] = tuple(segments)
+        self._template: Optional[MachineState] = None
+
+    @classmethod
+    def from_values(cls, values: Dict[LocLike, float],
+                    segments: Sequence[Segment] = ()) -> "TestCase":
+        """Build from Python numbers, encoding by each location's type."""
+        inputs: Dict[Loc, int] = {}
+        for key, value in values.items():
+            loc = _as_loc(key)
+            inputs[loc] = encode_for(loc, value)
+        return cls(inputs, segments)
+
+    def build_state(self) -> MachineState:
+        """A fresh machine state initialized from this test case."""
+        if self._template is None:
+            mem = Memory(seg.copy() if seg.writable else seg
+                         for seg in self.segments)
+            state = MachineState(mem)
+            for loc, bits in self.inputs.items():
+                loc.write(state, bits)
+            self._template = state
+        return self._template.copy()
+
+    def value_of(self, loc: LocLike) -> int:
+        return self.inputs[_as_loc(loc)]
+
+    def replace(self, loc: LocLike, bits: int) -> "TestCase":
+        """A copy with one live-in changed."""
+        inputs = dict(self.inputs)
+        inputs[_as_loc(loc)] = bits
+        return TestCase(inputs, self.segments)
+
+    def __repr__(self) -> str:
+        ins = ", ".join(f"{loc}=0x{bits:x}" for loc, bits in self.inputs.items())
+        return f"TestCase({ins})"
+
+
+def encode_for(loc: Loc, value: float) -> int:
+    """Encode a Python number as raw bits for a location's type."""
+    if loc.ftype == "f64":
+        return double_to_bits(float(value))
+    if loc.ftype == "f32":
+        return single_to_bits(float(value))
+    width_mask = (1 << loc.width) - 1
+    return int(value) & width_mask
+
+
+def decode_from(loc: Loc, bits: int):
+    """Decode a location's raw bits back to a Python number."""
+    from repro.fp.ieee754 import bits_to_double, bits_to_single
+
+    if loc.ftype == "f64":
+        return bits_to_double(bits)
+    if loc.ftype == "f32":
+        return bits_to_single(bits)
+    return bits
+
+
+def uniform_testcases(
+    rng: random.Random,
+    count: int,
+    ranges: Dict[LocLike, Tuple[float, float]],
+    segments_factory: Optional[Callable[[], Sequence[Segment]]] = None,
+) -> List[TestCase]:
+    """Draw test cases with each live-in uniform over its value range.
+
+    The ranges play the role of the user-specified ``[l_min, l_max]``
+    bounds of Equation 16: they both restrict the optimization to the
+    inputs the user cares about and keep pointer-valued inputs inside the
+    sandbox.
+    """
+    resolved = {_as_loc(k): v for k, v in ranges.items()}
+    cases = []
+    for _ in range(count):
+        values = {loc: rng.uniform(lo, hi) for loc, (lo, hi) in resolved.items()}
+        segments = segments_factory() if segments_factory else ()
+        cases.append(TestCase.from_values(values, segments))
+    return cases

@@ -1,0 +1,113 @@
+"""Shared fixtures and generators for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.x86.assembler import assemble
+from repro.x86.instruction import Instruction
+from repro.x86.memory import Segment
+from repro.x86.operands import Imm, Mem, Reg32, Reg64, Xmm
+from repro.x86.program import Program
+from repro.x86.testcase import TestCase
+
+# A scratch segment layout used by randomized program tests: rbx points at
+# a writable 64-byte segment, rbp at a read-only table.
+SCRATCH_BASE = 0x4000
+TABLE_BASE = 0x5000
+
+
+def scratch_segments():
+    rng = random.Random(99)
+    table = bytes(rng.getrandbits(8) for _ in range(64))
+    return [
+        Segment("scratch", SCRATCH_BASE, bytes(64), writable=True),
+        Segment("table", TABLE_BASE, table, writable=False),
+    ]
+
+
+def base_testcase(seed: int = 0) -> TestCase:
+    """Random register state with valid pointers for memory operands."""
+    rng = random.Random(seed)
+    inputs = {}
+    for i in range(4):  # xmm0-xmm3 as fully arbitrary 64-bit patterns
+        inputs[f"xmm{i}"] = rng.getrandbits(64)
+        inputs[f"xmm{i}:hd"] = rng.getrandbits(64)
+    inputs["rax"] = rng.getrandbits(64)
+    inputs["rcx"] = rng.getrandbits(64)
+    inputs["rdx"] = rng.getrandbits(64)
+    inputs["rbx"] = SCRATCH_BASE
+    inputs["rbp"] = TABLE_BASE
+    return TestCase(inputs, scratch_segments())
+
+
+# Operand pools for random program generation.  Memory operands always use
+# rbx/rbp bases with in-bounds displacements, so programs may store/load
+# but never (necessarily) fault; fault agreement is tested separately.
+_XMM_POOL = [Xmm(i) for i in range(4)]
+_R64_POOL = [Reg64(0), Reg64(1), Reg64(2)]  # rax, rcx, rdx
+_R32_POOL = [Reg32(0), Reg32(1), Reg32(2)]
+_IMM_POOL = [Imm(v) for v in (0, 1, 2, 5, 12, 52, 63, 0x3FF,
+                              0x3FF0000000000000, 0xFFFFFFFFFFFFFFFF)]
+_MEM64_POOL = [Mem(8, 3, d) for d in (0, 8, 16, 24)] + [Mem(8, 5, d) for d in (0, 8, 16)]
+_MEM32_POOL = [Mem(4, 3, d) for d in (0, 4, 8, 28)] + [Mem(4, 5, d) for d in (0, 4)]
+_MEM128_POOL = [Mem(16, 3, 0), Mem(16, 3, 16), Mem(16, 5, 0)]
+
+
+def _pool_for(kind):
+    from repro.x86.operands import Kind
+
+    return {
+        Kind.XMM: _XMM_POOL,
+        Kind.R64: _R64_POOL,
+        Kind.R32: _R32_POOL,
+        Kind.IMM: _IMM_POOL,
+        Kind.M64: _MEM64_POOL,
+        Kind.M32: _MEM32_POOL,
+        Kind.M128: _MEM128_POOL,
+    }[kind]
+
+
+def random_instruction(rng: random.Random,
+                       opcode_names=None) -> Instruction:
+    """A random valid instruction over the test pools."""
+    from repro.x86.opcodes import OPCODES
+
+    names = opcode_names or [n for n, s in OPCODES.items()
+                             if s.flavor != "nop"]
+    while True:
+        name = rng.choice(names)
+        spec = OPCODES[name]
+        operands = []
+        for sl in spec.slots:
+            kind = rng.choice(sorted(sl.kinds, key=lambda k: k.value))
+            operands.append(rng.choice(_pool_for(kind)))
+        if spec.accepts(tuple(operands)):
+            return Instruction(name, tuple(operands))
+
+
+def random_program(seed: int, length: int,
+                   opcode_names=None) -> Program:
+    rng = random.Random(seed)
+    return Program([random_instruction(rng, opcode_names)
+                    for _ in range(length)])
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+@pytest.fixture
+def tiny_target():
+    """A small optimizable kernel shared by search tests."""
+    return assemble("""
+        movq $2.0d, xmm1
+        mulsd xmm1, xmm0
+        movq $0.5d, xmm2
+        mulsd xmm2, xmm0
+        addsd xmm0, xmm0
+        addsd xmm0, xmm0
+    """)

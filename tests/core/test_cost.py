@@ -1,0 +1,167 @@
+"""Tests for the cost function (Equations 9-11, Section 5.2)."""
+
+import math
+import random
+
+import pytest
+
+from repro.fp.ieee754 import double_to_bits
+from repro.x86.assembler import assemble
+from repro.x86.locations import MemLoc, parse_loc
+from repro.x86.testcase import TestCase, uniform_testcases
+
+from repro.core.cost import CostConfig, CostFunction, location_ulp_distance
+
+
+def make_cost(target_asm, eta=0.0, k=1.0, **kwargs):
+    target = assemble(target_asm)
+    tests = uniform_testcases(random.Random(0), 16, {"xmm0": (-10.0, 10.0)})
+    return CostFunction(target, tests, ["xmm0"],
+                        CostConfig(eta=eta, k=k, **kwargs))
+
+
+class TestConfigValidation:
+    def test_rejects_bad_reduction(self):
+        with pytest.raises(ValueError):
+            CostConfig(reduction="mean")
+
+    def test_rejects_bad_compress(self):
+        with pytest.raises(ValueError):
+            CostConfig(compress="sqrt")
+
+    def test_rejects_negative_eta(self):
+        with pytest.raises(ValueError):
+            CostConfig(eta=-1.0)
+
+
+class TestEquivalenceTerm:
+    def test_identical_program_costs_only_perf(self):
+        cost = make_cost("addsd xmm0, xmm0")
+        result = cost(cost.target)
+        assert result.eq == 0.0
+        assert result.correct
+        assert result.perf > 0.0
+
+    def test_semantically_equal_rewrite_is_correct(self):
+        cost = make_cost("addsd xmm0, xmm0")
+        rewrite = assemble("movq $2.0d, xmm1\nmulsd xmm1, xmm0")
+        assert cost(rewrite).correct
+
+    def test_wrong_rewrite_has_positive_eq(self):
+        cost = make_cost("addsd xmm0, xmm0")
+        wrong = assemble("mulsd xmm0, xmm0")
+        assert cost(wrong).eq > 0.0
+
+    def test_eta_floor_forgives_small_errors(self):
+        # x*2 via addsd vs a slightly perturbed constant multiply.
+        cost_strict = make_cost("addsd xmm0, xmm0", eta=0.0)
+        near2 = math.nextafter(2.0, 3.0)
+        rewrite = assemble(f"movq $0x{double_to_bits(near2):x}, xmm1\n"
+                           "mulsd xmm1, xmm0")
+        assert cost_strict(rewrite).eq > 0.0
+        cost_loose = make_cost("addsd xmm0, xmm0", eta=16.0)
+        assert cost_loose(rewrite).eq == 0.0
+
+    def test_signal_penalty(self):
+        cost = make_cost("addsd xmm0, xmm0")
+        faulting = assemble("movsd (rax), xmm0")
+        result = cost(faulting)
+        assert result.signalled
+        assert result.eq == cost.config.ws
+
+    def test_k_zero_is_synthesis_mode(self):
+        cost = make_cost("addsd xmm0, xmm0", k=0.0)
+        result = cost(cost.target)
+        assert result.perf == 0.0
+        assert result.total == result.eq
+
+
+class TestReduction:
+    def test_max_vs_sum(self):
+        target = assemble("addsd xmm0, xmm0")
+        tests = uniform_testcases(random.Random(0), 8,
+                                  {"xmm0": (-10.0, 10.0)})
+        wrong = assemble("mulsd xmm0, xmm0")
+        cfg_max = CostConfig(reduction="max", k=0.0)
+        cfg_sum = CostConfig(reduction="sum", k=0.0)
+        eq_max = CostFunction(target, tests, ["xmm0"], cfg_max)(wrong).eq
+        eq_sum = CostFunction(target, tests, ["xmm0"], cfg_sum)(wrong).eq
+        assert eq_sum > eq_max  # sum accumulates over test cases
+
+    def test_max_bounded_by_worst_case(self):
+        # Section 5.2 rationale: with max-reduction the correctness cost
+        # cannot grow with the number of test cases.
+        target = assemble("addsd xmm0, xmm0")
+        wrong = assemble("mulsd xmm0, xmm0")
+        costs = []
+        for n in (4, 64):
+            tests = uniform_testcases(random.Random(0), n,
+                                      {"xmm0": (1.0, 10.0)})
+            cfg = CostConfig(reduction="max", k=0.0, compress="none")
+            costs.append(CostFunction(target, tests, ["xmm0"], cfg)(wrong).eq)
+        assert costs[1] <= costs[0] * 4  # same order of magnitude
+
+
+class TestCompression:
+    def test_log2_compression(self):
+        target = assemble("addsd xmm0, xmm0")
+        tests = uniform_testcases(random.Random(0), 4, {"xmm0": (1.0, 2.0)})
+        wrong = assemble("mulsd xmm0, xmm0")
+        raw = CostFunction(target, tests, ["xmm0"],
+                           CostConfig(k=0.0, compress="none"))(wrong).eq
+        compressed = CostFunction(target, tests, ["xmm0"],
+                                  CostConfig(k=0.0, compress="log2"))(wrong).eq
+        assert compressed == pytest.approx(math.log2(1.0 + raw))
+
+
+class TestLocationDistance:
+    def test_f64_is_ulps(self):
+        a = double_to_bits(1.0)
+        b = double_to_bits(math.nextafter(1.0, 2.0))
+        assert location_ulp_distance(parse_loc("xmm0"), a, b) == 1.0
+
+    def test_integer_is_hamming(self):
+        loc = parse_loc("rax")
+        assert location_ulp_distance(loc, 0b1011, 0b0010) == 2.0
+
+    def test_memloc_f32(self):
+        loc = MemLoc("seg", 0, "f32")
+        assert location_ulp_distance(loc, 0x3F800000, 0x3F800002) == 2.0
+
+
+class TestMemoryLiveOuts:
+    def test_memory_output_compared(self):
+        target = assemble("movsd xmm0, (rax)")
+        segments = lambda: [  # noqa: E731
+            __import__("repro.x86.memory", fromlist=["Segment"]).Segment(
+                "out", 0x100, bytes(8))
+        ]
+        tests = uniform_testcases(random.Random(0), 4,
+                                  {"xmm0": (-2.0, 2.0)},
+                                  segments_factory=segments)
+        tests = [tc.replace("rax", 0x100) for tc in tests]
+        out_loc = MemLoc("out", 0, "f64")
+        cost = CostFunction(target, tests, [out_loc], CostConfig(k=0.0))
+        assert cost(target).eq == 0.0
+        wrong = assemble("addsd xmm0, xmm0\nmovsd xmm0, (rax)")
+        assert cost(wrong).eq > 0.0
+
+
+class TestEarlyRejectAndCache:
+    def test_early_reject_truncates_consistently(self):
+        cost = make_cost("addsd xmm0, xmm0")
+        wrong = assemble("mulsd xmm0, xmm0")
+        full = cost.cost(wrong)
+        truncated = cost.cost(wrong, early_reject_above=0.0)
+        assert truncated.total <= full.total
+
+    def test_cache_hits_return_equal_results(self):
+        cost = make_cost("addsd xmm0, xmm0")
+        rewrite = assemble("movq $2.0d, xmm1\nmulsd xmm1, xmm0")
+        first = cost.cost(rewrite)
+        second = cost.cost(rewrite)
+        assert first == second
+
+    def test_requires_tests(self):
+        with pytest.raises(ValueError):
+            CostFunction(assemble("addsd xmm0, xmm0"), [], ["xmm0"])

@@ -1,0 +1,152 @@
+"""Tests for the Equation 5 slow-check tier and multi-chain restarts."""
+
+import random
+
+import pytest
+
+from repro.x86.assembler import assemble
+from repro.x86.testcase import TestCase, uniform_testcases
+
+from repro.core import (
+    CostConfig,
+    SearchConfig,
+    Stoke,
+    counting,
+    run_restarts,
+    uf_slow_check,
+    validation_slow_check,
+)
+from repro.core.restarts import RestartResult
+
+
+def _tests():
+    return uniform_testcases(random.Random(0), 16, {"xmm0": (-50.0, 50.0)})
+
+
+class TestSlowChecks:
+    def test_uf_slow_check_accepts_provable(self, tiny_target):
+        check = uf_slow_check(tiny_target, ["xmm0"])
+        # The target is trivially UF-equal to itself.
+        assert check(tiny_target)
+
+    def test_uf_slow_check_rejects_different(self, tiny_target):
+        check = uf_slow_check(tiny_target, ["xmm0"])
+        assert not check(assemble("mulsd xmm0, xmm0"))
+
+    def test_validation_slow_check(self):
+        target = assemble("addsd xmm0, xmm0")
+        check = validation_slow_check(
+            target, ["xmm0"], {"xmm0": (-10.0, 10.0)},
+            lambda: TestCase.from_values({"xmm0": 0.0}),
+            eta=0.0, max_proposals=800)
+        assert check(assemble("addsd xmm0, xmm0"))
+        assert not check(assemble("mulsd xmm0, xmm0"))
+
+    def test_counting_wrapper(self, tiny_target):
+        check, stats = counting(uf_slow_check(tiny_target, ["xmm0"]))
+        check(tiny_target)
+        check(assemble("mulsd xmm0, xmm0"))
+        assert stats.invocations == 2
+        assert stats.accepted == 1
+        assert stats.rejected == 1
+
+    def test_search_with_uf_slow_check(self, tiny_target):
+        """With the sound UF tier, every accepted best rewrite is
+        *verified* (Equation 5/12), not just test-passing."""
+        check, stats = counting(uf_slow_check(tiny_target, ["xmm0"]))
+        stoke = Stoke(tiny_target, _tests(), ["xmm0"],
+                      CostConfig(eta=0.0, k=1.0), slow_check=check)
+        result = stoke.optimize(SearchConfig(proposals=2000, seed=3))
+        assert stats.invocations > 0
+        if result.found_correct:
+            final = uf_slow_check(tiny_target, ["xmm0"])(result.best_correct)
+            assert final
+
+    def test_slow_check_failures_are_cached(self, tiny_target):
+        calls = []
+
+        def failing(program):
+            calls.append(program)
+            return False
+
+        stoke = Stoke(tiny_target, _tests(), ["xmm0"],
+                      CostConfig(eta=0.0, k=1.0), slow_check=failing)
+        result = stoke.optimize(SearchConfig(proposals=800, seed=3))
+        assert result.best_correct is None
+        assert len(calls) == len(set(calls))  # each program checked once
+
+
+class TestRestarts:
+    def test_best_of_chains(self, tiny_target):
+        stoke = Stoke(tiny_target, _tests(), ["xmm0"],
+                      CostConfig(eta=0.0, k=1.0))
+        result = run_restarts(stoke, SearchConfig(proposals=800, seed=0),
+                              chains=3)
+        assert isinstance(result, RestartResult)
+        assert len(result.chains) == 3
+        assert result.best.best_cost == min(c.best_cost
+                                            for c in result.chains) or \
+            result.best.found_correct
+
+    def test_best_prefers_correct(self, tiny_target):
+        stoke = Stoke(tiny_target, _tests(), ["xmm0"],
+                      CostConfig(eta=0.0, k=1.0))
+        result = run_restarts(stoke, SearchConfig(proposals=1500, seed=0),
+                              chains=2)
+        if any(c.found_correct for c in result.chains):
+            assert result.best.found_correct
+            assert result.best.best_correct_latency == min(
+                c.best_correct_latency for c in result.chains
+                if c.found_correct)
+
+    def test_reproducible(self, tiny_target):
+        stoke = Stoke(tiny_target, _tests(), ["xmm0"],
+                      CostConfig(eta=0.0, k=1.0))
+        a = run_restarts(stoke, SearchConfig(proposals=400, seed=5), chains=2)
+        stoke2 = Stoke(tiny_target, _tests(), ["xmm0"],
+                       CostConfig(eta=0.0, k=1.0))
+        b = run_restarts(stoke2, SearchConfig(proposals=400, seed=5),
+                         chains=2)
+        assert a.best.best_cost == b.best.best_cost
+
+    def test_rejects_zero_chains(self, tiny_target):
+        stoke = Stoke(tiny_target, _tests(), ["xmm0"], CostConfig())
+        with pytest.raises(ValueError):
+            run_restarts(stoke, SearchConfig(proposals=1), chains=0)
+
+
+class TestMultiChainValidation:
+    def test_r_hat_near_one_for_agreeing_chains(self):
+        from repro.validation import ValidationConfig, Validator
+
+        target = assemble("addsd xmm0, xmm0")
+        rewrite = assemble("mulsd xmm0, xmm0")
+        validator = Validator(target, rewrite, ["xmm0"],
+                              {"xmm0": (-10.0, 10.0)},
+                              lambda: TestCase.from_values({"xmm0": 0.0}))
+        result = validator.validate_multichain(
+            ValidationConfig(max_proposals=600, min_samples=601, seed=0),
+            chains=3)
+        assert len(result.chains) == 3
+        assert result.max_err == max(c.max_err for c in result.chains)
+        assert result.r_hat > 0
+
+    def test_gelman_rubin_statistics(self):
+        import numpy as np
+
+        from repro.validation import gelman_rubin
+
+        rng = np.random.default_rng(0)
+        same = [rng.standard_normal(2000) for _ in range(4)]
+        assert gelman_rubin(same) == pytest.approx(1.0, abs=0.05)
+        shifted = [rng.standard_normal(2000),
+                   rng.standard_normal(2000) + 10.0]
+        assert gelman_rubin(shifted) > 2.0
+
+    def test_gelman_rubin_validation(self):
+        from repro.validation import gelman_rubin
+
+        with pytest.raises(ValueError):
+            gelman_rubin([[1.0] * 100])
+        with pytest.raises(ValueError):
+            gelman_rubin([[1.0], [2.0]])

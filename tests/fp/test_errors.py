@@ -1,0 +1,51 @@
+"""Tests for the naive error functions and their Figure 2 pathologies."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.errors import absolute_error, relative_error
+
+
+class TestAbsoluteError:
+    def test_basic(self):
+        assert absolute_error(1.0, 1.5) == 0.5
+
+    def test_diverges_for_large_inputs(self):
+        # Figure 2a: the same 1-ULP gap weighs more at larger magnitudes.
+        small_gap = absolute_error(1.0, math.nextafter(1.0, 2.0))
+        large_gap = absolute_error(1e300, math.nextafter(1e300, math.inf))
+        assert large_gap > small_gap * 1e200
+
+    def test_non_finite(self):
+        assert absolute_error(math.inf, 1.0) == math.inf
+        assert absolute_error(math.nan, 1.0) == math.inf
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=-1e100, max_value=1e100))
+    def test_identity(self, x):
+        assert absolute_error(x, x) == 0.0
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(2.0, 1.0) == 0.5
+
+    def test_diverges_near_zero(self):
+        # Figure 2b: relative error blows up for denormal/zero r1.
+        assert relative_error(5e-324, 1e-300) > 1e20
+        assert relative_error(0.0, 1.0) == math.inf
+
+    def test_zero_zero(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_well_behaved_for_normals(self):
+        # For normal values, 1 ULP is a ~2^-52 relative error.
+        x = 1.0
+        err = relative_error(x, math.nextafter(x, 2.0))
+        assert 2.0 ** -53 < err < 2.0 ** -51
+
+    def test_non_finite(self):
+        assert relative_error(1.0, math.inf) == math.inf
+        assert relative_error(math.nan, 1.0) == math.inf

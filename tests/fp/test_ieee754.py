@@ -1,0 +1,125 @@
+"""Tests for IEEE-754 formats, conversions, and classification (Figure 1)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.ieee754 import (
+    DOUBLE,
+    HALF,
+    SINGLE,
+    FloatClass,
+    bits_to_double,
+    bits_to_half,
+    bits_to_single,
+    classify_bits,
+    compose_bits,
+    decompose_bits,
+    double_to_bits,
+    half_to_bits,
+    single_to_bits,
+)
+
+
+class TestFormats:
+    def test_double_layout(self):
+        assert DOUBLE.width == 64
+        assert DOUBLE.bias == 1023
+        assert DOUBLE.max_exponent_field == 2047
+        assert DOUBLE.fraction_bits == 52
+
+    def test_single_layout(self):
+        assert SINGLE.width == 32
+        assert SINGLE.bias == 127
+        assert SINGLE.fraction_bits == 23
+
+    def test_half_layout(self):
+        assert HALF.width == 16
+        assert HALF.bias == 15
+        assert HALF.fraction_bits == 10
+
+    def test_masks(self):
+        assert DOUBLE.sign_mask == 1 << 63
+        assert DOUBLE.fraction_mask == (1 << 52) - 1
+        assert SINGLE.mask == 0xFFFFFFFF
+
+
+class TestConversions:
+    def test_one_point_five(self):
+        assert double_to_bits(1.5) == 0x3FF8000000000000
+
+    def test_negative_zero(self):
+        assert double_to_bits(-0.0) == 0x8000000000000000
+        assert math.copysign(1.0, bits_to_double(1 << 63)) == -1.0
+
+    def test_infinity(self):
+        assert double_to_bits(math.inf) == 0x7FF0000000000000
+        assert bits_to_double(0xFFF0000000000000) == -math.inf
+
+    def test_single_rounds(self):
+        # 0.1 is not single-representable; conversion must round.
+        assert bits_to_single(single_to_bits(0.1)) != 0.1
+        assert abs(bits_to_single(single_to_bits(0.1)) - 0.1) < 1e-8
+
+    def test_half_roundtrip_exact_values(self):
+        for value in (0.0, 1.0, -2.0, 0.5, 65504.0):
+            assert bits_to_half(half_to_bits(value)) == value
+
+    @given(st.integers(0, (1 << 64) - 1))
+    def test_double_bits_roundtrip(self, bits):
+        value = bits_to_double(bits)
+        if math.isnan(value):
+            back = double_to_bits(value)
+            assert classify_bits(back) is FloatClass.NAN
+        else:
+            assert double_to_bits(value) == bits
+
+    @given(st.floats(allow_nan=False))
+    def test_double_value_roundtrip(self, value):
+        assert bits_to_double(double_to_bits(value)) == value or (
+            value == 0.0)
+
+
+class TestDecompose:
+    def test_decompose_one(self):
+        sign, exponent, fraction = decompose_bits(double_to_bits(1.0))
+        assert (sign, exponent, fraction) == (0, 1023, 0)
+
+    def test_compose_inverse(self):
+        bits = double_to_bits(-3.75)
+        assert compose_bits(*decompose_bits(bits)) == bits
+
+    @given(st.integers(0, (1 << 64) - 1))
+    def test_compose_decompose_roundtrip(self, bits):
+        assert compose_bits(*decompose_bits(bits)) == bits
+
+    def test_compose_validates(self):
+        with pytest.raises(ValueError):
+            compose_bits(2, 0, 0)
+        with pytest.raises(ValueError):
+            compose_bits(0, 2048, 0)
+        with pytest.raises(ValueError):
+            compose_bits(0, 0, 1 << 52)
+
+
+class TestClassify:
+    def test_figure1_taxonomy(self):
+        assert classify_bits(0) is FloatClass.ZERO
+        assert classify_bits(1 << 63) is FloatClass.ZERO
+        assert classify_bits(1) is FloatClass.DENORMAL
+        assert classify_bits(double_to_bits(1.0)) is FloatClass.NORMAL
+        assert classify_bits(double_to_bits(math.inf)) is FloatClass.INFINITY
+        assert classify_bits(double_to_bits(math.nan)) is FloatClass.NAN
+
+    def test_single_classification(self):
+        assert classify_bits(0x7F800000, SINGLE) is FloatClass.INFINITY
+        assert classify_bits(0x7FC00000, SINGLE) is FloatClass.NAN
+        assert classify_bits(0x00000001, SINGLE) is FloatClass.DENORMAL
+
+    def test_largest_denormal(self):
+        assert classify_bits(DOUBLE.fraction_mask) is FloatClass.DENORMAL
+
+    def test_smallest_normal(self):
+        assert classify_bits(1 << 52) is FloatClass.NORMAL

@@ -1,0 +1,78 @@
+"""Tests for tunable-precision constants and reduced-precision rounding."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.precision import (
+    ETA_HALF,
+    ETA_SINGLE,
+    eta_for_fraction_bits,
+    round_to_fraction_bits,
+)
+from repro.fp.ulp import ulp_distance
+
+
+class TestEtaConstants:
+    def test_paper_values(self):
+        assert ETA_SINGLE == 5.0e9
+        assert ETA_HALF == 4.0e12
+        assert ETA_HALF > ETA_SINGLE
+
+    def test_eta_monotone_in_dropped_bits(self):
+        etas = [eta_for_fraction_bits(p) for p in range(53)]
+        assert all(a > b for a, b in zip(etas, etas[1:]))
+
+    def test_eta_order_of_magnitude(self):
+        # Keeping 23 of 52 bits costs ~2^28 double ULPs.
+        assert eta_for_fraction_bits(23) == 2.0 ** 28
+        assert eta_for_fraction_bits(52) == 0.5
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            eta_for_fraction_bits(-1)
+        with pytest.raises(ValueError):
+            eta_for_fraction_bits(53)
+
+
+class TestRoundToFractionBits:
+    def test_full_precision_identity(self):
+        assert round_to_fraction_bits(math.pi, 52) == math.pi
+
+    @given(st.floats(min_value=1e-30, max_value=1e30),
+           st.booleans())
+    def test_single_matches_float32_for_in_range(self, magnitude, negative):
+        # For values inside float32's *normal* exponent range, rounding
+        # the significand to 23 bits agrees with a float32 round-trip
+        # (round_to_fraction_bits deliberately keeps double's exponent
+        # range, so the comparison only holds away from under/overflow).
+        x = -magnitude if negative else magnitude
+        got = round_to_fraction_bits(x, 23)
+        want = float(np.float32(x))
+        assert got == want
+
+    @given(st.floats(min_value=1e-300, max_value=1e300),
+           st.integers(0, 52))
+    def test_error_within_eta(self, x, bits):
+        rounded = round_to_fraction_bits(x, bits)
+        err = ulp_distance(x, rounded)
+        assert err <= eta_for_fraction_bits(bits) or bits == 52
+
+    def test_preserves_specials(self):
+        assert math.isinf(round_to_fraction_bits(math.inf, 10))
+        assert math.isnan(round_to_fraction_bits(math.nan, 10))
+        assert round_to_fraction_bits(0.0, 0) == 0.0
+
+    def test_round_to_nearest_even(self):
+        # 1 + 2^-1 with 0 fraction bits: ties round to even (-> 2.0? no:
+        # 1.5 rounds to 2.0 because significand 1.1 -> 10. (even)).
+        assert round_to_fraction_bits(1.5, 0) == 2.0
+        # 1.25 with 1 fraction bit: tie between 1.0 and 1.5 -> even is 1.0.
+        assert round_to_fraction_bits(1.25, 1) == 1.0
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            round_to_fraction_bits(1.0, 53)

@@ -1,0 +1,113 @@
+"""Tests for ULP distances (Equations 7 and 17, Figure 3)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.ieee754 import DOUBLE, SINGLE, double_to_bits
+from repro.fp.ulp import (
+    ordered_from_bits,
+    ulp_distance,
+    ulp_distance_bits,
+    ulp_distance_single,
+    ulp_from_real,
+)
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestOrderedMapping:
+    def test_zero_signs_collapse(self):
+        # +0 and -0 map to the same ordinal (ULP' counts values strictly
+        # between, and nothing separates the two zeros).
+        assert ordered_from_bits(double_to_bits(0.0)) == \
+            ordered_from_bits(double_to_bits(-0.0))
+
+    def test_ascending_over_samples(self):
+        values = [-math.inf, -1e300, -1.0, -1e-300, -5e-324, 0.0,
+                  5e-324, 1e-300, 1.0, 1e300, math.inf]
+        ordinals = [ordered_from_bits(double_to_bits(v)) for v in values]
+        assert ordinals == sorted(ordinals)
+        assert len(set(ordinals[1:])) == len(ordinals) - 1
+
+    @given(finite_doubles)
+    def test_next_representable_is_adjacent(self, x):
+        successor = math.nextafter(x, math.inf)
+        if successor == x:
+            return
+        distance = ulp_distance(x, successor)
+        # +0/-0 share an ordinal, so stepping across zero costs 1, not 2.
+        assert distance == 1
+
+    def test_single_format_mapping(self):
+        assert ulp_distance_bits(0x3F800000, 0x3F800001, SINGLE) == 1
+
+
+class TestUlpDistance:
+    @given(finite_doubles)
+    def test_identity(self, x):
+        assert ulp_distance(x, x) == 0
+
+    @given(finite_doubles, finite_doubles)
+    def test_symmetry(self, x, y):
+        assert ulp_distance(x, y) == ulp_distance(y, x)
+
+    @given(finite_doubles, finite_doubles, finite_doubles)
+    def test_additive_along_order(self, a, b, c):
+        lo, mid, hi = sorted((a, b, c))
+        assert ulp_distance(lo, hi) == \
+            ulp_distance(lo, mid) + ulp_distance(mid, hi)
+
+    def test_handles_infinity(self):
+        big = 1.7976931348623157e308
+        assert ulp_distance(big, math.inf) == 1
+
+    def test_extreme_range_value(self):
+        # About 2^63 values separate the extremes - the "number of
+        # representable double-precision values" scale of Figure 4.
+        total = ulp_distance(-math.inf, math.inf)
+        assert 1.8e19 < total < 1.9e19
+
+    def test_sign_crossing(self):
+        assert ulp_distance(-5e-324, 5e-324) == 2
+
+    def test_single_precision_distance(self):
+        assert ulp_distance_single(1.0, 1.0000001) == 1
+
+
+class TestUlpFromReal:
+    def test_exact_value_is_zero(self):
+        assert ulp_from_real(1.5, Fraction(3, 2)) == 0
+
+    def test_half_ulp_for_rounded(self):
+        # 0.1 rounds to the nearest double; error must be <= 1/2 ULP (Eq 8).
+        err = ulp_from_real(0.1, Fraction(1, 10))
+        assert 0 < err <= Fraction(1, 2)
+
+    @given(st.floats(min_value=1e-300, max_value=1e300))
+    def test_midpoint_is_half_ulp(self, x):
+        # The real midpoint between adjacent doubles is exactly 1/2 ULP
+        # from each endpoint (the Equation 8 bound is tight).
+        succ = math.nextafter(x, math.inf)
+        midpoint = (Fraction(x) + Fraction(succ)) / 2
+        err_low = ulp_from_real(x, midpoint)
+        assert err_low == Fraction(1, 2)
+
+    def test_one_ulp_gap(self):
+        x = 1.0
+        succ = math.nextafter(x, 2.0)
+        assert ulp_from_real(x, Fraction(succ)) == 1
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            ulp_from_real(math.inf, 1)
+        with pytest.raises(ValueError):
+            ulp_from_real(math.nan, 1)
+
+    def test_denormal_ulp_size(self):
+        # In the denormal range the ULP is 2^-1074.
+        err = ulp_from_real(5e-324, 0)
+        assert err == 1

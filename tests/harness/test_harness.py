@@ -1,0 +1,141 @@
+"""Smoke + contract tests for the experiment drivers (scaled way down)."""
+
+import math
+
+import pytest
+
+from repro.harness import figure4, figure5, figure8, figure9, figure10
+from repro.harness import throughput, verify_scaling
+from repro.harness.report import format_series, format_table
+
+
+class TestReport:
+    def test_table_alignment(self):
+        table = format_table(("a", "bee"), [(1, 2.5), ("xx", 3)], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+        assert len({len(line) for line in lines[1:3]}) == 1
+
+    def test_series(self):
+        out = format_series("s", [(1, 2.0), (3, 4.0)], labels=("x", "y"))
+        assert out.startswith("# s: x, y")
+        assert "3" in out
+
+    def test_float_formatting(self):
+        table = format_table(("v",), [(1.23456789e12,), (0.25,), (0.0,)])
+        assert "1.235e+12" in table
+        assert "0.25" in table
+
+
+class TestThroughput:
+    def test_jit_beats_emulator(self):
+        result = throughput.measure_kernel("sin", tests=40, repeats=1)
+        assert result.jit_tests_per_sec > result.emulator_tests_per_sec
+        assert result.ratio > 2.0
+
+    def test_report_renders(self):
+        results = [throughput.measure_kernel("exp", tests=10, repeats=1)]
+        out = throughput.report(results)
+        assert "exp" in out and "JIT/emulator" in out
+
+
+class TestFigure4:
+    def test_sweep_shape(self):
+        sweep = figure4.sweep_kernel("sin", etas=(1.0, 1e14),
+                                     proposals=400, testcases=8, seed=0)
+        assert len(sweep.points) == 2
+        assert sweep.points[0].eta == 1.0
+        # loose precision can only help (or tie) LOC and speedup
+        assert sweep.points[1].loc <= sweep.points[0].loc + 1
+        assert figure4.report_sweep(sweep)
+
+    def test_error_curve(self):
+        from repro.kernels.libimf import sin_kernel
+
+        spec = sin_kernel()
+        low = sin_kernel(degree=4)
+        curve = figure4.error_curve(spec, low.program, samples=20)
+        assert len(curve) > 0
+        assert all(err >= 0 for _, err in curve)
+        assert max(err for _, err in curve) > 0
+
+
+class TestFigure5:
+    def test_sweep_runs(self):
+        sweep = figure5.run(etas=(1.0, 1e16), proposals=300,
+                            testcases=8, grid=3, seed=0, validate=False)
+        assert len(sweep.points) == 2
+        assert sweep.points[0].task_speedup >= 1.0
+        assert figure5.report(sweep)
+
+    def test_task_speedup_uses_amdahl(self):
+        from repro.kernels.s3d import task_speedup
+
+        assert task_speedup(2.0) == pytest.approx(1.27, abs=0.01)
+
+
+class TestFigure8:
+    def test_paper_rows(self):
+        rows = figure8.paper_rows(testcases=8, seed=0)
+        by_name = {(r.kernel, r.source): r for r in rows}
+        assert by_name[("dot", "paper")].bitwise
+        assert by_name[("dot", "paper")].uf_proved
+        assert not by_name[("delta", "paper")].bitwise
+        assert by_name[("delta'", "paper")].speedup > \
+            by_name[("delta", "paper")].speedup
+        assert figure8.report(rows)
+
+    def test_delta_bounds_ordering(self):
+        bounds = figure8.delta_bounds(seed=0)
+        # static (sound) bound must dominate what MCMC observes
+        assert bounds["interval_static_ulps"] >= bounds["mcmc_validated_ulps"]
+        assert bounds["mcmc_validated_ulps"] > 0
+
+
+class TestFigure9:
+    def test_tiny_render(self):
+        result = figure9.run(width=10, height=8, samples=1)
+        assert result.diffs["b_bitwise"] == 0
+        assert result.diffs["d_invalid"] > result.diffs["c_valid_imprecise"]
+        assert figure9.report(result)
+
+    def test_write_images(self, tmp_path):
+        result = figure9.run(width=6, height=4, samples=1)
+        figure9.write_images(result, str(tmp_path))
+        assert (tmp_path / "a_reference.ppm").exists()
+        assert (tmp_path / "d_invalid_errors.ppm").exists()
+
+
+class TestFigure10:
+    def test_optimization_traces(self):
+        traces = figure10.optimization_traces(("sin",), proposals=300,
+                                              testcases=8, seed=0)
+        assert set(s for _, s in traces.traces) == set(figure10.STRATEGIES)
+        final = figure10.summarize_final(traces)
+        # MCMC should do at least as well as pure random search.
+        assert final[("sin", "mcmc")] <= final[("sin", "rand")] + 1e-9
+
+    def test_validation_traces(self):
+        traces = figure10.validation_traces(("sin",), proposals=300, seed=0)
+        final = figure10.summarize_final(traces)
+        assert all(0.0 <= v <= 100.0 + 1e-9 for v in final.values())
+        best = max(final.values())
+        assert best == pytest.approx(100.0)
+
+    def test_report_renders(self):
+        traces = figure10.optimization_traces(("sin",), proposals=100,
+                                              testcases=4, seed=0)
+        assert "Figure 10" in figure10.report(traces)
+
+
+class TestVerifyScaling:
+    def test_bits_sweep_exponential(self):
+        points = verify_scaling.run_bits_sweep(bits_list=(2, 4, 6))
+        assert [p.cases for p in points] == [4, 16, 64]
+        assert points[-1].seconds >= points[0].seconds * 0.5
+
+    def test_length_sweep_linear(self):
+        points = verify_scaling.run_length_sweep(terms_list=(2, 8), bits=4)
+        assert points[1].instructions > points[0].instructions
+        assert all(p.cases == 16 for p in points)

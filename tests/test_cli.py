@@ -1,0 +1,86 @@
+"""Tests for the ``python -m repro`` command-line front-end."""
+
+import pytest
+
+from repro.cli import _parse_ranges, _parse_values, main
+
+KERNEL = """
+movq $2.0d, xmm1
+mulsd xmm1, xmm0
+addsd xmm0, xmm0
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "kernel.s"
+    path.write_text(KERNEL)
+    return str(path)
+
+
+class TestParsing:
+    def test_ranges(self):
+        assert _parse_ranges(["xmm0=-1:2.5"]) == {"xmm0": (-1.0, 2.5)}
+
+    def test_ranges_reject_bad(self):
+        with pytest.raises(SystemExit):
+            _parse_ranges(["xmm0=5"])
+
+    def test_values(self):
+        assert _parse_values(["xmm0=2.5", "rax=7"]) == \
+            {"xmm0": 2.5, "rax": 7.0}
+
+    def test_values_reject_bad(self):
+        with pytest.raises(SystemExit):
+            _parse_values(["xmm0"])
+
+
+class TestCommands:
+    def test_run(self, kernel_file, capsys):
+        rc = main(["run", kernel_file, "--set", "xmm0=2.5",
+                   "--live-out", "xmm0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "10.0" in out
+
+    def test_run_signal(self, tmp_path, capsys):
+        path = tmp_path / "fault.s"
+        path.write_text("movsd (rax), xmm0\n")
+        rc = main(["run", str(path), "--set", "rax=4096",
+                   "--live-out", "xmm0"])
+        assert rc == 1
+        assert "SIGSEGV" in capsys.readouterr().out
+
+    def test_trace(self, kernel_file, capsys):
+        rc = main(["trace", kernel_file, "--set", "xmm0=1.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mulsd" in out and "->" in out
+
+    def test_optimize_and_validate(self, kernel_file, tmp_path, capsys):
+        rc = main(["optimize", kernel_file, "--live-out", "xmm0",
+                   "--range", "xmm0=-10:10", "--proposals", "2500",
+                   "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        rewrite_lines = [line for line in out.splitlines()
+                         if line and not line.startswith("#")]
+        assert rewrite_lines
+        rewrite_path = tmp_path / "rewrite.s"
+        rewrite_path.write_text("\n".join(rewrite_lines) + "\n")
+
+        rc = main(["validate", kernel_file, str(rewrite_path),
+                   "--live-out", "xmm0", "--range", "xmm0=-10:10",
+                   "--proposals", "1500"])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_validate_fails_wrong_rewrite(self, kernel_file, tmp_path,
+                                          capsys):
+        wrong = tmp_path / "wrong.s"
+        wrong.write_text("mulsd xmm0, xmm0\n")
+        rc = main(["validate", kernel_file, str(wrong),
+                   "--live-out", "xmm0", "--range", "xmm0=-10:10",
+                   "--proposals", "800"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,115 @@
+"""End-to-end integration tests: the optimize -> validate -> verify flow."""
+
+import random
+
+import pytest
+
+from repro import (
+    CostConfig,
+    SearchConfig,
+    Stoke,
+    ValidationConfig,
+    Validator,
+    assemble,
+    check_equivalent_uf,
+    uniform_testcases,
+)
+from repro.x86.testcase import TestCase
+
+
+class TestOptimizeThenValidate:
+    def test_bitwise_pipeline(self, tiny_target):
+        """Find a bit-wise rewrite, then validation confirms 0 error."""
+        tests = uniform_testcases(random.Random(0), 16,
+                                  {"xmm0": (-50.0, 50.0)})
+        stoke = Stoke(tiny_target, tests, ["xmm0"],
+                      CostConfig(eta=0.0, k=1.0))
+        result = stoke.optimize(SearchConfig(proposals=4000, seed=3))
+        assert result.found_correct
+
+        validator = Validator(
+            tiny_target, result.best_correct, ["xmm0"],
+            {"xmm0": (-50.0, 50.0)},
+            lambda: TestCase.from_values({"xmm0": 0.0}))
+        vres = validator.validate(ValidationConfig(
+            eta=0.0, max_proposals=3000, min_samples=1000, seed=1))
+        assert vres.passed
+        assert vres.max_err == 0.0
+
+    def test_reduced_precision_pipeline(self):
+        """At a large eta the search trades precision for speed; the
+        validated error must stay within the *requested* tolerance on the
+        training distribution's scale."""
+        from repro.kernels.libimf import exp_s3d_kernel
+
+        spec = exp_s3d_kernel()
+        tests = spec.testcases(random.Random(0), 24)
+        eta = 1e14
+        stoke = Stoke(spec.program, tests, spec.live_outs,
+                      CostConfig(eta=eta, k=1.0))
+        result = stoke.optimize(SearchConfig(proposals=4000, seed=2))
+        assert result.found_correct
+        assert result.speedup() >= 1.0
+
+    def test_validation_exposes_test_set_blind_spots(self):
+        """Passing a finite test set is weaker than the validated bound:
+        the MCMC input search finds worse errors than the training points
+        showed (the Section 4 motivation for validation)."""
+        from repro.core import CostFunction
+        from repro.kernels.libimf import exp_s3d_kernel
+
+        spec = exp_s3d_kernel()
+        rewrite = exp_s3d_kernel(degree=5).program
+        tests = spec.testcases(random.Random(0), 8)
+
+        cost = CostFunction(spec.program, tests, spec.live_outs,
+                            CostConfig(eta=0.0, k=0.0, compress="none",
+                                       reduction="max"))
+        training_max = cost(rewrite).eq
+
+        validator = Validator(spec.program, rewrite, spec.live_outs,
+                              dict(spec.ranges), spec.base_testcase)
+        vres = validator.validate(ValidationConfig(
+            max_proposals=4000, min_samples=1000, seed=0))
+        assert vres.max_err > training_max
+
+
+class TestVerifyIntegration:
+    def test_search_result_uf_checkable(self, tiny_target):
+        tests = uniform_testcases(random.Random(0), 16,
+                                  {"xmm0": (-50.0, 50.0)})
+        stoke = Stoke(tiny_target, tests, ["xmm0"],
+                      CostConfig(eta=0.0, k=1.0))
+        result = stoke.optimize(SearchConfig(proposals=4000, seed=3))
+        # The rewrite is bit-wise correct on tests; UF may or may not
+        # prove it (sound, incomplete) but must never crash.
+        outcome = check_equivalent_uf(tiny_target, result.best_correct,
+                                      ["xmm0"])
+        assert outcome.outcome.value in ("equivalent", "unknown")
+
+
+class TestPublicApi:
+    def test_quickstart_docstring_flow(self):
+        import repro
+
+        target = repro.assemble("""
+            movq $2.0d, xmm1
+            mulsd xmm1, xmm0
+            addsd xmm0, xmm0
+        """)
+        tests = repro.uniform_testcases(random.Random(0), 16,
+                                        {"xmm0": (-100, 100)})
+        stoke = repro.Stoke(target, tests, ["xmm0"],
+                            repro.CostConfig(eta=0.0, k=1.0))
+        result = stoke.optimize(repro.SearchConfig(proposals=2000, seed=1))
+        assert result.found_correct
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_eta_constants_exported(self):
+        import repro
+
+        assert repro.ETA_SINGLE < repro.ETA_HALF

@@ -1,0 +1,71 @@
+"""Tests for the Geweke convergence diagnostic (Section 5.3)."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.validation.geweke import geweke_z, is_converged, spectral_density_at_zero
+
+
+class TestSpectralDensity:
+    def test_white_noise_matches_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(20_000)
+        s0 = spectral_density_at_zero(x)
+        assert s0 == pytest.approx(1.0, rel=0.15)
+
+    def test_positively_correlated_chain_is_larger(self):
+        rng = np.random.default_rng(1)
+        noise = rng.standard_normal(5000)
+        ar = np.zeros(5000)
+        for i in range(1, 5000):
+            ar[i] = 0.9 * ar[i - 1] + noise[i]
+        assert spectral_density_at_zero(ar) > np.var(ar)
+
+    def test_constant_chain(self):
+        assert spectral_density_at_zero([3.0] * 100) == 0.0
+
+    def test_short_chain(self):
+        assert spectral_density_at_zero([1.0]) == 0.0
+
+
+class TestGewekeZ:
+    def test_stationary_chain_small_z(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(10_000)
+        assert abs(geweke_z(x)) < 3.0
+
+    def test_trending_chain_large_z(self):
+        x = np.linspace(0.0, 100.0, 5000) + \
+            np.random.default_rng(3).standard_normal(5000)
+        assert abs(geweke_z(x)) > 10.0
+
+    def test_constant_chain_is_zero(self):
+        assert geweke_z([5.0] * 100) == 0.0
+
+    def test_step_change_detected(self):
+        x = [0.0] * 500 + [10.0] * 500
+        assert abs(geweke_z(x)) == math.inf or abs(geweke_z(x)) > 5.0
+
+    def test_requires_min_samples(self):
+        with pytest.raises(ValueError):
+            geweke_z([1.0] * 5)
+
+    def test_window_validation(self):
+        x = list(range(100))
+        with pytest.raises(ValueError):
+            geweke_z(x, first=0.6, last=0.6)
+        with pytest.raises(ValueError):
+            geweke_z(x, first=0.0)
+
+
+class TestIsConverged:
+    def test_stationary_converges(self):
+        rng = np.random.default_rng(4)
+        assert is_converged(rng.standard_normal(5000), z_threshold=3.0)
+
+    def test_trending_does_not(self):
+        x = np.linspace(0, 50, 2000)
+        assert not is_converged(x)

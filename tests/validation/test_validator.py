@@ -1,0 +1,187 @@
+"""Tests for MCMC validation (Section 4) and the input proposers."""
+
+import math
+import random
+
+import pytest
+
+from repro.fp.ieee754 import bits_to_double, double_to_bits
+from repro.x86.assembler import assemble
+from repro.x86.testcase import TestCase
+
+from repro.validation.proposals import InputRange, TestCaseProposer
+from repro.validation.strategies import (
+    ValidationHill,
+    ValidationMcmc,
+    ValidationRandom,
+    make_validation_strategy,
+)
+from repro.validation.validator import (
+    SIGNAL_ERR,
+    ValidationConfig,
+    Validator,
+)
+
+
+def base_tc():
+    return TestCase.from_values({"xmm0": 0.0})
+
+
+class TestProposer:
+    def test_initial_within_range(self):
+        proposer = TestCaseProposer({"xmm0": (-2.0, 3.0)})
+        rng = random.Random(0)
+        for _ in range(50):
+            tc = proposer.initial(rng, base_tc())
+            value = bits_to_double(tc.value_of("xmm0"))
+            assert -2.0 <= value <= 3.0
+
+    def test_propose_clamps_by_keeping_old_value(self):
+        # Equation 16: out-of-range components keep their old value.
+        proposer = TestCaseProposer({"xmm0": (0.0, 1.0)},
+                                    sigma_fraction=100.0)
+        rng = random.Random(1)
+        current = base_tc().replace("xmm0", double_to_bits(0.5))
+        for _ in range(100):
+            proposal = proposer.propose(rng, current)
+            value = bits_to_double(proposal.value_of("xmm0"))
+            assert 0.0 <= value <= 1.0
+
+    def test_propose_moves_locally(self):
+        proposer = TestCaseProposer({"xmm0": (0.0, 1.0)},
+                                    sigma_fraction=0.01)
+        rng = random.Random(2)
+        current = base_tc().replace("xmm0", double_to_bits(0.5))
+        displacements = []
+        for _ in range(200):
+            proposal = proposer.propose(rng, current)
+            displacements.append(
+                bits_to_double(proposal.value_of("xmm0")) - 0.5)
+        mean = sum(displacements) / len(displacements)
+        assert abs(mean) < 0.005  # symmetric around the current point
+
+    def test_uniform_redraw(self):
+        proposer = TestCaseProposer({"xmm0": (0.0, 1.0)})
+        rng = random.Random(3)
+        current = base_tc().replace("xmm0", double_to_bits(0.5))
+        values = {bits_to_double(
+            proposer.propose_uniform(rng, current).value_of("xmm0"))
+            for _ in range(50)}
+        assert len(values) == 50
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            TestCaseProposer({"xmm0": (1.0, 1.0)})
+
+    def test_input_range(self):
+        r = InputRange(-1.0, 3.0)
+        assert r.width == 4.0
+        assert r.contains(0.0)
+        assert not r.contains(3.5)
+
+
+class TestValidator:
+    def make_validator(self, target_asm, rewrite_asm, ranges=None):
+        return Validator(
+            assemble(target_asm), assemble(rewrite_asm), ["xmm0"],
+            ranges or {"xmm0": (-10.0, 10.0)}, base_tc,
+        )
+
+    def test_identical_programs_validate_clean(self):
+        validator = self.make_validator("addsd xmm0, xmm0",
+                                        "addsd xmm0, xmm0")
+        result = validator.validate(ValidationConfig(
+            eta=0.0, max_proposals=2000, min_samples=500, seed=0))
+        assert result.max_err == 0.0
+        assert result.passed
+        assert result.converged
+
+    def test_finds_error_peak(self):
+        # Rewrite multiplies by a perturbed constant: error grows with |x|
+        # and is maximized at the range edges.
+        near2 = math.nextafter(2.0, 3.0)
+        validator = self.make_validator(
+            "addsd xmm0, xmm0",
+            f"movq $0x{double_to_bits(near2):x}, xmm1\nmulsd xmm1, xmm0",
+        )
+        result = validator.validate(ValidationConfig(
+            eta=0.0, max_proposals=4000, min_samples=1000, seed=1))
+        assert result.max_err > 0.0
+        assert not result.passed
+        # The argmax should be near a range edge where the error peaks.
+        arg = abs(bits_to_double(result.argmax.value_of("xmm0")))
+        assert arg > 5.0
+
+    def test_eta_pass(self):
+        near2 = math.nextafter(2.0, 3.0)
+        validator = self.make_validator(
+            "addsd xmm0, xmm0",
+            f"movq $0x{double_to_bits(near2):x}, xmm1\nmulsd xmm1, xmm0",
+        )
+        result = validator.validate(ValidationConfig(
+            eta=1e6, max_proposals=3000, min_samples=1000, seed=2))
+        assert result.passed  # a 1-ULP constant error stays tiny
+
+    def test_divergent_signal_is_caught(self):
+        validator = self.make_validator("addsd xmm0, xmm0",
+                                        "movsd (rax), xmm0")
+        assert validator.err(base_tc()) == SIGNAL_ERR
+
+    def test_trace_is_monotone(self):
+        validator = self.make_validator("addsd xmm0, xmm0",
+                                        "mulsd xmm0, xmm0")
+        result = validator.validate(ValidationConfig(
+            max_proposals=1500, min_samples=500, seed=3))
+        errs = [e for _, e in result.trace]
+        assert all(a <= b for a, b in zip(errs, errs[1:]))
+
+    def test_deterministic_given_seed(self):
+        args = ("addsd xmm0, xmm0", "mulsd xmm0, xmm0")
+        config = ValidationConfig(max_proposals=800, min_samples=400, seed=7)
+        r1 = self.make_validator(*args).validate(config)
+        r2 = self.make_validator(*args).validate(config)
+        assert r1.max_err == r2.max_err
+        assert r1.samples == r2.samples
+
+
+class TestValidationStrategies:
+    def test_factory(self):
+        assert isinstance(make_validation_strategy("mcmc"), ValidationMcmc)
+        assert isinstance(make_validation_strategy("hill"), ValidationHill)
+        assert make_validation_strategy("rand").uniform_proposals
+        with pytest.raises(ValueError):
+            make_validation_strategy("nope")
+
+    def test_hill_never_descends(self):
+        strategy = ValidationHill()
+        rng = random.Random(0)
+        assert strategy.accept(rng, 5.0, 5.0, 0, 10)
+        assert not strategy.accept(rng, 5.0, 4.9, 0, 10)
+
+    def test_mcmc_always_ascends(self):
+        strategy = ValidationMcmc()
+        rng = random.Random(0)
+        assert strategy.accept(rng, 1.0, 100.0, 0, 10)
+
+    def test_mcmc_descends_proportionally(self):
+        strategy = ValidationMcmc()
+        rng = random.Random(0)
+        # ratio (1+1)/(99+1) = 0.02
+        accepts = sum(strategy.accept(rng, 99.0, 1.0, 0, 10)
+                      for _ in range(5000))
+        assert abs(accepts / 5000 - 0.02) < 0.01
+
+    def test_random_accepts_all(self):
+        strategy = ValidationRandom()
+        assert strategy.accept(random.Random(0), 1e9, 0.0, 0, 10)
+
+    def test_strategies_drive_validator(self):
+        validator = Validator(
+            assemble("addsd xmm0, xmm0"), assemble("mulsd xmm0, xmm0"),
+            ["xmm0"], {"xmm0": (-10.0, 10.0)}, base_tc,
+        )
+        for name in ("rand", "hill", "anneal", "mcmc"):
+            result = validator.validate(
+                ValidationConfig(max_proposals=500, min_samples=501, seed=1),
+                strategy=make_validation_strategy(name))
+            assert result.max_err > 0.0

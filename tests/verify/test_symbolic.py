@@ -1,0 +1,157 @@
+"""Tests for the symbolic executor and its canonicalization rules."""
+
+import pytest
+
+from repro.x86.assembler import assemble
+from repro.x86.memory import Memory, Segment
+
+from repro.verify.symbolic import (
+    Const,
+    InputNode,
+    OpNode,
+    SymbolicUnsupported,
+    concat,
+    extract,
+    op,
+    symbolic_execute,
+)
+
+
+class TestNodeCanonicalization:
+    def test_extract_full_width_is_identity(self):
+        x = InputNode("x", 64)
+        assert extract(x, 0, 64) is x
+
+    def test_extract_of_extract_composes(self):
+        x = InputNode("x", 64)
+        inner = extract(x, 8, 32)
+        assert extract(inner, 8, 16) == extract(x, 16, 16)
+
+    def test_extract_of_const_folds(self):
+        c = Const(0xAABBCCDD, 32)
+        assert extract(c, 8, 16) == Const(0xBBCC, 16)
+
+    def test_concat_of_adjacent_extracts_merges(self):
+        x = InputNode("x", 64)
+        lo = extract(x, 0, 32)
+        hi = extract(x, 32, 32)
+        assert concat(lo, hi) is x
+
+    def test_concat_consts_fold(self):
+        assert concat(Const(0x1111, 16), Const(0x2222, 16)) == \
+            Const(0x22221111, 32)
+
+    def test_extract_through_concat(self):
+        a = InputNode("a", 32)
+        b = InputNode("b", 32)
+        both = concat(a, b)
+        assert extract(both, 0, 32) is a
+        assert extract(both, 32, 32) is b
+
+    def test_out_of_range_extract_raises(self):
+        with pytest.raises(SymbolicUnsupported):
+            extract(InputNode("x", 32), 16, 32)
+
+    def test_commutative_sorting(self):
+        a = InputNode("a", 32)
+        b = InputNode("b", 32)
+        assert op("addss", a, b, width=32) == op("addss", b, a, width=32)
+        # subtraction is not commutative
+        assert op("subss", a, b, width=32) != op("subss", b, a, width=32)
+
+    def test_xor_self_is_zero(self):
+        a = InputNode("a", 64)
+        assert op("xor", a, a, width=64) == Const(0, 64)
+
+    def test_and_self_is_identity(self):
+        a = InputNode("a", 64)
+        assert op("and", a, a, width=64) is a
+
+    def test_nodes_hashable_and_comparable(self):
+        a = op("mulsd", InputNode("x", 64), InputNode("y", 64), width=64)
+        b = op("mulsd", InputNode("y", 64), InputNode("x", 64), width=64)
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestSymbolicExecution:
+    def test_register_arithmetic_builds_dag(self):
+        program = assemble("addsd xmm1, xmm0")
+        state = symbolic_execute(program, Memory())
+        result = state.xmm[0].read64(0)
+        assert isinstance(result, OpNode)
+        assert result.op == "addsd"
+
+    def test_constant_table_reads_fold(self):
+        table = Segment("t", 0x1000, (42).to_bytes(8, "little"),
+                        writable=False)
+        program = assemble("movsd (rax), xmm0")
+        state = symbolic_execute(program, Memory([table]),
+                                 concrete_gp={0: 0x1000})
+        assert state.xmm[0].read64(0) == Const(42, 64)
+
+    def test_writable_memory_reads_are_inputs(self):
+        buf = Segment("buf", 0x1000, bytes(8), writable=True)
+        program = assemble("movsd (rax), xmm0")
+        state = symbolic_execute(program, Memory([buf]),
+                                 concrete_gp={0: 0x1000})
+        node = state.xmm[0].read64(0)
+        assert isinstance(node, InputNode)
+        assert node.name == "buf+0"
+
+    def test_stack_spill_reload_cancels(self):
+        stack = Segment("stack", 0x7000, bytes(64), writable=True)
+        program = assemble("""
+            movq xmm0, 16(rsp)
+            movsd 16(rsp), xmm1
+        """)
+        state = symbolic_execute(program, Memory([stack]),
+                                 concrete_gp={4: 0x7000})
+        assert state.xmm[1].read64(0) == InputNode("x0l", 64)
+
+    def test_partial_reload_of_spill(self):
+        stack = Segment("stack", 0x7000, bytes(64), writable=True)
+        program = assemble("""
+            movq xmm0, 16(rsp)
+            movss 20(rsp), xmm1
+        """)
+        state = symbolic_execute(program, Memory([stack]),
+                                 concrete_gp={4: 0x7000})
+        assert state.xmm[1].read32(0) == extract(InputNode("x0l", 64), 32, 32)
+
+    def test_composite_reload_of_two_spills(self):
+        stack = Segment("stack", 0x7000, bytes(64), writable=True)
+        program = assemble("""
+            movss xmm0, 16(rsp)
+            movss xmm1, 20(rsp)
+            movq 16(rsp), xmm2
+        """)
+        state = symbolic_execute(program, Memory([stack]),
+                                 concrete_gp={4: 0x7000})
+        lane0 = state.xmm[2].read32(0)
+        lane1 = state.xmm[2].read32(1)
+        assert lane0 == extract(InputNode("x0l", 64), 0, 32)
+        assert lane1 == extract(InputNode("x1l", 64), 0, 32)
+
+    def test_symbolic_address_unsupported(self):
+        program = assemble("movsd (rax), xmm0")
+        with pytest.raises(SymbolicUnsupported):
+            symbolic_execute(program, Memory())  # rax symbolic
+
+    def test_unsupported_opcode(self):
+        program = assemble("cvttsd2si xmm0, rax")
+        with pytest.raises(SymbolicUnsupported):
+            symbolic_execute(program, Memory())
+
+    def test_packed_decomposes_to_scalar_ops(self):
+        # addps lane 0 must canonicalize identically to addss.
+        packed = symbolic_execute(assemble("addps xmm1, xmm0"), Memory())
+        scalar = symbolic_execute(assemble("addss xmm1, xmm0"), Memory())
+        assert packed.xmm[0].read32(0) == scalar.xmm[0].read32(0)
+
+    def test_pshuflw_aligned_pairs_are_lane_moves(self):
+        # imm -2 -> word selectors [2,3,3,3]: lane0 becomes old lane1.
+        state = symbolic_execute(assemble("vpshuflw $-2, xmm0, xmm2"),
+                                 Memory())
+        src = symbolic_execute(assemble("nop"), Memory())
+        assert state.xmm[2].read32(0) == src.xmm[0].read32(1)

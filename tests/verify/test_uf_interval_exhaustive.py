@@ -1,0 +1,175 @@
+"""Tests for the three static verification techniques."""
+
+import math
+import random
+
+import pytest
+
+from repro.x86.assembler import assemble
+from repro.x86.memory import Memory
+from repro.x86.testcase import TestCase
+
+from repro.kernels.aek import vector as V
+from repro.verify import (
+    IntervalUnsupported,
+    VerifyOutcome,
+    check_equivalent_uf,
+    exhaustive_check,
+    interval_ulp_bound,
+)
+from repro.verify.interval import IntervalD
+
+
+class TestUf:
+    def test_data_movement_equivalence(self):
+        a = assemble("""
+            movsd xmm1, xmm3
+            addsd xmm0, xmm3
+            movsd xmm3, xmm0
+        """)
+        b = assemble("addsd xmm1, xmm0")
+        assert check_equivalent_uf(a, b, ["xmm0"]).proved
+
+    def test_commutativity_proved(self):
+        a = assemble("addsd xmm1, xmm0")
+        b = assemble("""
+            movsd xmm0, xmm2
+            movsd xmm1, xmm0
+            addsd xmm2, xmm0
+        """)
+        assert check_equivalent_uf(a, b, ["xmm0"]).proved
+
+    def test_reassociation_not_proved(self):
+        # (x+y)+z vs x+(y+z): not bit-wise equal, must stay UNKNOWN.
+        a = assemble("addsd xmm1, xmm0\naddsd xmm2, xmm0")
+        b = assemble("addsd xmm2, xmm1\naddsd xmm1, xmm0")
+        result = check_equivalent_uf(a, b, ["xmm0"])
+        assert result.outcome is VerifyOutcome.UNKNOWN
+
+    def test_different_programs_unknown(self):
+        a = assemble("addsd xmm1, xmm0")
+        b = assemble("mulsd xmm1, xmm0")
+        assert not check_equivalent_uf(a, b, ["xmm0"]).proved
+
+    def test_unsupported_is_unknown(self):
+        a = assemble("cvttsd2si xmm0, rax\ncvtsi2sd rax, xmm0")
+        result = check_equivalent_uf(a, a, ["xmm0"])
+        assert result.outcome is VerifyOutcome.UNKNOWN
+        assert "not in the UF-checkable subset" in result.detail
+
+    @pytest.mark.parametrize("name", ["scale", "dot", "add"])
+    def test_aek_paper_rewrites_proved(self, name):
+        spec = V.AEK_KERNELS[name]()
+        rewrite = V.AEK_REWRITES[name]()
+        result = check_equivalent_uf(
+            spec.program, rewrite, spec.live_outs,
+            memory=Memory(V.aek_segments()),
+            concrete_gp=V.CONCRETE_GP_INDICES)
+        assert result.proved, result.detail
+
+    def test_delta_rewrite_not_provable(self):
+        # The imprecise rewrite drops terms; UF must not prove it.
+        spec = V.delta_kernel()
+        result = check_equivalent_uf(
+            spec.program, V.delta_rewrite(), spec.live_outs,
+            memory=Memory(V.aek_segments()),
+            concrete_gp=V.CONCRETE_GP_INDICES)
+        assert result.outcome is VerifyOutcome.UNKNOWN
+
+
+class TestInterval:
+    def test_soundness_on_samples(self):
+        # The concrete error must never exceed the interval bound.
+        target = assemble("movq $2.0d, xmm1\nmulsd xmm1, xmm0")
+        rewrite = assemble("addsd xmm0, xmm0")
+        bound = interval_ulp_bound(target, rewrite, ["xmm0"],
+                                   {"xmm0": (0.5, 2.0)}, max_boxes=64)
+        from repro.core.runner import Runner
+        from repro.fp.ulp import ulp_distance_bits
+
+        runner = Runner(["xmm0"])
+        rng = random.Random(0)
+        for _ in range(100):
+            x = rng.uniform(0.5, 2.0)
+            tc = TestCase.from_values({"xmm0": x})
+            a, _ = runner.run_program(target, tc)
+            b, _ = runner.run_program(rewrite, tc)
+            observed = ulp_distance_bits(list(a.values())[0],
+                                         list(b.values())[0])
+            assert observed <= bound.bound_ulps
+
+    def test_subdivision_tightens(self):
+        target = assemble("mulsd xmm0, xmm0")
+        rewrite = assemble("mulsd xmm0, xmm0")
+        coarse = interval_ulp_bound(target, rewrite, ["xmm0"],
+                                    {"xmm0": (1.0, 4.0)}, max_boxes=2)
+        fine = interval_ulp_bound(target, rewrite, ["xmm0"],
+                                  {"xmm0": (1.0, 4.0)}, max_boxes=128)
+        assert fine.bound_ulps <= coarse.bound_ulps
+
+    def test_bitlevel_code_unsupported(self):
+        from repro.kernels.libimf import log_kernel
+
+        spec = log_kernel()
+        with pytest.raises(IntervalUnsupported):
+            interval_ulp_bound(spec.program, spec.program,
+                               spec.live_outs, dict(spec.ranges),
+                               max_boxes=2)
+
+    def test_division_through_zero_is_top_interval(self):
+        target = assemble("divsd xmm1, xmm0")
+        bound = interval_ulp_bound(target, target, ["xmm0"],
+                                   {"xmm0": (1.0, 2.0),
+                                    "xmm1": (-1.0, 1.0)}, max_boxes=2)
+        assert bound.bound_ulps >= 0  # completes soundly (inf endpoints)
+
+    def test_delta_static_bound_exceeds_dynamic(self):
+        spec = V.delta_kernel()
+        ranges = dict(spec.ranges)
+        ranges.update(V.delta_mem_ranges())
+        bound = interval_ulp_bound(
+            spec.program, V.delta_rewrite(), spec.live_outs, ranges,
+            memory=Memory(V.aek_segments()),
+            concrete_gp=V.CONCRETE_GP_INDICES, max_boxes=64)
+        # The paper's comparison: the static bound is orders of magnitude
+        # above what testing/validation observes (~thousands of ULPs).
+        assert bound.bound_ulps > 1e6
+
+    def test_interval_rejects_nan_range(self):
+        with pytest.raises(IntervalUnsupported):
+            IntervalD(2.0, 1.0)
+
+
+class TestExhaustive:
+    def test_identical_programs_bitwise_equal(self):
+        program = assemble("mulsd xmm0, xmm0")
+        result = exhaustive_check(program, program, ["xmm0"],
+                                  {"xmm0": (-2.0, 2.0)},
+                                  lambda: TestCase({}), bits_per_input=8)
+        assert result.bitwise_equal
+        assert result.cases_checked == 256
+        assert result.counterexample is None
+
+    def test_finds_counterexample(self):
+        target = assemble("addsd xmm0, xmm0")
+        wrong = assemble("mulsd xmm0, xmm0")
+        result = exhaustive_check(target, wrong, ["xmm0"],
+                                  {"xmm0": (1.0, 3.0)},
+                                  lambda: TestCase({}), bits_per_input=4)
+        assert not result.bitwise_equal
+        assert result.counterexample is not None
+
+    def test_case_count_is_exponential_in_inputs(self):
+        program = assemble("addsd xmm1, xmm0")
+        result = exhaustive_check(program, program, ["xmm0"],
+                                  {"xmm0": (0.0, 1.0), "xmm1": (0.0, 1.0)},
+                                  lambda: TestCase({}), bits_per_input=4)
+        assert result.cases_checked == 16 * 16
+
+    def test_signal_divergence_is_infinite_error(self):
+        target = assemble("addsd xmm0, xmm0")
+        faulting = assemble("movsd (rax), xmm0")
+        result = exhaustive_check(target, faulting, ["xmm0"],
+                                  {"xmm0": (0.0, 1.0)},
+                                  lambda: TestCase({}), bits_per_input=2)
+        assert result.max_ulps == math.inf

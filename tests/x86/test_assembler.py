@@ -1,0 +1,167 @@
+"""Tests for the AT&T-syntax assembler."""
+
+import pytest
+
+from repro.fp.ieee754 import double_to_bits, single_to_bits
+from repro.x86.assembler import AsmError, assemble, disassemble, parse_instruction
+from repro.x86.operands import Imm, Mem, Reg32, Reg64, Xmm
+
+
+class TestBasicParsing:
+    def test_simple_instruction(self):
+        instr = parse_instruction("addsd xmm1, xmm0")
+        assert instr.opcode == "addsd"
+        assert instr.operands == (Xmm(1), Xmm(0))
+
+    def test_percent_prefixes_accepted(self):
+        instr = parse_instruction("addsd %xmm1, %xmm0")
+        assert instr.operands == (Xmm(1), Xmm(0))
+
+    def test_comments_and_blanks(self):
+        program = assemble("""
+            # a comment
+            addsd xmm1, xmm0   # trailing comment
+
+        """)
+        assert program.loc == 1
+
+    def test_case_insensitive_mnemonic(self):
+        assert parse_instruction("ADDSD xmm1, xmm0").opcode == "addsd"
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AsmError, match="unknown opcode"):
+            parse_instruction("frobnicate xmm0, xmm1")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AsmError):
+            parse_instruction("addsd xmm0")
+
+
+class TestMemoryOperands:
+    def test_base_only(self):
+        instr = parse_instruction("mulsd (rdi), xmm0")
+        assert instr.operands[0] == Mem(8, 7)
+
+    def test_displacement(self):
+        instr = parse_instruction("mulss 8(rdi), xmm1")
+        assert instr.operands[0] == Mem(4, 7, 8)
+
+    def test_negative_displacement(self):
+        instr = parse_instruction("movsd -16(rsp), xmm0")
+        assert instr.operands[0] == Mem(8, 4, -16)
+
+    def test_index_and_scale(self):
+        instr = parse_instruction("mulsd 16(rcx,rax,8), xmm0")
+        assert instr.operands[0] == Mem(8, 1, 16, index=0, scale=8)
+
+    def test_size_inferred_from_opcode(self):
+        assert parse_instruction("addss (rdi), xmm0").operands[0].size == 4
+        assert parse_instruction("addsd (rdi), xmm0").operands[0].size == 8
+        assert parse_instruction("addpd (rdi), xmm0").operands[0].size == 16
+
+    def test_size_inferred_from_companion_register(self):
+        assert parse_instruction("mov (rdi), rax").operands[0].size == 8
+        assert parse_instruction("mov (rdi), eax").operands[0].size == 4
+
+    def test_mem_to_mem_rejected(self):
+        with pytest.raises(AsmError):
+            parse_instruction("mov (rdi), (rsi)")
+
+
+class TestImmediates:
+    def test_decimal_and_hex(self):
+        assert parse_instruction("shl $5, rax").operands[0] == Imm(5)
+        instr = parse_instruction("and $0xff, rax")
+        assert instr.operands[0].value == 0xFF
+
+    def test_negative(self):
+        assert parse_instruction("pshuflw $-2, xmm0, xmm2").operands[0].value == -2
+
+    def test_double_float_immediate(self):
+        instr = parse_instruction("movq $1.5d, xmm0")
+        assert instr.operands[0].value == double_to_bits(1.5)
+
+    def test_single_float_immediate(self):
+        instr = parse_instruction("movl $0.5f, eax")
+        assert instr.operands[0].value == single_to_bits(0.5)
+
+    def test_bare_float_width_from_register(self):
+        # Paper style: "movl 0.5, eax" loads single-precision bits.
+        instr = parse_instruction("movl 0.5, eax")
+        assert instr.operands[0].value == single_to_bits(0.5)
+
+    def test_bare_float_defaults_to_double_for_xmm(self):
+        instr = parse_instruction("movq $2.0, xmm1")
+        assert instr.operands[0].value == double_to_bits(2.0)
+
+
+class TestAliases:
+    def test_movl_is_mov(self):
+        instr = parse_instruction("movl $1, eax")
+        assert instr.opcode == "mov"
+        assert isinstance(instr.operands[1], Reg32)
+
+    def test_movq_gp_is_mov(self):
+        instr = parse_instruction("movq rax, rcx")
+        assert instr.opcode == "mov"
+        assert isinstance(instr.operands[1], Reg64)
+
+    def test_movq_xmm_stays_movq(self):
+        assert parse_instruction("movq xmm0, rax").opcode == "movq"
+
+    def test_suffixed_alu(self):
+        assert parse_instruction("addq $8, rax").opcode == "add"
+        assert parse_instruction("subl $1, eax").opcode == "sub"
+
+
+class TestPaperListings:
+    def test_figure6_gcc_dot(self):
+        program = assemble("""
+            movq xmm0, -16(rsp)
+            mulss 8(rdi), xmm1
+            movss (rdi), xmm0
+            movss 4(rdi), xmm2
+            mulss -16(rsp), xmm0
+            mulss -12(rsp), xmm2
+            addss xmm2, xmm0
+            addss xmm1, xmm0
+        """)
+        assert program.loc == 8
+
+    def test_figure6_stoke_dot(self):
+        program = assemble("""
+            vpshuflw $-2, xmm0, xmm2
+            mulss 8(rdi), xmm1
+            mulss (rdi), xmm0
+            mulss 4(rdi), xmm2
+            vaddss xmm0, xmm2, xmm5
+            vaddss xmm5, xmm1, xmm0
+        """)
+        assert program.loc == 6
+
+    def test_figure7_fragment(self):
+        program = assemble("""
+            movl $0.5, eax
+            movd eax, xmm2
+            subps xmm2, xmm0
+            lddqu 4(rdi), xmm5
+            punpckldq xmm5, xmm0
+        """)
+        assert program.loc == 5
+
+
+class TestRoundTrip:
+    def test_assemble_disassemble_assemble(self):
+        text = """movq $1.5d, xmm2
+mulsd xmm2, xmm0
+addsd 8(rdi), xmm0
+cmovae rdx, rax
+shl $52, rax
+"""
+        program = assemble(text)
+        again = assemble(disassemble(program))
+        assert program == again
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(AsmError, match="line 2"):
+            assemble("addsd xmm0, xmm1\nbogus xmm0\n")

@@ -1,0 +1,164 @@
+"""Unit semantics for the SSE4.1/shuffle opcodes added beyond the core set."""
+
+import math
+
+import pytest
+
+from repro.fp.ieee754 import bits_to_double, double_to_bits, single_to_bits
+from repro.x86.assembler import assemble
+from repro.x86.emulator import Emulator
+from repro.x86.jit import compile_program
+from repro.x86.testcase import TestCase
+
+
+@pytest.fixture(params=["emulator", "jit"])
+def backend(request):
+    return request.param
+
+
+def run(asm, inputs, backend):
+    program = assemble(asm)
+    state = TestCase(inputs).build_state()
+    if backend == "jit":
+        outcome = compile_program(program).run(state)
+    else:
+        outcome = Emulator().run(program, state)
+    assert outcome.ok
+    return state
+
+
+def d(value):
+    return double_to_bits(value)
+
+
+class TestRoundsd:
+    @pytest.mark.parametrize("mode,value,want", [
+        (0, 2.5, 2.0), (0, 3.5, 4.0), (0, -2.5, -2.0),  # nearest-even
+        (1, 2.7, 2.0), (1, -2.3, -3.0),                  # floor
+        (2, 2.3, 3.0), (2, -2.7, -2.0),                  # ceil
+        (3, 2.9, 2.0), (3, -2.9, -2.0),                  # truncate
+    ])
+    def test_modes(self, backend, mode, value, want):
+        state = run(f"roundsd ${mode}, xmm1, xmm0", {"xmm1": d(value)},
+                    backend)
+        assert bits_to_double(state.xmm_lo[0]) == want
+
+    def test_preserves_sign_of_zero(self, backend):
+        state = run("roundsd $3, xmm1, xmm0", {"xmm1": d(-0.5)}, backend)
+        assert state.xmm_lo[0] == d(-0.0)
+
+    def test_specials_pass_through(self, backend):
+        state = run("roundsd $0, xmm1, xmm0", {"xmm1": d(math.inf)}, backend)
+        assert bits_to_double(state.xmm_lo[0]) == math.inf
+        state = run("roundsd $0, xmm1, xmm0", {"xmm1": d(math.nan)}, backend)
+        assert math.isnan(bits_to_double(state.xmm_lo[0]))
+
+    def test_exp_style_range_reduction(self, backend):
+        # roundsd + subtraction: an alternative k/r split the search can
+        # discover for the exp kernel.
+        state = run("""
+            roundsd $0, xmm0, xmm1
+            subsd xmm1, xmm0
+        """, {"xmm0": d(3.7)}, backend)
+        assert bits_to_double(state.xmm_lo[1]) == 4.0
+        assert bits_to_double(state.xmm_lo[0]) == 3.7 - 4.0
+
+
+class TestShufpd:
+    def test_selects_halves(self, backend):
+        inputs = {"xmm0": d(1.0), "xmm0:hd": d(2.0),
+                  "xmm1": d(3.0), "xmm1:hd": d(4.0)}
+        # imm=0: lo from dst.lo, hi from src.lo
+        state = run("shufpd $0, xmm1, xmm0", dict(inputs), backend)
+        assert (bits_to_double(state.xmm_lo[0]),
+                bits_to_double(state.xmm_hi[0])) == (1.0, 3.0)
+        # imm=3: lo from dst.hi, hi from src.hi
+        state = run("shufpd $3, xmm1, xmm0", dict(inputs), backend)
+        assert (bits_to_double(state.xmm_lo[0]),
+                bits_to_double(state.xmm_hi[0])) == (2.0, 4.0)
+
+    def test_self_swap(self, backend):
+        # shufpd $1, x, x swaps the halves.
+        state = run("shufpd $1, xmm0, xmm0",
+                    {"xmm0": d(1.0), "xmm0:hd": d(2.0)}, backend)
+        assert bits_to_double(state.xmm_lo[0]) == 2.0
+        assert bits_to_double(state.xmm_hi[0]) == 1.0
+
+
+class TestMovlhpsMovhlps:
+    def test_movlhps(self, backend):
+        state = run("movlhps xmm1, xmm0",
+                    {"xmm0": d(1.0), "xmm1": d(5.0)}, backend)
+        assert bits_to_double(state.xmm_lo[0]) == 1.0
+        assert bits_to_double(state.xmm_hi[0]) == 5.0
+
+    def test_movhlps(self, backend):
+        state = run("movhlps xmm1, xmm0",
+                    {"xmm0": d(1.0), "xmm1:hd": d(7.0)}, backend)
+        assert bits_to_double(state.xmm_lo[0]) == 7.0
+
+    def test_roundtrip(self, backend):
+        state = run("movlhps xmm0, xmm1\nmovhlps xmm1, xmm2",
+                    {"xmm0": d(3.25)}, backend)
+        assert bits_to_double(state.xmm_lo[2]) == 3.25
+
+
+class TestPackedConversions:
+    def test_cvtps2pd(self, backend):
+        lanes = single_to_bits(1.5) | (single_to_bits(-2.25) << 32)
+        state = run("cvtps2pd xmm1, xmm0", {"xmm1": lanes}, backend)
+        assert bits_to_double(state.xmm_lo[0]) == 1.5
+        assert bits_to_double(state.xmm_hi[0]) == -2.25
+
+    def test_cvtpd2ps(self, backend):
+        state = run("cvtpd2ps xmm1, xmm0",
+                    {"xmm1": d(0.1), "xmm1:hd": d(7.0)}, backend)
+        import numpy as np
+
+        assert (state.xmm_lo[0] & 0xFFFFFFFF) == single_to_bits(0.1)
+        assert (state.xmm_lo[0] >> 32) == single_to_bits(7.0)
+        assert state.xmm_hi[0] == 0
+
+    def test_roundtrip_exact_singles(self, backend):
+        lanes = single_to_bits(1.5) | (single_to_bits(3.0) << 32)
+        state = run("cvtps2pd xmm0, xmm1\ncvtpd2ps xmm1, xmm2",
+                    {"xmm0": lanes}, backend)
+        assert state.xmm_lo[2] == lanes
+
+    def test_cvtps2pd_self(self, backend):
+        lanes = single_to_bits(2.0) | (single_to_bits(4.0) << 32)
+        state = run("cvtps2pd xmm0, xmm0", {"xmm0": lanes}, backend)
+        assert bits_to_double(state.xmm_lo[0]) == 2.0
+        assert bits_to_double(state.xmm_hi[0]) == 4.0
+
+
+class TestTrace:
+    def test_trace_records_changes(self):
+        from repro.x86.trace import trace_program
+
+        program = assemble("movq $2.0d, xmm1\nmulsd xmm1, xmm0")
+        state = TestCase.from_values({"xmm0": 3.0}).build_state()
+        trace = trace_program(program, state)
+        assert len(trace.steps) == 2
+        assert "xmm1" in trace.steps[0].changes
+        assert "xmm0" in trace.steps[1].changes
+        assert trace.signal is None
+        assert "mulsd" in trace.render()
+
+    def test_trace_stops_at_signal(self):
+        from repro.x86.signals import Signal
+        from repro.x86.trace import trace_program
+
+        program = assemble("movq $1.0d, xmm0\nmovsd (rax), xmm1")
+        state = TestCase.from_values({"rax": 0xBAD}).build_state()
+        trace = trace_program(program, state)
+        assert trace.signal is Signal.SIGSEGV
+        assert len(trace.steps) == 2
+
+    def test_trace_skips_unused(self):
+        from repro.x86.trace import trace_program
+
+        program = assemble("addsd xmm0, xmm0", total_slots=4)
+        state = TestCase.from_values({"xmm0": 1.0}).build_state()
+        trace = trace_program(program, state)
+        assert len(trace.steps) == 1

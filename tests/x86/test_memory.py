@@ -1,0 +1,105 @@
+"""Tests for the segmented, sandboxed memory."""
+
+import pytest
+
+from repro.x86.memory import Memory, Segment
+from repro.x86.signals import SegFault, Signal
+
+
+def make_memory():
+    return Memory([
+        Segment("data", 0x1000, bytes(32), writable=True),
+        Segment("table", 0x2000, bytes(range(16)), writable=False),
+    ])
+
+
+class TestSegments:
+    def test_bounds(self):
+        seg = Segment("s", 0x100, bytes(8))
+        assert seg.contains(0x100, 8)
+        assert not seg.contains(0x100, 9)
+        assert not seg.contains(0xFF, 1)
+
+    def test_copy_is_deep(self):
+        seg = Segment("s", 0, bytes(4))
+        dup = seg.copy()
+        dup.data[0] = 0xFF
+        assert seg.data[0] == 0
+
+    def test_overlap_rejected(self):
+        mem = make_memory()
+        with pytest.raises(ValueError):
+            mem.map(Segment("clash", 0x1010, bytes(4)))
+
+    def test_adjacent_allowed(self):
+        mem = make_memory()
+        mem.map(Segment("next", 0x1020, bytes(4)))
+        assert mem.segment("next").base == 0x1020
+
+
+class TestLoadStore:
+    def test_little_endian_roundtrip(self):
+        mem = make_memory()
+        mem.store(0x1000, 8, 0x0102030405060708)
+        assert mem.load(0x1000, 8) == 0x0102030405060708
+        assert mem.load(0x1000, 1) == 0x08  # low byte first
+
+    def test_partial_overlap_of_stores(self):
+        mem = make_memory()
+        mem.store(0x1000, 8, 0xAABBCCDDEEFF1122)
+        assert mem.load(0x1004, 4) == 0xAABBCCDD
+
+    def test_value_masked_to_size(self):
+        mem = make_memory()
+        mem.store(0x1000, 4, 0x1FFFFFFFF)
+        assert mem.load(0x1000, 4) == 0xFFFFFFFF
+
+    def test_read_only_table(self):
+        mem = make_memory()
+        assert mem.load(0x2000, 4) == 0x03020100
+        with pytest.raises(SegFault):
+            mem.store(0x2000, 4, 0)
+
+    def test_load16(self):
+        mem = make_memory()
+        mem.store(0x1000, 8, 1)
+        mem.store(0x1008, 8, 2)
+        assert mem.load16(0x1000) == (1, 2)
+
+    def test_store16(self):
+        mem = make_memory()
+        mem.store16(0x1000, 0xAA, 0xBB)
+        assert mem.load8(0x1000) == 0xAA
+        assert mem.load8(0x1008) == 0xBB
+
+
+class TestSandbox:
+    def test_unmapped_load_faults(self):
+        mem = make_memory()
+        with pytest.raises(SegFault) as excinfo:
+            mem.load(0x9000, 8)
+        assert excinfo.value.signal is Signal.SIGSEGV
+
+    def test_straddling_access_faults(self):
+        mem = make_memory()
+        with pytest.raises(SegFault):
+            mem.load(0x101C, 8)  # 4 bytes in, 4 bytes out
+
+    def test_wraparound_address(self):
+        mem = make_memory()
+        with pytest.raises(SegFault):
+            mem.load(2**64 - 4, 8)
+
+
+class TestCopy:
+    def test_copy_shares_read_only(self):
+        mem = make_memory()
+        dup = mem.copy()
+        assert dup.segment("table") is mem.segment("table")
+        assert dup.segment("data") is not mem.segment("data")
+
+    def test_copy_isolates_writes(self):
+        mem = make_memory()
+        dup = mem.copy()
+        dup.store(0x1000, 8, 42)
+        assert mem.load(0x1000, 8) == 0

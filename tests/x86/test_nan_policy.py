@@ -1,0 +1,112 @@
+"""The NaN contract: arithmetic canonicalizes, moves preserve payloads."""
+
+import pytest
+
+from repro.x86 import scalar as S
+from repro.x86.assembler import assemble
+from repro.x86.emulator import Emulator
+from repro.x86.jit import compile_program
+from repro.x86.testcase import TestCase
+
+SNAN64 = 0x7FF0000000000001        # signaling, payload 1
+QNAN64_PAYLOAD = 0x7FF800000000BEEF
+SNAN32 = 0x7F800001
+CANON64 = 0x7FF8000000000000
+CANON32 = 0x7FC00000
+
+
+class TestScalarHelpers:
+    def test_widen_narrow_roundtrips_snan(self):
+        assert S.f2u(S.u2f(SNAN32)) == SNAN32
+        assert S.f2u(S.u2f(0xFFC00123)) == 0xFFC00123
+
+    def test_arithmetic_canonicalizes(self):
+        one = S.d2u(1.0)
+        assert S.add_d(SNAN64, one) == CANON64
+        assert S.mul_d(QNAN64_PAYLOAD, one) == CANON64
+        assert S.div_d(SNAN64, one) == CANON64
+        assert S.add_f(SNAN32, S.f2u(1.0)) == CANON32
+
+    def test_minmax_selection_canonicalizes_nan(self):
+        one = S.d2u(1.0)
+        # NaN comparisons are false, so src is selected; canonicalized.
+        assert S.min_d(SNAN64, QNAN64_PAYLOAD) == CANON64
+        # Non-NaN selections stay bit-exact (returns src on ties).
+        assert S.min_d(S.d2u(-0.0), S.d2u(0.0)) == S.d2u(0.0)
+        assert S.min_f(SNAN32, SNAN32) == CANON32
+
+    def test_conversions_canonicalize(self):
+        assert S.cvtsd2ss(SNAN64) == CANON32
+        assert S.cvtss2sd(SNAN32) == CANON64
+
+    def test_d2u_c(self):
+        assert S.d2u_c(S.u2d(QNAN64_PAYLOAD)) == CANON64
+        assert S.d2u_c(1.5) == S.d2u(1.5)
+        assert S.d2u_c(-0.0) == 1 << 63
+
+
+@pytest.fixture(params=["emulator", "jit"])
+def backend(request):
+    return request.param
+
+
+def run(asm, inputs, backend):
+    program = assemble(asm)
+    state = TestCase(inputs).build_state()
+    if backend == "jit":
+        assert compile_program(program).run(state).ok
+    else:
+        assert Emulator().run(program, state).ok
+    return state
+
+
+class TestMovesPreservePayloads:
+    def test_movsd_copies_snan_exactly(self, backend):
+        state = run("movsd xmm1, xmm0", {"xmm1": SNAN64}, backend)
+        assert state.xmm_lo[0] == SNAN64
+
+    def test_movq_through_gp(self, backend):
+        state = run("movq xmm0, rax\nmovq rax, xmm2",
+                    {"xmm0": QNAN64_PAYLOAD}, backend)
+        assert state.xmm_lo[2] == QNAN64_PAYLOAD
+
+    def test_movss_lane_copy_exact(self, backend):
+        state = run("movss xmm1, xmm0",
+                    {"xmm1": SNAN32, "xmm0": 0}, backend)
+        assert state.xmm_lo[0] == SNAN32
+
+    def test_shuffles_exact(self, backend):
+        state = run("pshufd $0b01000100, xmm0, xmm1",
+                    {"xmm0": (SNAN32 << 32) | 0x12345678}, backend)
+        assert state.xmm_lo[1] == (SNAN32 << 32) | 0x12345678
+
+    def test_untouched_lane_survives_scalar_arith(self, backend):
+        # addss writes lane0 only; a raw sNaN in lane1 must survive.
+        state = run("addss xmm1, xmm0",
+                    {"xmm0": (SNAN32 << 32) | S.f2u(1.0),
+                     "xmm1:s0": S.f2u(2.0)}, backend)
+        assert state.xmm_lo[0] >> 32 == SNAN32
+        assert (state.xmm_lo[0] & 0xFFFFFFFF) == S.f2u(3.0)
+
+
+class TestArithmeticCanonicalInBothBackends:
+    def test_addsd_nan_result(self, backend):
+        state = run("addsd xmm1, xmm0",
+                    {"xmm0": SNAN64, "xmm1": QNAN64_PAYLOAD}, backend)
+        assert state.xmm_lo[0] == CANON64
+
+    def test_mulps_nan_lanes(self, backend):
+        state = run("mulps xmm1, xmm0",
+                    {"xmm0": (SNAN32 << 32) | SNAN32,
+                     "xmm1": (CANON32 << 32) | S.f2u(1.0)}, backend)
+        assert state.xmm_lo[0] == (CANON32 << 32) | CANON32
+
+    def test_cvt_chain(self, backend):
+        state = run("cvtsd2ss xmm0, xmm1\ncvtss2sd xmm1, xmm2",
+                    {"xmm0": SNAN64}, backend)
+        assert state.xmm_lo[2] == CANON64
+
+    def test_roundsd_nan(self, backend):
+        state = run("roundsd $0, xmm1, xmm0",
+                    {"xmm1": QNAN64_PAYLOAD}, backend)
+        assert state.xmm_lo[0] == CANON64

@@ -1,0 +1,322 @@
+"""Unit tests for instruction semantics, run through both backends.
+
+Each case builds a tiny program, runs it on a known machine state, and
+checks the architectural result against hand-computed expectations.  The
+``backend`` fixture parameterizes every test over the emulator and JIT.
+"""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+
+from repro.fp.ieee754 import bits_to_double, double_to_bits, single_to_bits
+from repro.x86.assembler import assemble
+from repro.x86.emulator import Emulator
+from repro.x86.jit import compile_program
+from repro.x86.memory import Segment
+from repro.x86.signals import Signal
+from repro.x86.testcase import TestCase
+
+
+@pytest.fixture(params=["emulator", "jit"])
+def backend(request):
+    return request.param
+
+
+def run(asm, inputs, backend, segments=()):
+    program = assemble(asm)
+    tc = TestCase(inputs, segments)
+    state = tc.build_state()
+    if backend == "jit":
+        outcome = compile_program(program).run(state)
+    else:
+        outcome = Emulator().run(program, state)
+    return state, outcome
+
+
+def xmm_d(state, i):
+    return bits_to_double(state.xmm_lo[i])
+
+
+def d(value):
+    return double_to_bits(value)
+
+
+class TestScalarDouble:
+    def test_addsd(self, backend):
+        state, _ = run("addsd xmm1, xmm0", {"xmm0": d(1.5), "xmm1": d(2.5)},
+                       backend)
+        assert xmm_d(state, 0) == 4.0
+
+    def test_subsd_order(self, backend):
+        state, _ = run("subsd xmm1, xmm0", {"xmm0": d(10.0), "xmm1": d(4.0)},
+                       backend)
+        assert xmm_d(state, 0) == 6.0  # dst - src
+
+    def test_divsd_by_zero_is_inf(self, backend):
+        state, outcome = run("divsd xmm1, xmm0",
+                             {"xmm0": d(1.0), "xmm1": d(0.0)}, backend)
+        assert outcome.ok  # FP division does not trap
+        assert xmm_d(state, 0) == math.inf
+
+    def test_divsd_zero_by_zero_is_nan(self, backend):
+        state, _ = run("divsd xmm1, xmm0",
+                       {"xmm0": d(0.0), "xmm1": d(0.0)}, backend)
+        assert math.isnan(xmm_d(state, 0))
+
+    def test_divsd_sign_of_inf(self, backend):
+        state, _ = run("divsd xmm1, xmm0",
+                       {"xmm0": d(-1.0), "xmm1": d(0.0)}, backend)
+        assert xmm_d(state, 0) == -math.inf
+
+    def test_minsd_returns_src_on_nan(self, backend):
+        state, _ = run("minsd xmm1, xmm0",
+                       {"xmm0": d(math.nan), "xmm1": d(3.0)}, backend)
+        assert xmm_d(state, 0) == 3.0
+
+    def test_maxsd_equal_returns_src(self, backend):
+        # x86 MAXSD returns the second source on ties: max(-0, +0) = +0src.
+        state, _ = run("maxsd xmm1, xmm0",
+                       {"xmm0": d(-0.0), "xmm1": d(0.0)}, backend)
+        assert state.xmm_lo[0] == d(0.0)
+
+    def test_sqrtsd(self, backend):
+        state, _ = run("sqrtsd xmm1, xmm0", {"xmm1": d(9.0)}, backend)
+        assert xmm_d(state, 0) == 3.0
+
+    def test_sqrtsd_negative_is_nan(self, backend):
+        state, _ = run("sqrtsd xmm1, xmm0", {"xmm1": d(-4.0)}, backend)
+        assert math.isnan(xmm_d(state, 0))
+
+    def test_sqrtsd_negative_zero(self, backend):
+        state, _ = run("sqrtsd xmm1, xmm0", {"xmm1": d(-0.0)}, backend)
+        assert state.xmm_lo[0] == d(-0.0)
+
+    def test_scalar_preserves_high_quad(self, backend):
+        tc = {"xmm0": d(1.0), "xmm1": d(2.0)}
+        program = "addsd xmm1, xmm0"
+        state, _ = run(program, tc, backend)
+        # high quad untouched (zero in, zero out) and low replaced
+        assert state.xmm_hi[0] == 0
+        inputs = dict(tc)
+        inputs["xmm0:hd"] = d(7.0)
+        state, _ = run(program, inputs, backend)
+        assert state.xmm_hi[0] == d(7.0)
+
+
+class TestScalarSingle:
+    def test_addss_rounds_to_single(self, backend):
+        a = single_to_bits(0.1)
+        b = single_to_bits(0.2)
+        state, _ = run("addss xmm1, xmm0",
+                       {"xmm0:s0": a, "xmm1:s0": b}, backend)
+        want = float(np.float32(np.float32(0.1) + np.float32(0.2)))
+        got = struct.unpack("<f", struct.pack("<I",
+                                              state.xmm_lo[0] & 0xFFFFFFFF))[0]
+        assert got == want
+
+    def test_addss_preserves_upper_lanes(self, backend):
+        state, _ = run("addss xmm1, xmm0",
+                       {"xmm0": 0xAAAAAAAA00000000 | single_to_bits(1.0),
+                        "xmm1:s0": single_to_bits(2.0)}, backend)
+        assert state.xmm_lo[0] >> 32 == 0xAAAAAAAA
+
+    def test_divss_single_rounding(self, backend):
+        a, b = single_to_bits(1.0), single_to_bits(3.0)
+        state, _ = run("divss xmm1, xmm0",
+                       {"xmm0:s0": a, "xmm1:s0": b}, backend)
+        want = np.float32(1.0) / np.float32(3.0)
+        assert (state.xmm_lo[0] & 0xFFFFFFFF) == int(want.view(np.uint32))
+
+
+class TestAvxAndFma:
+    def test_vaddsd_three_operand(self, backend):
+        state, _ = run("vaddsd xmm1, xmm2, xmm3",
+                       {"xmm1": d(1.0), "xmm2": d(2.0),
+                        "xmm2:hd": d(9.0)}, backend)
+        assert xmm_d(state, 3) == 3.0
+        assert state.xmm_hi[3] == d(9.0)  # high copied from src2
+
+    def test_vsubsd_operand_order(self, backend):
+        state, _ = run("vsubsd xmm1, xmm2, xmm3",
+                       {"xmm1": d(1.0), "xmm2": d(10.0)}, backend)
+        assert xmm_d(state, 3) == 9.0  # src2 - src1
+
+    def test_fma213_formula(self, backend):
+        # vfmadd213sd o1, o2, d:  d = o2*d + o1
+        state, _ = run("vfmadd213sd xmm1, xmm2, xmm0",
+                       {"xmm0": d(3.0), "xmm1": d(10.0), "xmm2": d(4.0)},
+                       backend)
+        assert xmm_d(state, 0) == 22.0
+
+    def test_fma231_formula(self, backend):
+        state, _ = run("vfmadd231sd xmm1, xmm2, xmm0",
+                       {"xmm0": d(3.0), "xmm1": d(10.0), "xmm2": d(4.0)},
+                       backend)
+        assert xmm_d(state, 0) == 43.0
+
+    def test_fma_single_rounding(self, backend):
+        # Choose values where fused differs from mul-then-add:
+        # (1 + 2^-30)^2 = 1 + 2^-29 + 2^-60; subtracting 1 fused keeps
+        # the 2^-60 term that a separate mul would round away.
+        x = 1.0 + 2.0 ** -30
+        state, _ = run("vfmadd213sd xmm1, xmm2, xmm0",
+                       {"xmm0": d(x), "xmm2": d(x), "xmm1": d(-1.0)},
+                       backend)
+        fused = xmm_d(state, 0)
+        unfused = x * x - 1.0
+        assert fused != unfused
+        assert fused == 2.0 ** -29 + 2.0 ** -60
+
+    def test_fnmadd(self, backend):
+        state, _ = run("vfnmadd213sd xmm1, xmm2, xmm0",
+                       {"xmm0": d(3.0), "xmm1": d(10.0), "xmm2": d(4.0)},
+                       backend)
+        assert xmm_d(state, 0) == -2.0
+
+
+class TestMoves:
+    def test_movq_to_xmm_zeroes_high(self, backend):
+        state, _ = run("movq rax, xmm0",
+                       {"rax": 0x1234, "xmm0:hd": d(1.0)}, backend)
+        assert state.xmm_lo[0] == 0x1234
+        assert state.xmm_hi[0] == 0
+
+    def test_movsd_reg_preserves_high(self, backend):
+        state, _ = run("movsd xmm1, xmm0",
+                       {"xmm1": d(2.0), "xmm0:hd": d(5.0)}, backend)
+        assert state.xmm_hi[0] == d(5.0)
+
+    def test_movsd_load_zeroes_high(self, backend):
+        seg = Segment("buf", 0x1000, struct.pack("<d", 6.5))
+        state, _ = run("movsd (rax), xmm0",
+                       {"rax": 0x1000, "xmm0:hd": d(5.0)}, backend,
+                       segments=[seg])
+        assert xmm_d(state, 0) == 6.5
+        assert state.xmm_hi[0] == 0
+
+    def test_mov32_zero_extends(self, backend):
+        state, _ = run("mov $-1, eax", {"rax": 0xFFFFFFFFFFFFFFFF}, backend)
+        assert state.gp[0] == 0xFFFFFFFF
+
+    def test_movq_pseudo_immediate(self, backend):
+        state, _ = run("movq $2.5d, xmm3", {}, backend)
+        assert xmm_d(state, 3) == 2.5
+
+
+class TestShufflesAndUnpacks:
+    def test_unpcklpd(self, backend):
+        state, _ = run("unpcklpd xmm1, xmm0",
+                       {"xmm0": d(1.0), "xmm1": d(2.0)}, backend)
+        assert xmm_d(state, 0) == 1.0
+        assert state.xmm_hi[0] == d(2.0)
+
+    def test_unpckhpd_self(self, backend):
+        state, _ = run("unpckhpd xmm0, xmm0",
+                       {"xmm0": d(1.0), "xmm0:hd": d(2.0)}, backend)
+        assert state.xmm_lo[0] == d(2.0)
+        assert state.xmm_hi[0] == d(2.0)
+
+    def test_punpckldq(self, backend):
+        state, _ = run("punpckldq xmm1, xmm0",
+                       {"xmm0": 0x44444444_33333333,
+                        "xmm1": 0x22222222_11111111}, backend)
+        assert state.xmm_lo[0] == 0x11111111_33333333
+        assert state.xmm_hi[0] == 0x22222222_44444444
+
+    def test_pshufd_broadcast(self, backend):
+        state, _ = run("pshufd $0, xmm1, xmm0",
+                       {"xmm1": 0x22222222_11111111}, backend)
+        assert state.xmm_lo[0] == 0x11111111_11111111
+        assert state.xmm_hi[0] == 0x11111111_11111111
+
+    def test_pshuflw_paper_constant(self, backend):
+        # vpshuflw $-2: word selectors [2,3,3,3] -> new lane0 = old lane1.
+        state, _ = run("vpshuflw $-2, xmm0, xmm2",
+                       {"xmm0": 0xBBBBBBBB_AAAAAAAA}, backend)
+        assert state.xmm_lo[2] & 0xFFFFFFFF == 0xBBBBBBBB
+
+
+class TestGpAndFlags:
+    def test_shifts(self, backend):
+        state, _ = run("shl $52, rax", {"rax": 1}, backend)
+        assert state.gp[0] == 1 << 52
+        state, _ = run("shr $4, rax", {"rax": 0xF0}, backend)
+        assert state.gp[0] == 0xF
+        state, _ = run("sar $4, rax", {"rax": 0xFFFFFFFFFFFFFF00}, backend)
+        assert state.gp[0] == 0xFFFFFFFFFFFFFFF0
+
+    def test_cmp_cmov_below(self, backend):
+        state, _ = run("cmp rcx, rax\ncmovb rdx, rbx",
+                       {"rax": 1, "rcx": 2, "rdx": 42, "rbx": 0}, backend)
+        assert state.gp[3] == 42  # 1 < 2 unsigned -> taken
+
+    def test_cmp_cmov_not_taken(self, backend):
+        state, _ = run("cmp rcx, rax\ncmovb rdx, rbx",
+                       {"rax": 5, "rcx": 2, "rdx": 42, "rbx": 7}, backend)
+        assert state.gp[3] == 7
+
+    def test_signed_condition(self, backend):
+        # -1 < 1 signed: cmovl taken.
+        state, _ = run("cmp rcx, rax\ncmovl rdx, rbx",
+                       {"rax": 0xFFFFFFFFFFFFFFFF, "rcx": 1, "rdx": 9,
+                        "rbx": 0}, backend)
+        assert state.gp[3] == 9
+
+    def test_ucomisd_ae(self, backend):
+        # m >= sqrt2 via cmovae (the log kernel's range adjustment).
+        asm = "ucomisd xmm2, xmm1\ncmovae rdx, rax"
+        state, _ = run(asm, {"xmm1": d(1.5), "xmm2": d(1.41),
+                             "rdx": 1, "rax": 0}, backend)
+        assert state.gp[0] == 1
+        state, _ = run(asm, {"xmm1": d(1.2), "xmm2": d(1.41),
+                             "rdx": 1, "rax": 0}, backend)
+        assert state.gp[0] == 0
+
+    def test_ucomisd_nan_sets_all(self, backend):
+        asm = "ucomisd xmm2, xmm1\ncmovb rdx, rax"
+        state, _ = run(asm, {"xmm1": d(math.nan), "xmm2": d(1.0),
+                             "rdx": 5, "rax": 0}, backend)
+        assert state.gp[0] == 5  # CF set on unordered
+
+
+class TestConversions:
+    def test_cvttsd2si_truncates(self, backend):
+        state, _ = run("cvttsd2si xmm0, rax", {"xmm0": d(-2.9)}, backend)
+        assert state.gp[0] == 0xFFFFFFFFFFFFFFFE  # -2
+
+    def test_cvtsd2si_rounds_to_even(self, backend):
+        state, _ = run("cvtsd2si xmm0, rax", {"xmm0": d(2.5)}, backend)
+        assert state.gp[0] == 2
+        state, _ = run("cvtsd2si xmm0, rax", {"xmm0": d(3.5)}, backend)
+        assert state.gp[0] == 4
+
+    def test_cvttsd2si_saturates(self, backend):
+        state, _ = run("cvttsd2si xmm0, rax", {"xmm0": d(1e30)}, backend)
+        assert state.gp[0] == 0x8000000000000000
+        state, _ = run("cvttsd2si xmm0, rax", {"xmm0": d(math.nan)}, backend)
+        assert state.gp[0] == 0x8000000000000000
+
+    def test_cvtsi2sd_negative(self, backend):
+        state, _ = run("cvtsi2sd rax, xmm0",
+                       {"rax": 0xFFFFFFFFFFFFFFFF}, backend)
+        assert xmm_d(state, 0) == -1.0
+
+    def test_cvtsd2ss_and_back(self, backend):
+        state, _ = run("cvtsd2ss xmm0, xmm1\ncvtss2sd xmm1, xmm2",
+                       {"xmm0": d(0.1)}, backend)
+        assert xmm_d(state, 2) == float(np.float32(0.1))
+
+    def test_exp_bit_trick(self, backend):
+        # The exp kernel's 2^k construction: (k + 1023) << 52.
+        state, _ = run("add $1023, rax\nshl $52, rax\nmovq rax, xmm1",
+                       {"rax": 3}, backend)
+        assert xmm_d(state, 1) == 8.0
+
+
+class TestSignals:
+    def test_segfault_signal(self, backend):
+        state, outcome = run("movsd (rax), xmm0", {"rax": 0xDEAD}, backend)
+        assert outcome.signal is Signal.SIGSEGV
