@@ -3,7 +3,8 @@
 Makes the library usable without writing Python::
 
     python -m repro optimize kernel.s --live-out xmm0 \\
-        --range xmm0=-3.14:3.14 --eta 1e9 --proposals 20000
+        --range xmm0=-3.14:3.14 --eta 1e9 --proposals 20000 \\
+        --restarts 16 --jobs 4
     python -m repro validate target.s rewrite.s --live-out xmm0 \\
         --range xmm0=-1:1 --eta 1e6
     python -m repro run kernel.s --set xmm0=2.5 --live-out xmm0
@@ -20,7 +21,13 @@ import random
 import sys
 from typing import Dict, List, Tuple
 
-from repro.core import CostConfig, SearchConfig, Stoke
+from repro.core import (
+    CostConfig,
+    SearchConfig,
+    Stoke,
+    StokeSpec,
+    run_restarts,
+)
 from repro.validation import ValidationConfig, Validator
 from repro.x86 import assemble
 from repro.x86.testcase import TestCase, uniform_testcases
@@ -47,6 +54,20 @@ def _parse_values(items: List[str]) -> Dict[str, float]:
     return values
 
 
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return number
+
+
+def _nonnegative_int(value: str) -> int:
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return number
+
+
 def _load_program(path: str):
     with open(path) as fh:
         return assemble(fh.read())
@@ -59,9 +80,19 @@ def cmd_optimize(args) -> int:
                               ranges)
     stoke = Stoke(target, tests, args.live_out,
                   CostConfig(eta=args.eta, k=args.k))
-    result = stoke.optimize(SearchConfig(proposals=args.proposals,
-                                         seed=args.seed))
+    config = SearchConfig(proposals=args.proposals, seed=args.seed)
+    restarts = run_restarts(stoke, config, chains=args.restarts,
+                            jobs=args.jobs,
+                            spec=StokeSpec.from_stoke(stoke))
+    result = restarts.best
     print(f"# target: {target.loc} LOC / {target.latency} cycles")
+    print(f"# search: {args.restarts} chain(s) x {args.proposals} "
+          f"proposals, {restarts.jobs} worker(s)")
+    for chain in restarts.chains:
+        print(f"#   chain seed={chain.seed}: best cost {chain.best_cost:g}, "
+              f"{chain.stats.proposals_per_second:,.0f} proposals/s, "
+              f"accept rate {chain.stats.acceptance_rate:.3f}, "
+              f"correct={'yes' if chain.found_correct else 'no'}")
     if result.best_correct is None:
         print("# no correct rewrite found")
         return 1
@@ -132,6 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--proposals", type=int, default=10_000)
     opt.add_argument("--testcases", type=int, default=32)
     opt.add_argument("--seed", type=int, default=0)
+    opt.add_argument("--restarts", type=_positive_int, default=1,
+                     metavar="N",
+                     help="independent chains with seeds seed, seed+1, ... "
+                          "(the paper runs 16)")
+    opt.add_argument("--jobs", type=_nonnegative_int, default=0, metavar="N",
+                     help="worker processes for the chains; 0 (default) "
+                          "auto-sizes to min(cpu_count, restarts)")
     opt.set_defaults(fn=cmd_optimize)
 
     val = sub.add_parser("validate",

@@ -5,6 +5,12 @@ from repro.core.mcmc import acceptance_probability, metropolis_accept
 from repro.core.perf import LatencyPerf, speedup
 from repro.core.result import SearchResult, SearchStats
 from repro.core.runner import Runner, resolve_locations
+from repro.core.parallel import (
+    StokeSpec,
+    default_jobs,
+    run_chains,
+    run_seeded_chains,
+)
 from repro.core.restarts import RestartResult, run_restarts
 from repro.core.search import SearchConfig, Stoke
 from repro.core.slowcheck import (
@@ -35,6 +41,10 @@ __all__ = [
     "SearchStats",
     "Runner",
     "resolve_locations",
+    "StokeSpec",
+    "default_jobs",
+    "run_chains",
+    "run_seeded_chains",
     "RestartResult",
     "run_restarts",
     "SearchConfig",

@@ -21,6 +21,7 @@ ablation benchmarks):
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
@@ -109,9 +110,12 @@ class CostFunction:
         live_outs: Sequence[Union[str, Location]],
         config: CostConfig = CostConfig(),
         backend: str = "jit",
+        cache_size: int = 8192,
     ):
         if not tests:
             raise ValueError("at least one test case is required")
+        if cache_size < 1:
+            raise ValueError("cache_size must be positive")
         self.config = config
         self.runner = Runner(live_outs, backend=backend)
         self.target = target
@@ -119,10 +123,14 @@ class CostFunction:
         self.perf = LatencyPerf(target.latency, scale=config.perf_scale)
         # The target must run cleanly on every test case.
         self.target_outputs = self.runner.outputs_for(target, self.tests)
-        # Full (non-early-terminated) evaluations are memoized: MCMC
-        # proposals frequently revisit recently seen programs.
-        self._cache: Dict[Program, CostResult] = {}
-        self._cache_max = 8192
+        # Full (non-early-terminated) evaluations are memoized in a
+        # bounded LRU: MCMC proposals frequently revisit recently seen
+        # programs, and evicting one-at-a-time avoids the cold-cache
+        # stall that wiping the whole memo mid-search used to cause.
+        self._cache: "OrderedDict[Program, CostResult]" = OrderedDict()
+        self._cache_max = cache_size
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # -- equivalence -----------------------------------------------------
 
@@ -179,7 +187,10 @@ class CostFunction:
         """
         cached = self._cache.get(rewrite)
         if cached is not None:
+            self._cache.move_to_end(rewrite)
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         cfg = self.config
         perf = self.perf(rewrite) if cfg.k != 0.0 else 0.0
         prepared = self.runner.prepare(rewrite)
@@ -202,8 +213,8 @@ class CostFunction:
         total = eq + cfg.k * perf
         result = CostResult(total=total, eq=eq, perf=perf, signalled=signalled)
         if completed:
-            if len(self._cache) >= self._cache_max:
-                self._cache.clear()
+            while len(self._cache) >= self._cache_max:
+                self._cache.popitem(last=False)
             self._cache[rewrite] = result
         return result
 

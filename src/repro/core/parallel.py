@@ -1,0 +1,203 @@
+"""Process-parallel multi-chain search: the paper's 16-thread runs.
+
+The paper spreads every search over 16 threads (Section 6) and relies on
+that restart parallelism for its wall-clock numbers.  CPython's GIL makes
+thread parallelism useless for a pure-Python interpreter loop, so this
+module fans independent seeded chains out over a ``multiprocessing``
+worker pool instead.
+
+Design constraints, in order:
+
+1. **Determinism.**  Chain *i* always runs with seed ``config.seed + i``
+   and is a pure function of its :class:`StokeSpec` and
+   :class:`~repro.core.search.SearchConfig`; results are collected into
+   seed order before aggregation.  A fixed seed list therefore produces
+   bit-identical aggregate results (best cost, best rewrite, per-chain
+   stats — everything except wall-clock timings) for any worker count,
+   including the in-process ``jobs=1`` path.
+2. **Workers rebuild, never unpickle, the optimizer.**  Each worker
+   process builds its own ``Stoke``/``CostFunction`` once, from a small
+   picklable :class:`StokeSpec` (or a picklable zero-argument factory for
+   exotic setups), then serves many chains from it.  Only specs, configs,
+   and :class:`~repro.core.result.SearchResult` values cross the process
+   boundary.
+3. **Streaming.**  Results are streamed back as chains finish
+   (``imap_unordered``); pass ``on_result`` to observe completions live.
+   Every ``SearchResult`` carries its seed and full stats, so
+   ``result.telemetry`` keeps parallel runs debuggable per chain.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.x86.program import Program
+from repro.x86.testcase import TestCase
+
+from repro.core.cost import CostConfig
+from repro.core.result import SearchResult
+from repro.core.runner import Location
+from repro.core.search import SearchConfig, Stoke
+from repro.core.strategies import Strategy
+from repro.core.transforms import Transforms
+
+
+@dataclass(frozen=True)
+class StokeSpec:
+    """Picklable recipe for constructing a :class:`Stoke` in a worker.
+
+    Covers everything a plain ``Stoke`` needs; setups with a
+    ``slow_check`` (closures do not pickle) must pass a module-level
+    zero-argument factory instead.
+    """
+
+    target: Program
+    tests: Tuple[TestCase, ...]
+    live_outs: Tuple[Union[str, Location], ...]
+    cost_config: CostConfig = CostConfig()
+    backend: str = "jit"
+    transforms: Optional[Transforms] = None
+
+    @classmethod
+    def from_stoke(cls, stoke: Stoke) -> "StokeSpec":
+        """Derive the spec that reconstructs an existing optimizer."""
+        if stoke.slow_check is not None:
+            raise ValueError(
+                "cannot derive a picklable spec from a Stoke with a "
+                "slow_check; pass a StokeSpec or zero-argument factory "
+                "explicitly (see run_restarts(spec=...))")
+        return cls(
+            target=stoke.target,
+            tests=tuple(stoke.cost_fn.tests),
+            live_outs=tuple(stoke.cost_fn.runner.live_outs),
+            cost_config=stoke.cost_fn.config,
+            backend=stoke.cost_fn.runner.backend,
+            transforms=stoke.transforms,
+        )
+
+    def build(self) -> Stoke:
+        return Stoke(
+            self.target,
+            list(self.tests),
+            list(self.live_outs),
+            cost_config=self.cost_config,
+            transforms=self.transforms,
+            backend=self.backend,
+        )
+
+
+SpecLike = Union[StokeSpec, Callable[[], Stoke]]
+
+
+def build_stoke(spec: SpecLike) -> Stoke:
+    """Build an optimizer from a spec or factory."""
+    return spec.build() if isinstance(spec, StokeSpec) else spec()
+
+
+def default_jobs(chains: Optional[int] = None) -> int:
+    """CPU-count-aware worker count, capped at the number of chains."""
+    cores = os.cpu_count() or 1
+    if chains is None:
+        return max(1, cores)
+    return max(1, min(cores, chains))
+
+
+def resolve_jobs(jobs: Optional[int], chains: int) -> int:
+    """Normalize a user-facing ``jobs`` value (``None``/``0`` = auto)."""
+    if jobs is None or jobs == 0:
+        return default_jobs(chains)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return min(jobs, chains) if chains else jobs
+
+
+def chain_configs(config: SearchConfig, chains: int) -> List[SearchConfig]:
+    """Derived per-chain configs: seeds ``config.seed, seed + 1, ...``."""
+    if chains < 1:
+        raise ValueError("need at least one chain")
+    return [replace(config, seed=config.seed + i) for i in range(chains)]
+
+
+def _preferred_start_method() -> str:
+    """``fork`` where available: workers start in milliseconds and a
+    forked child sees the parent's hash seed, so even hash-order-dependent
+    code behaves identically in every worker."""
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+# Per-worker-process optimizer, built once by the pool initializer and
+# reused for every chain the worker runs.
+_WORKER_STOKE: Optional[Stoke] = None
+
+
+def _init_worker(spec: SpecLike) -> None:
+    global _WORKER_STOKE
+    _WORKER_STOKE = build_stoke(spec)
+
+
+def _run_chain(task: Tuple[int, SearchConfig, Optional[Strategy]]
+               ) -> Tuple[int, SearchResult]:
+    index, config, strategy = task
+    assert _WORKER_STOKE is not None, "worker pool not initialized"
+    return index, _WORKER_STOKE.search(config, strategy=strategy)
+
+
+def run_chains(
+    spec: SpecLike,
+    configs: Sequence[SearchConfig],
+    jobs: Optional[int] = None,
+    strategy: Optional[Strategy] = None,
+    on_result: Optional[Callable[[SearchResult], None]] = None,
+    start_method: Optional[str] = None,
+) -> List[SearchResult]:
+    """Run one search per config, fanned out over ``jobs`` processes.
+
+    Returns results in config order regardless of completion order.
+    ``jobs=None``/``0`` picks :func:`default_jobs`; ``jobs=1`` runs
+    in-process with a single shared optimizer (no pool, no pickling).
+    ``on_result`` fires once per chain as it completes — in completion
+    order for ``jobs > 1``, which is the streaming path.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    jobs = resolve_jobs(jobs, len(configs))
+
+    if jobs == 1 or len(configs) == 1:
+        stoke = build_stoke(spec)
+        results = []
+        for config in configs:
+            result = stoke.search(config, strategy=strategy)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+
+    ctx = mp.get_context(start_method or _preferred_start_method())
+    tasks = [(i, config, strategy) for i, config in enumerate(configs)]
+    results: List[Optional[SearchResult]] = [None] * len(configs)
+    with ctx.Pool(processes=jobs, initializer=_init_worker,
+                  initargs=(spec,)) as pool:
+        for index, result in pool.imap_unordered(_run_chain, tasks):
+            results[index] = result
+            if on_result is not None:
+                on_result(result)
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
+def run_seeded_chains(
+    spec: SpecLike,
+    config: SearchConfig,
+    chains: int,
+    jobs: Optional[int] = None,
+    strategy: Optional[Strategy] = None,
+    on_result: Optional[Callable[[SearchResult], None]] = None,
+) -> List[SearchResult]:
+    """``chains`` independent searches with seeds derived from ``config``."""
+    return run_chains(spec, chain_configs(config, chains), jobs=jobs,
+                      strategy=strategy, on_result=on_result)

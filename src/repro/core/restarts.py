@@ -1,15 +1,17 @@
 """Multi-chain search: independent seeded restarts.
 
 The paper runs 16 search threads per benchmark and keeps the best result;
-with Python's GIL the equivalent is sequential (or process-pooled)
-independent chains.  Chains are fully deterministic given their seeds, so
-restart runs are reproducible.
+with Python's GIL the equivalent is independent chains run sequentially
+(``jobs=1``) or fanned out over a process pool (``jobs>1``, see
+:mod:`repro.core.parallel`).  Chains are fully deterministic given their
+seeds and are always aggregated in seed order, so a restart run produces
+bit-identical results for any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.result import SearchResult
 from repro.core.search import SearchConfig, Stoke
@@ -18,14 +20,24 @@ from repro.core.strategies import Strategy
 
 @dataclass
 class RestartResult:
-    """Best-of-N chains, with the per-chain results retained."""
+    """Best-of-N chains, with the per-chain results retained.
+
+    ``jobs`` records the worker count the run actually used, so harness
+    output and benchmark baselines can report it.
+    """
 
     best: SearchResult
     chains: List[SearchResult] = field(default_factory=list)
+    jobs: int = 1
 
     @property
     def chains_with_correct(self) -> int:
         return sum(1 for c in self.chains if c.found_correct)
+
+    @property
+    def telemetry(self) -> List[dict]:
+        """Per-chain debugging summary (seed, rates, best-cost trace)."""
+        return [c.telemetry for c in self.chains]
 
 
 def _better(a: SearchResult, b: SearchResult) -> SearchResult:
@@ -37,20 +49,52 @@ def _better(a: SearchResult, b: SearchResult) -> SearchResult:
     return a if a.best_cost <= b.best_cost else b
 
 
+def aggregate(chains: List[SearchResult], jobs: int = 1) -> RestartResult:
+    """Fold per-chain results (in seed order) into a RestartResult."""
+    if not chains:
+        raise ValueError("need at least one chain result")
+    best = chains[0]
+    for result in chains[1:]:
+        best = _better(best, result)
+    return RestartResult(best=best, chains=list(chains), jobs=jobs)
+
+
 def run_restarts(stoke: Stoke, config: SearchConfig, chains: int,
-                 strategy: Optional[Strategy] = None) -> RestartResult:
+                 strategy: Optional[Strategy] = None,
+                 jobs: Optional[int] = 1,
+                 spec=None,
+                 on_result: Optional[Callable[[SearchResult], None]] = None,
+                 ) -> RestartResult:
     """Run ``chains`` independent searches with derived seeds.
 
     Seeds are ``config.seed, config.seed + 1, ...`` so a restart run is
     reproducible and any individual chain can be re-run in isolation.
+
+    ``jobs`` selects the worker count: ``1`` (the default) runs the
+    chains serially on ``stoke``; ``None`` or ``0`` auto-sizes to the
+    CPU count; ``>1`` fans chains out over a process pool, where each
+    worker rebuilds its own optimizer from ``spec`` (derived from
+    ``stoke`` when not given — a ``Stoke`` with a ``slow_check`` needs
+    an explicit picklable spec or factory).  Aggregate results are
+    bit-identical across worker counts for a fixed seed list.
     """
     if chains < 1:
         raise ValueError("need at least one chain")
-    results: List[SearchResult] = []
-    for chain in range(chains):
-        chain_config = replace(config, seed=config.seed + chain)
-        results.append(stoke.search(chain_config, strategy=strategy))
-    best = results[0]
-    for result in results[1:]:
-        best = _better(best, result)
-    return RestartResult(best=best, chains=results)
+    from repro.core.parallel import StokeSpec, resolve_jobs, run_seeded_chains
+
+    jobs = resolve_jobs(jobs, chains)
+    if jobs == 1:
+        results: List[SearchResult] = []
+        for chain in range(chains):
+            chain_config = replace(config, seed=config.seed + chain)
+            result = stoke.search(chain_config, strategy=strategy)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return aggregate(results, jobs=1)
+
+    if spec is None:
+        spec = StokeSpec.from_stoke(stoke)
+    results = run_seeded_chains(spec, config, chains, jobs=jobs,
+                                strategy=strategy, on_result=on_result)
+    return aggregate(results, jobs=jobs)

@@ -39,7 +39,8 @@ class SearchResult:
     was exactly zero (every test case within ``eta``); ``best_program`` is
     the lowest-total-cost sample seen regardless of correctness.  The
     ``trace`` records ``(iteration, best_cost_so_far)`` pairs for the
-    Figure 10 convergence plots.
+    Figure 10 convergence plots.  ``seed`` is the chain's RNG seed, so an
+    individual chain of a multi-chain run can be re-run in isolation.
     """
 
     target: Program
@@ -49,10 +50,27 @@ class SearchResult:
     best_correct_latency: Optional[int]
     stats: SearchStats
     trace: List[Tuple[int, float]] = field(default_factory=list)
+    seed: Optional[int] = None
 
     @property
     def found_correct(self) -> bool:
         return self.best_correct is not None
+
+    @property
+    def telemetry(self) -> dict:
+        """JSON-friendly per-chain debugging summary."""
+        return {
+            "seed": self.seed,
+            "proposals": self.stats.proposals,
+            "proposals_per_second": self.stats.proposals_per_second,
+            "acceptance_rate": self.stats.acceptance_rate,
+            "invalid_proposals": self.stats.invalid_proposals,
+            "elapsed_seconds": self.stats.elapsed_seconds,
+            "best_cost": self.best_cost,
+            "found_correct": self.found_correct,
+            "best_correct_latency": self.best_correct_latency,
+            "best_cost_trace": list(self.trace),
+        }
 
     def speedup(self) -> float:
         """Latency-model speedup of the best correct rewrite."""

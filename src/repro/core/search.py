@@ -155,6 +155,7 @@ class Stoke:
             best_correct_latency=best_correct_latency,
             stats=stats,
             trace=trace,
+            seed=config.seed,
         )
 
     def optimize(self, config: SearchConfig = SearchConfig()) -> SearchResult:

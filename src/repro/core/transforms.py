@@ -1,14 +1,36 @@
 """The proposal distribution ``q(·)``: STOKE's four program transforms.
 
 Opcode, Operand, Swap, and Instruction moves (Section 2.2), proposed with
-equal probability.  All four are ergodic (any program can reach any other)
-and symmetric (``q(x -> x*) = q(x* -> x)``), so the Metropolis-Hastings
-acceptance ratio reduces to the Metropolis ratio of Equation 4.
+equal probability.  Together the four moves are ergodic: any program can
+reach any other through a finite sequence of proposals.
+
+On symmetry: the Opcode, Operand, and Swap moves are exactly symmetric
+(``q(x -> x*) = q(x* -> x)``).  The Instruction move is not — deleting a
+line (proposing UNUSED) and re-inserting the exact instruction it
+replaced have different probabilities — but, following both STOKE
+(ASPLOS 2013) and this paper, the acceptance rule treats the proposal
+distribution as symmetric and applies the plain Metropolis ratio of
+Equation 4.  What matters in practice is that the *occupancy drift* of
+the instruction move is balanced: with a fixed small probability of
+proposing UNUSED, an accept-everything walk saturates at full occupancy
+and the chain never explores shorter programs.  The move therefore
+scales its deletion probability with slot occupancy (see
+:meth:`Transforms.delete_probability`): on an empty program it almost
+always inserts, on a full program it deletes with probability
+``1 - unused_probability``, and the zero-drift point sits at half
+occupancy, so length-reducing rewrites stay reachable.
 
 Random operands are drawn from an :class:`OperandPool` seeded from the
 target — the registers, memory references, and immediates the target
 mentions, plus a small default register set — mirroring how STOKE keeps
 its proposal space anchored to the code being optimized.
+
+Sampling is deterministic given the ``random.Random`` instance: candidate
+operands are always enumerated in a sorted order (never raw ``set`` /
+``frozenset`` iteration order, which varies with per-process string-hash
+randomization), so a seeded chain replays bit-identically across
+interpreter invocations and across the worker processes of
+:mod:`repro.core.parallel`.
 """
 
 from __future__ import annotations
@@ -68,9 +90,14 @@ class OperandPool:
         }
 
     def sample(self, rng: random.Random, kinds: frozenset) -> Optional[Operand]:
-        """Draw a random operand matching one of ``kinds``."""
+        """Draw a random operand matching one of ``kinds``.
+
+        Kinds are visited in sorted order: ``frozenset`` iteration order
+        depends on string-hash randomization (``Kind`` hashes by member
+        name), which would make seeded chains diverge across processes.
+        """
         candidates: List[Operand] = []
-        for kind in kinds:
+        for kind in sorted(kinds, key=lambda k: k.value):
             candidates.extend(self.by_kind.get(kind, ()))
         if not candidates:
             return None
@@ -95,13 +122,22 @@ class Transforms:
                  opcode_pool: Optional[Sequence[str]] = None,
                  operand_pool: Optional[OperandPool] = None,
                  unused_probability: float = 0.20,
-                 max_tries: int = 16):
+                 max_tries: int = 16,
+                 move_kinds: Optional[Sequence[str]] = None):
+        """``move_kinds`` restricts proposals to a subset of
+        :data:`MOVE_KINDS` (used by the move-mix ablation); the default is
+        all four moves with equal probability."""
         self.opcode_pool = list(opcode_pool) if opcode_pool is not None \
             else default_opcode_pool(target)
         self.operand_pool = operand_pool if operand_pool is not None \
             else OperandPool(target)
         self.unused_probability = unused_probability
         self.max_tries = max_tries
+        kinds = tuple(move_kinds) if move_kinds is not None else MOVE_KINDS
+        unknown = [k for k in kinds if k not in MOVE_KINDS]
+        if unknown or not kinds:
+            raise ValueError(f"bad move kinds: {unknown or kinds!r}")
+        self.move_kinds = kinds
 
     # -- individual moves -------------------------------------------------
 
@@ -172,13 +208,31 @@ class Transforms:
                 return Instruction(name, tuple(operands))
         return None
 
+    def delete_probability(self, program: Program) -> float:
+        """Probability that the instruction move proposes UNUSED.
+
+        Interpolates with slot occupancy between ``unused_probability``
+        (empty program) and ``1 - unused_probability`` (full program).
+        Writing ``p`` for this value and ``o`` for the occupied fraction,
+        an accept-everything walk deletes at rate ``o * p`` and inserts at
+        rate ``(1 - o) * (1 - p)``; these balance at half occupancy, so
+        the raw walk drifts toward ``slots / 2`` instead of saturating at
+        full occupancy the way a fixed ``p < 0.5`` does.
+        """
+        n = len(program.slots)
+        if n == 0:
+            return self.unused_probability
+        used = sum(1 for ins in program.slots if not ins.is_unused)
+        lo = self.unused_probability
+        return lo + (1.0 - 2.0 * lo) * (used / n)
+
     def propose_instruction(self, rng: random.Random,
                             program: Program) -> Optional[Program]:
         """Replace a slot with UNUSED or with a random instruction."""
         if not program.slots:
             return None
         index = rng.randrange(len(program.slots))
-        if rng.random() < self.unused_probability:
+        if rng.random() < self.delete_probability(program):
             return program.with_slot(index, UNUSED)
         instr = self.random_instruction(rng)
         if instr is None:
@@ -189,7 +243,7 @@ class Transforms:
 
     def propose(self, rng: random.Random,
                 program: Program) -> Tuple[Optional[Program], str]:
-        """One move drawn uniformly from the four move kinds."""
-        kind = rng.choice(MOVE_KINDS)
+        """One move drawn uniformly from the enabled move kinds."""
+        kind = rng.choice(self.move_kinds)
         proposal = getattr(self, f"propose_{kind}")(rng, program)
         return proposal, kind

@@ -11,13 +11,18 @@ from __future__ import annotations
 import random
 from typing import List, Tuple
 
-from repro.core import CostConfig, SearchConfig, Stoke
+from repro.core import CostConfig, SearchConfig, Stoke, run_restarts
 from repro.core.strategies import McmcStrategy
 from repro.core.transforms import Transforms
 from repro.harness.report import format_table
 from repro.kernels.libimf import exp_s3d_kernel
 
 ETA = 1.0e12
+
+# Chains per setting and worker processes, set once by main() so every
+# ablation row is measured under the same search budget.
+RESTARTS = 1
+JOBS = 1
 
 
 def _run(config: CostConfig, proposals: int, seed: int,
@@ -26,9 +31,13 @@ def _run(config: CostConfig, proposals: int, seed: int,
     tests = spec.testcases(random.Random(0), 16)
     stoke = Stoke(spec.program, tests, spec.live_outs, config,
                   transforms=transforms)
-    result = stoke.search(SearchConfig(proposals=proposals, seed=seed),
-                          strategy=strategy or McmcStrategy())
-    return result.speedup(), result.stats.acceptance_rate
+    restart = run_restarts(stoke, SearchConfig(proposals=proposals,
+                                               seed=seed),
+                           chains=RESTARTS, jobs=JOBS,
+                           strategy=strategy or McmcStrategy())
+    accept = sum(c.stats.acceptance_rate for c in restart.chains) \
+        / len(restart.chains)
+    return restart.best.speedup(), accept
 
 
 def ablate_reduction(proposals: int, seed: int) -> List[Tuple]:
@@ -55,11 +64,8 @@ def ablate_moves(proposals: int, seed: int) -> List[Tuple]:
     spec = exp_s3d_kernel()
     rows = []
     for move in ("opcode", "operand", "swap", "instruction", "all"):
-        transforms = Transforms(spec.program)
-        if move != "all":
-            single = getattr(transforms, f"propose_{move}")
-            transforms.propose = \
-                lambda rng, prog, _f=single, _m=move: (_f(rng, prog), _m)
+        kinds = None if move == "all" else [move]
+        transforms = Transforms(spec.program, move_kinds=kinds)
         speedup, accept = _run(CostConfig(eta=ETA, k=1.0), proposals, seed,
                                transforms=transforms)
         rows.append((move, f"{speedup:.2f}x", f"{accept:.3f}"))
@@ -81,8 +87,16 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--proposals", type=int, default=4000)
     parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--restarts", type=int, default=1,
+                        help="chains per ablation setting")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes; 0 = auto (cpu count)")
     args = parser.parse_args()
 
+    global RESTARTS, JOBS
+    RESTARTS, JOBS = args.restarts, args.jobs
+
+    print(f"# {RESTARTS} chain(s) per setting, jobs={JOBS or 'auto'}")
     headers = ("setting", "speedup", "accept rate")
     print(format_table(headers, ablate_reduction(args.proposals, args.seed),
                        title="Ablation: test-case reduction (⊕)"))

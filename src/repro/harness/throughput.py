@@ -5,6 +5,11 @@ original STOKE by up to two orders of magnitude and dispatches almost one
 million test cases per second.  This driver measures both backends of our
 simulator on the libimf kernels and reports the ratio (the absolute
 numbers are Python-scale; the *gap* is the reproduced result).
+
+It also measures whole-chain throughput at a configurable worker count
+(``--jobs``), the quantity the paper's 16-thread restart parallelism
+buys; ``benchmarks/bench_parallel.py`` tracks the same number as a
+regression baseline.
 """
 
 from __future__ import annotations
@@ -17,6 +22,8 @@ from typing import List
 from repro.x86.emulator import Emulator
 from repro.x86.jit import compile_program
 
+from repro.core import CostConfig, SearchConfig, StokeSpec
+from repro.core.parallel import resolve_jobs, run_seeded_chains
 from repro.harness.report import format_table
 from repro.kernels.libimf import LIBIMF_KERNELS
 
@@ -67,6 +74,44 @@ def measure_kernel(name: str, tests: int = 300, seed: int = 0,
     )
 
 
+@dataclass
+class ChainThroughputResult:
+    """Whole search chains dispatched per second at a worker count."""
+
+    kernel: str
+    chains: int
+    jobs: int
+    proposals: int
+    chains_per_sec: float
+    proposals_per_sec: float
+
+
+def measure_chain_throughput(name: str = "exp", chains: int = 4,
+                             jobs: int = 1, proposals: int = 1_000,
+                             seed: int = 0,
+                             testcases: int = 16) -> ChainThroughputResult:
+    """Run ``chains`` independent searches and report chains/sec."""
+    spec_kernel = LIBIMF_KERNELS[name]()
+    tests = spec_kernel.testcases(random.Random(seed), testcases)
+    spec = StokeSpec(target=spec_kernel.program, tests=tuple(tests),
+                     live_outs=tuple(spec_kernel.live_outs),
+                     cost_config=CostConfig(eta=1.0e12, k=1.0))
+    jobs = resolve_jobs(jobs, chains)
+    start = time.perf_counter()
+    results = run_seeded_chains(spec, SearchConfig(proposals=proposals,
+                                                   seed=seed),
+                                chains=chains, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    return ChainThroughputResult(
+        kernel=name,
+        chains=chains,
+        jobs=jobs,
+        proposals=proposals,
+        chains_per_sec=len(results) / elapsed,
+        proposals_per_sec=sum(r.stats.proposals for r in results) / elapsed,
+    )
+
+
 def run(tests: int = 300, seed: int = 0) -> List[ThroughputResult]:
     return [measure_kernel(name, tests=tests, seed=seed)
             for name in LIBIMF_KERNELS]
@@ -83,8 +128,32 @@ def report(results: List[ThroughputResult]) -> str:
     )
 
 
+def report_chains(result: ChainThroughputResult) -> str:
+    rows = [(result.kernel, result.chains, result.jobs, result.proposals,
+             f"{result.chains_per_sec:.2f}",
+             f"{result.proposals_per_sec:,.0f}")]
+    return format_table(
+        ("kernel", "chains", "jobs", "proposals/chain", "chains/s",
+         "proposals/s"),
+        rows,
+        title="Multi-chain search throughput",
+    )
+
+
 def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes for the chain-throughput "
+                             "measurement; 0 = auto (cpu count)")
+    parser.add_argument("--chains", type=int, default=4)
+    parser.add_argument("--proposals", type=int, default=1_000)
+    args = parser.parse_args()
     print(report(run()))
+    print()
+    print(report_chains(measure_chain_throughput(
+        chains=args.chains, jobs=args.jobs, proposals=args.proposals)))
 
 
 if __name__ == "__main__":

@@ -37,6 +37,9 @@ class InputRange:
 class TestCaseProposer:
     """Gaussian random-walk proposals over the floating-point live-ins."""
 
+    # Not a test class, despite the Test* name pytest keys on.
+    __test__ = False
+
     def __init__(self, ranges: Dict[LocLike, Tuple[float, float]],
                  sigma_fraction: float = 0.05,
                  mu: float = 0.0):

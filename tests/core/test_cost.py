@@ -165,3 +165,63 @@ class TestEarlyRejectAndCache:
     def test_requires_tests(self):
         with pytest.raises(ValueError):
             CostFunction(assemble("addsd xmm0, xmm0"), [], ["xmm0"])
+
+    def test_rejects_nonpositive_cache_size(self):
+        target = assemble("addsd xmm0, xmm0")
+        tests = uniform_testcases(random.Random(0), 4,
+                                  {"xmm0": (-10.0, 10.0)})
+        with pytest.raises(ValueError):
+            CostFunction(target, tests, ["xmm0"], cache_size=0)
+
+
+class TestLruCache:
+    """The memo is a bounded LRU, not a wipe-everything-at-capacity dict."""
+
+    def _cost(self, cache_size):
+        target = assemble("addsd xmm0, xmm0")
+        tests = uniform_testcases(random.Random(0), 4,
+                                  {"xmm0": (-10.0, 10.0)})
+        return CostFunction(target, tests, ["xmm0"],
+                            CostConfig(eta=0.0, k=1.0),
+                            cache_size=cache_size)
+
+    @staticmethod
+    def _program(i):
+        return assemble(f"movq $0x{0x3FF0000000000000 + i:x}, xmm1\n"
+                        "mulsd xmm1, xmm0")
+
+    def test_cache_never_exceeds_bound(self):
+        cost = self._cost(cache_size=4)
+        for i in range(12):
+            cost.cost(self._program(i))
+            assert len(cost._cache) <= 4
+        assert len(cost._cache) == 4
+
+    def test_recently_used_entries_survive_eviction(self):
+        cost = self._cost(cache_size=2)
+        a, b, c = self._program(0), self._program(1), self._program(2)
+        cost.cost(a)
+        cost.cost(b)
+        cost.cost(a)  # refresh a: b becomes least-recently-used
+        cost.cost(c)  # evicts b, not a
+        assert a in cost._cache and c in cost._cache
+        assert b not in cost._cache
+
+    def test_hit_and_miss_counters(self):
+        cost = self._cost(cache_size=8)
+        a = self._program(0)
+        cost.cost(a)
+        # The target was evaluated via runner.outputs_for, not cost();
+        # the first cost(a) call is the only miss so far.
+        assert (cost.cache_hits, cost.cache_misses) == (0, 1)
+        cost.cost(a)
+        assert (cost.cache_hits, cost.cache_misses) == (1, 1)
+
+    def test_eviction_is_fifo_over_stale_entries(self):
+        cost = self._cost(cache_size=3)
+        programs = [self._program(i) for i in range(5)]
+        for program in programs:
+            cost.cost(program)
+        # Only the three most recent distinct programs remain.
+        assert [p in cost._cache for p in programs] == \
+            [False, False, True, True, True]

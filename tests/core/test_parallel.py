@@ -1,0 +1,173 @@
+"""Tests for the process-parallel multi-chain search engine."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.x86.assembler import assemble
+from repro.x86.testcase import uniform_testcases
+
+from repro.core import (
+    CostConfig,
+    SearchConfig,
+    Stoke,
+    StokeSpec,
+    run_restarts,
+)
+from repro.core.parallel import (
+    build_stoke,
+    chain_configs,
+    default_jobs,
+    resolve_jobs,
+    run_chains,
+    run_seeded_chains,
+)
+from repro.core.restarts import RestartResult
+
+
+def _tests():
+    return uniform_testcases(random.Random(0), 16, {"xmm0": (-50.0, 50.0)})
+
+
+def _spec(tiny_target):
+    return StokeSpec(target=tiny_target, tests=tuple(_tests()),
+                     live_outs=("xmm0",),
+                     cost_config=CostConfig(eta=0.0, k=1.0))
+
+
+def _chain_fingerprint(result):
+    return (result.seed, result.best_cost, result.best_program,
+            result.best_correct, result.best_correct_latency,
+            result.stats.accepted, result.stats.invalid_proposals,
+            result.stats.moves_proposed, result.stats.moves_accepted,
+            tuple(result.trace))
+
+
+class TestStokeSpec:
+    def test_spec_is_picklable_and_builds(self, tiny_target):
+        spec = _spec(tiny_target)
+        rebuilt = pickle.loads(pickle.dumps(spec))
+        stoke = build_stoke(rebuilt)
+        assert isinstance(stoke, Stoke)
+        assert stoke.target == tiny_target
+
+    def test_from_stoke_roundtrip(self, tiny_target):
+        stoke = Stoke(tiny_target, _tests(), ["xmm0"],
+                      CostConfig(eta=0.0, k=1.0))
+        spec = StokeSpec.from_stoke(stoke)
+        clone = spec.build()
+        config = SearchConfig(proposals=200, seed=3)
+        assert _chain_fingerprint(stoke.search(config)) == \
+            _chain_fingerprint(clone.search(config))
+
+    def test_from_stoke_rejects_slow_check(self, tiny_target):
+        stoke = Stoke(tiny_target, _tests(), ["xmm0"],
+                      CostConfig(eta=0.0, k=1.0),
+                      slow_check=lambda program: True)
+        with pytest.raises(ValueError):
+            StokeSpec.from_stoke(stoke)
+
+    def test_factory_spec(self, tiny_target):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return Stoke(tiny_target, _tests(), ["xmm0"],
+                         CostConfig(eta=0.0, k=1.0))
+
+        results = run_chains(factory, chain_configs(
+            SearchConfig(proposals=100, seed=0), 2), jobs=1)
+        assert len(results) == 2
+        assert calls == [1]  # one worker (in-process) -> one build
+
+
+class TestJobResolution:
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+        assert default_jobs(chains=1) == 1
+
+    def test_resolve_auto(self):
+        assert resolve_jobs(None, 8) == default_jobs(8)
+        assert resolve_jobs(0, 8) == default_jobs(8)
+
+    def test_resolve_caps_at_chains(self):
+        assert resolve_jobs(16, 3) == 3
+
+    def test_resolve_rejects_negative(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1, 4)
+
+    def test_chain_configs_seeds(self):
+        configs = chain_configs(SearchConfig(proposals=10, seed=7), 3)
+        assert [c.seed for c in configs] == [7, 8, 9]
+
+    def test_chain_configs_rejects_zero(self):
+        with pytest.raises(ValueError):
+            chain_configs(SearchConfig(), 0)
+
+
+class TestDeterminism:
+    """Same seeds => bit-identical results for any worker count."""
+
+    def test_serial_vs_parallel_chains(self, tiny_target):
+        spec = _spec(tiny_target)
+        config = SearchConfig(proposals=400, seed=5)
+        serial = run_seeded_chains(spec, config, chains=4, jobs=1)
+        parallel = run_seeded_chains(spec, config, chains=4, jobs=2)
+        assert [_chain_fingerprint(r) for r in serial] == \
+            [_chain_fingerprint(r) for r in parallel]
+
+    def test_run_restarts_jobs_equivalence(self, tiny_target):
+        def mk():
+            return Stoke(tiny_target, _tests(), ["xmm0"],
+                         CostConfig(eta=0.0, k=1.0))
+
+        config = SearchConfig(proposals=400, seed=0)
+        serial = run_restarts(mk(), config, chains=3, jobs=1)
+        parallel = run_restarts(mk(), config, chains=3, jobs=3)
+        assert serial.jobs == 1 and parallel.jobs == 3
+        assert _chain_fingerprint(serial.best) == \
+            _chain_fingerprint(parallel.best)
+        assert [_chain_fingerprint(c) for c in serial.chains] == \
+            [_chain_fingerprint(c) for c in parallel.chains]
+
+    def test_results_in_seed_order(self, tiny_target):
+        spec = _spec(tiny_target)
+        results = run_seeded_chains(spec, SearchConfig(proposals=150, seed=9),
+                                    chains=3, jobs=2)
+        assert [r.seed for r in results] == [9, 10, 11]
+
+
+class TestStreaming:
+    def test_on_result_fires_per_chain(self, tiny_target):
+        spec = _spec(tiny_target)
+        seen = []
+        results = run_seeded_chains(spec, SearchConfig(proposals=150, seed=0),
+                                    chains=3, jobs=2,
+                                    on_result=lambda r: seen.append(r.seed))
+        assert sorted(seen) == [0, 1, 2]
+        assert len(results) == 3
+
+    def test_empty_configs(self, tiny_target):
+        assert run_chains(_spec(tiny_target), [], jobs=2) == []
+
+
+class TestTelemetry:
+    def test_restart_telemetry(self, tiny_target):
+        stoke = Stoke(tiny_target, _tests(), ["xmm0"],
+                      CostConfig(eta=0.0, k=1.0))
+        result = run_restarts(stoke, SearchConfig(proposals=200, seed=4),
+                              chains=2, jobs=1)
+        assert isinstance(result, RestartResult)
+        telemetry = result.telemetry
+        assert [t["seed"] for t in telemetry] == [4, 5]
+        for t in telemetry:
+            assert t["proposals"] == 200
+            assert t["proposals_per_second"] > 0
+            assert 0.0 <= t["acceptance_rate"] <= 1.0
+            iterations = [i for i, _ in t["best_cost_trace"]]
+            assert iterations[0] == 0 and iterations[-1] == 200
+            # The trace is monotone non-increasing in best cost.
+            costs = [c for _, c in t["best_cost_trace"]]
+            assert all(a >= b for a, b in zip(costs, costs[1:]))

@@ -2,10 +2,13 @@
 
 import random
 
+import pytest
+
 from repro.x86.assembler import assemble
 from repro.x86.instruction import UNUSED
 from repro.x86.opcodes import OPCODES
 from repro.x86.operands import Imm, Kind, Mem, Xmm
+from repro.x86.program import Program
 
 from repro.core.transforms import (
     MOVE_KINDS,
@@ -122,18 +125,93 @@ class TestMoves:
 
 
 class TestErgodicity:
-    def test_walk_reaches_shorter_and_longer_programs(self):
+    @staticmethod
+    def _walk_locs(seed, steps=500):
         transforms = Transforms(TARGET)
-        rng = random.Random(7)
+        rng = random.Random(seed)
         locs = set()
         program = TARGET
-        for _ in range(500):
+        for _ in range(steps):
             proposal, _ = transforms.propose(rng, program)
             if proposal is not None:
                 program = proposal
                 locs.add(program.loc)
+        return locs
+
+    def test_walk_reaches_shorter_and_longer_programs(self):
+        locs = self._walk_locs(7)
         assert min(locs) < TARGET.loc
         assert max(locs) >= TARGET.loc
+
+    def test_walk_shrinks_and_grows_for_every_seed(self):
+        """Regression for the growth-only walk: a fixed unused
+        probability of 0.2 saturated 6-slot programs at max LOC, so the
+        chain effectively never proposed net deletions.  The occupancy-
+        scaled delete probability must reach both sides of the target's
+        LOC regardless of the rng stream."""
+        for seed in range(10):
+            locs = self._walk_locs(seed)
+            assert min(locs) < TARGET.loc, f"never shrank (seed {seed})"
+            assert max(locs) > TARGET.loc, f"never grew (seed {seed})"
+
+
+class TestDeleteProbability:
+    def test_scales_with_occupancy(self):
+        transforms = Transforms(TARGET)
+        full = TARGET.compact()  # 3/3 slots occupied
+        empty = Program([UNUSED] * 6)
+        full_p = transforms.delete_probability(full)
+        half_p = transforms.delete_probability(TARGET)  # 3/6 occupied
+        empty_p = transforms.delete_probability(empty)
+        assert full_p == pytest.approx(1.0 - transforms.unused_probability)
+        assert half_p == pytest.approx(0.5)
+        assert empty_p == pytest.approx(transforms.unused_probability)
+        assert empty_p < half_p < full_p
+
+    def test_balanced_at_half_occupancy(self):
+        """Delete flux o*p equals insert flux (1-o)*(1-p) at o = 1/2."""
+        transforms = Transforms(TARGET)
+        p = transforms.delete_probability(TARGET)  # half occupied
+        o = 0.5
+        assert o * p == pytest.approx((1.0 - o) * (1.0 - p))
+
+
+class TestMoveKindRestriction:
+    def test_single_move_kind(self):
+        transforms = Transforms(TARGET, move_kinds=["swap"])
+        rng = random.Random(0)
+        for _ in range(50):
+            _, kind = transforms.propose(rng, TARGET)
+            assert kind == "swap"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Transforms(TARGET, move_kinds=["opcode", "delete"])
+
+    def test_rejects_empty_kinds(self):
+        with pytest.raises(ValueError):
+            Transforms(TARGET, move_kinds=[])
+
+
+class TestCrossProcessDeterminism:
+    def test_sample_enumerates_kinds_in_sorted_order(self):
+        """Operand sampling must not depend on frozenset iteration order
+        (Kind hashes by member name, so raw set order varies with
+        PYTHONHASHSEED across worker processes).  Pin the contract: the
+        candidate list is the sorted-by-kind-value concatenation."""
+        pool = OperandPool(TARGET)
+        kinds = frozenset({Kind.XMM, Kind.IMM, Kind.M64})
+        candidates = []
+        for kind in sorted(kinds, key=lambda k: k.value):
+            candidates.extend(pool.by_kind.get(kind, ()))
+        rng_a, rng_b = random.Random(3), random.Random(3)
+        for _ in range(50):
+            assert pool.sample(rng_a, kinds) == rng_b.choice(candidates)
+
+    def test_walk_is_reproducible(self):
+        walk_a = TestErgodicity._walk_locs(11)
+        walk_b = TestErgodicity._walk_locs(11)
+        assert walk_a == walk_b
 
 
 class TestOpcodePool:
