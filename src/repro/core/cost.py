@@ -119,10 +119,24 @@ class CostFunction:
         self.config = config
         self.runner = Runner(live_outs, backend=backend)
         self.target = target
+        # Test order is adaptive: when a proposal is early-rejected, the
+        # test that rejected it moves to the front (STOKE's fast-out
+        # heuristic), so the next doomed proposal usually dies on its
+        # first execution.  tests / target_outputs / _expected are
+        # permuted in lockstep; every cost value is order-independent.
         self.tests = list(tests)
         self.perf = LatencyPerf(target.latency, scale=config.perf_scale)
         # The target must run cleanly on every test case.
         self.target_outputs = self.runner.outputs_for(target, self.tests)
+        # Hot-path views of the expected outputs: one bits tuple per test
+        # in runner.live_outs order, plus per-location weights, so the
+        # inner loop never touches a dict.
+        locs = self.runner.live_outs
+        self._expected = [tuple(outs[loc] for loc in locs)
+                          for outs in self.target_outputs]
+        self._weights = tuple(
+            config.wm if isinstance(loc, MemLoc) else config.wr
+            for loc in locs)
         # Full (non-early-terminated) evaluations are memoized in a
         # bounded LRU: MCMC proposals frequently revisit recently seen
         # programs, and evicting one-at-a-time avoids the cold-cache
@@ -152,26 +166,96 @@ class CostFunction:
             return cfg.ws
         total = 0.0
         for loc, want in expected.items():
+            if loc not in outputs:
+                raise KeyError(
+                    f"live-out location {loc} is missing from the outputs "
+                    f"of the {self.runner.backend!r} backend run; outputs "
+                    f"cover [{', '.join(str(k) for k in outputs)}]. The "
+                    "rewrite was likely executed through a Runner with "
+                    "different live-outs than this cost function's.")
             ulps = location_ulp_distance(loc, outputs[loc], want)
             weight = cfg.wm if isinstance(loc, MemLoc) else cfg.wr
             total += weight * self._excess(ulps)
         return total
 
+    def _err_values(self, values: Tuple[int, ...],
+                    expected: Tuple[int, ...]) -> float:
+        """Equation 9 over aligned live-out bits tuples (hot path)."""
+        total = 0.0
+        for loc, weight, got, want in zip(self.runner.live_outs,
+                                          self._weights, values, expected):
+            total += weight * self._excess(
+                location_ulp_distance(loc, got, want))
+        return total
+
+    # Batch chunk ladder: the first chunk is a single test case (with
+    # adaptive ordering it alone kills most doomed proposals), then chunk
+    # sizes grow geometrically so surviving proposals approach one
+    # compiled-function call per test set.
+    _CHUNK_GROWTH = 8
+    _FIRST_CHUNK = 1
+
+    def _eq(self, prepared, early_reject_above: Optional[float] = None,
+            perf_term: float = 0.0) -> Tuple[float, bool, bool]:
+        """Evaluate the ⊕-reduced test error with batched dispatch.
+
+        Returns ``(eq, any_signal, completed)``.  When
+        ``early_reject_above`` is given and the running lower bound on
+        the total cost passes it, evaluation stops (``completed`` False)
+        and the worst test seen so far is promoted to the front of the
+        test order.
+        """
+        cfg = self.config
+        is_max = cfg.reduction == "max"
+        tests, expected = self.tests, self._expected
+        count = len(tests)
+        eq = 0.0
+        signalled = False
+        worst_index = 0
+        worst_err = -1.0
+        index = 0
+        chunk = self._FIRST_CHUNK
+        while index < count:
+            end = min(count, index + chunk)
+            if end - index == 1:
+                # A one-test chunk goes through the scalar entry point:
+                # proposals that die on the (adaptively fronted) first
+                # test never pay for compiling the batched entry point.
+                results = (self.runner.run_values(prepared, tests[index]),)
+            else:
+                results = self.runner.run_batch(prepared, tests[index:end])
+            for offset, (values, signal) in enumerate(results):
+                if signal is not None:
+                    err = cfg.ws
+                    signalled = True
+                else:
+                    err = self._err_values(values, expected[index + offset])
+                if err > worst_err:
+                    worst_err, worst_index = err, index + offset
+                if is_max:
+                    if err > eq:
+                        eq = err
+                else:
+                    eq += err
+            index = end
+            if (early_reject_above is not None and index < count
+                    and eq + perf_term > early_reject_above):
+                self._promote(worst_index)
+                return eq, signalled, False
+            chunk *= self._CHUNK_GROWTH
+        return eq, signalled, True
+
+    def _promote(self, index: int) -> None:
+        """Move the test at ``index`` to the front of the test order."""
+        if index == 0:
+            return
+        for seq in (self.tests, self.target_outputs, self._expected):
+            seq.insert(0, seq.pop(index))
+
     def eq_fast(self, rewrite: Program) -> Tuple[float, bool]:
         """Reduce per-test errors with ⊕; returns (eq, any_signal)."""
         prepared = self.runner.prepare(rewrite)
-        cfg = self.config
-        eq = 0.0
-        signalled = False
-        for test, expected in zip(self.tests, self.target_outputs):
-            outputs, signal = self.runner.run(prepared, test)
-            err = self.err_fast(outputs, expected, signal is not None)
-            signalled = signalled or signal is not None
-            if cfg.reduction == "max":
-                if err > eq:
-                    eq = err
-            else:
-                eq += err
+        eq, signalled, _ = self._eq(prepared)
         return eq, signalled
 
     # -- full cost -------------------------------------------------------
@@ -194,22 +278,9 @@ class CostFunction:
         cfg = self.config
         perf = self.perf(rewrite) if cfg.k != 0.0 else 0.0
         prepared = self.runner.prepare(rewrite)
-        eq = 0.0
-        signalled = False
-        completed = True
-        for test, expected in zip(self.tests, self.target_outputs):
-            outputs, signal = self.runner.run(prepared, test)
-            err = self.err_fast(outputs, expected, signal is not None)
-            signalled = signalled or signal is not None
-            if cfg.reduction == "max":
-                if err > eq:
-                    eq = err
-            else:
-                eq += err
-            if early_reject_above is not None:
-                if eq + cfg.k * perf > early_reject_above:
-                    completed = False
-                    break
+        eq, signalled, completed = self._eq(
+            prepared, early_reject_above=early_reject_above,
+            perf_term=cfg.k * perf)
         total = eq + cfg.k * perf
         result = CostResult(total=total, eq=eq, perf=perf, signalled=signalled)
         if completed:

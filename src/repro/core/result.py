@@ -18,6 +18,9 @@ class SearchStats:
     elapsed_seconds: float = 0.0
     moves_proposed: dict = field(default_factory=dict)
     moves_accepted: dict = field(default_factory=dict)
+    # JIT compile-cache hit/miss/eviction deltas attributable to this
+    # chain (empty when the search ran on the emulator backend).
+    jit_cache: dict = field(default_factory=dict)
 
     @property
     def acceptance_rate(self) -> float:
@@ -69,6 +72,7 @@ class SearchResult:
             "best_cost": self.best_cost,
             "found_correct": self.found_correct,
             "best_correct_latency": self.best_correct_latency,
+            "jit_compile_cache": dict(self.stats.jit_cache),
             "best_cost_trace": list(self.trace),
         }
 

@@ -11,7 +11,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.x86.emulator import Emulator
 from repro.x86.jit import compile_program
-from repro.x86.locations import Loc, MemLoc, parse_loc
+from repro.x86.locations import Loc, MemLoc, make_reader, parse_loc
 from repro.x86.program import Program
 from repro.x86.signals import Signal
 from repro.x86.testcase import TestCase
@@ -37,6 +37,14 @@ class Runner:
         self.live_outs = resolve_locations(live_outs)
         self.backend = backend
         self._emulator = Emulator() if backend == "emulator" else None
+        # Precompiled per-location readers: location resolution happens
+        # here, once, instead of on every execution's read-back.
+        self._readers = tuple(make_reader(loc) for loc in self.live_outs)
+        self._loc_readers = tuple(zip(self.live_outs, self._readers))
+        # Most kernels have exactly one live-out; reading it without the
+        # tuple(generator) machinery is measurably cheaper per test.
+        self._single_reader = (self._readers[0]
+                               if len(self._readers) == 1 else None)
 
     def prepare(self, program: Program):
         """Pre-process a program for repeated execution."""
@@ -44,17 +52,80 @@ class Runner:
             return compile_program(program)
         return program
 
+    def read_values(self, state) -> Tuple[int, ...]:
+        """Live-out bit patterns of a state, in ``live_outs`` order."""
+        return tuple(read(state) for read in self._readers)
+
     def run(self, prepared, test: TestCase
             ) -> Tuple[Optional[Dict[Location, int]], Optional[Signal]]:
         """Execute and return ({location: bits}, None) or (None, signal)."""
-        state = test.build_state()
         if self.backend == "jit":
+            state = test.pooled_state(prepared.writes)
             outcome = prepared.run(state)
         else:
+            state = test.pooled_state()
             outcome = self._emulator.run(prepared, state)
         if not outcome.ok:
             return None, outcome.signal
-        return {loc: loc.read(state) for loc in self.live_outs}, None
+        return {loc: read(state) for loc, read in self._loc_readers}, None
+
+    def run_values(self, prepared, test: TestCase
+                   ) -> Tuple[Optional[Tuple[int, ...]], Optional[Signal]]:
+        """Like :meth:`run` but returns a live-out bits tuple, not a dict.
+
+        This is the hot-path variant: no dict is built, and the test
+        case's pooled state is reused in place.
+        """
+        if self.backend == "jit":
+            state = test.pooled_state(prepared.writes)
+            outcome = prepared.run(state)
+        else:
+            state = test.pooled_state()
+            outcome = self._emulator.run(prepared, state)
+        if not outcome.ok:
+            return None, outcome.signal
+        read_one = self._single_reader
+        if read_one is not None:
+            return (read_one(state),), None
+        return tuple(read(state) for read in self._readers), None
+
+    def run_batch(self, prepared, tests: Sequence[TestCase]
+                  ) -> List[Tuple[Optional[Tuple[int, ...]],
+                                  Optional[Signal]]]:
+        """Execute on every test and read back live-outs, batched.
+
+        On the JIT backend the whole test set executes inside one
+        compiled-function call; the emulator keeps per-test dispatch but
+        shares the pooled-state reuse.  Returns one ``(values, signal)``
+        pair per test, where ``values`` is a live-out bits tuple (None
+        when the execution signalled).
+        """
+        writes = prepared.writes if self.backend == "jit" else None
+        states = []
+        seen = set()
+        for test in tests:
+            # A duplicated test object cannot share its pooled state
+            # within one batch — both slots would alias one state and the
+            # second execution would start from the first one's output.
+            ident = id(test)
+            if ident in seen:
+                states.append(test.build_state())
+            else:
+                seen.add(ident)
+                states.append(test.pooled_state(writes))
+        if self.backend == "jit":
+            signals = prepared.run_batch(states)
+        else:
+            signals = self._emulator.run_batch(prepared, states)
+        read_one = self._single_reader
+        if read_one is not None:
+            return [(None, signal) if signal is not None
+                    else ((read_one(state),), None)
+                    for state, signal in zip(states, signals)]
+        readers = self._readers
+        return [(None, signal) if signal is not None
+                else (tuple(read(state) for read in readers), None)
+                for state, signal in zip(states, signals)]
 
     def run_program(self, program: Program, test: TestCase):
         """One-shot convenience wrapper around prepare + run."""

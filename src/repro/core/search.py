@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import random
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 from repro.x86.instruction import UNUSED
+from repro.x86.jit import compile_cache_stats
 from repro.x86.liveness import dead_code_eliminate
 from repro.x86.program import Program
 
@@ -45,6 +47,13 @@ class SearchConfig:
 class Stoke:
     """A configured stochastic optimizer for one target program."""
 
+    # Remembered slow-check failures are bounded: a long chain can push
+    # an unbounded stream of distinct near-correct candidates through the
+    # slow check, and remembering every one of them forever leaked memory
+    # on multi-hour searches.  LRU eviction keeps the candidates the
+    # chain is actually revisiting.
+    SLOW_CHECK_FAILURE_CAP = 1024
+
     def __init__(
         self,
         target: Program,
@@ -64,7 +73,8 @@ class Stoke:
         self.transforms = transforms if transforms is not None \
             else Transforms(target)
         self.slow_check = slow_check
-        self._slow_check_failures = set()
+        self._slow_check_failures: "OrderedDict[Program, None]" = \
+            OrderedDict()
         self.live_out_names = {
             getattr(loc, "reg", "mem") for loc in self.cost_fn.runner.live_outs
         }
@@ -72,11 +82,15 @@ class Stoke:
     def _passes_slow_check(self, program: Program) -> bool:
         if self.slow_check is None:
             return True
-        if program in self._slow_check_failures:
+        failures = self._slow_check_failures
+        if program in failures:
+            failures.move_to_end(program)
             return False
         if self.slow_check(program):
             return True
-        self._slow_check_failures.add(program)
+        while len(failures) >= self.SLOW_CHECK_FAILURE_CAP:
+            failures.popitem(last=False)
+        failures[program] = None
         return False
 
     def _initial(self, config: SearchConfig) -> Program:
@@ -94,6 +108,7 @@ class Stoke:
         rng = random.Random(config.seed)
         stats = SearchStats()
         beta = getattr(strategy, "beta", 1.0)
+        jit_cache_before = compile_cache_stats()
 
         current = self._initial(config)
         current_cost = self.cost_fn.cost(current)
@@ -138,6 +153,12 @@ class Stoke:
                 trace.append((iteration, best_cost))
 
         stats.elapsed_seconds = time.perf_counter() - started
+        jit_cache_after = compile_cache_stats()
+        stats.jit_cache = {
+            key: jit_cache_after[key] - jit_cache_before[key]
+            for key in ("hits", "misses", "evictions")
+        }
+        stats.jit_cache["size"] = jit_cache_after["size"]
         if best_correct is not None:
             cleaned = dead_code_eliminate(best_correct, self.live_out_names)
             # Keep the cleaned version only if it is still correct (it

@@ -93,9 +93,15 @@ class Validator:
         self.base_testcase_factory = base_testcase_factory
 
     def err(self, test: TestCase) -> float:
-        """Equation 13: summed ULP distance plus the signal term."""
-        t_out, t_sig = self.runner.run(self._target, test)
-        r_out, r_sig = self.runner.run(self._rewrite, test)
+        """Equation 13: summed ULP distance plus the signal term.
+
+        Both executions reuse the test case's pooled machine state (the
+        rewrite run resets it in place after the target run), and read
+        live-outs through the Runner's precompiled readers — this is the
+        validator's innermost loop, one call per input-space proposal.
+        """
+        t_out, t_sig = self.runner.run_values(self._target, test)
+        r_out, r_sig = self.runner.run_values(self._rewrite, test)
         if t_sig is not None:
             # The target itself traps: treat as divergent only if the
             # rewrite behaves differently.
@@ -103,8 +109,8 @@ class Validator:
         if r_sig is not None:
             return SIGNAL_ERR
         total = 0.0
-        for loc in self.runner.live_outs:
-            total += location_ulp_distance(loc, r_out[loc], t_out[loc])
+        for loc, r_bits, t_bits in zip(self.runner.live_outs, r_out, t_out):
+            total += location_ulp_distance(loc, r_bits, t_bits)
         return total
 
     def validate(self, config: ValidationConfig = ValidationConfig(),

@@ -28,7 +28,8 @@ NaN-adversarial fuzz check the two backends agree bit-for-bit.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.x86 import scalar
 from repro.x86.emulator import Outcome
@@ -49,6 +50,14 @@ def _jit_globals() -> Dict[str, object]:
     }
     env["SignalError"] = SignalError
     env["float"] = float
+    # Bound struct methods for the inline bits<->double reinterpretation
+    # exprs the code generator emits on its hottest paths (u2d / d2u_c
+    # semantics without the Python call frame per conversion).
+    env["pack_d"] = scalar._PACK_D.pack
+    env["pack_q"] = scalar._PACK_Q.pack
+    env["unpack_d"] = scalar._PACK_D.unpack
+    env["unpack_q"] = scalar._PACK_Q.unpack
+    env["NAN_BITS"] = scalar._NAN_BITS
     env["__builtins__"] = {}
     return env
 
@@ -141,8 +150,11 @@ class _Ctx:
         if "b" not in half.valid:
             if "d" in half.valid:
                 # A d-only half holds an arithmetic result; NaN payloads
-                # canonicalize at this boundary (see scalar.d2u_c).
-                self.emit(f"{var} = d2u_c({self._var(index, part, 'd')})")
+                # canonicalize at this boundary (scalar.d2u_c inlined —
+                # this conversion runs once per dirty half per test).
+                d = self._var(index, part, "d")
+                self.emit(f"{var} = NAN_BITS if {d} != {d} "
+                          f"else unpack_q(pack_d({d}))[0]")
             else:  # 's'
                 s0 = self._var(index, part, "s", 0)
                 s1 = self._var(index, part, "s", 1)
@@ -156,7 +168,10 @@ class _Ctx:
         self._ensure_loaded(index, part)
         var = self._var(index, part, "d")
         if "d" not in half.valid:
-            self.emit(f"{var} = u2d({self.bits(index, part)})")
+            # Inline u2d: every bits var is 64-bit-masked by construction
+            # (state slots and operand readers only hold masked values),
+            # so the slower masking helper is not needed here.
+            self.emit(f"{var} = unpack_d(pack_q({self.bits(index, part)}))[0]")
             half.valid.add("d")
         return var
 
@@ -285,9 +300,9 @@ class _Ctx:
                 return literal
             return f"u2d(0x{op.value & _M64:x})"
         if isinstance(op, Mem):
-            return f"u2d(mem.load8({self.addr(op)}))"
+            return f"unpack_d(pack_q(mem.load8({self.addr(op)})))[0]"
         if isinstance(op, Reg64):
-            return f"u2d({self.gp(op.index)})"
+            return f"unpack_d(pack_q({self.gp(op.index)}))[0]"
         raise TypeError(f"cannot read a double from {op!r}")
 
     def src_f32(self, op: Operand) -> str:
@@ -335,13 +350,16 @@ class _Ctx:
         raise TypeError(f"cannot read 128 bits from {op!r}")
 
 
-def generate_source(program: Program, name: str = "__kernel",
-                    comments: bool = False) -> str:
-    """Translate a program to the source of one Python function.
+def _codegen(program: Program, comments: bool = False
+             ) -> Tuple[List[str], List[str], Tuple]:
+    """Generate (body, epilogue, writes) for a program.
 
-    ``comments=True`` annotates each instruction's statements with the
-    assembly line (useful for inspection; the search leaves it off since
-    comment tokens measurably slow ``compile``).
+    The body computes every live value; the epilogue writes dirty
+    registers back into the ``gp``/``xl``/``xh`` arrays.  Both the
+    single-run and the batched function templates wrap these same lines.
+    ``writes`` is ``(gp_indices, xmm_lo_indices, xmm_hi_indices,
+    writes_mem)`` — the exact state slots an execution can mutate, which
+    the state pool uses to reset only dirty slots between runs.
     """
     ctx = _Ctx()
     for instr in program.slots:
@@ -351,39 +369,103 @@ def generate_source(program: Program, name: str = "__kernel",
             ctx.emit(f"# {instr}")
         instr.spec.emit_fn(ctx, instr.operands)
 
-    header = [f"def {name}(gp, xl, xh, mem):"]
-    prologue = ["    fz = fc = fs = fo = fp = 0"]
-    body = [f"    {line}" for line in ctx.lines]
     epilogue: List[str] = []
+    xl_written: List[int] = []
+    xh_written: List[int] = []
     for index in sorted(ctx.gp_dirty):
-        epilogue.append(f"    gp[{index}] = r{index}")
+        epilogue.append(f"gp[{index}] = r{index}")
     for (index, part), half in sorted(ctx.halves.items()):
         if half.dirty:
+            # bits() may emit conversion lines; they land in ctx.lines
+            # (the body) before the body is rendered below.
             body_var = ctx.bits(index, part)
-            # The bits() call above may have emitted conversion lines
-            # after the body snapshot; flush them into the body.
             array = "xl" if part == "l" else "xh"
-            epilogue.append(f"    {array}[{index}] = {body_var}")
-    # bits() materialization emitted extra lines after the body was
-    # rendered; re-render the body to include them.
-    body = [f"    {line}" for line in ctx.lines]
-    if not body:
-        body = ["    pass"]
-    return "\n".join(header + prologue + body + epilogue) + "\n"
+            (xl_written if part == "l" else xh_written).append(index)
+            epilogue.append(f"{array}[{index}] = {body_var}")
+    writes = (tuple(sorted(ctx.gp_dirty)), tuple(xl_written),
+              tuple(xh_written),
+              any("mem.store" in line for line in ctx.lines))
+    return ctx.lines, epilogue, writes
+
+
+# The status flags the subset's cmp/test/ucomis* instructions define;
+# initialized per execution, never read back (they are JIT-internal).
+_PROLOGUE = "fz = fc = fs = fo = fp = 0"
+
+
+def _render_scalar(body: List[str], epilogue: List[str],
+                   name: str) -> str:
+    lines = [f"def {name}(gp, xl, xh, mem):", f"    {_PROLOGUE}"]
+    lines += [f"    {line}" for line in body + epilogue]
+    return "\n".join(lines) + "\n"
+
+
+def generate_source(program: Program, name: str = "__kernel",
+                    comments: bool = False) -> str:
+    """Translate a program to the source of one Python function.
+
+    ``comments=True`` annotates each instruction's statements with the
+    assembly line (useful for inspection; the search leaves it off since
+    comment tokens measurably slow ``compile``).
+    """
+    body, epilogue, _ = _codegen(program, comments=comments)
+    return _render_scalar(body, epilogue, name)
+
+
+def generate_batch_source(program: Program,
+                          name: str = "__kernel_batch") -> str:
+    """Translate a program to a function over a whole batch of states.
+
+    The generated function runs the kernel body once per ``(gp, xl, xh,
+    mem)`` view in ``batch`` inside a single compiled-function call, so a
+    proposal's entire test set is dispatched without re-entering Python
+    between test cases.  A signalling test records its signal in
+    ``signals[i]`` and the batch carries on with the next state — one
+    faulting test must not tear down the rest of the batch.
+    """
+    body, epilogue, _ = _codegen(program)
+    lines = [
+        f"def {name}(batch, signals):",
+        "    __i = 0",
+        "    for gp, xl, xh, mem in batch:",
+        "        try:",
+        f"            {_PROLOGUE}",
+    ]
+    lines += [f"            {line}" for line in body + epilogue]
+    lines += [
+        "        except SignalError as __exc:",
+        "            signals[__i] = __exc.signal",
+        "        __i += 1",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+# Batch dispatch is tiered like a real JIT: a program's first few
+# batches run through a generic Python driver loop around the scalar
+# function (no extra compilation), and the specialized one-call outer
+# loop is only generated once the program has proven hot.  Compiling the
+# batch source costs ~a scalar compile; a search proposal is typically
+# batch-dispatched once and then discarded, so eager specialization
+# would pay that compile for every surviving proposal.
+_BATCH_SPECIALIZE_AFTER = 4
 
 
 class CompiledProgram:
     """A program compiled to a reusable Python function."""
 
-    __slots__ = ("program", "source", "_fn")
+    __slots__ = ("program", "source", "writes", "_fn", "_batch_fn",
+                 "_batch_calls")
 
     def __init__(self, program: Program):
         self.program = program
-        self.source = generate_source(program)
+        body, epilogue, self.writes = _codegen(program)
+        self.source = _render_scalar(body, epilogue, "__kernel")
         code = compile(self.source, "<jit>", "exec")
         env: Dict[str, object] = {}
         exec(code, _GLOBALS, env)  # noqa: S102
         self._fn = env["__kernel"]
+        self._batch_fn = None
+        self._batch_calls = 0
 
     def run(self, state: MachineState) -> Outcome:
         """Execute on a machine state in place.
@@ -397,9 +479,62 @@ class CompiledProgram:
             return Outcome(signal=exc.signal)
         return Outcome()
 
+    def specialize_batch(self) -> None:
+        """Compile the specialized batched entry point now.
 
-_COMPILE_CACHE: Dict[Program, CompiledProgram] = {}
+        Normally :meth:`run_batch` tiers up on its own; benchmarks and
+        tests call this to measure/exercise the steady-state path
+        directly.
+        """
+        if self._batch_fn is None:
+            code = compile(generate_batch_source(self.program),
+                           "<jit-batch>", "exec")
+            env: Dict[str, object] = {}
+            exec(code, _GLOBALS, env)  # noqa: S102
+            self._batch_fn = env["__kernel_batch"]
+
+    def run_batch(self, states: "Sequence[MachineState]") -> List[object]:
+        """Execute on every state in a single call.
+
+        Returns a list of per-state signals (``None`` for clean runs),
+        aligned with ``states``.  Each state is mutated in place exactly
+        as :meth:`run` would mutate it; a signalling state is abandoned
+        mid-program (architectural state undefined, as with ``run``) and
+        the batch continues with the next state.
+
+        Cold programs loop over the scalar function; once this program
+        has been batch-dispatched ``_BATCH_SPECIALIZE_AFTER`` times, the
+        whole test set executes inside one generated compiled-function
+        call (see :func:`generate_batch_source`).
+        """
+        signals: List[object] = [None] * len(states)
+        fn = self._batch_fn
+        if fn is None:
+            self._batch_calls += 1
+            if self._batch_calls <= _BATCH_SPECIALIZE_AFTER:
+                scalar = self._fn
+                index = 0
+                for state in states:
+                    try:
+                        scalar(state.gp, state.xmm_lo, state.xmm_hi,
+                               state.mem)
+                    except SignalError as exc:
+                        signals[index] = exc.signal
+                    index += 1
+                return signals
+            self.specialize_batch()
+            fn = self._batch_fn
+        fn([(s.gp, s.xmm_lo, s.xmm_hi, s.mem) for s in states], signals)
+        return signals
+
+
+# Bounded LRU over immutable program values.  Like CostFunction._cache,
+# eviction is one-at-a-time from the cold end: wiping the whole cache at
+# capacity used to stall the search on a compile storm right when the
+# chain was deep into a long run.
+_COMPILE_CACHE: "OrderedDict[Program, CompiledProgram]" = OrderedDict()
 _COMPILE_CACHE_MAX = 8192
+_COMPILE_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def compile_program(program: Program) -> CompiledProgram:
@@ -411,9 +546,28 @@ def compile_program(program: Program) -> CompiledProgram:
     """
     cached = _COMPILE_CACHE.get(program)
     if cached is not None:
+        _COMPILE_CACHE.move_to_end(program)
+        _COMPILE_CACHE_STATS["hits"] += 1
         return cached
+    _COMPILE_CACHE_STATS["misses"] += 1
     compiled = CompiledProgram(program)
-    if len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
-        _COMPILE_CACHE.clear()
+    while len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
+        _COMPILE_CACHE.popitem(last=False)
+        _COMPILE_CACHE_STATS["evictions"] += 1
     _COMPILE_CACHE[program] = compiled
     return compiled
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """Hit/miss/eviction counters and current size of the compile cache."""
+    stats = dict(_COMPILE_CACHE_STATS)
+    stats["size"] = len(_COMPILE_CACHE)
+    stats["max_size"] = _COMPILE_CACHE_MAX
+    return stats
+
+
+def clear_compile_cache() -> None:
+    """Drop all cached compilations and reset the counters (test hook)."""
+    _COMPILE_CACHE.clear()
+    for key in _COMPILE_CACHE_STATS:
+        _COMPILE_CACHE_STATS[key] = 0

@@ -112,6 +112,42 @@ class MemLoc:
         )
 
 
+def make_reader(loc) -> "callable":
+    """Compile a location into a fast ``state -> bits`` closure.
+
+    :meth:`Loc.read` re-resolves the register kind, index, and lane on
+    every call; the evaluator reads every live-out location once per test
+    case per proposal, so the Runner precompiles one closure per location
+    with all of that resolution burned in.  Must return exactly the bits
+    ``loc.read(state)`` returns.
+    """
+    if isinstance(loc, MemLoc):
+        name = loc.segment
+        start, end = loc.offset, loc.offset + loc.width // 8
+
+        def read_mem(state, _name=name, _start=start, _end=end):
+            return int.from_bytes(
+                state.mem.segment(_name).data[_start:_end], "little")
+
+        return read_mem
+    if loc.reg in XMM_INDEX:
+        i = XMM_INDEX[loc.reg]
+        if loc.width == 64:
+            if loc.lane == 0:
+                return lambda state, _i=i: state.xmm_lo[_i]
+            return lambda state, _i=i: state.xmm_hi[_i]
+        shift = 32 * (loc.lane & 1)
+        if loc.lane < 2:
+            return lambda state, _i=i, _s=shift: \
+                (state.xmm_lo[_i] >> _s) & MASK32
+        return lambda state, _i=i, _s=shift: \
+            (state.xmm_hi[_i] >> _s) & MASK32
+    i = GP64_INDEX[loc.reg]
+    if loc.width == 32:
+        return lambda state, _i=i: state.gp[_i] & MASK32
+    return lambda state, _i=i: state.gp[_i] & MASK64
+
+
 _GP32_OF = {name64: name32 for name32, name64 in zip(
     ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
      "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d"),

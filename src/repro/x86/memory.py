@@ -124,5 +124,27 @@ class Memory:
             fresh.segments.append(seg.copy() if seg.writable else seg)
         return fresh
 
+    # -- in-place reuse (the batched evaluator's state pool) ------------
+
+    def snapshot_writable(self) -> tuple:
+        """Immutable images of the writable segments, for `restore_writable`.
+
+        Read-only segments cannot drift (stores to them fault before
+        mutating), so only writable pages are captured.
+        """
+        return tuple((seg, bytes(seg.data))
+                     for seg in self.segments if seg.writable)
+
+    def restore_writable(self, snapshot: tuple) -> None:
+        """Reset writable segments to a `snapshot_writable` image in place.
+
+        Pages the last execution left untouched are detected by a C-speed
+        bytes comparison and skipped, so programs with no stores pay one
+        compare per page instead of a copy.
+        """
+        for seg, image in snapshot:
+            if seg.data != image:
+                seg.data[:] = image
+
     def __repr__(self) -> str:
         return f"Memory({self.segments!r})"

@@ -35,6 +35,48 @@ class MachineState:
         fresh.flags = dict(self.flags)
         return fresh
 
+    def snapshot(self) -> tuple:
+        """Capture register/flag/writable-memory values for `restore`.
+
+        Together with :meth:`restore` this lets one state serve many
+        executions (the evaluator's state pool) without the allocation
+        cost of :meth:`copy` per run.
+        """
+        return (tuple(self.gp), tuple(self.xmm_lo), tuple(self.xmm_hi),
+                dict(self.flags), self.mem.snapshot_writable())
+
+    def restore(self, snapshot: tuple) -> None:
+        """Reset this state in place to a previously taken `snapshot`."""
+        gp, xmm_lo, xmm_hi, flags, mem_snapshot = snapshot
+        self.gp[:] = gp
+        self.xmm_lo[:] = xmm_lo
+        self.xmm_hi[:] = xmm_hi
+        self.flags.update(flags)
+        self.mem.restore_writable(mem_snapshot)
+
+    def restore_slots(self, snapshot: tuple, gp_indices, xl_indices,
+                      xh_indices, mem: bool) -> None:
+        """Reset only the named slots to their `snapshot` values.
+
+        The fast path of the state pool: when the exact write set of the
+        executions since the last reset is known (the JIT records it per
+        compiled program), everything else is untouched by construction
+        and does not need to be rewritten.  Flags are never restored here
+        — the JIT keeps them in locals and never writes ``state.flags``.
+        """
+        gp, xmm_lo, xmm_hi, _flags, mem_snapshot = snapshot
+        own_gp = self.gp
+        for index in gp_indices:
+            own_gp[index] = gp[index]
+        own_lo = self.xmm_lo
+        for index in xl_indices:
+            own_lo[index] = xmm_lo[index]
+        own_hi = self.xmm_hi
+        for index in xh_indices:
+            own_hi[index] = xmm_hi[index]
+        if mem:
+            self.mem.restore_writable(mem_snapshot)
+
     # ------------------------------------------------------------------
     # operand helpers used by the emulator backend
 

@@ -28,13 +28,21 @@ class TestCase:
     """Live-in values plus the initial memory image."""
 
     __test__ = False  # not a pytest test class, despite the name
-    __slots__ = ("inputs", "segments", "_template")
+    __slots__ = ("inputs", "segments", "_template", "_pooled", "_snapshot",
+                 "_dirt")
 
     def __init__(self, inputs: Dict[LocLike, int],
                  segments: Sequence[Segment] = ()):
         self.inputs: Dict[Loc, int] = {_as_loc(k): v for k, v in inputs.items()}
         self.segments: Tuple[Segment, ...] = tuple(segments)
         self._template: Optional[MachineState] = None
+        self._pooled: Optional[MachineState] = None
+        self._snapshot: Optional[tuple] = None
+        # What the pooled state's current holder may have modified:
+        # None (nothing — state is pristine), "all" (unknown — full
+        # restore needed), or a (gp, xmm_lo, xmm_hi, mem) write set
+        # promised via pooled_state(writes).
+        self._dirt = None
 
     @classmethod
     def from_values(cls, values: Dict[LocLike, float],
@@ -56,6 +64,56 @@ class TestCase:
                 loc.write(state, bits)
             self._template = state
         return self._template.copy()
+
+    def pooled_state(self, writes: Optional[tuple] = None) -> MachineState:
+        """This test's reusable machine state, reset in place.
+
+        The first call builds the state (one :meth:`build_state` copy) and
+        snapshots it; every later call restores the slots dirtied since
+        then from the snapshot instead of allocating a fresh copy.  This
+        is the evaluator's state pool: millions of proposal executions
+        per search reuse one state per test case.
+
+        ``writes`` is the caller's promise about what it will mutate
+        before the next ``pooled_state`` call: the ``(gp_indices,
+        xmm_lo_indices, xmm_hi_indices, writes_mem)`` write set of the
+        one compiled program it is about to run (see the JIT's
+        ``CompiledProgram.writes``).  The next call then resets just
+        those slots.  Omit it to promise nothing — the next call does a
+        full restore.
+
+        The returned state is only valid until the next ``pooled_state``
+        call on this test case; callers that need an independent state
+        (or run the same test twice concurrently) must use
+        :meth:`build_state`.
+        """
+        pooled = self._pooled
+        dirt = self._dirt
+        if pooled is None:
+            pooled = self._pooled = self.build_state()
+            self._snapshot = pooled.snapshot()
+        elif dirt == "all":
+            pooled.restore(self._snapshot)
+        elif dirt is not None:
+            # Precise write set promised by the previous holder: reset
+            # only the slots that can actually differ from the snapshot.
+            # (state.restore_slots inlined — this runs once per test per
+            # proposal evaluation.)
+            gp_idx, xl_idx, xh_idx, mem = dirt
+            snap_gp, snap_lo, snap_hi, _flags, mem_snapshot = self._snapshot
+            gp = pooled.gp
+            for index in gp_idx:
+                gp[index] = snap_gp[index]
+            lo = pooled.xmm_lo
+            for index in xl_idx:
+                lo[index] = snap_lo[index]
+            hi = pooled.xmm_hi
+            for index in xh_idx:
+                hi[index] = snap_hi[index]
+            if mem:
+                pooled.mem.restore_writable(mem_snapshot)
+        self._dirt = writes if writes is not None else "all"
+        return pooled
 
     def value_of(self, loc: LocLike) -> int:
         return self.inputs[_as_loc(loc)]

@@ -1,0 +1,249 @@
+"""Differential tests for the batched evaluator (Runner.run_batch).
+
+The batched JIT entry point and the pooled reset-in-place machine states
+must be observationally identical to the original one-fresh-state-per-
+test dispatch: same live-out bits, same signals, no state leaking
+between tests, batches, or programs.
+"""
+
+import random
+
+import pytest
+
+from repro.x86.assembler import assemble
+from repro.x86.jit import compile_program
+from repro.x86.locations import MemLoc
+from repro.x86.signals import Signal
+
+from repro.core.runner import Runner
+from repro.kernels.libimf import LIBIMF_KERNELS
+
+from tests.conftest import base_testcase, random_program
+
+BACKENDS = ("jit", "emulator")
+
+
+def reference_results(runner, program, tests):
+    """(values, signal) per test via fresh independent states.
+
+    This is the ground truth the pooled/batched paths must match: every
+    test executes on its own ``build_state`` copy, so no reuse bug can
+    contaminate it.
+    """
+    prepared = runner.prepare(program)
+    results = []
+    for tc in tests:
+        state = tc.build_state()
+        if runner.backend == "jit":
+            outcome = prepared.run(state)
+        else:
+            outcome = runner._emulator.run(prepared, state)
+        if outcome.ok:
+            results.append((runner.read_values(state), None))
+        else:
+            results.append((None, outcome.signal))
+    return results
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kernel", sorted(LIBIMF_KERNELS))
+def test_run_batch_matches_reference_on_kernels(backend, kernel):
+    spec = LIBIMF_KERNELS[kernel]()
+    tests = spec.testcases(random.Random(3), 24)
+    runner = Runner(spec.live_outs, backend=backend)
+    expected = reference_results(runner, spec.program, tests)
+    prepared = runner.prepare(spec.program)
+    assert runner.run_batch(prepared, tests) == expected
+    # and per-test dispatch through the pooled states agrees too
+    assert [runner.run_values(prepared, tc) for tc in tests] == expected
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", range(8))
+def test_run_batch_matches_reference_on_random_programs(backend, seed):
+    # base_testcase inputs are arbitrary 64-bit patterns, so these
+    # batches routinely carry NaN payloads (quiet and signalling) and
+    # denormals through the batched path.
+    program = random_program(seed, 12)
+    tests = [base_testcase(seed * 100 + i) for i in range(12)]
+    runner = Runner(["xmm0", "rax"], backend=backend)
+    expected = reference_results(runner, program, tests)
+    prepared = runner.prepare(program)
+    assert runner.run_batch(prepared, tests) == expected
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_signalling_test_does_not_poison_batch(backend):
+    # One test faults mid-batch; the others must still produce exactly
+    # their independent-state results.
+    program = assemble("""
+        movsd (rax), xmm0
+        addsd xmm0, xmm1
+    """)
+    good = [base_testcase(i).replace("rax", 0x4000) for i in range(3)]
+    bad = base_testcase(9).replace("rax", 0xDEAD0000)
+    tests = [good[0], bad, good[1], good[2]]
+    runner = Runner(["xmm1"], backend=backend)
+    expected = reference_results(runner, program, tests)
+    assert expected[1] == (None, Signal.SIGSEGV)
+    prepared = runner.prepare(program)
+    results = runner.run_batch(prepared, tests)
+    assert results == expected
+    if backend == "jit":
+        # same through the specialized (tiered-up) batch entry point
+        prepared.specialize_batch()
+        assert runner.run_batch(prepared, tests) == expected
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_same_batch_twice_is_identical(backend):
+    # State-pool no-contamination: rerunning the identical batch must
+    # reproduce the identical bits even though every state was reused.
+    spec = LIBIMF_KERNELS["sin"]()
+    tests = spec.testcases(random.Random(7), 16)
+    runner = Runner(spec.live_outs, backend=backend)
+    prepared = runner.prepare(spec.program)
+    first = runner.run_batch(prepared, tests)
+    second = runner.run_batch(prepared, tests)
+    assert first == second
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_duplicate_test_object_in_batch(backend):
+    # The same TestCase object twice in one batch cannot share a pooled
+    # state; both slots must produce that test's own output.
+    spec = LIBIMF_KERNELS["exp"]()
+    tests = spec.testcases(random.Random(11), 4)
+    batch = [tests[0], tests[1], tests[0], tests[0]]
+    runner = Runner(spec.live_outs, backend=backend)
+    expected = reference_results(runner, spec.program, batch)
+    assert expected[0] == expected[2] == expected[3]
+    prepared = runner.prepare(spec.program)
+    assert runner.run_batch(prepared, batch) == expected
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_memory_writes_restored_between_runs(backend):
+    # A program that clobbers the writable scratch segment must see the
+    # original segment contents on every pooled execution.
+    program = assemble("""
+        movsd xmm0, (rbx)
+        movsd 8(rbx), xmm1
+    """)
+    tc = base_testcase(5)
+    runner = Runner(["xmm1", MemLoc("scratch", 0, "f64")], backend=backend)
+    expected = reference_results(runner, program, [tc])
+    prepared = runner.prepare(program)
+    for _ in range(3):
+        assert runner.run_values(prepared, tc) == expected[0]
+    for _ in range(2):
+        assert runner.run_batch(prepared, [tc]) == expected
+
+
+def test_interleaved_programs_with_different_write_sets():
+    # Program A dirties xmm slots, program B dirties a GP register and
+    # memory.  Alternating them over the same pooled states exercises
+    # the dirty-slot promise: each handout restores exactly what the
+    # previous program said it would write.
+    prog_a = assemble("addsd xmm1, xmm0\nmulsd xmm0, xmm1")
+    prog_b = assemble("mov rcx, rax\nmovsd xmm2, (rbx)")
+    tests = [base_testcase(40 + i) for i in range(6)]
+    runner = Runner(["xmm0", "xmm1", "rax", MemLoc("scratch", 0, "f64")],
+                    backend="jit")
+    expected_a = reference_results(runner, prog_a, tests)
+    expected_b = reference_results(runner, prog_b, tests)
+    a = runner.prepare(prog_a)
+    b = runner.prepare(prog_b)
+    assert a.writes != b.writes
+    for _ in range(3):
+        assert runner.run_batch(a, tests) == expected_a
+        assert runner.run_batch(b, tests) == expected_b
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_compiled_writes_covers_all_mutations(seed):
+    # CompiledProgram.writes is a promise consumed by the state pool's
+    # targeted restore; any slot it omits would never be reset.  Diff a
+    # fresh state before/after execution and check every changed slot is
+    # covered.
+    program = random_program(seed, 10)
+    compiled = compile_program(program)
+    gp_idx, xl_idx, xh_idx, writes_mem = compiled.writes
+    tc = base_testcase(seed)
+    state = tc.build_state()
+    before = state.snapshot()
+    if not compiled.run(state).ok:
+        return  # state undefined after a signal; nothing to check
+    gp0, lo0, hi0, _flags, mem0 = before
+    for i, (old, new) in enumerate(zip(gp0, state.gp)):
+        if old != new:
+            assert i in gp_idx
+    for i, (old, new) in enumerate(zip(lo0, state.xmm_lo)):
+        if old != new:
+            assert i in xl_idx
+    for i, (old, new) in enumerate(zip(hi0, state.xmm_hi)):
+        if old != new:
+            assert i in xh_idx
+    if state.mem.snapshot_writable() != mem0:
+        assert writes_mem
+
+
+def _contents(state):
+    """Value-equality view of a state (segment identity ignored)."""
+    return (list(state.gp), list(state.xmm_lo), list(state.xmm_hi),
+            [(seg.name, bytes(seg.data)) for seg in state.mem.segments])
+
+
+def test_pooled_state_full_restore_without_promise():
+    # pooled_state() with no write-set promise must fully restore on the
+    # next handout, even after arbitrary mutation.
+    tc = base_testcase(1)
+    pristine = _contents(tc.build_state())
+    state = tc.pooled_state()
+    state.gp[0] = 0x1234
+    state.xmm_lo[3] = 0x5678
+    state.mem.store8(0x4000, 0xDEAD)
+    state = tc.pooled_state()
+    assert _contents(state) == pristine
+
+
+def test_pooled_state_honors_write_promise_scope():
+    # With a precise promise, only the promised slots are restored; a
+    # violation of the promise (mutating an unpromised slot) is visible
+    # on the next handout.  This pins the contract: the promise is load-
+    # bearing, not advisory.
+    tc = base_testcase(2)
+    pristine = tc.build_state().snapshot()
+    promise = ((0,), (), (), False)  # "I will only write gp[0]"
+    state = tc.pooled_state(promise)
+    state.gp[0] = 0x1111
+    state.gp[1] = 0x2222  # outside the promise
+    state = tc.pooled_state()
+    assert state.gp[0] == pristine[0][0]  # promised slot restored
+    assert state.gp[1] == 0x2222  # unpromised slot intentionally not
+
+
+def test_segments_shared_with_reference():
+    # Read-only segments must be shared (identity) between the pooled
+    # state and fresh builds; writable ones must not be.
+    tc = base_testcase(3)
+    pooled = tc.pooled_state()
+    fresh = tc.build_state()
+    by_name_pooled = {seg.name: seg for seg in pooled.mem.segments}
+    by_name_fresh = {seg.name: seg for seg in fresh.mem.segments}
+    assert by_name_pooled["table"].data is by_name_fresh["table"].data
+    assert by_name_pooled["scratch"].data is not by_name_fresh["scratch"].data
+
+
+def test_make_reader_matches_loc_read():
+    from repro.core.runner import resolve_locations
+    from repro.x86.locations import make_reader
+
+    program = random_program(17, 8)
+    tc = base_testcase(17)
+    state = tc.build_state()
+    compile_program(program).run(state)
+    locs = resolve_locations(
+        ["xmm0", "xmm1:hd", "rax", "ecx", MemLoc("scratch", 8, "f64")])
+    for loc in locs:
+        assert make_reader(loc)(state) == loc.read(state)

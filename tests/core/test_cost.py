@@ -75,6 +75,20 @@ class TestEquivalenceTerm:
         assert result.perf == 0.0
         assert result.total == result.eq
 
+    def test_err_fast_missing_live_out_is_diagnosed(self):
+        # Outputs from a Runner with mismatched live-outs used to die
+        # with a bare KeyError; the message must now name the missing
+        # location and the backend so the mismatch is debuggable.
+        cost = make_cost("addsd xmm0, xmm0")
+        expected = {parse_loc("xmm0"): double_to_bits(2.0)}
+        wrong_outputs = {parse_loc("xmm1"): double_to_bits(2.0)}
+        with pytest.raises(KeyError) as exc:
+            cost.err_fast(wrong_outputs, expected, signalled=False)
+        message = str(exc.value)
+        assert "xmm0" in message
+        assert "jit" in message
+        assert "live-outs" in message
+
 
 class TestReduction:
     def test_max_vs_sum(self):

@@ -75,6 +75,23 @@ class TestSlowChecks:
         assert result.best_correct is None
         assert len(calls) == len(set(calls))  # each program checked once
 
+    def test_slow_check_failure_memory_is_bounded(self, tiny_target):
+        # A long chain can stream an unbounded number of distinct
+        # failing candidates through the slow check; the failure memo
+        # must cap out (LRU) rather than grow for the whole run.
+        stoke = Stoke(tiny_target, _tests(), ["xmm0"],
+                      CostConfig(eta=0.0, k=1.0),
+                      slow_check=lambda program: False)
+        stoke.SLOW_CHECK_FAILURE_CAP = 8
+        programs = [assemble(f"movq ${float(i)}d, xmm0\naddsd xmm0, xmm0")
+                    for i in range(50)]
+        for program in programs:
+            assert not stoke._passes_slow_check(program)
+        assert len(stoke._slow_check_failures) <= 8
+        # most recent failures are the ones retained
+        assert programs[-1] in stoke._slow_check_failures
+        assert programs[0] not in stoke._slow_check_failures
+
 
 class TestRestarts:
     def test_best_of_chains(self, tiny_target):

@@ -37,7 +37,8 @@ class TestThroughput:
     def test_report_renders(self):
         results = [throughput.measure_kernel("exp", tests=10, repeats=1)]
         out = throughput.report(results)
-        assert "exp" in out and "JIT/emulator" in out
+        assert "exp" in out and "batched/emulator" in out
+        assert "batched/JIT" in out
 
 
 class TestFigure4:

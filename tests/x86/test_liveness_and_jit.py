@@ -6,7 +6,8 @@ from hypothesis import strategies as st
 
 from repro.x86.assembler import assemble
 from repro.x86.emulator import Emulator
-from repro.x86.jit import CompiledProgram, compile_program, float_literal, generate_source
+from repro.x86.jit import (CompiledProgram, compile_program, float_literal,
+                           generate_batch_source, generate_source)
 from repro.x86.liveness import dead_code_eliminate, uses_and_defs
 from repro.x86.program import Program
 from repro.x86.testcase import TestCase
@@ -132,12 +133,88 @@ class TestJitInternals:
             subsd xmm1, xmm0
         """))
         # one load conversion for xmm0, one canonicalizing
-        # materialization per written register
-        assert source.count("u2d(") == 1
-        assert source.count("d2u_c(") == 2  # xmm0 and xmm1 write-back
+        # materialization per written register (both conversions are
+        # emitted as inline struct pack/unpack expressions)
+        assert source.count("unpack_d(pack_q(") == 1
+        assert source.count("unpack_q(pack_d(") == 2  # xmm0/xmm1 write-back
 
     @settings(max_examples=40, deadline=None)
     @given(st.integers(0, 10**6))
     def test_generated_source_compiles(self, seed):
         program = random_program(seed, 10)
         CompiledProgram(program)  # must not raise
+
+
+class TestBatchDispatch:
+    def test_batch_source_is_deterministic(self):
+        program = assemble("addsd xmm1, xmm0\nmulsd xmm2, xmm0")
+        assert generate_batch_source(program) == generate_batch_source(program)
+
+    def test_empty_program_batch(self):
+        compiled = CompiledProgram(Program([]))
+        states = [TestCase({}).build_state() for _ in range(3)]
+        assert compiled.run_batch(states) == [None, None, None]
+
+    def test_tiers_up_after_threshold(self):
+        from repro.x86.jit import _BATCH_SPECIALIZE_AFTER
+
+        compiled = CompiledProgram(assemble("addsd xmm1, xmm0"))
+        tc = base_testcase(0)
+        for call in range(1, _BATCH_SPECIALIZE_AFTER + 2):
+            compiled.run_batch([tc.build_state()])
+            if call <= _BATCH_SPECIALIZE_AFTER:
+                assert compiled._batch_fn is None  # still the driver loop
+            else:
+                assert compiled._batch_fn is not None
+
+    def test_driver_loop_and_specialized_agree(self):
+        program = random_program(77, 10)
+        cold = CompiledProgram(program)
+        hot = CompiledProgram(program)
+        hot.specialize_batch()
+        tests = [base_testcase(i) for i in range(6)]
+        cold_states = [tc.build_state() for tc in tests]
+        hot_states = [tc.build_state() for tc in tests]
+        assert cold.run_batch(cold_states) == hot.run_batch(hot_states)
+        for cold_state, hot_state in zip(cold_states, hot_states):
+            assert cold_state.gp == hot_state.gp
+            assert cold_state.xmm_lo == hot_state.xmm_lo
+            assert cold_state.xmm_hi == hot_state.xmm_hi
+
+
+class TestCompileCache:
+    def test_bounded_with_lru_eviction(self, monkeypatch):
+        from repro.x86 import jit
+
+        monkeypatch.setattr(jit, "_COMPILE_CACHE_MAX", 4)
+        jit.clear_compile_cache()
+        programs = [Program([assemble(f"mov ${i}, rax").slots[0]])
+                    for i in range(10)]
+        for program in programs:
+            jit.compile_program(program)
+        stats = jit.compile_cache_stats()
+        assert stats["size"] <= 4
+        assert stats["misses"] == 10
+        assert stats["evictions"] == 10 - stats["size"]
+        # the cold end was evicted, the hot end survives
+        assert programs[0] not in jit._COMPILE_CACHE
+        assert programs[-1] in jit._COMPILE_CACHE
+
+    def test_hit_refreshes_recency(self, monkeypatch):
+        from repro.x86 import jit
+
+        monkeypatch.setattr(jit, "_COMPILE_CACHE_MAX", 2)
+        jit.clear_compile_cache()
+        a = assemble("mov $1, rax")
+        b = assemble("mov $2, rax")
+        c = assemble("mov $3, rax")
+        jit.compile_program(a)
+        jit.compile_program(b)
+        jit.compile_program(a)  # touch a: now b is the cold end
+        jit.compile_program(c)  # evicts b, not a
+        assert a in jit._COMPILE_CACHE
+        assert b not in jit._COMPILE_CACHE
+        stats = jit.compile_cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 3
+        assert stats["evictions"] == 1
