@@ -60,10 +60,8 @@ def test_proposal_mix_ablation(benchmark, move):
     spec = exp_s3d_kernel()
     tests = spec.testcases(random.Random(0), TESTCASES)
 
-    transforms = Transforms(spec.program)
-    if move != "all":
-        single = getattr(transforms, f"propose_{move}")
-        transforms.propose = lambda rng, prog: (single(rng, prog), move)
+    kinds = None if move == "all" else (move,)
+    transforms = Transforms(spec.program, move_kinds=kinds)
     stoke = Stoke(spec.program, tests, spec.live_outs,
                   CostConfig(eta=ETA, k=1.0), transforms=transforms)
     result = one_shot(benchmark, stoke.optimize,

@@ -1,0 +1,172 @@
+"""Incremental (checkpointed-prefix) evaluation: throughput and identity.
+
+Every MCMC proposal edits one or two instructions, so the machine state
+reaching the first edited slot is identical between the proposal and the
+chain's current program.  The incremental evaluator checkpoints pooled
+per-test states at ``~sqrt(n)`` stride boundaries and re-executes only
+``[boundary, end)`` — results are bit-identical to full evaluation by
+construction, which this benchmark *asserts* (same-seed searches with
+the path on and off must produce the same best cost, trace, and accept
+counts) before reporting any number.
+
+Measurement protocol: full/incremental runs are interleaved round-robin
+and the best rate per mode is kept, so CPU frequency drift between reps
+cannot masquerade as a speedup.
+
+As a script it writes the ``BENCH_incremental.json`` baseline consumed
+by CI and fails if fewer than ``--min-kernels`` kernels reach the
+``--min-speedup`` throughput ratio::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py \\
+        --proposals 4000 --out BENCH_incremental.json \\
+        --min-speedup 1.5 --min-kernels 3
+
+Under pytest it doubles as a pytest-benchmark suite
+(``pytest benchmarks/bench_incremental.py --benchmark-only``).
+"""
+
+import json
+import random
+import sys
+
+import pytest
+
+from repro.core.cost import CostConfig
+from repro.core.search import SearchConfig, Stoke
+from repro.kernels.libimf import LIBIMF_KERNELS
+from repro.x86.checkpoint import clear_checkpoint_store
+from repro.x86.jit import clear_compile_cache
+
+PROPOSALS = 4000
+TESTS = 16
+REPEATS = 3
+SEED = 11
+
+
+def _search(spec, cases, proposals, incremental, seed=SEED):
+    # Same-seed repeats replay the identical proposal stream, so a warm
+    # global compile cache would hand the full path every compile for
+    # free — a real search never revisits its novel proposals.  Both
+    # caches start cold on every run, for both modes.
+    clear_compile_cache()
+    clear_checkpoint_store()
+    stoke = Stoke(spec.program, cases, spec.live_outs, CostConfig(k=1.0))
+    config = SearchConfig(proposals=proposals, seed=seed,
+                          incremental=incremental)
+    return stoke.optimize(config)
+
+
+@pytest.mark.parametrize("name", ("sin", "exp", "tan"))
+@pytest.mark.parametrize("incremental", (False, True),
+                         ids=("full", "incremental"))
+def test_search_throughput(benchmark, name, incremental):
+    spec = LIBIMF_KERNELS[name]()
+    cases = spec.testcases(random.Random(0), TESTS)
+    result = benchmark(_search, spec, cases, 800, incremental)
+    benchmark.extra_info["incremental"] = dict(result.stats.incremental)
+    benchmark.extra_info["proposals_per_second"] = \
+        result.stats.proposals_per_second
+
+
+def measure_kernel(name, proposals=PROPOSALS, tests=TESTS, repeats=REPEATS):
+    """Interleaved full-vs-incremental rates for one kernel.
+
+    Returns the JSON row; raises AssertionError if any same-seed pair of
+    runs diverges in cost, trace, or acceptance — the speedup is only
+    reportable while the fast path stays bit-identical.
+    """
+    spec = LIBIMF_KERNELS[name]()
+    cases = spec.testcases(random.Random(0), tests)
+    best = {False: 0.0, True: 0.0}
+    reference = {}
+    for _ in range(repeats):
+        for mode in (False, True):
+            result = _search(spec, cases, proposals, mode)
+            rate = result.stats.proposals_per_second
+            if rate > best[mode]:
+                best[mode] = rate
+            previous = reference.setdefault(mode, result)
+            assert result.best_cost == previous.best_cost, \
+                f"{name}: non-deterministic search (incremental={mode})"
+    full, inc = reference[False], reference[True]
+    assert inc.best_cost == full.best_cost, \
+        f"{name}: incremental best_cost diverged"
+    assert inc.trace == full.trace, f"{name}: incremental trace diverged"
+    assert inc.stats.accepted == full.stats.accepted, \
+        f"{name}: incremental acceptance diverged"
+    assert inc.best_correct_latency == full.best_correct_latency, \
+        f"{name}: incremental best-correct diverged"
+    evaluated = inc.stats.incremental["hits"] + \
+        inc.stats.incremental["fallbacks"]
+    return {
+        "kernel": name,
+        "slots": len(spec.program.slots),
+        "proposals": proposals,
+        "tests": tests,
+        "full_proposals_per_sec": best[False],
+        "incremental_proposals_per_sec": best[True],
+        "speedup": best[True] / best[False],
+        "incremental_hit_fraction": (
+            inc.stats.incremental["hits"] / evaluated if evaluated else 0.0),
+        "incremental_stats": dict(inc.stats.incremental),
+    }
+
+
+def run_baseline(proposals=PROPOSALS, tests=TESTS, repeats=REPEATS,
+                 kernels=None):
+    rows = [measure_kernel(name, proposals=proposals, tests=tests,
+                           repeats=repeats)
+            for name in (kernels or sorted(LIBIMF_KERNELS))]
+    return {
+        "benchmark": "incremental_suffix_evaluation",
+        "proposals": proposals,
+        "tests_per_kernel": tests,
+        "repeats": repeats,
+        "note": "full/incremental interleaved round-robin, best-of rates; "
+                "every pair of same-seed runs is asserted bit-identical "
+                "(best cost, trace, accept counts) before rates are "
+                "reported.",
+        "results": rows,
+        "max_speedup": max(r["speedup"] for r in rows),
+        "median_speedup": sorted(r["speedup"] for r in rows)[len(rows) // 2],
+    }
+
+
+def main():
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--proposals", type=int, default=PROPOSALS)
+    parser.add_argument("--tests", type=int, default=TESTS)
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument("--kernels", nargs="*", default=None)
+    parser.add_argument("--out", default="BENCH_incremental.json")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="per-kernel throughput ratio floor")
+    parser.add_argument("--min-kernels", type=int, default=0,
+                        help="fail unless at least this many kernels "
+                             "reach --min-speedup (CI regression floor)")
+    args = parser.parse_args()
+    baseline = run_baseline(proposals=args.proposals, tests=args.tests,
+                            repeats=args.repeats, kernels=args.kernels)
+    with open(args.out, "w") as fh:
+        json.dump(baseline, fh, indent=2)
+        fh.write("\n")
+    for row in baseline["results"]:
+        print(f"{row['kernel']:>4} ({row['slots']} slots): "
+              f"full {row['full_proposals_per_sec']:,.0f} | "
+              f"incremental {row['incremental_proposals_per_sec']:,.0f} p/s "
+              f"({row['speedup']:.2f}x, "
+              f"{row['incremental_hit_fraction']:.0%} hits)")
+    print(f"wrote {args.out}")
+    reached = sum(r["speedup"] >= args.min_speedup
+                  for r in baseline["results"])
+    if reached < args.min_kernels:
+        print(f"FAIL: only {reached} kernel(s) reached "
+              f"{args.min_speedup:.2f}x (need {args.min_kernels})",
+              file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

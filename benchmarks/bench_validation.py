@@ -2,14 +2,26 @@
 
 Paper: MCMC validation converges in under 100M proposals with runtimes
 under a minute; the termination test is the Geweke diagnostic.
+
+The block benchmarks cover speculative block evaluation
+(``Validator.err_block`` / ``ValidationConfig.max_block``): proposals
+are evaluated through one batched executor call per block instead of
+two executions per sample, and the chain un-speculates nothing for
+independent-draw strategies (``rand``) while MCMC pays only for the
+samples a Geweke break discards.
 """
 
+from dataclasses import replace
+
 import numpy as np
+import pytest
 
 from repro.harness.figure10 import _reduced_precision_rewrite
 from repro.kernels.libimf import sin_kernel
 from repro.validation import ValidationConfig, Validator
 from repro.validation.geweke import geweke_z
+from repro.validation.proposals import TestCaseProposer
+from repro.validation.strategies import make_validation_strategy
 
 from _util import VALIDATION_PROPOSALS, one_shot
 
@@ -48,3 +60,51 @@ def test_geweke_diagnostic(benchmark):
     chain = np.random.default_rng(0).standard_normal(5000)
     z = benchmark(geweke_z, chain)
     benchmark.extra_info["z"] = round(float(z), 3)
+
+
+def _proposal_block(count, seed=7):
+    spec = sin_kernel()
+    proposer = TestCaseProposer(dict(spec.ranges))
+    import random as _random
+
+    rng = _random.Random(seed)
+    current = proposer.initial(rng, spec.base_testcase())
+    block = []
+    for _ in range(count):
+        current = proposer.propose(rng, current)
+        block.append(current)
+    return block
+
+
+@pytest.mark.parametrize("block", (1, 8, 64))
+def test_err_block_evaluation(benchmark, block):
+    """Per-evaluation cost of the batched error path at block sizes."""
+    validator = _validator()
+    tests = _proposal_block(block)
+    if block == 1:
+        benchmark(validator.err, tests[0])
+    else:
+        benchmark(validator.err_block, tests)
+    benchmark.extra_info["evals_per_round"] = block
+
+
+@pytest.mark.parametrize("strategy", ("rand", "mcmc"))
+@pytest.mark.parametrize("max_block", (1, 64), ids=("scalar", "block"))
+def test_validation_block_throughput(benchmark, strategy, max_block):
+    """Whole validation runs, speculative block vs scalar dispatch."""
+    validator = _validator()
+    config = ValidationConfig(
+        max_proposals=VALIDATION_PROPOSALS, min_samples=500,
+        check_interval=250, seed=2, max_block=max_block)
+
+    def validate():
+        return validator.validate(replace(config),
+                                  make_validation_strategy(strategy))
+
+    result = one_shot(benchmark, validate)
+    benchmark.extra_info.update({
+        "samples": result.samples,
+        "evaluations": result.evaluations,
+        "wasted": result.wasted,
+        "max_err": f"{result.max_err:.3e}",
+    })

@@ -21,14 +21,20 @@ ablation benchmarks):
 from __future__ import annotations
 
 import math
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.fp.ieee754 import DOUBLE, SINGLE
 from repro.fp.ulp import ulp_distance_bits
+from repro.x86.checkpoint import (Checkpoint, PrefixKey, checkpoint_stride,
+                                  flags_live_in, program_writes,
+                                  union_writes)
+from repro.x86.jit import compile_program
 from repro.x86.locations import Loc, MemLoc
 from repro.x86.program import Program
+from repro.x86.signals import SignalError
+from repro.x86.stepper import bound_steps
 from repro.x86.testcase import TestCase
 
 from repro.core.perf import LatencyPerf
@@ -100,6 +106,18 @@ def location_ulp_distance(loc: Location, bits_a: int, bits_b: int) -> float:
     return float(bin(bits_a ^ bits_b).count("1"))
 
 
+class _IncPlan:
+    """Per-evaluation context of one incremental cost evaluation.
+
+    Built once per proposal from its edit span; holds the resume
+    boundary, the content-addressed prefix key, the fallback capture
+    bases, and backend-bound segment/suffix executors.
+    """
+
+    __slots__ = ("slots", "boundary", "prefix_key", "bases", "writes_at_b",
+                 "promise", "run_suffix", "run_segment")
+
+
 class CostFunction:
     """``c(R; T) = eq(R; T) + k * perf(R; T)`` bound to a target."""
 
@@ -145,6 +163,22 @@ class CostFunction:
         self._cache_max = cache_size
         self.cache_hits = 0
         self.cache_misses = 0
+        # Incremental (checkpointed-prefix) evaluation bookkeeping.  A
+        # duplicated test object would alias one pooled state between
+        # its two slots on the incremental path, so dup test sets always
+        # take the full batch path.
+        self._has_dup_tests = len({id(t) for t in self.tests}) != \
+            len(self.tests)
+        self.incremental_hits = 0
+        self.incremental_fallbacks = 0
+        self.incremental_captures = 0
+        # Adaptive-ordering stability window: identities of recently
+        # promoted tests.  A promotion of a test already in this window
+        # that sits within the window of the front is skipped — the
+        # order is effectively stable and the list surgery is wasted.
+        self._recent_promotes: deque = deque(maxlen=self._PROMOTE_WINDOW)
+        self.promote_moves = 0
+        self.promote_skips = 0
 
     # -- equivalence -----------------------------------------------------
 
@@ -194,10 +228,18 @@ class CostFunction:
     # compiled-function call per test set.
     _CHUNK_GROWTH = 8
     _FIRST_CHUNK = 1
+    _PROMOTE_WINDOW = 4
 
-    def _eq(self, prepared, early_reject_above: Optional[float] = None,
-            perf_term: float = 0.0) -> Tuple[float, bool, bool]:
-        """Evaluate the ⊕-reduced test error with batched dispatch.
+    def _eq_loop(self, run_chunk, early_reject_above: Optional[float],
+                 perf_term: float) -> Tuple[float, bool, bool]:
+        """The shared chunk-ladder reduction over the test set.
+
+        ``run_chunk(index, end)`` executes tests ``[index, end)`` and
+        returns one ``(values, signal)`` pair per test.  Both the full
+        and the incremental evaluation paths run through this one loop,
+        so their chunk schedule, ⊕-reduction, early-reject bound, and
+        promotion behaviour are identical by construction — only the way
+        a chunk is executed differs.
 
         Returns ``(eq, any_signal, completed)``.  When
         ``early_reject_above`` is given and the running lower bound on
@@ -207,8 +249,8 @@ class CostFunction:
         """
         cfg = self.config
         is_max = cfg.reduction == "max"
-        tests, expected = self.tests, self._expected
-        count = len(tests)
+        expected = self._expected
+        count = len(self.tests)
         eq = 0.0
         signalled = False
         worst_index = 0
@@ -217,13 +259,7 @@ class CostFunction:
         chunk = self._FIRST_CHUNK
         while index < count:
             end = min(count, index + chunk)
-            if end - index == 1:
-                # A one-test chunk goes through the scalar entry point:
-                # proposals that die on the (adaptively fronted) first
-                # test never pay for compiling the batched entry point.
-                results = (self.runner.run_values(prepared, tests[index]),)
-            else:
-                results = self.runner.run_batch(prepared, tests[index:end])
+            results = run_chunk(index, end)
             for offset, (values, signal) in enumerate(results):
                 if signal is not None:
                     err = cfg.ws
@@ -245,10 +281,40 @@ class CostFunction:
             chunk *= self._CHUNK_GROWTH
         return eq, signalled, True
 
+    def _eq(self, prepared, early_reject_above: Optional[float] = None,
+            perf_term: float = 0.0) -> Tuple[float, bool, bool]:
+        """Evaluate the ⊕-reduced test error with batched dispatch."""
+        tests = self.tests
+        runner = self.runner
+
+        def run_chunk(index: int, end: int):
+            if end - index == 1:
+                # A one-test chunk goes through the scalar entry point:
+                # proposals that die on the (adaptively fronted) first
+                # test never pay for compiling the batched entry point.
+                return (runner.run_values(prepared, tests[index]),)
+            return runner.run_batch(prepared, tests[index:end])
+
+        return self._eq_loop(run_chunk, early_reject_above, perf_term)
+
     def _promote(self, index: int) -> None:
-        """Move the test at ``index`` to the front of the test order."""
+        """Move the test at ``index`` to the front of the test order.
+
+        Promotions of a recently promoted test that already sits within
+        the stability window are skipped: the order the ladder sees is
+        effectively unchanged, and the triple list surgery on the hot
+        path is pure waste (``promote_skips`` counts them).
+        """
         if index == 0:
+            self.promote_skips += 1
             return
+        recent = self._recent_promotes
+        ident = id(self.tests[index])
+        if index < self._PROMOTE_WINDOW and ident in recent:
+            self.promote_skips += 1
+            return
+        self.promote_moves += 1
+        recent.append(ident)
         for seq in (self.tests, self.target_outputs, self._expected):
             seq.insert(0, seq.pop(index))
 
@@ -258,16 +324,204 @@ class CostFunction:
         eq, signalled, _ = self._eq(prepared)
         return eq, signalled
 
+    # -- incremental evaluation ------------------------------------------
+
+    def _incremental_plan(self, rewrite: Program,
+                          edit_index: int) -> Optional[_IncPlan]:
+        """Resolve an edit span into an incremental evaluation plan.
+
+        Returns None (full evaluation) when any fallback condition
+        holds: the program is too short for checkpoints, the edit is at
+        index 0, the flags-liveness rule pushes the boundary to 0, or
+        the test set contains duplicated test objects.
+        """
+        if self._has_dup_tests:
+            return None
+        slots = rewrite.slots
+        n = len(slots)
+        stride = checkpoint_stride(n)
+        if stride <= 0 or edit_index <= 0:
+            return None
+        boundary = (min(edit_index, n - 1) // stride) * stride
+        if boundary <= 0:
+            return None
+        flags = flags_live_in(rewrite)
+        while boundary > 0 and flags[boundary]:
+            boundary -= stride
+        if boundary <= 0:
+            return None
+        plan = _IncPlan()
+        plan.slots = slots
+        plan.boundary = boundary
+        plan.prefix_key = PrefixKey(slots[:boundary])
+        # Warm capture bases: lower flags-safe boundaries a missing
+        # checkpoint can be built from instead of replaying the whole
+        # prefix (descending, nearest first).
+        plan.bases = tuple(b for b in range(boundary - stride, 0, -stride)
+                           if not flags[b])
+        if self.runner.backend == "jit":
+            # The rewrite is never compiled on this path.  Its suffix
+            # contains the edit, so it is a never-before-seen program on
+            # almost every proposal and a JIT compile (~400us) can never
+            # amortize — interpreting the suffix via bound steps
+            # (~1us/instruction) is an order of magnitude cheaper.  The
+            # interpreter semantics are bit-identical to the JIT's
+            # (tests/x86/test_differential.py is the load-bearing
+            # contract; tests/x86/test_stepper.py pins bound steps to
+            # it), and the flags-safe boundary guarantees the suffix
+            # never reads status flags, the one state component the
+            # interpreter touches that the pooled-state promise below
+            # does not cover (the JIT itself neither reads nor writes
+            # ``state.flags``).  Prefix segments ARE shared with the
+            # current program across proposals, so cold-checkpoint
+            # captures still run compiled code out of the global cache.
+            plan.writes_at_b = compile_program(Program(plan.prefix_key)).writes
+            plan.promise = union_writes(
+                plan.writes_at_b, program_writes(rewrite, boundary))
+            steps = bound_steps(slots[boundary:])
+
+            def run_suffix(states, _steps=steps):
+                signals = [None] * len(states)
+                for i, state in enumerate(states):
+                    try:
+                        for fn, operands in _steps:
+                            fn(state, operands)
+                    except SignalError as exc:
+                        signals[i] = exc.signal
+                return signals
+
+            plan.run_suffix = run_suffix
+            plan.run_segment = lambda state, base: compile_program(
+                Program(slots[base:boundary])).run(state).signal
+        else:
+            emulator = self.runner._emulator
+            plan.writes_at_b = program_writes(rewrite, 0, boundary)
+            plan.promise = None  # full pooled restore (flags included)
+            plan.run_suffix = lambda states: emulator.run_batch_from(
+                rewrite, states, boundary)
+            plan.run_segment = lambda state, base: emulator.run_from(
+                rewrite, state, base, boundary).signal
+        return plan
+
+    def _ensure_checkpoint(self, test: TestCase, plan: _IncPlan):
+        """The test's checkpoint at the plan boundary, capturing it on
+        demand.
+
+        Returns ``(checkpoint, live_state)``: ``live_state`` is non-None
+        only when the checkpoint was captured just now, in which case it
+        is the test's pooled state still holding the post-prefix values
+        — the caller can run the suffix on it directly without a
+        restore/apply round trip.
+        """
+        cp = test.get_checkpoint(plan.prefix_key)
+        if cp is not None:
+            return cp, None
+        slots = plan.slots
+        base = 0
+        base_cp = None
+        for b in plan.bases:
+            candidate = test._checkpoints.get(slots[:b])
+            if candidate is not None:
+                base, base_cp = b, candidate
+                break
+        if base_cp is not None and base_cp.signal is not None:
+            # The prefix already faults below the warm base; propagate
+            # the sentinel without executing anything.
+            cp = Checkpoint.fault(base_cp.signal)
+            test.put_checkpoint(plan.prefix_key, cp)
+            return cp, None
+        state = test.pooled_state(plan.promise)
+        if base_cp is not None:
+            base_cp.apply(state)
+        signal = plan.run_segment(state, base)
+        self.incremental_captures += 1
+        if signal is not None:
+            cp = Checkpoint.fault(signal)
+            test.put_checkpoint(plan.prefix_key, cp)
+            return cp, None
+        cp = Checkpoint.capture(state, plan.writes_at_b)
+        test.put_checkpoint(plan.prefix_key, cp)
+        return cp, state
+
+    def _eq_incremental(self, plan: _IncPlan,
+                        early_reject_above: Optional[float] = None,
+                        perf_term: float = 0.0) -> Tuple[float, bool, bool]:
+        """The chunk ladder with checkpointed-prefix chunk execution.
+
+        Per test: fault sentinels short-circuit to the prefix's signal,
+        warm checkpoints are applied onto the pooled state and only the
+        suffix executes, cold checkpoints are captured on demand (the
+        capture run doubles as the prefix execution).
+        """
+        tests = self.tests
+        values_of = self.runner.values_of
+        run_suffix = plan.run_suffix
+        promise = plan.promise
+
+        def run_chunk(index: int, end: int):
+            chunk_tests = tests[index:end]
+            out: list = [None] * len(chunk_tests)
+            states = []
+            positions = []
+            for pos, test in enumerate(chunk_tests):
+                cp, live = self._ensure_checkpoint(test, plan)
+                if cp.signal is not None:
+                    out[pos] = (None, cp.signal)
+                    continue
+                if live is None:
+                    state = test.pooled_state(promise)
+                    cp.apply(state)
+                else:
+                    state = live
+                states.append(state)
+                positions.append(pos)
+            if states:
+                signals = run_suffix(states)
+                for state, pos, signal in zip(states, positions, signals):
+                    out[pos] = ((None, signal) if signal is not None
+                                else (values_of(state), None))
+            return out
+
+        return self._eq_loop(run_chunk, early_reject_above, perf_term)
+
+    def set_current(self, program: Program) -> None:
+        """Tell the cost function the search accepted ``program``.
+
+        Checkpoints are content-addressed, so stale entries can never
+        corrupt a result; pruning the ones whose prefix the new current
+        program does not share just keeps the store from carrying
+        unreachable state.
+        """
+        slots = program.slots
+        for test in self.tests:
+            test.prune_checkpoints(slots)
+
+    def incremental_stats(self) -> Dict[str, int]:
+        """Hit/fallback/capture counters of the incremental path."""
+        return {
+            "hits": self.incremental_hits,
+            "fallbacks": self.incremental_fallbacks,
+            "captures": self.incremental_captures,
+        }
+
     # -- full cost -------------------------------------------------------
 
     def cost(self, rewrite: Program,
-             early_reject_above: Optional[float] = None) -> CostResult:
+             early_reject_above: Optional[float] = None,
+             edit_index: Optional[int] = None) -> CostResult:
         """Evaluate ``c(R; T)``.
 
         ``early_reject_above``: if the running lower bound on the total
         cost exceeds this threshold, evaluation stops early and returns an
         upper-bound-ish result; the search only uses this for proposals
         it would reject with near certainty anyway.
+
+        ``edit_index``: the proposal's edit span (lowest changed slot
+        index) relative to the chain's current program.  When given, the
+        evaluator resumes from a checkpointed prefix state and
+        re-executes only ``[boundary, end)`` per test; results are
+        bit-identical to full evaluation, so this is purely a fast path
+        (with the fallbacks listed in :meth:`_incremental_plan`).
         """
         cached = self._cache.get(rewrite)
         if cached is not None:
@@ -277,10 +531,22 @@ class CostFunction:
         self.cache_misses += 1
         cfg = self.config
         perf = self.perf(rewrite) if cfg.k != 0.0 else 0.0
-        prepared = self.runner.prepare(rewrite)
-        eq, signalled, completed = self._eq(
-            prepared, early_reject_above=early_reject_above,
-            perf_term=cfg.k * perf)
+        plan = None
+        if edit_index is not None:
+            plan = self._incremental_plan(rewrite, edit_index)
+            if plan is None:
+                self.incremental_fallbacks += 1
+            else:
+                self.incremental_hits += 1
+        if plan is not None:
+            eq, signalled, completed = self._eq_incremental(
+                plan, early_reject_above=early_reject_above,
+                perf_term=cfg.k * perf)
+        else:
+            prepared = self.runner.prepare(rewrite)
+            eq, signalled, completed = self._eq(
+                prepared, early_reject_above=early_reject_above,
+                perf_term=cfg.k * perf)
         total = eq + cfg.k * perf
         result = CostResult(total=total, eq=eq, perf=perf, signalled=signalled)
         if completed:

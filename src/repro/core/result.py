@@ -21,6 +21,16 @@ class SearchStats:
     # JIT compile-cache hit/miss/eviction deltas attributable to this
     # chain (empty when the search ran on the emulator backend).
     jit_cache: dict = field(default_factory=dict)
+    # Incremental-evaluator telemetry: proposals that took the
+    # checkpointed-suffix path (hits), proposals with an edit hint that
+    # fell back to full evaluation (fallbacks), on-demand checkpoint
+    # captures, and the global checkpoint store's byte occupancy.
+    incremental: dict = field(default_factory=dict)
+    # DCE memoization hit/miss deltas (Stoke._dce).
+    dce_cache: dict = field(default_factory=dict)
+    # Adaptive test-ordering promotions: actual reorders vs. skipped
+    # stable-window promotions.
+    test_ordering: dict = field(default_factory=dict)
 
     @property
     def acceptance_rate(self) -> float:
@@ -73,6 +83,9 @@ class SearchResult:
             "found_correct": self.found_correct,
             "best_correct_latency": self.best_correct_latency,
             "jit_compile_cache": dict(self.stats.jit_cache),
+            "incremental": dict(self.stats.incremental),
+            "dce_cache": dict(self.stats.dce_cache),
+            "test_ordering": dict(self.stats.test_ordering),
             "best_cost_trace": list(self.trace),
         }
 

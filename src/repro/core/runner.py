@@ -127,6 +127,34 @@ class Runner:
                 else (tuple(read(state) for read in readers), None)
                 for state, signal in zip(states, signals)]
 
+    def values_of(self, state) -> Tuple[int, ...]:
+        """Live-out bits of an already-executed state (hot-path variant
+        of :meth:`read_values` with the single-reader fast path)."""
+        read_one = self._single_reader
+        if read_one is not None:
+            return (read_one(state),)
+        return tuple(read(state) for read in self._readers)
+
+    def execute_from(self, prepared, state, start: int,
+                     stop: Optional[int] = None) -> Optional[Signal]:
+        """Run ``[start, stop)`` of a prepared program on an explicit
+        state; returns the signal (None = clean).  The incremental
+        evaluator uses this for checkpoint capture segments and
+        single-test suffix runs."""
+        if self.backend == "jit":
+            outcome = prepared.run_from(start, state, stop)
+        else:
+            outcome = self._emulator.run_from(prepared, state, start, stop)
+        return outcome.signal
+
+    def execute_batch_from(self, prepared, states, start: int
+                           ) -> List[Optional[Signal]]:
+        """Batched :meth:`execute_from` over explicit states (each must
+        already hold its test's checkpoint at ``start``)."""
+        if self.backend == "jit":
+            return prepared.run_batch_from(start, states)
+        return self._emulator.run_batch_from(prepared, states, start)
+
     def run_program(self, program: Program, test: TestCase):
         """One-shot convenience wrapper around prepare + run."""
         return self.run(self.prepare(program), test)

@@ -15,6 +15,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
+from repro.x86.checkpoint import checkpoint_store_stats
 from repro.x86.instruction import UNUSED
 from repro.x86.jit import compile_cache_stats
 from repro.x86.liveness import dead_code_eliminate
@@ -42,6 +43,10 @@ class SearchConfig:
     extra_slots: int = 0  # UNUSED padding appended to the target
     trace_points: int = 64
     early_reject: bool = True
+    # Checkpointed-prefix incremental evaluation (bit-identical fast
+    # path; disabled automatically for 'empty' init, where prefixes are
+    # mostly UNUSED and checkpoints save nothing).
+    incremental: bool = True
 
 
 class Stoke:
@@ -53,6 +58,9 @@ class Stoke:
     # on multi-hour searches.  LRU eviction keeps the candidates the
     # chain is actually revisiting.
     SLOW_CHECK_FAILURE_CAP = 1024
+    # Memoized dead-code elimination results (chains sit on and revisit
+    # the same correct programs for long stretches).
+    DCE_CACHE_CAP = 4096
 
     def __init__(
         self,
@@ -75,9 +83,48 @@ class Stoke:
         self.slow_check = slow_check
         self._slow_check_failures: "OrderedDict[Program, None]" = \
             OrderedDict()
+        self._dce_cache: "OrderedDict[Program, Program]" = OrderedDict()
+        self._dce_hits = 0
+        self._dce_misses = 0
         self.live_out_names = {
             getattr(loc, "reg", "mem") for loc in self.cost_fn.runner.live_outs
         }
+
+    def _dce(self, program: Program) -> Program:
+        """Memoized :func:`dead_code_eliminate` over this search's
+        live-outs (bounded LRU; chains revisit correct candidates)."""
+        cached = self._dce_cache.get(program)
+        if cached is not None:
+            self._dce_cache.move_to_end(program)
+            self._dce_hits += 1
+            return cached
+        self._dce_misses += 1
+        cleaned = dead_code_eliminate(program, self.live_out_names)
+        while len(self._dce_cache) >= self.DCE_CACHE_CAP:
+            self._dce_cache.popitem(last=False)
+        self._dce_cache[program] = cleaned
+        return cleaned
+
+    def _record_correct(self, program: Program,
+                        best: Optional[Program],
+                        best_latency: Optional[int]):
+        """Fold a correct program into the best-correct pair.
+
+        The DCE-cleaned form is preferred when the conservative cleaning
+        is confirmed still correct on the test set; comparing cleaned
+        latencies (cleaned <= raw always) means a rewrite whose raw form
+        loses but whose cleaned form wins is not missed.
+        """
+        cleaned = self._dce(program)
+        if best is not None and cleaned.latency >= best_latency:
+            return best, best_latency
+        candidate = program
+        if cleaned != program and self.cost_fn.eq_fast(cleaned)[0] == 0.0:
+            candidate = cleaned
+        if (best is None or candidate.latency < best_latency) \
+                and self._passes_slow_check(candidate):
+            return candidate, candidate.latency
+        return best, best_latency
 
     def _passes_slow_check(self, program: Program) -> bool:
         if self.slow_check is None:
@@ -101,6 +148,36 @@ class Stoke:
             return Program([UNUSED] * len(padded.slots))
         raise ValueError(f"unknown init: {config.init!r}")
 
+    def _step(self, rng, strategy, beta: float, config: SearchConfig,
+              stats: SearchStats, iteration: int, current: Program,
+              current_cost, use_incremental: bool):
+        """One propose -> evaluate -> accept step of the chain.
+
+        The proposal's edit span flows into the cost function here: an
+        accepted move also re-anchors the checkpoint store on the new
+        current program.  Returns ``(current, current_cost, proposal,
+        result)`` with ``proposal``/``result`` None for invalid moves.
+        """
+        proposal, move, edit = self.transforms.propose(rng, current)
+        stats.moves_proposed[move] = stats.moves_proposed.get(move, 0) + 1
+        if proposal is None:
+            stats.invalid_proposals += 1
+            return current, current_cost, None, None
+        threshold = None
+        if config.early_reject and isinstance(strategy, McmcStrategy):
+            threshold = rejection_threshold(current_cost.total, beta)
+        result = self.cost_fn.cost(
+            proposal, early_reject_above=threshold,
+            edit_index=edit if use_incremental else None)
+        if strategy.accept(rng, current_cost.total, result.total,
+                           iteration, config.proposals):
+            stats.accepted += 1
+            stats.moves_accepted[move] = stats.moves_accepted.get(move, 0) + 1
+            if use_incremental:
+                self.cost_fn.set_current(proposal)
+            current, current_cost = proposal, result
+        return current, current_cost, proposal, result
+
     def search(self, config: SearchConfig = SearchConfig(),
                strategy: Optional[Strategy] = None) -> SearchResult:
         """Run one chain and return the results."""
@@ -109,14 +186,21 @@ class Stoke:
         stats = SearchStats()
         beta = getattr(strategy, "beta", 1.0)
         jit_cache_before = compile_cache_stats()
+        inc_before = self.cost_fn.incremental_stats()
+        store_before = checkpoint_store_stats()
+        dce_before = (self._dce_hits, self._dce_misses)
+        ordering_before = (self.cost_fn.promote_moves,
+                           self.cost_fn.promote_skips)
+        use_incremental = config.incremental and config.init != "empty"
 
         current = self._initial(config)
         current_cost = self.cost_fn.cost(current)
         best_program, best_cost = current, current_cost.total
         best_correct: Optional[Program] = None
         best_correct_latency: Optional[int] = None
-        if current_cost.correct and self._passes_slow_check(current):
-            best_correct, best_correct_latency = current, current.latency
+        if current_cost.correct:
+            best_correct, best_correct_latency = \
+                self._record_correct(current, None, None)
 
         trace = [(0, best_cost)]
         trace_stride = max(1, config.proposals // max(1, config.trace_points))
@@ -124,31 +208,16 @@ class Stoke:
 
         for iteration in range(1, config.proposals + 1):
             stats.proposals += 1
-            proposal, move = self.transforms.propose(rng, current)
-            stats.moves_proposed[move] = stats.moves_proposed.get(move, 0) + 1
-            if proposal is None:
-                stats.invalid_proposals += 1
-            else:
-                threshold = None
-                if config.early_reject and isinstance(strategy, McmcStrategy):
-                    threshold = rejection_threshold(current_cost.total, beta)
-                result = self.cost_fn.cost(proposal,
-                                           early_reject_above=threshold)
+            current, current_cost, proposal, result = self._step(
+                rng, strategy, beta, config, stats, iteration,
+                current, current_cost, use_incremental)
+            if result is not None:
                 if result.correct:
-                    latency = proposal.latency
-                    if (best_correct is None
-                            or latency < best_correct_latency) \
-                            and self._passes_slow_check(proposal):
-                        best_correct, best_correct_latency = proposal, latency
+                    best_correct, best_correct_latency = \
+                        self._record_correct(proposal, best_correct,
+                                             best_correct_latency)
                 if result.total < best_cost:
                     best_program, best_cost = proposal, result.total
-                if strategy.accept(rng, current_cost.total, result.total,
-                                   iteration, config.proposals):
-                    stats.accepted += 1
-                    stats.moves_accepted[move] = (
-                        stats.moves_accepted.get(move, 0) + 1
-                    )
-                    current, current_cost = proposal, result
             if iteration % trace_stride == 0 or iteration == config.proposals:
                 trace.append((iteration, best_cost))
 
@@ -159,15 +228,23 @@ class Stoke:
             for key in ("hits", "misses", "evictions")
         }
         stats.jit_cache["size"] = jit_cache_after["size"]
-        if best_correct is not None:
-            cleaned = dead_code_eliminate(best_correct, self.live_out_names)
-            # Keep the cleaned version only if it is still correct (it
-            # always should be; this guards the conservative analysis).
-            if cleaned != best_correct \
-                    and self.cost_fn.eq_fast(cleaned)[0] == 0.0 \
-                    and self._passes_slow_check(cleaned):
-                best_correct = cleaned
-                best_correct_latency = cleaned.latency
+        inc_after = self.cost_fn.incremental_stats()
+        store_after = checkpoint_store_stats()
+        stats.incremental = {
+            key: inc_after[key] - inc_before[key] for key in inc_after
+        }
+        stats.incremental["checkpoint_bytes"] = store_after["bytes"]
+        stats.incremental["checkpoint_entries"] = store_after["entries"]
+        stats.incremental["store_evictions"] = (
+            store_after["evictions"] - store_before["evictions"])
+        stats.dce_cache = {
+            "hits": self._dce_hits - dce_before[0],
+            "misses": self._dce_misses - dce_before[1],
+        }
+        stats.test_ordering = {
+            "moves": self.cost_fn.promote_moves - ordering_before[0],
+            "skips": self.cost_fn.promote_skips - ordering_before[1],
+        }
         return SearchResult(
             target=self.target,
             best_program=best_program,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.x86.locations import Loc, MemLoc, parse_loc
 from repro.x86.testcase import TestCase, decode_from, encode_for
@@ -51,6 +51,20 @@ class TestCaseProposer:
             self.ranges[loc] = InputRange(lo, hi)
         self.sigma_fraction = sigma_fraction
         self.mu = mu
+        self._sigmas = {loc: spec.width * sigma_fraction
+                        for loc, spec in self.ranges.items()}
+        # One-entry decode cache: speculative block evaluation draws many
+        # proposals from the same ``current``, and decoding its live-ins
+        # once per draw was a measurable share of the chain's runtime.
+        self._decoded: Tuple[Optional[TestCase], Dict] = (None, {})
+
+    def _values_of(self, current: TestCase) -> Dict:
+        cached, values = self._decoded
+        if cached is not current:
+            values = {loc: decode_from(loc, current.inputs[loc])
+                      for loc in self.ranges}
+            self._decoded = (current, values)
+        return values
 
     def initial(self, rng: random.Random, base: TestCase) -> TestCase:
         """A starting point: uniform draw for each ranged live-in."""
@@ -63,10 +77,9 @@ class TestCaseProposer:
     def propose(self, rng: random.Random, current: TestCase) -> TestCase:
         """Equation 16: perturb every ranged live-in, clamping by reuse."""
         tc = current
+        values = self._values_of(current)
         for loc, rng_spec in self.ranges.items():
-            old = decode_from(loc, current.value_of(loc))
-            sigma = rng_spec.width * self.sigma_fraction
-            candidate = old + rng.gauss(self.mu, sigma)
+            candidate = values[loc] + rng.gauss(self.mu, self._sigmas[loc])
             if rng_spec.contains(candidate):
                 tc = tc.replace(loc, encode_for(loc, candidate))
         return tc

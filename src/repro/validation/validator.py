@@ -19,7 +19,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.x86.checkpoint import union_writes
+from repro.x86.memory import Memory
 from repro.x86.program import Program
+from repro.x86.state import MachineState
 from repro.x86.testcase import TestCase
 
 from repro.core.cost import location_ulp_distance
@@ -46,6 +49,21 @@ class ValidationConfig:
     seed: int = 0
     trace_points: int = 64
     keep_chain: bool = False
+    # Upper bound on the speculative evaluation block (see
+    # :meth:`Validator.validate`).  1 disables speculation and evaluates
+    # one proposal per executor call, exactly as the scalar chain did.
+    # None (the default) speculates only for strategies whose proposals
+    # are independent of the chain state (``uniform_proposals``), where
+    # blocking provably cannot change the realized sample stream; chain
+    # strategies stay scalar unless a block size is set explicitly,
+    # because their realized path (same chain law, different draws)
+    # depends on the block size.
+    max_block: Optional[int] = None
+
+
+# Block size used when max_block is None and the strategy's proposals
+# are chain-independent (pure batching, bit-identical results).
+DEFAULT_UNIFORM_BLOCK = 64
 
 
 @dataclass
@@ -62,6 +80,11 @@ class ValidationResult:
     # Log-compressed error chain, kept when config.keep_chain is set
     # (used by the multi-chain R-hat diagnostic).
     chain: Optional[List[float]] = None
+    # Speculative-block accounting: proposals actually executed vs.
+    # executed-but-discarded (drawn after an accept invalidated the rest
+    # of their block, or after the Geweke break).
+    evaluations: int = 0
+    wasted: int = 0
 
 
 @dataclass
@@ -72,6 +95,57 @@ class MultiChainResult:
     passed: bool
     r_hat: float
     chains: List[ValidationResult] = field(default_factory=list)
+
+
+class _ProposalStates:
+    """Reusable machine states for speculative validation blocks.
+
+    Validation proposals are throwaway test cases: each is executed twice
+    (target, rewrite) and discarded, so the per-test pooled-state
+    machinery of :class:`TestCase` pays a fresh ``build_state`` per
+    proposal — about half the validator's runtime.  This pool instead
+    keeps one pristine state per block slot (no live-ins applied) and,
+    per use, resets only the slots the two programs can have dirtied
+    (their union write set on the JIT backend; a full restore on the
+    emulator) before writing the proposal's live-in values directly.
+    All proposals drawn from one base test case share its segments, so
+    the pristine image never changes.
+    """
+
+    __slots__ = ("segments", "_writes", "_states", "_snapshots")
+
+    def __init__(self, segments, writes):
+        self.segments = segments
+        self._writes = writes  # union write set, or None => full restore
+        self._states: List[MachineState] = []
+        self._snapshots: List[tuple] = []
+
+    def _grow(self) -> None:
+        mem = Memory(seg.copy() if seg.writable else seg
+                     for seg in self.segments)
+        state = MachineState(mem)
+        self._states.append(state)
+        # Snapshots are per-state: a memory snapshot restores into the
+        # segment objects it was captured from.
+        self._snapshots.append(state.snapshot())
+
+    def states_for(self, tests: Sequence[TestCase]) -> List[MachineState]:
+        """One reset state per test, live-ins applied, aligned with
+        ``tests``.  Valid until the next ``states_for`` call."""
+        while len(self._states) < len(tests):
+            self._grow()
+        writes = self._writes
+        out = []
+        for index, test in enumerate(tests):
+            state = self._states[index]
+            if writes is None:
+                state.restore(self._snapshots[index])
+            else:
+                state.restore_slots(self._snapshots[index], *writes)
+            for loc, bits in test.inputs.items():
+                loc.write(state, bits)
+            out.append(state)
+        return out
 
 
 class Validator:
@@ -91,6 +165,7 @@ class Validator:
         self._rewrite = self.runner.prepare(rewrite)
         self.ranges = ranges
         self.base_testcase_factory = base_testcase_factory
+        self._pool: Optional[_ProposalStates] = None
 
     def err(self, test: TestCase) -> float:
         """Equation 13: summed ULP distance plus the signal term.
@@ -113,10 +188,93 @@ class Validator:
             total += location_ulp_distance(loc, r_bits, t_bits)
         return total
 
+    def err_block(self, tests: Sequence[TestCase]) -> List[float]:
+        """Equation 13 over a block of test cases in two batched calls.
+
+        The JIT backend executes the whole block inside one compiled
+        function per program instead of one call per (program, test)
+        pair, over the validator's own proposal-state pool; results are
+        bit-identical to per-test :meth:`err`.
+        """
+        pool = self._pool
+        if pool is None:
+            writes = None
+            if self.runner.backend == "jit":
+                writes = union_writes(self._target.writes,
+                                      self._rewrite.writes)
+            pool = self._pool = _ProposalStates(tests[0].segments, writes)
+        if any(test.segments is not pool.segments for test in tests):
+            # Foreign segments (tests not descended from this chain's
+            # base test case): the pristine pool images don't apply.
+            return self._err_block_generic(tests)
+        runner = self.runner
+        states = pool.states_for(tests)
+        t_signals = runner.execute_batch_from(self._target, states, 0)
+        t_values = [None if signal is not None else runner.values_of(state)
+                    for state, signal in zip(states, t_signals)]
+        states = pool.states_for(tests)
+        r_signals = runner.execute_batch_from(self._rewrite, states, 0)
+        live_outs = runner.live_outs
+        errs = []
+        for state, t_out, t_sig, r_sig in zip(states, t_values, t_signals,
+                                              r_signals):
+            if t_sig is not None:
+                errs.append(0.0 if r_sig == t_sig else SIGNAL_ERR)
+            elif r_sig is not None:
+                errs.append(SIGNAL_ERR)
+            else:
+                r_out = runner.values_of(state)
+                total = 0.0
+                for loc, r_bits, t_bits in zip(live_outs, r_out, t_out):
+                    total += location_ulp_distance(loc, r_bits, t_bits)
+                errs.append(total)
+        return errs
+
+    def _err_block_generic(self, tests: Sequence[TestCase]) -> List[float]:
+        """:meth:`err_block` over the tests' own pooled states (slow
+        path for test cases with foreign memory segments)."""
+        t_results = self.runner.run_batch(self._target, tests)
+        r_results = self.runner.run_batch(self._rewrite, tests)
+        live_outs = self.runner.live_outs
+        errs = []
+        for (t_out, t_sig), (r_out, r_sig) in zip(t_results, r_results):
+            if t_sig is not None:
+                errs.append(0.0 if r_sig == t_sig else SIGNAL_ERR)
+            elif r_sig is not None:
+                errs.append(SIGNAL_ERR)
+            else:
+                total = 0.0
+                for loc, r_bits, t_bits in zip(live_outs, r_out, t_out):
+                    total += location_ulp_distance(loc, r_bits, t_bits)
+                errs.append(total)
+        return errs
+
     def validate(self, config: ValidationConfig = ValidationConfig(),
                  strategy: Optional[ValidationStrategy] = None,
                  ) -> ValidationResult:
-        """Run the input-space chain until mixed or out of budget."""
+        """Run the input-space chain until mixed or out of budget.
+
+        Proposals are evaluated in speculative blocks: a block of inputs
+        is drawn from ``q(. | current)`` up front and executed in two
+        batched calls (:meth:`err_block`), then consumed sequentially by
+        the Metropolis-Hastings loop.  An accept changes the chain state,
+        so the rest of the block — drawn conditioned on the *old* current
+        — is discarded; every consumed proposal therefore sees exactly
+        the distribution the scalar chain would have drawn, and the chain
+        law is unchanged.  The block size tracks the reciprocal of an
+        exponentially weighted acceptance-rate estimate — the expected
+        rejection streak length — capped at ``config.max_block``, so
+        speculation only grows where rejection streaks make the batched
+        evaluation profitable.
+
+        Strategies with ``uniform_proposals`` (random testing) draw
+        independently of the chain state, so an accept invalidates
+        nothing: their blocks are always full-sized and fully consumed,
+        and blocking cannot change the realized sample stream (their
+        ``accept`` never consumes randomness).  Chain strategies *do*
+        realize a different path per block size (same chain law), so
+        ``max_block=None`` keeps them scalar unless explicitly raised.
+        """
         strategy = strategy if strategy is not None else ValidationMcmc()
         rng = random.Random(config.seed)
         proposer = TestCaseProposer(self.ranges,
@@ -135,28 +293,57 @@ class Validator:
                            // max(1, config.trace_points))
         converged = False
         samples = 0
+        evaluations = 0
+        # Exponentially weighted acceptance-rate estimate; the block is
+        # sized to the expected rejection streak (1 / p-hat).  The prior
+        # of 0.5 starts the chain scalar and lets rejection streaks grow
+        # the block as evidence accumulates.
+        accept_rate = 0.5
+        ewma = 0.05
+        independent = strategy.uniform_proposals
+        draw = (proposer.propose_uniform if independent
+                else proposer.propose)
+        max_block = config.max_block
+        if max_block is None:
+            max_block = DEFAULT_UNIFORM_BLOCK if independent else 1
 
-        for iteration in range(1, config.max_proposals + 1):
-            samples = iteration
-            if strategy.uniform_proposals:
-                proposal = proposer.propose_uniform(rng, current)
+        iteration = 0
+        while iteration < config.max_proposals and not converged:
+            if independent:
+                block = max_block
             else:
-                proposal = proposer.propose(rng, current)
-            err = self.err(proposal)
-            if err > max_err:
-                max_err, argmax = err, proposal
-            if strategy.accept(rng, current_err, err, iteration,
-                               config.max_proposals):
-                current, current_err = proposal, err
-            chain.append(math.log1p(current_err))
-            if iteration % trace_stride == 0:
-                trace.append((iteration, max_err))
-            if (iteration >= config.min_samples
-                    and iteration % config.check_interval == 0):
-                z = geweke_z(chain)
-                z_scores.append((iteration, z))
-                if abs(z) < config.z_threshold:
-                    converged = True
+                block = min(max_block,
+                            max(1, int(1.0 / max(accept_rate,
+                                                 1.0 / max_block))))
+            size = min(block, config.max_proposals - iteration)
+            proposals = [draw(rng, current) for _ in range(size)]
+            errs = (self.err_block(proposals) if size > 1
+                    else [self.err(proposals[0])])
+            evaluations += size
+            for proposal, err in zip(proposals, errs):
+                iteration += 1
+                samples = iteration
+                if err > max_err:
+                    max_err, argmax = err, proposal
+                accepted = strategy.accept(rng, current_err, err, iteration,
+                                           config.max_proposals)
+                if accepted:
+                    current, current_err = proposal, err
+                accept_rate += ewma * ((1.0 if accepted else 0.0)
+                                       - accept_rate)
+                chain.append(math.log1p(current_err))
+                if iteration % trace_stride == 0:
+                    trace.append((iteration, max_err))
+                if (iteration >= config.min_samples
+                        and iteration % config.check_interval == 0):
+                    z = geweke_z(chain)
+                    z_scores.append((iteration, z))
+                    if abs(z) < config.z_threshold:
+                        converged = True
+                        break
+                if accepted and not independent:
+                    # The rest of the block was drawn conditioned on the
+                    # superseded current — discard it.
                     break
 
         if trace[-1][0] != samples:
@@ -170,6 +357,8 @@ class Validator:
             z_scores=z_scores,
             trace=trace,
             chain=chain if config.keep_chain else None,
+            evaluations=evaluations,
+            wasted=evaluations - samples,
         )
 
     def validate_multichain(self, config: ValidationConfig,

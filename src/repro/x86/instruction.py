@@ -15,7 +15,7 @@ from repro.x86.opcodes import OpcodeSpec, instruction_latency, spec_of
 from repro.x86.operands import Operand
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=True)
 class Instruction:
     """An opcode plus its operands, in AT&T order (sources first)."""
 
@@ -30,9 +30,30 @@ class Instruction:
                 f"invalid operands for {self.opcode}: {rendered or '(none)'}"
             )
 
+    def __hash__(self) -> int:
+        # Same value the dataclass-generated hash would produce, computed
+        # once: instructions are immutable and sit in the slot tuples the
+        # checkpoint store keys on, where they are re-hashed on every
+        # prefix lookup of every proposal.
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.opcode, self.operands))
+            object.__setattr__(self, "_hash", value)
+            return value
+
     @property
     def spec(self) -> OpcodeSpec:
-        return spec_of(self.opcode)
+        # Resolved once per instruction: the incremental evaluator walks
+        # slot tuples on every proposal (flags liveness, write sets,
+        # suffix interpretation) and the registry lookup was a measurable
+        # share of each walk.
+        try:
+            return self._spec
+        except AttributeError:
+            spec = spec_of(self.opcode)
+            object.__setattr__(self, "_spec", spec)
+            return spec
 
     @property
     def is_unused(self) -> bool:
@@ -40,7 +61,22 @@ class Instruction:
 
     @property
     def latency(self) -> int:
-        return instruction_latency(self.opcode, self.operands)
+        try:
+            return self._latency
+        except AttributeError:
+            value = instruction_latency(self.opcode, self.operands)
+            object.__setattr__(self, "_latency", value)
+            return value
+
+    def __getstate__(self):
+        # Drop memoized attributes: the spec holds exec/emit closures,
+        # which do not pickle (programs cross process boundaries in the
+        # parallel multi-chain search).
+        return (self.opcode, self.operands)
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "opcode", state[0])
+        object.__setattr__(self, "operands", state[1])
 
     def __str__(self) -> str:
         if not self.operands:
