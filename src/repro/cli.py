@@ -121,6 +121,121 @@ def cmd_validate(args) -> int:
     return 0 if result.passed else 1
 
 
+def _verify_setup(args):
+    """Resolve programs + environment for ``repro verify``.
+
+    Returns (target, rewrite, live_outs, ranges, validation_ranges,
+    memory, concrete_gp, base_testcase_factory).
+    """
+    from repro.x86.memory import Memory
+
+    if args.kernel:
+        if args.programs and len(args.programs) > 1:
+            raise SystemExit("--kernel takes at most one program file "
+                             "(the rewrite)")
+        rewrite_path = args.programs[0] if args.programs else None
+        if args.kernel == "delta":
+            from repro.kernels.aek import vector as V
+
+            spec = V.delta_kernel()
+            rewrite = _load_program(rewrite_path) if rewrite_path \
+                else V.delta_rewrite()
+            ranges = dict(spec.ranges)
+            ranges.update(V.delta_mem_ranges())
+            return (spec.program, rewrite, list(spec.live_outs), ranges,
+                    dict(spec.ranges), Memory(V.aek_segments()),
+                    dict(V.CONCRETE_GP_INDICES), spec.base_testcase)
+        from repro.kernels.libimf import LIBIMF_KERNELS
+
+        if args.kernel not in LIBIMF_KERNELS:
+            known = ", ".join(sorted(LIBIMF_KERNELS) | {"delta"})
+            raise SystemExit(f"unknown --kernel {args.kernel!r} "
+                             f"(known: {known})")
+        factory = LIBIMF_KERNELS[args.kernel]
+        spec = factory()
+        if rewrite_path:
+            rewrite = _load_program(rewrite_path)
+        elif args.degree is not None:
+            rewrite = factory(args.degree).program
+        else:
+            rewrite = spec.program
+        ranges = dict(spec.ranges)
+        return (spec.program, rewrite, list(spec.live_outs), ranges,
+                dict(ranges), None, None, spec.base_testcase)
+
+    if len(args.programs) != 2:
+        raise SystemExit("verify needs TARGET and REWRITE files "
+                         "(or --kernel NAME)")
+    if not args.live_out or not args.range:
+        raise SystemExit("verify needs --live-out and --range for "
+                         "file-based programs")
+    target = _load_program(args.programs[0])
+    rewrite = _load_program(args.programs[1])
+    ranges = _parse_ranges(args.range)
+    midpoints = {loc: (lo + hi) / 2 for loc, (lo, hi) in ranges.items()}
+    return (target, rewrite, args.live_out, ranges, dict(ranges), None,
+            None, lambda: TestCase.from_values(midpoints))
+
+
+def cmd_verify(args) -> int:
+    from repro.verify import checker
+    from repro.verify.bnb import BnBConfig, BnBVerifier, seeds_from_validation
+    from repro.verify.certificate import Certificate
+
+    (target, rewrite, live_outs, ranges, val_ranges, memory,
+     concrete_gp, base_testcase) = _verify_setup(args)
+
+    if args.check_cert:
+        cert = Certificate.load(args.check_cert)
+        report = checker.check(cert, target, rewrite, memory=memory,
+                               concrete_gp=concrete_gp)
+        status = "VALID" if report.ok else "REJECTED"
+        print(f"certificate: {status} ({report.leaves_checked} leaves, "
+              f"rechecked bound {report.rechecked_bound:.6g} ULPs, "
+              f"{report.stats.concrete_bit_ops} concrete / "
+              f"{report.stats.widened_bit_ops} widened bit ops)")
+        for failure in report.failures:
+            print(f"  - {failure}")
+        return 0 if report.ok else 1
+
+    verifier = BnBVerifier(target, rewrite, live_outs, ranges,
+                           memory=memory, concrete_gp=concrete_gp)
+
+    seeds = ()
+    if args.seed_proposals:
+        validator = Validator(target, rewrite, live_outs, val_ranges,
+                              base_testcase)
+        validation = validator.validate(ValidationConfig(
+            max_proposals=args.seed_proposals, seed=args.seed))
+        seeds = seeds_from_validation(validation, verifier.dims)
+        print(f"# validator: max error {validation.max_err:.6g} ULPs "
+              f"({validation.samples} samples, "
+              f"converged={validation.converged}) -> "
+              f"{len(seeds)} counterexample seed(s)")
+
+    config = BnBConfig(max_boxes=args.budget, deadline=args.deadline,
+                       target_gap=args.target_gap, jobs=args.jobs,
+                       seeds=seeds)
+    result = verifier.run(config)
+    print(f"certified bound: {result.bound_ulps:.6g} ULPs "
+          f"(complete={result.complete})")
+    print(f"# lower bound {result.lower_bound:.6g} ULPs, "
+          f"gap {result.gap:.3g}, termination: {result.termination}")
+    print(f"# {result.boxes_explored} boxes explored, "
+          f"{result.boxes_pruned} pruned, {len(result.leaves)} leaves, "
+          f"frontier peak {result.max_frontier}, "
+          f"{result.rounds} rounds x {result.jobs} worker(s), "
+          f"{result.wall_time:.2f}s")
+    print(f"# bit ops: {result.stats.concrete_bit_ops} concrete, "
+          f"{result.stats.widened_bit_ops} widened")
+    if args.emit_cert:
+        cert = verifier.certificate(result, config=config)
+        cert.save(args.emit_cert)
+        print(f"# certificate: {args.emit_cert} "
+              f"({cert.size_bytes:,} bytes, {len(cert.leaves)} leaves)")
+    return 0 if result.complete else 1
+
+
 def cmd_run(args) -> int:
     program = _load_program(args.program)
     from repro.core.runner import Runner
@@ -183,6 +298,46 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("--proposals", type=int, default=20_000)
     val.add_argument("--seed", type=int, default=0)
     val.set_defaults(fn=cmd_validate)
+
+    ver = sub.add_parser(
+        "verify",
+        help="sound branch-and-bound ULP bound with checkable certificates")
+    ver.add_argument("programs", nargs="*", metavar="PROGRAM",
+                     help="TARGET and REWRITE files; with --kernel, at "
+                          "most one file (the rewrite)")
+    ver.add_argument("--kernel",
+                     help="built-in kernel: sin, cos, tan, log, exp, "
+                          "exp_s3d, or delta (brings its own ranges, "
+                          "live-outs, and memory image)")
+    ver.add_argument("--degree", type=int, default=None,
+                     help="with --kernel: verify against the same kernel "
+                          "rebuilt at this polynomial degree")
+    ver.add_argument("--live-out", nargs="+")
+    ver.add_argument("--range", nargs="+", metavar="LOC=LO:HI")
+    ver.add_argument("--sound", action="store_true",
+                     help="run the sound branch-and-bound verifier "
+                          "(the default and only engine; flag kept for "
+                          "recipe clarity)")
+    ver.add_argument("--budget", type=_positive_int, default=256,
+                     metavar="N", help="box-refinement budget")
+    ver.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                     help="wall-clock refinement deadline")
+    ver.add_argument("--target-gap", type=float, default=None, metavar="G",
+                     help="stop once bound <= lower + G*max(lower, 1)")
+    ver.add_argument("--jobs", type=_nonnegative_int, default=1,
+                     metavar="N",
+                     help="refinement worker processes (0 = cpu count)")
+    ver.add_argument("--seed-proposals", type=_nonnegative_int, default=0,
+                     metavar="N",
+                     help="MCMC validator proposals mining counterexample "
+                          "seeds before the search (0 = no seeding)")
+    ver.add_argument("--seed", type=int, default=0)
+    ver.add_argument("--emit-cert", metavar="PATH",
+                     help="write the leaf-partition certificate as JSON")
+    ver.add_argument("--check-cert", metavar="PATH",
+                     help="independently re-verify a certificate instead "
+                          "of searching")
+    ver.set_defaults(fn=cmd_verify)
 
     runp = sub.add_parser("run", help="execute a program on given inputs")
     runp.add_argument("program")

@@ -190,6 +190,85 @@ def run_chains(
     return results  # type: ignore[return-value]
 
 
+# ---------------------------------------------------------------------------
+# Generic persistent task pool (used by the branch-and-bound verifier)
+
+# Per-worker-process context for TaskPool jobs, built once by the pool
+# initializer from a picklable (factory, spec, task_fn) triple.
+_TASK_CONTEXT = None
+_TASK_FN: Optional[Callable] = None
+
+
+def _init_task_worker(context_factory: Callable, spec, task_fn: Callable
+                      ) -> None:
+    global _TASK_CONTEXT, _TASK_FN
+    _TASK_CONTEXT = context_factory(spec)
+    _TASK_FN = task_fn
+
+
+def _run_task(task: Tuple[int, object]) -> Tuple[int, object]:
+    index, item = task
+    assert _TASK_FN is not None, "task pool worker not initialized"
+    return index, _TASK_FN(_TASK_CONTEXT, item)
+
+
+class TaskPool:
+    """Persistent worker pool over a once-per-worker context.
+
+    The same worker discipline as :func:`run_chains`, factored out for
+    reuse: each worker builds its context exactly once from a small
+    picklable ``spec`` via the module-level ``context_factory``, then
+    serves many ``task_fn(context, item)`` calls from it.  ``jobs=1``
+    (or a single-item map) runs inline — no subprocesses, no pickling —
+    so callers get a deterministic serial path for free.
+
+    ``context_factory`` and ``task_fn`` must be module-level functions
+    (pickled by reference into the workers).
+    """
+
+    def __init__(self, context_factory: Callable, spec,
+                 task_fn: Callable, jobs: Optional[int] = None,
+                 start_method: Optional[str] = None):
+        if jobs is not None and jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        self.jobs = default_jobs() if not jobs else jobs
+        self._task_fn = task_fn
+        self._pool = None
+        self._context = None
+        if self.jobs == 1:
+            self._context = context_factory(spec)
+        else:
+            ctx = mp.get_context(start_method or _preferred_start_method())
+            self._pool = ctx.Pool(
+                processes=self.jobs, initializer=_init_task_worker,
+                initargs=(context_factory, spec, task_fn))
+
+    def map(self, items: Sequence) -> List:
+        """Apply the task function to every item; results in item order."""
+        items = list(items)
+        if not items:
+            return []
+        if self._pool is None:
+            return [self._task_fn(self._context, item) for item in items]
+        tasks = list(enumerate(items))
+        results: List = [None] * len(items)
+        for index, result in self._pool.imap_unordered(_run_task, tasks):
+            results[index] = result
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "TaskPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def run_seeded_chains(
     spec: SpecLike,
     config: SearchConfig,

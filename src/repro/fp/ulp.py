@@ -47,6 +47,22 @@ def ordered_from_bits(bits: int, fmt: Format = DOUBLE) -> int:
     return int_min - signed if signed < 0 else signed
 
 
+def bits_from_ordered(index: int, fmt: Format = DOUBLE) -> int:
+    """Inverse of :func:`ordered_from_bits`.
+
+    Maps an ordered signed integer back to the IEEE bit pattern at that
+    position, so contiguous index ranges name contiguous runs of
+    representable values (the coordinate system of the bit-space
+    verification boxes in :mod:`repro.verify.partition`).
+    """
+    width = fmt.width
+    int_min = -(1 << (width - 1))
+    if not int_min <= index < -int_min:
+        raise ValueError(f"ordered index {index} outside {fmt.name}")
+    signed = int_min - index if index < 0 else index
+    return (signed + (1 << width)) & fmt.mask if signed < 0 else signed
+
+
 def ulp_distance_bits(bits_x: int, bits_y: int, fmt: Format = DOUBLE) -> int:
     """Number of representable values separating two bit patterns (Eq 17)."""
     return abs(ordered_from_bits(bits_x, fmt) - ordered_from_bits(bits_y, fmt))

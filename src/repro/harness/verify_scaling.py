@@ -83,12 +83,65 @@ def report(points: List[ScalingPoint], title: str) -> str:
                         rows, title=title)
 
 
+@dataclass
+class BnBPoint:
+    budget: int
+    jobs: int
+    bound: float
+    boxes: int
+    pruned: int
+    seconds: float
+    termination: str
+
+
+def run_bnb_sweep(kernel: str = "log", degree: int = 12,
+                  budgets=(64, 256, 1024, 4096),
+                  jobs_list=(1, 0)) -> List[BnBPoint]:
+    """Branch-and-bound convergence: certified bound vs box budget.
+
+    The sound counterpart to the exhaustive wall above — refinement cost
+    grows linearly with the budget while the bound tightens, and the
+    worker pool parallelizes it (``jobs=0`` = cpu count).
+    """
+    from repro.core.parallel import default_jobs
+    from repro.kernels.libimf import LIBIMF_KERNELS
+    from repro.verify.bnb import BnBConfig, BnBVerifier
+
+    factory = LIBIMF_KERNELS[kernel]
+    spec = factory()
+    verifier = BnBVerifier(spec.program, factory(degree).program,
+                           spec.live_outs, dict(spec.ranges))
+    points = []
+    for jobs in jobs_list:
+        resolved = jobs if jobs else default_jobs()
+        for budget in budgets:
+            result = verifier.run(BnBConfig(max_boxes=budget, jobs=resolved))
+            points.append(BnBPoint(
+                budget=budget, jobs=resolved, bound=result.bound_ulps,
+                boxes=result.boxes_explored, pruned=result.boxes_pruned,
+                seconds=result.wall_time, termination=result.termination,
+            ))
+    return points
+
+
+def report_bnb(points: List[BnBPoint], title: str) -> str:
+    rows = [(p.budget, p.jobs, f"{p.bound:.3e}", p.boxes,
+             f"{p.seconds:.3f}s", p.termination) for p in points]
+    return format_table(
+        ("budget", "jobs", "certified bound", "boxes", "time", "stop"),
+        rows, title=title)
+
+
 def main() -> None:
     print(report(run_bits_sweep(),
                  "E12: exhaustive check vs input resolution (exponential)"))
     print()
     print(report(run_length_sweep(),
                  "E12: exhaustive check vs kernel length (linear)"))
+    print()
+    print(report_bnb(run_bnb_sweep(),
+                     "Branch-and-bound: certified bound vs box budget "
+                     "(log kernel vs degree-12 rewrite)"))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,350 @@
+"""Budgeted branch-and-bound ULP-bound verification.
+
+The sound counterpart to MCMC validation (Section 4 of the paper
+concedes this is out of reach for general rewrites and falls back to
+testing; we recover it for the interval-analyzable fragment).  The
+verifier maintains a worst-box-first frontier of bit-space boxes
+(:class:`repro.verify.partition.BitBox`), repeatedly splitting the box
+with the largest interval bound along its widest ULP-space dimension:
+
+* **Bit-space splitting.**  Value-space widest-dimension splitting can
+  never refine a denormal neighborhood (its value width rounds to ~0
+  against any normal-range dimension — the E11 starvation).  In ordered
+  bit-index space every representable value is one unit wide, so splits
+  allocate effort by representable-value count.
+* **Counterexample seeding.**  Inputs found by the MCMC validator
+  (:func:`seeds_from_validation`) carry their observed true errors: the
+  largest is a *lower* bound on the sup error, boxes whose bound is
+  already below it are never worth refining (pruned), and boxes that
+  contain a counterexample are refined first while the bound has slack.
+* **Parallel refinement.**  Each round pops a batch of boxes and
+  evaluates their children through a :class:`repro.core.parallel.TaskPool`
+  whose workers build one :class:`~repro.verify.interval.IntervalTransfer`
+  each; ``jobs=1`` is a deterministic inline path.
+* **Termination triad.**  A box budget, a wall-clock deadline, and a
+  target gap (``bound <= lower + gap * max(lower, 1)``) — whichever
+  fires first; an exhausted frontier (everything pruned or at point
+  boxes) ends the search early.
+
+The search's output is *not* trusted: :meth:`BnBVerifier.certificate`
+packages the leaf partition for :mod:`repro.verify.checker`, which
+re-verifies the tiling and re-derives every leaf bound independently.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.parallel import TaskPool
+from repro.core.runner import Location
+from repro.x86.memory import Memory
+from repro.x86.program import Program
+from repro.x86.testcase import decode_from
+
+from repro.verify.interval import IntervalTransfer, TransferStats
+from repro.verify.partition import BitBox, Dim, indices_of_values
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """Picklable recipe for building an IntervalTransfer in a worker."""
+
+    target: Program
+    rewrite: Program
+    live_outs: Tuple[str, ...]
+    ranges: Tuple[Tuple[str, float, float], ...]
+    memory: Optional[Memory]
+    concrete_gp: Tuple[Tuple[int, int], ...]
+
+    def build(self) -> IntervalTransfer:
+        return IntervalTransfer(
+            self.target, self.rewrite, list(self.live_outs),
+            {loc: (lo, hi) for loc, lo, hi in self.ranges},
+            memory=self.memory, concrete_gp=dict(self.concrete_gp))
+
+
+def _build_transfer(spec: TransferSpec) -> IntervalTransfer:
+    return spec.build()
+
+
+def _analyze_box(transfer: IntervalTransfer, bounds: Tuple[Tuple[int, int], ...]
+                 ) -> Tuple[float, Optional[Dict[str, float]],
+                            Tuple[int, int, int], Optional[str]]:
+    """TaskPool job: bound one box; IntervalUnsupported -> +inf bound."""
+    from repro.verify.interval import IntervalUnsupported
+
+    before = (transfer.stats.boxes, transfer.stats.concrete_bit_ops,
+              transfer.stats.widened_bit_ops)
+    try:
+        bound, per_loc = transfer.analyze(BitBox(bounds))
+        error = None
+    except IntervalUnsupported as exc:
+        bound, per_loc, error = _INF, None, str(exc)
+    after = (transfer.stats.boxes, transfer.stats.concrete_bit_ops,
+              transfer.stats.widened_bit_ops)
+    delta = tuple(b - a for a, b in zip(before, after))
+    if delta == (0, 0, 0):
+        delta = (1, 0, 0)  # the failed analysis still visited a box
+    return bound, per_loc, delta, error
+
+
+@dataclass(frozen=True)
+class BnBConfig:
+    """Search policy: termination triad, parallelism, seeding."""
+
+    max_boxes: int = 256          # analyze-call budget
+    deadline: Optional[float] = None   # wall-clock seconds
+    target_gap: Optional[float] = None  # relative gap vs the lower bound
+    jobs: int = 1
+    # ((input values in range order), observed true error) pairs,
+    # typically from seeds_from_validation().
+    seeds: Tuple[Tuple[Tuple[float, ...], float], ...] = ()
+
+
+@dataclass
+class BnBResult:
+    """Outcome of one branch-and-bound run."""
+
+    bound_ulps: float
+    lower_bound: float
+    boxes_explored: int
+    boxes_pruned: int
+    leaves: List[BitBox]
+    leaf_bounds: List[float]
+    per_location: Dict[str, float]
+    stats: TransferStats
+    complete: bool
+    termination: str  # 'exhausted' | 'budget' | 'deadline' | 'gap'
+    wall_time: float
+    rounds: int = 0
+    max_frontier: int = 0
+    jobs: int = 1
+    seeds_covered: int = 0
+
+    @property
+    def gap(self) -> float:
+        """Relative slack between the certified bound and the empirical
+        lower bound (0 means the bound is tight against evidence)."""
+        return (self.bound_ulps - self.lower_bound) / \
+            max(self.lower_bound, 1.0)
+
+
+@dataclass
+class _Entry:
+    priority: int  # 2 = unsupported (forced split), 1 = holds a cex, 0 = rest
+    bound: float
+    seq: int
+    box: BitBox
+    per_loc: Optional[Dict[str, float]]
+
+    def key(self):
+        # Max-heap: forced splits first, then worst bound, then FIFO.
+        return (-self.priority, -self.bound if self.bound == self.bound
+                else -_INF, self.seq)
+
+
+class BnBVerifier:
+    """Branch-and-bound driver over a shared :class:`IntervalTransfer`."""
+
+    def __init__(self, target: Program, rewrite: Program,
+                 live_outs: Sequence[Union[str, Location]],
+                 ranges: Dict[Union[str, Location], Tuple[float, float]],
+                 memory: Optional[Memory] = None,
+                 concrete_gp: Optional[Dict[int, int]] = None):
+        self.spec = TransferSpec(
+            target=target,
+            rewrite=rewrite,
+            live_outs=tuple(str(loc) for loc in live_outs),
+            ranges=tuple((str(loc), float(lo), float(hi))
+                         for loc, (lo, hi) in ranges.items()),
+            memory=memory,
+            concrete_gp=tuple((concrete_gp or {}).items()),
+        )
+        # A local transfer for dims/root bookkeeping (and the jobs=1 path).
+        self.transfer = self.spec.build()
+        self.last_result: Optional[BnBResult] = None
+
+    @property
+    def dims(self) -> Tuple[Dim, ...]:
+        return self.transfer.dims
+
+    def seed_indices(self, seeds) -> List[Tuple[Tuple[int, ...], float]]:
+        out = []
+        for values, err in seeds:
+            out.append((indices_of_values(values, self.dims), float(err)))
+        return out
+
+    def run(self, config: BnBConfig = BnBConfig()) -> BnBResult:
+        start = time.monotonic()
+        seeds = self.seed_indices(config.seeds)
+        lower = max([err for _, err in seeds], default=0.0)
+
+        pool = TaskPool(_build_transfer, self.spec, _analyze_box,
+                        jobs=config.jobs)
+        # Inline path: reuse the already-built transfer so its stats
+        # accumulate across runs of the same verifier.
+        if pool._pool is None:
+            pool._context = self.transfer
+        stats = TransferStats()
+        try:
+            result = self._search(pool, config, seeds, lower, stats, start)
+        finally:
+            pool.close()
+        self.last_result = result
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _priority(self, box: BitBox, bound: float, error: Optional[str],
+                  seeds, lower: float) -> int:
+        if error is not None:
+            return 2
+        if bound > lower and any(box.contains(idx) for idx, _ in seeds):
+            return 1
+        return 0
+
+    def _search(self, pool: TaskPool, config: BnBConfig, seeds,
+                lower: float, stats: TransferStats,
+                start: float) -> BnBResult:
+        root = self.transfer.root
+        seq = 0
+        explored = 0
+        pruned = 0
+        rounds = 0
+        max_frontier = 1
+        complete = True
+        frontier: List[Tuple] = []
+        leaves: List[_Entry] = []
+
+        def absorb(result, box: BitBox) -> _Entry:
+            nonlocal seq, explored, complete
+            bound, per_loc, delta, error = result
+            stats.boxes += delta[0]
+            stats.concrete_bit_ops += delta[1]
+            stats.widened_bit_ops += delta[2]
+            explored += 1
+            entry = _Entry(self._priority(box, bound, error, seeds, lower),
+                           bound, seq, box, per_loc)
+            seq += 1
+            return entry
+
+        def push(entry: _Entry) -> None:
+            heapq.heappush(frontier, (entry.key(), entry))
+
+        for entry in map(absorb, pool.map([root.bounds]), [root]):
+            push(entry)
+
+        termination = "exhausted"
+        while frontier:
+            if explored >= config.max_boxes:
+                termination = "budget"
+                break
+            if config.deadline is not None and \
+                    time.monotonic() - start > config.deadline:
+                termination = "deadline"
+                break
+            if config.target_gap is not None:
+                current = max(
+                    [e.bound for _, e in frontier] +
+                    [e.bound for e in leaves] + [0.0])
+                if current <= lower + config.target_gap * max(lower, 1.0):
+                    termination = "gap"
+                    break
+
+            batch: List[_Entry] = []
+            while frontier and len(batch) < max(config.jobs, 1):
+                _, entry = heapq.heappop(frontier)
+                if entry.bound <= lower and entry.priority < 2:
+                    # Refining cannot lower the global max below the
+                    # empirical lower bound: keep as a leaf.
+                    leaves.append(entry)
+                    pruned += 1
+                    continue
+                if not entry.box.splittable:
+                    if not math.isfinite(entry.bound):
+                        complete = False
+                    leaves.append(entry)
+                    continue
+                batch.append(entry)
+            if not batch:
+                break  # frontier drained into leaves
+            rounds += 1
+
+            children: List[BitBox] = []
+            for entry in batch:
+                left, right = entry.box.split(entry.box.widest_dim())
+                children.extend((left, right))
+            for entry in map(absorb, pool.map([c.bounds for c in children]),
+                             children):
+                push(entry)
+            max_frontier = max(max_frontier, len(frontier))
+
+        leaves.extend(entry for _, entry in frontier)
+        if any(not math.isfinite(e.bound) for e in leaves):
+            complete = False
+
+        bound = max((e.bound for e in leaves), default=0.0)
+        worst = max(leaves, key=lambda e: e.bound, default=None)
+        per_location = dict(worst.per_loc) if worst is not None and \
+            worst.per_loc is not None else {}
+        covered = sum(1 for idx, err in seeds
+                      if err <= bound and any(
+                          leaf.box.contains(idx) for leaf in leaves))
+        return BnBResult(
+            bound_ulps=bound,
+            lower_bound=lower,
+            boxes_explored=explored,
+            boxes_pruned=pruned,
+            leaves=[e.box for e in leaves],
+            leaf_bounds=[e.bound for e in leaves],
+            per_location=per_location,
+            stats=stats,
+            complete=complete,
+            termination=termination,
+            wall_time=time.monotonic() - start,
+            rounds=rounds,
+            max_frontier=max_frontier,
+            jobs=config.jobs,
+            seeds_covered=covered,
+        )
+
+    def certificate(self, result: Optional[BnBResult] = None,
+                    config: Optional[BnBConfig] = None):
+        """Package a run's leaf partition as a checkable certificate."""
+        from repro.verify.certificate import Certificate
+
+        result = result if result is not None else self.last_result
+        if result is None:
+            raise ValueError("run() the verifier before asking for a "
+                             "certificate")
+        return Certificate.from_run(self.spec, self.dims, result,
+                                    config=config)
+
+
+def seeds_from_validation(validation_result, dims: Sequence[Dim]
+                          ) -> Tuple[Tuple[Tuple[float, ...], float], ...]:
+    """Counterexample seeds from a :class:`ValidationResult`.
+
+    Maps the validator's argmax test case onto the verification
+    dimensions; dimensions the test case does not constrain (e.g. point
+    memory constants) fall back to their range's lower endpoint.  The
+    observed error rides along as a certified-bound floor.
+    """
+    argmax = getattr(validation_result, "argmax", None)
+    if argmax is None:
+        return ()
+    values = []
+    for d in dims:
+        try:
+            values.append(decode_from(d.loc, argmax.value_of(d.loc)))
+        except (KeyError, TypeError):
+            from repro.verify.partition import value_of
+
+            values.append(value_of(d.lo_index, d.ftype))
+    return ((tuple(values), float(validation_result.max_err)),)

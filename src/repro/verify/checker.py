@@ -1,0 +1,144 @@
+"""Independent certificate checker.
+
+Re-establishes a certificate's claim from scratch, sharing *nothing*
+with the branch-and-bound search loop except the interval transfer
+functions themselves (:class:`repro.verify.interval.IntervalTransfer`,
+which the search also cannot weaken — it only chooses *where* to apply
+them).  The checker discharges three obligations:
+
+1. **Identity** — the SHA-256 digests of the supplied target/rewrite
+   programs, memory image, and concrete-GP environment match what the
+   certificate was derived against.
+2. **Coverage** — the leaf boxes tile the root box exactly in bit space
+   (:func:`repro.verify.partition.check_tiling`): integer volume
+   accounting plus pairwise disjointness, so every representable input
+   lies in exactly one leaf.
+3. **Bounds** — every leaf's recorded bound is reproduced by a fresh
+   interval transfer over that leaf; a recorded bound below what the
+   transfer derives is unjustified and rejected.  Infinite recorded
+   bounds (analysis-unreachable leaves) are admitted only in
+   certificates honestly marked ``complete = False``.
+
+Obligations 2 and 3 together give the certificate's global claim: the
+true error at *any* representable in-range input is at most
+``max(leaf bounds) = bound_ulps``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.x86.memory import Memory
+from repro.x86.program import Program
+
+from repro.verify.certificate import (
+    Certificate,
+    memory_digest,
+    program_digest,
+)
+from repro.verify.interval import (
+    IntervalTransfer,
+    IntervalUnsupported,
+    TransferStats,
+)
+from repro.verify.partition import check_tiling
+
+
+@dataclass
+class CheckReport:
+    """Outcome of an independent certificate check."""
+
+    ok: bool
+    failures: List[str]
+    leaves_checked: int
+    rechecked_bound: float
+    stats: TransferStats = field(default_factory=TransferStats)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check(cert: Certificate, target: Program, rewrite: Program,
+          memory: Optional[Memory] = None,
+          concrete_gp: Optional[Dict[int, int]] = None,
+          max_failures: int = 16) -> CheckReport:
+    """Re-verify a certificate against the programs it claims to bound.
+
+    Returns a :class:`CheckReport`; ``report.ok`` is True iff every
+    obligation holds.  Checking stops early once ``max_failures``
+    failures have been collected (enough evidence to reject).
+    """
+    failures: List[str] = []
+
+    # Obligation 1: identity.
+    if program_digest(target) != cert.target_digest:
+        failures.append("target program digest mismatch")
+    if program_digest(rewrite) != cert.rewrite_digest:
+        failures.append("rewrite program digest mismatch")
+    if memory_digest(memory) != cert.memory_digest:
+        failures.append("memory image digest mismatch")
+    if tuple(sorted((concrete_gp or {}).items())) != cert.concrete_gp:
+        failures.append("concrete GP environment mismatch")
+    if failures:
+        return CheckReport(ok=False, failures=failures, leaves_checked=0,
+                           rechecked_bound=math.inf)
+
+    # Obligation 2: the leaves tile the root box exactly.
+    leaves = cert.leaf_boxes()
+    failures.extend(check_tiling(cert.root_box(), leaves))
+    if len(cert.leaf_bounds) != len(leaves):
+        failures.append(
+            f"{len(leaves)} leaves but {len(cert.leaf_bounds)} bounds")
+    if failures:
+        return CheckReport(ok=False, failures=failures[:max_failures],
+                           leaves_checked=0, rechecked_bound=math.inf)
+
+    # Obligation 3: every recorded leaf bound is justified by a fresh
+    # transfer, built here from the certificate's own domain.
+    transfer = IntervalTransfer(
+        target, rewrite, list(cert.live_outs), cert.value_ranges(),
+        memory=memory, concrete_gp=dict(concrete_gp or {}))
+    rechecked = 0.0
+    checked = 0
+    for i, (leaf, recorded) in enumerate(zip(leaves, cert.leaf_bounds)):
+        try:
+            derived, _ = transfer.analyze(leaf)
+        except IntervalUnsupported as exc:
+            derived = math.inf
+            if math.isfinite(recorded):
+                failures.append(
+                    f"leaf {i}: recorded bound {recorded} but the "
+                    f"analysis cannot reach the box ({exc})")
+        if derived > recorded:
+            failures.append(
+                f"leaf {i}: recorded bound {recorded} below the "
+                f"derived bound {derived}")
+        if math.isinf(recorded) and cert.complete:
+            failures.append(
+                f"leaf {i}: infinite bound in a certificate marked "
+                f"complete")
+        rechecked = max(rechecked, min(derived, recorded))
+        checked += 1
+        if len(failures) >= max_failures:
+            break
+
+    # The headline bound must cover every leaf.
+    worst = max(cert.leaf_bounds, default=0.0)
+    if cert.bound_ulps < worst:
+        failures.append(
+            f"certificate bound {cert.bound_ulps} below worst leaf "
+            f"bound {worst}")
+    if cert.lower_bound > cert.bound_ulps:
+        failures.append(
+            f"lower bound {cert.lower_bound} exceeds certified bound "
+            f"{cert.bound_ulps}")
+
+    return CheckReport(
+        ok=not failures,
+        failures=failures[:max_failures],
+        leaves_checked=checked,
+        rechecked_bound=rechecked if checked else math.inf,
+        stats=transfer.stats,
+    )

@@ -5,19 +5,26 @@ abstract interpreters the paper compares against (Section 6.3): each
 floating-point value is tracked as a closed interval with endpoints
 rounded outward one ULP after every operation, and a ULP error bound
 between target and rewrite is derived from the output intervals (refined
-by adaptive subdivision of the input box).
+by bit-space subdivision of the input box — see
+:mod:`repro.verify.bnb`).
 
-As in the paper, the analysis *cannot* handle bit-level operations on
-non-constant data — running it on the libimf kernels raises
-:class:`IntervalUnsupported`, while the pure-FP aek camera-perturbation
-kernel analyzes fine but yields a bound orders of magnitude above the one
-MCMC validation finds (1363.5 vs 5 ULPs in the paper).
+Two lessons from the E11 unsoundness post-mortem are baked in here:
+
+* A box's bound **sums** the per-live-out ULP distances, matching the
+  validator's Equation 13 error.  The original implementation took the
+  per-location *max*, which under-reported multi-output kernels by up
+  to the live-out count — the actual root cause of the 3.5e9-ULP
+  counterexample escaping the "sound" 1.89e9 bound.
+* General-purpose registers carry a signed *integer interval* domain,
+  so the libimf kernels' exponent-field bit extraction analyzes
+  concretely on degenerate (point) data and as sound monotone interval
+  transfers when widened; only genuinely unrepresentable GP lanes raise
+  :class:`IntervalUnsupported`.  Both outcomes are counted in
+  :class:`TransferStats` / :class:`IntervalBound`.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -30,9 +37,17 @@ from repro.x86.memory import Memory
 from repro.x86.operands import Imm, Mem, Reg32, Reg64, Xmm
 from repro.x86.program import Program
 from repro.x86.registers import XMM_INDEX
-from repro.x86.scalar import u2d, u2f
+from repro.x86.scalar import (
+    cvtsi2sd32,
+    cvtsi2sd64,
+    d2u,
+    sint64,
+    u2d,
+    u2f,
+)
 
 from repro.core.runner import Location, resolve_locations
+from repro.verify.partition import BitBox, Dim, dims_of, full_box
 
 
 class IntervalUnsupported(Exception):
@@ -40,6 +55,50 @@ class IntervalUnsupported(Exception):
 
 
 TOP = "top"
+
+# Largest bit pattern of a finite positive double; patterns in
+# [0, _MAX_FINITE_BITS] map monotonically to values via u2d.
+_MAX_FINITE_BITS = 0x7FEFFFFFFFFFFFFF
+_SIGNED64 = 1 << 63
+M32 = 0xFFFFFFFF
+M64 = 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass
+class TransferStats:
+    """Bit-op accounting for one or more interval transfers.
+
+    ``concrete_bit_ops`` counts integer/bit instructions evaluated
+    exactly on degenerate (point) data; ``widened_bit_ops`` counts those
+    handled by the sound integer-interval transfer functions instead of
+    raising :class:`IntervalUnsupported`.
+    """
+
+    boxes: int = 0
+    concrete_bit_ops: int = 0
+    widened_bit_ops: int = 0
+
+    def merge(self, other: "TransferStats") -> None:
+        self.boxes += other.boxes
+        self.concrete_bit_ops += other.concrete_bit_ops
+        self.widened_bit_ops += other.widened_bit_ops
+
+
+@dataclass(frozen=True)
+class IntInterval:
+    """A closed interval of signed mathematical integers (GP domain)."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if self.lo > self.hi:
+            raise IntervalUnsupported(
+                f"bad integer interval [{self.lo}, {self.hi}]")
+
+    @property
+    def point(self) -> bool:
+        return self.lo == self.hi
 
 
 @dataclass(frozen=True)
@@ -172,11 +231,19 @@ class _Half:
 
 
 class _IntervalState:
-    """Abstract machine state."""
+    """Abstract machine state.
+
+    GP registers hold a concrete unsigned bit pattern (``int``), a
+    signed :class:`IntInterval`, or TOP; XMM registers hold
+    :class:`_Half` pairs.  ``cmp`` records the operand intervals of the
+    last ``ucomisd``/``ucomiss`` so conditional moves can be decided (or
+    soundly joined) later.
+    """
 
     def __init__(self, mem: Memory, concrete_gp: Dict[int, int],
-                 mem_inputs: Dict[Tuple[str, int], Tuple[str, IntervalD]]):
-        self.gp: List[Union[int, str]] = [TOP] * 16
+                 mem_inputs: Dict[Tuple[str, int], Tuple[str, IntervalD]],
+                 stats: Optional[TransferStats] = None):
+        self.gp: List[Union[int, IntInterval, str]] = [TOP] * 16
         for idx, value in concrete_gp.items():
             self.gp[idx] = value
         self.xmm: List[List[_Half]] = [
@@ -186,18 +253,66 @@ class _IntervalState:
         # (segment, offset) -> ('f32'|'f64', interval)
         self.mem_inputs = mem_inputs
         self.mem_stores: Dict[int, Tuple[str, object]] = {}
+        self.stats = stats if stats is not None else TransferStats()
+        # (dst_interval, src_interval) of the last ucomisd/ucomiss, or
+        # None when the flags are unknown (cmp/test or program entry).
+        self.cmp: Optional[Tuple[object, object]] = None
 
     def addr(self, m: Mem) -> int:
         base = self.gp[m.base]
-        if base is TOP:
+        if not isinstance(base, int):
             raise IntervalUnsupported("symbolic base address")
         total = base + m.disp
         if m.index is not None:
             idx = self.gp[m.index]
-            if idx is TOP:
+            if not isinstance(idx, int):
                 raise IntervalUnsupported("symbolic index register")
             total += idx * m.scale
         return total & 0xFFFFFFFFFFFFFFFF
+
+    # GP integer-domain readers ------------------------------------------
+
+    def gp_operand(self, operand) -> Union[int, IntInterval, str]:
+        """A GP-typed source operand's abstract value (pattern domain
+        for concrete values, signed intervals for widened ones)."""
+        if isinstance(operand, Imm):
+            return operand.value & M64
+        if isinstance(operand, Reg64):
+            return self.gp[operand.index]
+        if isinstance(operand, Reg32):
+            value = self.gp[operand.index]
+            if isinstance(value, int):
+                return value & M32
+            raise IntervalUnsupported("widened 32-bit GP operand")
+        raise IntervalUnsupported(f"GP source {operand!r}")
+
+    def gp_signed(self, operand) -> Union[IntInterval, str]:
+        """A GP source as a signed integer interval (TOP if unknown)."""
+        value = self.gp_operand(operand)
+        if value is TOP:
+            return TOP
+        if isinstance(value, IntInterval):
+            return value
+        width = 32 if isinstance(operand, Reg32) else 64
+        if width == 32:
+            signed = value - (1 << 32) if value & 0x80000000 else value
+        else:
+            signed = sint64(value)
+        return IntInterval(signed, signed)
+
+    def set_gp(self, operand, value: Union[int, IntInterval, str]) -> None:
+        if isinstance(operand, Reg64):
+            if isinstance(value, int):
+                value &= M64
+            self.gp[operand.index] = value
+            return
+        if isinstance(operand, Reg32):
+            if isinstance(value, int):
+                # 32-bit writes zero-extend.
+                self.gp[operand.index] = value & M32
+                return
+            raise IntervalUnsupported("widened 32-bit GP destination")
+        raise IntervalUnsupported(f"GP destination {operand!r}")
 
     def _mem_value(self, addr: int, size: int):
         """('f64'|'f32', interval_or_TOP) or ('bits', int) at an address."""
@@ -305,6 +420,276 @@ def _apply(arith: _Arith, name: str, a, b):
     if a is TOP or b is TOP:
         return TOP
     return getattr(arith, name)(a, b)
+
+
+# --------------------------------------------------------------------------
+# GP integer / bit-level transfer helpers
+
+
+def _pattern_of_half(state: "_IntervalState", half: "_Half"
+                     ) -> Union[int, IntInterval]:
+    """Bit pattern of an XMM half, for ``movq xmm -> gp`` extraction.
+
+    Degenerate data evaluates concretely; widened finite positive
+    doubles map monotonically to a pattern interval.  Only genuinely
+    unrepresentable lanes (TOP, mixed-sign or non-finite intervals,
+    packed singles) raise.
+    """
+    if half.kind == "bits":
+        state.stats.concrete_bit_ops += 1
+        return half.value
+    if half.kind == "f64":
+        interval = half.value
+        if interval is TOP:
+            raise IntervalUnsupported("bit extraction from unbounded lane")
+        if interval.lo == interval.hi:
+            state.stats.concrete_bit_ops += 1
+            return d2u(interval.lo)
+        if interval.lo >= 0.0 and math.isfinite(interval.hi):
+            # u2d is monotone on finite non-negative patterns.
+            state.stats.widened_bit_ops += 1
+            return IntInterval(d2u(interval.lo), d2u(interval.hi))
+        raise IntervalUnsupported(
+            "bit extraction from a mixed-sign or non-finite interval")
+    raise IntervalUnsupported("bit extraction from a widened GP lane")
+
+
+def _half_of_pattern(state: "_IntervalState",
+                     value: Union[int, IntInterval, str]) -> "_Half":
+    """``movq gp -> xmm`` reinjection of a (possibly widened) pattern."""
+    if value is TOP:
+        raise IntervalUnsupported("bit injection from an unknown register")
+    if isinstance(value, int):
+        state.stats.concrete_bit_ops += 1
+        return _Half.bits(value)
+    if value.lo >= 0 and value.hi <= _MAX_FINITE_BITS:
+        state.stats.widened_bit_ops += 1
+        return _Half("f64", IntervalD(u2d(value.lo), u2d(value.hi)))
+    raise IntervalUnsupported(
+        "bit injection of a signed or non-finite pattern interval")
+
+
+def _require_signed64(lo: int, hi: int) -> IntInterval:
+    if lo < -_SIGNED64 or hi >= _SIGNED64:
+        raise IntervalUnsupported(
+            f"integer interval [{lo}, {hi}] overflows 64-bit range")
+    return IntInterval(lo, hi)
+
+
+def _int_and(a: IntInterval, b: IntInterval) -> IntInterval:
+    """Sound AND of non-negative integer intervals.
+
+    Exact when one side is a degenerate low-bit mask and the other stays
+    within one run of the upper bits (the exponent/fraction-field
+    extraction shape); the hull ``[0, min(hi, hi)]`` otherwise.
+    """
+    if a.lo < 0 or b.lo < 0:
+        raise IntervalUnsupported("AND of signed integer intervals")
+    for value, mask in ((a, b), (b, a)):
+        if mask.point:
+            m = mask.lo
+            k = m.bit_length()
+            if m == (1 << k) - 1 and (value.lo >> k) == (value.hi >> k):
+                # Low-bit mask, constant upper bits: AND subtracts the
+                # common prefix, so it is monotone and exact.
+                return IntInterval(value.lo & m, value.hi & m)
+            return IntInterval(0, m)
+    return IntInterval(0, min(a.hi, b.hi))
+
+
+def _int_or(a: IntInterval, b: IntInterval) -> IntInterval:
+    """Sound OR of non-negative integer intervals."""
+    if a.lo < 0 or b.lo < 0:
+        raise IntervalUnsupported("OR of signed integer intervals")
+    for value, mask in ((a, b), (b, a)):
+        if mask.point:
+            c = mask.lo
+            low = c & -c if c else 0
+            if c == 0:
+                return value
+            if value.hi < low:
+                # Disjoint bit ranges: OR is addition, monotone, exact.
+                return IntInterval(value.lo | c, value.hi | c)
+    # max(a, b) <= a|b <= a + b for non-negative integers.
+    return _require_signed64(max(a.lo, b.lo), a.hi + b.hi)
+
+
+def _decide_cmov(cc: str, cmp: Optional[Tuple[object, object]]
+                 ) -> Optional[bool]:
+    """Decide a ucomisd-flag condition from the recorded operand
+    intervals; None means undecided (the cmov must join)."""
+    if cmp is None:
+        return None
+    dst, src = cmp
+    if dst is TOP or src is TOP:
+        return None
+    lt = dst.hi < src.lo
+    gt = dst.lo > src.hi
+    le = dst.hi <= src.lo
+    ge = dst.lo >= src.hi
+    eq = dst.lo == dst.hi == src.lo == src.hi
+    if cc == "b":
+        return True if lt else (False if ge else None)
+    if cc == "ae":
+        return True if ge else (False if lt else None)
+    if cc == "a":
+        return True if gt else (False if le else None)
+    if cc == "be":
+        return True if le else (False if gt else None)
+    if cc in ("e", "le"):
+        # After ucomi, sf == of == 0, so 'le' degenerates to zf.
+        return True if eq else (False if (lt or gt) else None)
+    if cc in ("ne", "g"):
+        return False if eq else (True if (lt or gt) else None)
+    if cc in ("ge", "ns"):
+        return True
+    if cc in ("l", "s"):
+        return False
+    return None
+
+
+def _gp_join(state: "_IntervalState", a, b) -> Union[IntInterval, str]:
+    """Hull of two GP abstract values (for undecided conditional moves)."""
+    if a is TOP or b is TOP:
+        return TOP
+    ia = a if isinstance(a, IntInterval) else IntInterval(sint64(a), sint64(a))
+    ib = b if isinstance(b, IntInterval) else IntInterval(sint64(b), sint64(b))
+    return IntInterval(min(ia.lo, ib.lo), max(ia.hi, ib.hi))
+
+
+def _rounded_int(x: float, rounder) -> int:
+    if not math.isfinite(x):
+        raise IntervalUnsupported("f64 -> int conversion of non-finite value")
+    value = rounder(x)
+    if not -_SIGNED64 <= value < _SIGNED64:
+        raise IntervalUnsupported("f64 -> int conversion overflows")
+    return value
+
+
+def _round_half_even(x: float) -> int:
+    floor = math.floor(x)
+    diff = x - floor
+    if diff > 0.5 or (diff == 0.5 and floor % 2):
+        return floor + 1
+    return floor
+
+
+def _exec_int_binop(state: "_IntervalState", name: str, ops) -> None:
+    src_op, dst_op = ops
+    if name == "xor" and isinstance(src_op, (Reg64, Reg32)) \
+            and isinstance(dst_op, (Reg64, Reg32)) \
+            and src_op.index == dst_op.index:
+        # Idiomatic zeroing works even on unknown data.
+        state.set_gp(dst_op, 0)
+        return
+    a = state.gp_operand(dst_op)
+    b = state.gp_operand(src_op) if not isinstance(src_op, Mem) else TOP
+    if isinstance(src_op, Mem):
+        raise IntervalUnsupported("integer ALU with memory operand")
+    if isinstance(a, int) and isinstance(b, int):
+        # Concrete data: exact pattern semantics (mirrors opcodes.py).
+        mask = M32 if isinstance(dst_op, Reg32) else M64
+        a &= mask
+        b &= mask
+        if name == "add":
+            result = (a + b) & mask
+        elif name == "sub":
+            result = (a - b) & mask
+        elif name == "imul":
+            result = (a * b) & mask
+        elif name == "and":
+            result = a & b
+        elif name == "or":
+            result = a | b
+        else:  # xor
+            result = a ^ b
+        state.stats.concrete_bit_ops += 1
+        state.set_gp(dst_op, result)
+        return
+    if a is TOP or b is TOP:
+        state.set_gp(dst_op, TOP)
+        return
+    if isinstance(dst_op, Reg32):
+        raise IntervalUnsupported("widened 32-bit integer ALU op")
+    ia = state.gp_signed(dst_op)
+    ib = state.gp_signed(src_op)
+    state.stats.widened_bit_ops += 1
+    if name == "add":
+        state.set_gp(dst_op, _require_signed64(ia.lo + ib.lo, ia.hi + ib.hi))
+    elif name == "sub":
+        state.set_gp(dst_op, _require_signed64(ia.lo - ib.hi, ia.hi - ib.lo))
+    elif name == "imul":
+        corners = [ia.lo * ib.lo, ia.lo * ib.hi, ia.hi * ib.lo, ia.hi * ib.hi]
+        state.set_gp(dst_op, _require_signed64(min(corners), max(corners)))
+    elif name == "and":
+        state.set_gp(dst_op, _int_and(ia, ib))
+    elif name == "or":
+        state.set_gp(dst_op, _int_or(ia, ib))
+    else:
+        raise IntervalUnsupported(f"widened {name} outside the bit fragment")
+
+
+def _exec_shift(state: "_IntervalState", name: str, ops) -> None:
+    imm, dst_op = ops
+    if not isinstance(imm, Imm):
+        raise IntervalUnsupported("register-count shift")
+    width = 32 if isinstance(dst_op, Reg32) else 64
+    n = imm.value & (width - 1)
+    value = state.gp_operand(dst_op)
+    if value is TOP:
+        state.set_gp(dst_op, TOP)
+        return
+    if isinstance(value, int):
+        # Concrete pattern semantics, mirroring opcodes.py.
+        mask = M32 if width == 32 else M64
+        a = value & mask
+        if name == "shl":
+            result = (a << n) & mask
+        elif name == "shr":
+            result = a >> n
+        else:  # sar
+            sign = a >> (width - 1)
+            signed = a - (1 << width) if sign else a
+            result = (signed >> n) & mask
+        state.stats.concrete_bit_ops += 1
+        state.set_gp(dst_op, result)
+        return
+    if width == 32:
+        raise IntervalUnsupported("widened 32-bit shift")
+    state.stats.widened_bit_ops += 1
+    if name == "sar":
+        # Python's >> is arithmetic and monotone for any sign.
+        state.set_gp(dst_op, IntInterval(value.lo >> n, value.hi >> n))
+        return
+    if value.lo < 0:
+        raise IntervalUnsupported(f"{name} of a signed pattern interval")
+    if name == "shl":
+        state.set_gp(dst_op,
+                     _require_signed64(value.lo << n, value.hi << n))
+    else:  # shr of non-negative values == sar
+        state.set_gp(dst_op, IntInterval(value.lo >> n, value.hi >> n))
+
+
+def _exec_cmov(state: "_IntervalState", cc: str, ops) -> None:
+    src_op, dst_op = ops
+    decision = _decide_cmov(cc, state.cmp)
+    if decision is True:
+        state.stats.concrete_bit_ops += 1
+        state.set_gp(dst_op, state.gp_operand(src_op))
+        return
+    if decision is False:
+        state.stats.concrete_bit_ops += 1
+        if isinstance(dst_op, Reg32):
+            current = state.gp[dst_op.index]
+            if not isinstance(current, int):
+                raise IntervalUnsupported("widened 32-bit cmov destination")
+            state.gp[dst_op.index] = current & M32
+        return
+    if isinstance(dst_op, Reg32):
+        raise IntervalUnsupported("undecided 32-bit cmov")
+    state.stats.widened_bit_ops += 1
+    state.set_gp(dst_op, _gp_join(state, state.gp[dst_op.index],
+                                  state.gp_operand(src_op)))
 
 
 def _exec_interval(state: _IntervalState, instr) -> None:
@@ -457,6 +842,17 @@ def _exec_interval(state: _IntervalState, instr) -> None:
             state.mem_stores[state.addr(dst)] = (
                 "f64", state.xmm[src.index][0].as_f64())
             return
+        if isinstance(dst, Reg64) and isinstance(src, Xmm):
+            # Bit extraction: reinterpret the low double's bit pattern.
+            state.set_gp(dst, _pattern_of_half(state, state.xmm[src.index][0]))
+            return
+        if isinstance(dst, Xmm) and isinstance(src, (Reg64, Reg32)):
+            # Bit injection: reinterpret a GP pattern as the low double.
+            state.xmm[dst.index] = [
+                _half_of_pattern(state, state.gp_operand(src)),
+                _Half.bits(0),
+            ]
+            return
         raise IntervalUnsupported("movq form outside the FP fragment")
 
     if name == "movd":
@@ -478,11 +874,11 @@ def _exec_interval(state: _IntervalState, instr) -> None:
     if name in ("mov", "movabs"):
         src, dst = ops
         if isinstance(dst, (Reg64, Reg32)) and isinstance(src, Imm):
-            mask = 0xFFFFFFFFFFFFFFFF if isinstance(dst, Reg64) else 0xFFFFFFFF
+            mask = M64 if isinstance(dst, Reg64) else M32
             state.gp[dst.index] = src.value & mask
             return
         if isinstance(dst, (Reg64, Reg32)) and isinstance(src, (Reg64, Reg32)):
-            state.gp[dst.index] = state.gp[src.index]
+            state.set_gp(dst, state.gp_operand(src))
             return
         raise IntervalUnsupported("mov form outside the FP fragment")
 
@@ -529,6 +925,88 @@ def _exec_interval(state: _IntervalState, instr) -> None:
         dst[0] = dst[0].with_lane(0, value)
         return
 
+    # ---- integer / bit-level fragment (libimf exp & log) ----------------
+
+    if name in ("add", "sub", "imul", "and", "or", "xor"):
+        _exec_int_binop(state, name, ops)
+        return
+
+    if name in ("shl", "shr", "sar"):
+        _exec_shift(state, name, ops)
+        return
+
+    if name in ("xorpd", "xorps", "pxor"):
+        src, dst = ops
+        if isinstance(src, Xmm) and src.index == dst.index:
+            state.xmm[dst.index] = [_Half.bits(0), _Half.bits(0)]
+            return
+        raise IntervalUnsupported(f"{name} outside the zeroing idiom")
+
+    if name in ("ucomisd", "ucomiss"):
+        src_op, dst_op = ops
+        if name == "ucomisd":
+            src = state.src_f64(src_op)
+            dst = state.xmm[dst_op.index][0].as_f64()
+        else:
+            src = state.src_f32(src_op)
+            dst = state.xmm[dst_op.index][0].lane(0)
+        state.cmp = (dst, src)
+        return
+
+    if name in ("cmp", "test"):
+        # GP flags: unknown to this domain; cmovs after this must join.
+        state.cmp = None
+        return
+
+    if name.startswith("cmov"):
+        _exec_cmov(state, name[4:], ops)
+        return
+
+    if name in ("cvtsd2si", "cvttsd2si"):
+        src_op, dst_op = ops
+        if not isinstance(dst_op, Reg64):
+            raise IntervalUnsupported(f"32-bit {name} destination")
+        src = state.src_f64(src_op)
+        if src is TOP:
+            state.set_gp(dst_op, TOP)
+            return
+        rounder = _round_half_even if name == "cvtsd2si" else math.trunc
+        lo = _rounded_int(src.lo, rounder)
+        hi = _rounded_int(src.hi, rounder)
+        if lo == hi:
+            state.stats.concrete_bit_ops += 1
+            state.set_gp(dst_op, lo & M64)
+        else:
+            # Both rounding modes are monotone, so endpoint images bound
+            # every image in between.
+            state.stats.widened_bit_ops += 1
+            state.set_gp(dst_op, IntInterval(lo, hi))
+        return
+
+    if name == "cvtsi2sd":
+        src_op, dst_op = ops
+        if isinstance(src_op, Mem):
+            raise IntervalUnsupported("cvtsi2sd from memory")
+        value = state.gp_operand(src_op)
+        if value is TOP:
+            state.xmm[dst_op.index][0] = _Half("f64", TOP)
+            return
+        if isinstance(value, int):
+            state.stats.concrete_bit_ops += 1
+            bits = cvtsi2sd64(value) if isinstance(src_op, Reg64) \
+                else cvtsi2sd32(value)
+            state.xmm[dst_op.index][0] = _Half.bits(bits)
+            return
+        state.stats.widened_bit_ops += 1
+        lo, hi = float(value.lo), float(value.hi)
+        # float(int) rounds to nearest; push outward unless exact.
+        if int(lo) != value.lo:
+            lo = _down(lo)
+        if int(hi) != value.hi:
+            hi = _up(hi)
+        state.xmm[dst_op.index][0] = _Half("f64", IntervalD(lo, hi))
+        return
+
     raise IntervalUnsupported(
         f"opcode {name} outside the interval-analyzable fragment"
     )
@@ -536,8 +1014,9 @@ def _exec_interval(state: _IntervalState, instr) -> None:
 
 def _run_interval(program: Program, mem: Memory,
                   concrete_gp: Dict[int, int],
-                  mem_inputs, reg_inputs) -> _IntervalState:
-    state = _IntervalState(mem, concrete_gp, mem_inputs)
+                  mem_inputs, reg_inputs,
+                  stats: Optional[TransferStats] = None) -> _IntervalState:
+    state = _IntervalState(mem, concrete_gp, mem_inputs, stats)
     for loc, (kind, interval) in reg_inputs.items():
         idx = XMM_INDEX[loc.reg]
         if kind == "f64":
@@ -577,6 +1056,70 @@ def _interval_ulp_pair(loc: Location, a, b) -> float:
     return float(max(dist(a.lo, b.hi), dist(a.hi, b.lo)))
 
 
+class IntervalTransfer:
+    """Box -> sound ULP-bound transfer shared by the search and checker.
+
+    Instances hold the two programs, the live-out locations, and the
+    bit-space dimensions; :meth:`analyze` maps a :class:`BitBox` to a
+    bound that **sums** per-live-out ULP distances, matching the
+    validator's Equation 13 error.  The branch-and-bound driver
+    (:mod:`repro.verify.bnb`) and the certificate checker
+    (:mod:`repro.verify.checker`) both call this class, so a bug in the
+    search loop cannot silently weaken a certificate.
+    """
+
+    def __init__(self, target: Program, rewrite: Program,
+                 live_outs: Sequence[Union[str, Location]],
+                 ranges: Dict[Union[str, Location], Tuple[float, float]],
+                 memory: Optional[Memory] = None,
+                 concrete_gp: Optional[Dict[int, int]] = None):
+        self.target = target
+        self.rewrite = rewrite
+        self.live_outs = tuple(str(loc) for loc in live_outs)
+        self.locations = resolve_locations(live_outs)
+        self.dims: Tuple[Dim, ...] = dims_of(ranges)
+        self.memory = memory if memory is not None else Memory()
+        self.concrete_gp = dict(concrete_gp or {})
+        self.stats = TransferStats()
+
+    @property
+    def root(self) -> BitBox:
+        return full_box(self.dims)
+
+    def analyze(self, box: BitBox) -> Tuple[float, Dict[str, float]]:
+        return self.analyze_values(box.value_box(self.dims))
+
+    def analyze_values(
+        self, value_box: Sequence[Tuple[float, float]]
+    ) -> Tuple[float, Dict[str, float]]:
+        """Sound (bound, per-live-out bounds) over a closed value box."""
+        mem_inputs: Dict[Tuple[str, int], Tuple[str, IntervalD]] = {}
+        reg_inputs: Dict[Loc, Tuple[str, IntervalD]] = {}
+        for d, (lo, hi) in zip(self.dims, value_box):
+            interval = IntervalD(min(lo, hi), max(lo, hi))
+            if isinstance(d.loc, MemLoc):
+                mem_inputs[(d.loc.segment, d.loc.offset)] = (d.ftype, interval)
+            else:
+                reg_inputs[d.loc] = (d.ftype, interval)
+        stats = TransferStats(boxes=1)
+        t_state = _run_interval(self.target, self.memory.copy(),
+                                self.concrete_gp, mem_inputs, reg_inputs,
+                                stats)
+        r_state = _run_interval(self.rewrite, self.memory.copy(),
+                                self.concrete_gp, mem_inputs, reg_inputs,
+                                stats)
+        per_loc: Dict[str, float] = {}
+        total = 0.0
+        for loc in self.locations:
+            t_out = _read_output(t_state, loc)
+            r_out = _read_output(r_state, loc)
+            bound = _interval_ulp_pair(loc, t_out, r_out)
+            per_loc[str(loc)] = bound
+            total += bound
+        self.stats.merge(stats)
+        return total, per_loc
+
+
 @dataclass
 class IntervalBound:
     """Result of the static error-bound analysis."""
@@ -584,6 +1127,10 @@ class IntervalBound:
     bound_ulps: float
     boxes_explored: int
     per_location: Dict[str, float]
+    boxes_pruned: int = 0
+    concrete_bit_ops: int = 0
+    widened_bit_ops: int = 0
+    complete: bool = True
 
 
 def interval_ulp_bound(
@@ -597,67 +1144,29 @@ def interval_ulp_bound(
 ) -> IntervalBound:
     """Sound ULP bound between two programs over an input box.
 
-    Adaptively subdivides the input ranges (splitting the box with the
-    worst bound along its widest dimension) until ``max_boxes`` boxes have
-    been analyzed; the returned bound is the max over leaf boxes.
+    Thin synchronous wrapper over the branch-and-bound verifier
+    (:class:`repro.verify.bnb.BnBVerifier`): bit-space
+    widest-ULP-dimension splitting, worst-box-first refinement, bound =
+    max over leaf boxes of the summed per-live-out distances.
     """
-    locations = resolve_locations(live_outs)
-    mem = memory if memory is not None else Memory()
-    concrete_gp = dict(concrete_gp or {})
+    from repro.verify.bnb import BnBConfig, BnBVerifier
 
-    dims: List[Tuple[Union[Loc, MemLoc], str, float, float]] = []
-    for key, (lo, hi) in ranges.items():
-        loc = key if isinstance(key, (Loc, MemLoc)) else None
-        if loc is None:
-            from repro.x86.locations import parse_loc
-
-            loc = parse_loc(key)
-        dims.append((loc, loc.ftype, float(lo), float(hi)))
-
-    def analyze(box: Tuple[Tuple[float, float], ...]) -> Tuple[float, Dict[str, float]]:
-        mem_inputs = {}
-        reg_inputs = {}
-        for (loc, ftype, _, _), (lo, hi) in zip(dims, box):
-            interval = IntervalD(lo, hi)
-            if isinstance(loc, MemLoc):
-                mem_inputs[(loc.segment, loc.offset)] = (ftype, interval)
-            else:
-                reg_inputs[loc] = (ftype, interval)
-        t_state = _run_interval(target, mem.copy(), concrete_gp,
-                                mem_inputs, reg_inputs)
-        r_state = _run_interval(rewrite, mem.copy(), concrete_gp,
-                                mem_inputs, reg_inputs)
-        per_loc: Dict[str, float] = {}
-        worst = 0.0
-        for loc in locations:
-            t_out = _read_output(t_state, loc)
-            r_out = _read_output(r_state, loc)
-            bound = _interval_ulp_pair(loc, t_out, r_out)
-            per_loc[str(loc)] = bound
-            worst = max(worst, bound)
-        return worst, per_loc
-
-    initial_box = tuple((lo, hi) for (_, _, lo, hi) in dims)
-    bound, per_loc = analyze(initial_box)
-    # Max-heap keyed on negative bound.
-    counter = itertools.count()
-    heap = [(-bound, next(counter), initial_box)]
-    explored = 1
-    while heap and explored < max_boxes and dims:
-        neg_bound, _, box = heapq.heappop(heap)
-        widths = [hi - lo for lo, hi in box]
-        dim = widths.index(max(widths))
-        lo, hi = box[dim]
-        if hi - lo <= 0.0:
-            heapq.heappush(heap, (neg_bound, next(counter), box))
-            break
-        mid = (lo + hi) / 2.0
-        for half in ((lo, mid), (mid, hi)):
-            sub = tuple(half if i == dim else b for i, b in enumerate(box))
-            sub_bound, _ = analyze(sub)
-            heapq.heappush(heap, (-sub_bound, next(counter), sub))
-            explored += 1
-
-    final = -heap[0][0] if heap else bound
-    return IntervalBound(bound_ulps=final, boxes_explored=explored,
-                         per_location=per_loc)
+    verifier = BnBVerifier(target, rewrite, live_outs, ranges,
+                           memory=memory, concrete_gp=concrete_gp)
+    result = verifier.run(BnBConfig(max_boxes=max_boxes, jobs=1))
+    if not result.complete and not math.isfinite(result.bound_ulps):
+        # Legacy contract: an unanalyzable program raises rather than
+        # returning a vacuous infinite bound.  (The BnB API itself
+        # reports incompleteness through the result/certificate.)
+        raise IntervalUnsupported(
+            "program leaves the interval-analyzable fragment on "
+            "unsplittable boxes")
+    return IntervalBound(
+        bound_ulps=result.bound_ulps,
+        boxes_explored=result.boxes_explored,
+        per_location=result.per_location,
+        boxes_pruned=result.boxes_pruned,
+        concrete_bit_ops=result.stats.concrete_bit_ops,
+        widened_bit_ops=result.stats.widened_bit_ops,
+        complete=result.complete,
+    )

@@ -1,0 +1,210 @@
+"""Bit-space (ULP-space) boxes for the branch-and-bound verifier.
+
+The E11 unsoundness investigation showed why value-space subdivision
+cannot refine the regions that matter: near the aek delta kernel's
+``r ≈ 0.5`` input the interesting neighborhood is a handful of ULPs
+wide, so its value-space width rounds to ~0 against any normal-range
+dimension and widest-dimension splitting never selects it.  This module
+instead coordinates boxes by *ordered bit index* (Figure 3's monotone
+reinterpretation, :func:`repro.fp.ulp.ordered_from_bits`): every
+representable value is one unit wide, denormals occupy as much splitting
+real estate as their count deserves, and a box is a product of inclusive
+index ranges.
+
+Boxes over bit indices also make partitions *checkable*: a set of leaves
+tiles the root box exactly iff the leaf volumes (products of index
+counts) sum to the root volume and no two leaves overlap — both checks
+are exact integer arithmetic, with no floating-point edge cases
+(:func:`check_tiling`, used by :mod:`repro.verify.checker`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.fp.ieee754 import (
+    DOUBLE,
+    SINGLE,
+    bits_to_double,
+    bits_to_single,
+    double_to_bits,
+    single_to_bits,
+)
+from repro.fp.ulp import bits_from_ordered, ordered_from_bits
+from repro.x86.locations import Loc, MemLoc, parse_loc
+
+Location = Union[Loc, MemLoc]
+
+_FMT = {"f32": SINGLE, "f64": DOUBLE}
+
+
+def index_of(value: float, ftype: str) -> int:
+    """Ordered bit index of a representable value."""
+    if ftype == "f32":
+        return ordered_from_bits(single_to_bits(value), SINGLE)
+    return ordered_from_bits(double_to_bits(value), DOUBLE)
+
+
+def value_of(index: int, ftype: str) -> float:
+    """The representable value at an ordered bit index."""
+    if ftype == "f32":
+        return bits_to_single(bits_from_ordered(index, SINGLE))
+    return bits_to_double(bits_from_ordered(index, DOUBLE))
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One input dimension of the verification domain."""
+
+    loc: Location
+    ftype: str  # 'f32' | 'f64'
+    lo_index: int
+    hi_index: int
+
+    def __post_init__(self):
+        if self.lo_index > self.hi_index:
+            raise ValueError(
+                f"empty dimension {self.loc}: "
+                f"[{self.lo_index}, {self.hi_index}]")
+
+
+def dims_of(ranges: Dict[Union[str, Location], Tuple[float, float]]
+            ) -> Tuple[Dim, ...]:
+    """Convert user-facing value ranges into bit-space dimensions.
+
+    Range order is preserved; degenerate (point) ranges become
+    zero-width dimensions that are never split.
+    """
+    dims: List[Dim] = []
+    for key, (lo, hi) in ranges.items():
+        loc = parse_loc(key) if isinstance(key, str) else key
+        ftype = loc.ftype
+        if ftype not in _FMT:
+            raise ValueError(f"dimension {loc} is not a float location")
+        lo_i, hi_i = index_of(float(lo), ftype), index_of(float(hi), ftype)
+        if lo_i > hi_i:
+            lo_i, hi_i = hi_i, lo_i
+        dims.append(Dim(loc=loc, ftype=ftype, lo_index=lo_i, hi_index=hi_i))
+    return tuple(dims)
+
+
+@dataclass(frozen=True)
+class BitBox:
+    """A product of inclusive ordered-index ranges, one per dimension."""
+
+    bounds: Tuple[Tuple[int, int], ...]
+
+    def width(self, dim: int) -> int:
+        """Number of splitting steps left in a dimension (count - 1)."""
+        lo, hi = self.bounds[dim]
+        return hi - lo
+
+    @property
+    def volume(self) -> int:
+        """Number of representable input assignments in the box."""
+        total = 1
+        for lo, hi in self.bounds:
+            total *= hi - lo + 1
+        return total
+
+    def widest_dim(self) -> int:
+        """Index of the widest dimension *in ULP space*."""
+        widths = [hi - lo for lo, hi in self.bounds]
+        return widths.index(max(widths))
+
+    @property
+    def splittable(self) -> bool:
+        return any(hi > lo for lo, hi in self.bounds)
+
+    def split(self, dim: int) -> Tuple["BitBox", "BitBox"]:
+        """Halve a dimension into two disjoint index ranges."""
+        lo, hi = self.bounds[dim]
+        if hi <= lo:
+            raise ValueError(f"dimension {dim} of {self} is a point")
+        mid = (lo + hi) // 2
+        left = tuple((lo, mid) if i == dim else b
+                     for i, b in enumerate(self.bounds))
+        right = tuple((mid + 1, hi) if i == dim else b
+                      for i, b in enumerate(self.bounds))
+        return BitBox(left), BitBox(right)
+
+    def value_box(self, dims: Sequence[Dim]) -> Tuple[Tuple[float, float], ...]:
+        """The box's per-dimension value intervals (closed)."""
+        return tuple(
+            (value_of(lo, d.ftype), value_of(hi, d.ftype))
+            for d, (lo, hi) in zip(dims, self.bounds)
+        )
+
+    def contains(self, indices: Sequence[int]) -> bool:
+        return all(lo <= i <= hi
+                   for (lo, hi), i in zip(self.bounds, indices))
+
+
+def full_box(dims: Sequence[Dim]) -> BitBox:
+    """The root box covering the whole verification domain."""
+    return BitBox(tuple((d.lo_index, d.hi_index) for d in dims))
+
+
+def indices_of_values(values: Sequence[float], dims: Sequence[Dim]
+                      ) -> Tuple[int, ...]:
+    """Bit-space coordinates of a concrete input assignment."""
+    return tuple(index_of(v, d.ftype) for v, d in zip(values, dims))
+
+
+def _overlap(a: BitBox, b: BitBox) -> bool:
+    return all(alo <= bhi and blo <= ahi
+               for (alo, ahi), (blo, bhi) in zip(a.bounds, b.bounds))
+
+
+def check_tiling(root: BitBox, leaves: Sequence[BitBox]) -> List[str]:
+    """Verify that ``leaves`` tile ``root`` exactly in bit space.
+
+    Returns a list of human-readable failures (empty means the partition
+    is exact): every leaf inside the root, pairwise disjoint, and leaf
+    volumes summing to the root volume.  Disjointness plus an exact
+    volume sum implies no gaps, so the three checks together establish
+    that every representable input lies in exactly one leaf.
+    """
+    failures: List[str] = []
+    if not leaves:
+        return ["empty partition"]
+    ndims = len(root.bounds)
+    total = 0
+    for i, leaf in enumerate(leaves):
+        if len(leaf.bounds) != ndims:
+            failures.append(f"leaf {i} has {len(leaf.bounds)} dims, "
+                            f"root has {ndims}")
+            return failures
+        for d, ((llo, lhi), (rlo, rhi)) in enumerate(
+                zip(leaf.bounds, root.bounds)):
+            if llo > lhi:
+                failures.append(f"leaf {i} dim {d} is empty")
+            if llo < rlo or lhi > rhi:
+                failures.append(f"leaf {i} dim {d} [{llo}, {lhi}] outside "
+                                f"root [{rlo}, {rhi}]")
+        total += leaf.volume
+    if failures:
+        return failures
+
+    # Disjointness: sweep along dimension 0 so only leaves whose first
+    # ranges overlap are compared pairwise.
+    order = sorted(range(len(leaves)), key=lambda i: leaves[i].bounds[0])
+    active: List[int] = []
+    for i in order:
+        lo0 = leaves[i].bounds[0][0]
+        active = [j for j in active if leaves[j].bounds[0][1] >= lo0]
+        for j in active:
+            if _overlap(leaves[i], leaves[j]):
+                failures.append(f"leaves {j} and {i} overlap")
+                if len(failures) >= 8:  # enough evidence to reject
+                    return failures
+        active.append(i)
+    if failures:
+        return failures
+
+    if total != root.volume:
+        failures.append(
+            f"leaf volumes sum to {total}, root volume is {root.volume} "
+            f"({'gap' if total < root.volume else 'double cover'})")
+    return failures

@@ -158,9 +158,22 @@ _GP32_OF = {name64: name32 for name32, name64 in zip(
 _GP32_TO_64 = {v: k for k, v in _GP32_OF.items()}
 
 
-def parse_loc(text: str) -> Loc:
-    """Parse the location grammar described in the module docstring."""
+def parse_loc(text: str):
+    """Parse the location grammar described in the module docstring.
+
+    Also accepts the ``str(MemLoc)`` form ``[segment+offset]:ftype``, so
+    every location round-trips through its string rendering (the
+    verification certificates serialize locations as strings).
+    """
     text = text.strip()
+    if text.startswith("["):
+        body, bracket, spec = text.partition("]")
+        segment, plus, offset = body[1:].partition("+")
+        ftype = spec.lstrip(":") or "f64"
+        if not bracket or not plus or not segment or \
+                ftype not in ("f64", "f32", "i64", "i32"):
+            raise ValueError(f"bad memory location: {text!r}")
+        return MemLoc(segment, int(offset), ftype)
     if ":" in text:
         reg, spec = text.split(":", 1)
     else:

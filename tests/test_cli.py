@@ -84,3 +84,46 @@ class TestCommands:
                    "--proposals", "800"])
         assert rc == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_verify_files(self, kernel_file, tmp_path, capsys):
+        rewrite = tmp_path / "rewrite.s"
+        rewrite.write_text("addsd xmm0, xmm0\naddsd xmm0, xmm0\n")
+        rc = main(["verify", kernel_file, str(rewrite), "--sound",
+                   "--live-out", "xmm0", "--range", "xmm0=0.5:2",
+                   "--budget", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "certified bound" in out
+        assert "complete=True" in out
+
+    def test_verify_kernel_with_seeds(self, capsys):
+        rc = main(["verify", "--kernel", "exp", "--degree", "8",
+                   "--budget", "32", "--seed-proposals", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "counterexample seed" in out
+        assert "certified bound" in out
+
+    def test_verify_emit_and_check_cert(self, tmp_path, capsys):
+        cert = tmp_path / "sin.cert.json"
+        rc = main(["verify", "--kernel", "sin", "--degree", "9",
+                   "--budget", "16", "--emit-cert", str(cert)])
+        assert rc == 0
+        assert cert.exists()
+        rc = main(["verify", "--kernel", "sin", "--degree", "9",
+                   "--check-cert", str(cert)])
+        assert rc == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_check_cert_rejects_wrong_program(self, tmp_path, capsys):
+        cert = tmp_path / "exp.cert.json"
+        rc = main(["verify", "--kernel", "exp", "--degree", "8",
+                   "--budget", "16", "--emit-cert", str(cert)])
+        assert rc == 0
+        # Check the exp certificate against the sin kernel: digests differ.
+        rc = main(["verify", "--kernel", "sin", "--degree", "9",
+                   "--check-cert", str(cert)])
+        assert rc == 1
+        assert "REJECTED" in capsys.readouterr().out
