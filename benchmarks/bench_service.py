@@ -1,0 +1,131 @@
+"""Campaign service overhead: cold submit+serve vs warm re-submission.
+
+The ledger keys every job by a content digest of (kind, payload), so
+resubmitting an identical campaign finds all jobs done and serves it
+without running any search.  This benchmark times both paths and
+enforces the warm-path floor: a warm re-submission must be at least
+``SPEEDUP_FLOOR``x faster than the cold run — the whole point of the
+store is that finished work is never repeated.  As a script it writes
+the ``BENCH_service.json`` baseline consumed by CI::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \\
+        --out BENCH_service.json
+
+Under pytest it doubles as a pytest-benchmark suite
+(``pytest benchmarks/bench_service.py --benchmark-only``).
+"""
+
+import json
+import shutil
+import tempfile
+import time
+
+from repro.service import Ledger, Scheduler, submit_campaign
+from repro.service.campaign import CampaignSpec
+
+from _util import one_shot
+
+PROPOSALS = 1_500
+CHAINS = 2
+SPEEDUP_FLOOR = 5.0
+
+
+def _spec(proposals=PROPOSALS, chains=CHAINS):
+    return CampaignSpec(kernels=(("dot", 0.0),), chains=chains,
+                        proposals=proposals, testcases=8, seed=0,
+                        validate_proposals=300, verify_budget=64)
+
+
+def _serve_once(root, spec, jobs=1):
+    """Submit + serve; returns (elapsed, counts, submit counts)."""
+    start = time.perf_counter()
+    with Ledger(root) as ledger:
+        _cid, submitted = submit_campaign(ledger, spec, name="bench")
+        counts = Scheduler(ledger, jobs=jobs).run()
+    return time.perf_counter() - start, counts, submitted
+
+
+def _measure(spec, jobs=1):
+    root = tempfile.mkdtemp(prefix="repro-bench-service-")
+    try:
+        cold, counts, submitted = _serve_once(root, spec, jobs=jobs)
+        assert counts["failed"] == 0, counts
+        assert submitted["reused"] == 0
+        warm, counts, submitted = _serve_once(root, spec, jobs=jobs)
+        assert counts["failed"] == 0, counts
+        assert submitted["new"] == 0, "warm submission created jobs"
+        return cold, warm, counts
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_cold_campaign(benchmark, tmp_path):
+    one_shot(benchmark, _serve_once, str(tmp_path / "store"),
+             _spec(proposals=600, chains=1))
+
+
+def test_warm_resubmission(benchmark, tmp_path):
+    root = str(tmp_path / "store")
+    spec = _spec(proposals=600, chains=1)
+    _serve_once(root, spec)
+    _, counts, submitted = one_shot(benchmark, _serve_once, root, spec)
+    benchmark.extra_info["reused_jobs"] = submitted["reused"]
+    assert submitted["new"] == 0
+    assert counts["failed"] == 0
+
+
+def test_warm_speedup_floor():
+    cold, warm, _counts = _measure(_spec(proposals=600, chains=1))
+    assert cold / warm >= SPEEDUP_FLOOR, \
+        f"warm re-submission only {cold / warm:.1f}x faster"
+
+
+def run_baseline(proposals=PROPOSALS, chains=CHAINS, jobs=1):
+    spec = _spec(proposals=proposals, chains=chains)
+    cold, warm, counts = _measure(spec, jobs=jobs)
+    speedup = cold / warm
+    if speedup < SPEEDUP_FLOOR:
+        raise AssertionError(
+            f"warm re-submission speedup {speedup:.1f}x is below the "
+            f"{SPEEDUP_FLOOR}x floor")
+    return {
+        "benchmark": "campaign_service_warm_resubmission",
+        "kernel": "dot",
+        "chains": chains,
+        "proposals": proposals,
+        "stages": list(spec.stages),
+        "jobs": jobs,
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "warm_speedup": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "jobs_total": sum(counts.values()),
+        "note": "cold = fresh store: submit + serve the full campaign; "
+                "warm = identical re-submission against the same store "
+                "(all jobs dedupe to done, nothing re-runs).",
+    }
+
+
+def main():
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--proposals", type=int, default=PROPOSALS)
+    parser.add_argument("--chains", type=int, default=CHAINS)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--out", default="BENCH_service.json")
+    args = parser.parse_args()
+    baseline = run_baseline(proposals=args.proposals, chains=args.chains,
+                            jobs=args.jobs)
+    with open(args.out, "w") as fh:
+        json.dump(baseline, fh, indent=2)
+        fh.write("\n")
+    print(f"cold: {baseline['cold_seconds']:.2f}s  "
+          f"warm: {baseline['warm_seconds']:.3f}s  "
+          f"speedup: {baseline['warm_speedup']:.0f}x "
+          f"(floor {SPEEDUP_FLOOR}x)")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -96,6 +96,14 @@ def cmd_optimize(args) -> int:
     if result.best_correct is None:
         print("# no correct rewrite found")
         return 1
+    if sum(chain.stats.accepted for chain in restarts.chains) == 0:
+        # The chains never moved: the "rewrite" is the unmodified target
+        # (or the init), so the search found nothing.  Emit it for
+        # inspection but fail the invocation.
+        print("# search accepted zero proposals (no movement; "
+              "result is the initial program)")
+        sys.stdout.write(result.best_correct.to_text())
+        return 1
     print(f"# rewrite: {result.best_correct.loc} LOC / "
           f"{result.best_correct_latency} cycles "
           f"({result.speedup():.2f}x, eta={args.eta:g})")
@@ -186,7 +194,14 @@ def cmd_verify(args) -> int:
      concrete_gp, base_testcase) = _verify_setup(args)
 
     if args.check_cert:
-        cert = Certificate.load(args.check_cert)
+        try:
+            cert = Certificate.load(args.check_cert)
+        except OSError as exc:
+            print(f"cannot read certificate: {exc}")
+            return 2
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"certificate is malformed: {type(exc).__name__}: {exc}")
+            return 2
         report = checker.check(cert, target, rewrite, memory=memory,
                                concrete_gp=concrete_gp)
         status = "VALID" if report.ok else "REJECTED"
@@ -234,6 +249,163 @@ def cmd_verify(args) -> int:
         print(f"# certificate: {args.emit_cert} "
               f"({cert.size_bytes:,} bytes, {len(cert.leaves)} leaves)")
     return 0 if result.complete else 1
+
+
+# ---------------------------------------------------------------------------
+# Campaign service commands
+
+
+def _parse_etas(text: str) -> List[float]:
+    try:
+        return [float(tok) for tok in text.split(",") if tok != ""]
+    except ValueError:
+        raise SystemExit(f"--etas needs a comma-separated float list, "
+                         f"got {text!r}")
+
+
+def _json_out(payload) -> None:
+    import json
+
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _resolve_job_prefix(ledger, prefix: str) -> str:
+    matches = [row["digest"] for row in ledger.jobs()
+               if row["digest"].startswith(prefix)]
+    if not matches:
+        raise SystemExit(f"no job matches {prefix!r}")
+    if len(matches) > 1:
+        raise SystemExit(f"{prefix!r} is ambiguous "
+                         f"({len(matches)} jobs match)")
+    return matches[0]
+
+
+def cmd_submit(args) -> int:
+    from repro.service import Ledger, resolve_kernel
+    from repro.service.campaign import CampaignSpec, submit_campaign
+
+    for name in args.kernel:
+        try:
+            resolve_kernel(name)
+        except KeyError as exc:
+            raise SystemExit(str(exc.args[0]) if exc.args else
+                             f"unknown kernel {name!r}")
+    etas = _parse_etas(args.etas)
+    kernels = tuple((name, eta) for name in args.kernel for eta in etas)
+    stages = tuple(args.stages.split(",")) if args.stages else \
+        ("search", "select", "validate", "verify")
+    spec = CampaignSpec(
+        kernels=kernels, chains=args.chains, proposals=args.proposals,
+        testcases=args.testcases, seed=args.seed, stages=stages,
+        validate_proposals=args.validate_proposals,
+        verify_budget=args.verify_budget)
+    with Ledger(args.store) as ledger:
+        cid, counts = submit_campaign(ledger, spec, name=args.name,
+                                      max_attempts=args.max_attempts)
+        jobs = [{"digest": digest, "role": role}
+                for digest, role in ledger.campaign_roles(cid)]
+    if args.json:
+        _json_out({"campaign": cid, "name": args.name, **counts,
+                   "jobs": jobs})
+    else:
+        print(f"campaign {cid}: {counts['new']} new job(s), "
+              f"{counts['reused']} reused")
+        for job in jobs:
+            print(f"  {job['digest'][:12]}  {job['role']}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service import Ledger, Scheduler
+
+    def narrate(digest, event, info):
+        if args.json:
+            return
+        label = digest[:12] if digest else "-"
+        detail = " ".join(f"{k}={v}" for k, v in sorted(info.items()))
+        print(f"[{event}] {label} {detail}".rstrip(), flush=True)
+
+    with Ledger(args.store) as ledger:
+        scheduler = Scheduler(
+            ledger, jobs=args.jobs,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_rounds=args.checkpoint_rounds,
+            retry_base=args.retry_base,
+            task_timeout=args.task_timeout,
+            on_event=None if args.quiet else narrate)
+        counts = scheduler.run(until_idle=not args.wait,
+                               poll_interval=args.poll_interval)
+    if args.json:
+        _json_out({"counts": counts})
+    else:
+        print(f"idle: {counts['done']} done, {counts['failed']} failed, "
+              f"{counts['pending']} pending, {counts['running']} running")
+    return 0 if counts["failed"] == 0 else 1
+
+
+def cmd_status(args) -> int:
+    from repro.service import Ledger
+
+    with Ledger(args.store) as ledger:
+        campaigns = []
+        for row in ledger.campaigns():
+            if args.campaign and row["id"] != args.campaign:
+                continue
+            jobs = [{"digest": digest, "role": role,
+                     **{k: ledger.job(digest)[k]
+                        for k in ("kind", "state", "attempts", "error")}}
+                    for digest, role in ledger.campaign_roles(row["id"])]
+            campaigns.append({"campaign": row["id"], "name": row["name"],
+                              "counts": ledger.counts(campaign=row["id"]),
+                              "jobs": jobs})
+        totals = ledger.counts()
+    if args.json:
+        _json_out({"totals": totals, "campaigns": campaigns})
+        return 0
+    print(f"jobs: {totals['done']} done, {totals['failed']} failed, "
+          f"{totals['pending']} pending, {totals['running']} running")
+    for campaign in campaigns:
+        counts = campaign["counts"]
+        print(f"campaign {campaign['campaign']} ({campaign['name']}): "
+              f"{counts['done']}/{sum(counts.values())} done")
+        for job in campaign["jobs"]:
+            line = (f"  {job['digest'][:12]}  {job['state']:<8} "
+                    f"{job['role']}")
+            if job["error"]:
+                line += f"  [{job['error']}]"
+            print(line)
+    return 0
+
+
+def cmd_artifacts(args) -> int:
+    import os
+
+    from repro.service import Ledger
+
+    with Ledger(args.store) as ledger:
+        digest = _resolve_job_prefix(ledger, args.job)
+        named = ledger.artifacts_of(digest)
+        if args.name:
+            if args.name not in named:
+                raise SystemExit(
+                    f"job {digest[:12]} has no artifact {args.name!r} "
+                    f"(has: {', '.join(sorted(named)) or 'none'})")
+            sys.stdout.write(
+                ledger.get_artifact(named[args.name]).decode("utf-8"))
+            return 0
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            for name, content_digest in named.items():
+                with open(os.path.join(args.out, name), "wb") as fh:
+                    fh.write(ledger.get_artifact(content_digest))
+        if args.json:
+            _json_out({"job": digest, "artifacts": named,
+                       "telemetry": ledger.telemetry_of(digest)})
+        else:
+            print(f"job {digest}")
+            for name, content_digest in named.items():
+                print(f"  {content_digest[:12]}  {name}")
+    return 0
 
 
 def cmd_run(args) -> int:
@@ -338,6 +510,78 @@ def build_parser() -> argparse.ArgumentParser:
                      help="independently re-verify a certificate instead "
                           "of searching")
     ver.set_defaults(fn=cmd_verify)
+
+    sp = sub.add_parser(
+        "submit",
+        help="record an optimization campaign in a service store")
+    sp.add_argument("--store", required=True, metavar="DIR",
+                    help="service store directory (created if missing)")
+    sp.add_argument("--kernel", action="append", required=True,
+                    metavar="NAME",
+                    help="built-in kernel (repeatable); each kernel is "
+                         "swept over --etas")
+    sp.add_argument("--etas", default="0", metavar="E1,E2,...",
+                    help="comma-separated eta sweep (default: 0)")
+    sp.add_argument("--chains", type=_positive_int, default=1)
+    sp.add_argument("--proposals", type=_positive_int, default=2_000)
+    sp.add_argument("--testcases", type=_positive_int, default=16)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--stages", default=None,
+                    metavar="search,select,...",
+                    help="stage prefix to run (default: all four)")
+    sp.add_argument("--validate-proposals", type=_positive_int,
+                    default=2_000)
+    sp.add_argument("--verify-budget", type=_positive_int, default=128)
+    sp.add_argument("--max-attempts", type=_positive_int, default=3)
+    sp.add_argument("--name", default="campaign")
+    sp.add_argument("--json", action="store_true")
+    sp.set_defaults(fn=cmd_submit)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the campaign scheduler until the store is idle")
+    sv.add_argument("--store", required=True, metavar="DIR")
+    sv.add_argument("--jobs", type=_nonnegative_int, default=1,
+                    metavar="N",
+                    help="worker processes (0 = cpu count, 1 = inline)")
+    sv.add_argument("--checkpoint-every", type=_nonnegative_int,
+                    default=500, metavar="N",
+                    help="proposals between search/validate checkpoints "
+                         "(0 disables)")
+    sv.add_argument("--checkpoint-rounds", type=_nonnegative_int,
+                    default=4, metavar="N",
+                    help="refinement rounds between verifier checkpoints")
+    sv.add_argument("--retry-base", type=float, default=0.25,
+                    metavar="SEC",
+                    help="backoff base: retry n waits base * 2^(n-1)")
+    sv.add_argument("--task-timeout", type=float, default=None,
+                    metavar="SEC", help="per-job deadline")
+    sv.add_argument("--poll-interval", type=float, default=0.25,
+                    metavar="SEC")
+    sv.add_argument("--wait", action="store_true",
+                    help="keep serving after the store is idle (until "
+                         "SIGINT/SIGTERM)")
+    sv.add_argument("--quiet", action="store_true")
+    sv.add_argument("--json", action="store_true")
+    sv.set_defaults(fn=cmd_serve)
+
+    st = sub.add_parser("status", help="show job/campaign states")
+    st.add_argument("--store", required=True, metavar="DIR")
+    st.add_argument("--campaign", default=None, metavar="ID")
+    st.add_argument("--json", action="store_true")
+    st.set_defaults(fn=cmd_status)
+
+    ar = sub.add_parser("artifacts",
+                        help="list or export a job's artifacts")
+    ar.add_argument("--store", required=True, metavar="DIR")
+    ar.add_argument("--job", required=True, metavar="DIGEST",
+                    help="job digest (unique prefix accepted)")
+    ar.add_argument("--name", default=None, metavar="FILE",
+                    help="print one artifact to stdout")
+    ar.add_argument("--out", default=None, metavar="DIR",
+                    help="export all artifacts into a directory")
+    ar.add_argument("--json", action="store_true")
+    ar.set_defaults(fn=cmd_artifacts)
 
     runp = sub.add_parser("run", help="execute a program on given inputs")
     runp.add_argument("program")

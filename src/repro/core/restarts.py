@@ -39,6 +39,18 @@ class RestartResult:
         """Per-chain debugging summary (seed, rates, best-cost trace)."""
         return [c.telemetry for c in self.chains]
 
+    def to_dict(self) -> dict:
+        """Versioned JSON-safe document (see :mod:`repro.core.serialize`)."""
+        from repro.core.serialize import restart_result_to_dict
+
+        return restart_result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RestartResult":
+        from repro.core.serialize import restart_result_from_dict
+
+        return restart_result_from_dict(data)
+
 
 def _better(a: SearchResult, b: SearchResult) -> SearchResult:
     """Prefer a correct rewrite; among correct ones, the fastest."""

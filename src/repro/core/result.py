@@ -95,3 +95,15 @@ class SearchResult:
             return 1.0
         latency = self.best_correct.latency
         return float("inf") if latency == 0 else self.target.latency / latency
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-safe document (see :mod:`repro.core.serialize`)."""
+        from repro.core.serialize import search_result_to_dict
+
+        return search_result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchResult":
+        from repro.core.serialize import search_result_from_dict
+
+        return search_result_from_dict(data)

@@ -13,7 +13,7 @@ import random
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.x86.checkpoint import checkpoint_store_stats
 from repro.x86.instruction import UNUSED
@@ -47,6 +47,93 @@ class SearchConfig:
     # path; disabled automatically for 'empty' init, where prefixes are
     # mostly UNUSED and checkpoints save nothing).
     incremental: bool = True
+
+
+@dataclass
+class SearchCheckpoint:
+    """Exact mid-chain state: resuming reproduces the uninterrupted run.
+
+    Everything the chain's future depends on is captured — the RNG
+    state, the current/best programs, and the cumulative counters — so
+    ``search(config, resume=cp)`` emits the bit-identical remainder of
+    the chain (programs, costs, trace, counters; wall-clock timings and
+    evaluator-cache telemetry are measured per call and excluded from
+    the identity).  The config echo guards against resuming a
+    checkpoint under a different search.
+    """
+
+    iteration: int
+    rng_state: tuple
+    current: Program
+    best_program: Program
+    best_cost: float
+    best_correct: Optional[Program]
+    best_correct_latency: Optional[int]
+    proposals: int
+    accepted: int
+    invalid_proposals: int
+    moves_proposed: dict
+    moves_accepted: dict
+    trace: list
+    elapsed_seconds: float
+    # Config echo checked by resume.
+    seed: int = 0
+    total_proposals: int = 0
+    init: str = "target"
+    extra_slots: int = 0
+
+    def to_dict(self) -> dict:
+        from repro.core import serialize as S
+
+        return {
+            "version": S.SCHEMA_VERSION,
+            "kind": "search_checkpoint",
+            "iteration": self.iteration,
+            "rng_state": S.enc_rng_state(self.rng_state),
+            "current": S.program_to_dict(self.current),
+            "best_program": S.program_to_dict(self.best_program),
+            "best_cost": S.enc_float(self.best_cost),
+            "best_correct": S.program_to_dict(self.best_correct),
+            "best_correct_latency": self.best_correct_latency,
+            "proposals": self.proposals,
+            "accepted": self.accepted,
+            "invalid_proposals": self.invalid_proposals,
+            "moves_proposed": dict(self.moves_proposed),
+            "moves_accepted": dict(self.moves_accepted),
+            "trace": [[i, S.enc_float(c)] for i, c in self.trace],
+            "elapsed_seconds": self.elapsed_seconds,
+            "seed": self.seed,
+            "total_proposals": self.total_proposals,
+            "init": self.init,
+            "extra_slots": self.extra_slots,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchCheckpoint":
+        from repro.core import serialize as S
+
+        S.check_version(data, "SearchCheckpoint")
+        latency = data["best_correct_latency"]
+        return cls(
+            iteration=int(data["iteration"]),
+            rng_state=S.dec_rng_state(data["rng_state"]),
+            current=S.program_from_dict(data["current"]),
+            best_program=S.program_from_dict(data["best_program"]),
+            best_cost=S.dec_float(data["best_cost"]),
+            best_correct=S.program_from_dict(data["best_correct"]),
+            best_correct_latency=None if latency is None else int(latency),
+            proposals=int(data["proposals"]),
+            accepted=int(data["accepted"]),
+            invalid_proposals=int(data["invalid_proposals"]),
+            moves_proposed=dict(data["moves_proposed"]),
+            moves_accepted=dict(data["moves_accepted"]),
+            trace=[(int(i), S.dec_float(c)) for i, c in data["trace"]],
+            elapsed_seconds=float(data["elapsed_seconds"]),
+            seed=int(data["seed"]),
+            total_proposals=int(data["total_proposals"]),
+            init=data["init"],
+            extra_slots=int(data["extra_slots"]),
+        )
 
 
 class Stoke:
@@ -179,8 +266,20 @@ class Stoke:
         return current, current_cost, proposal, result
 
     def search(self, config: SearchConfig = SearchConfig(),
-               strategy: Optional[Strategy] = None) -> SearchResult:
-        """Run one chain and return the results."""
+               strategy: Optional[Strategy] = None,
+               checkpoint_every: int = 0,
+               on_checkpoint: Optional[Callable[[SearchCheckpoint], None]]
+               = None,
+               resume: Optional[SearchCheckpoint] = None) -> SearchResult:
+        """Run one chain and return the results.
+
+        ``checkpoint_every`` > 0 calls ``on_checkpoint`` with an exact
+        :class:`SearchCheckpoint` every that-many iterations; ``resume``
+        continues a chain from such a checkpoint and produces the
+        bit-identical remainder of the uninterrupted run (wall-clock
+        timings and evaluator-cache telemetry excepted — those are
+        measured per call).
+        """
         strategy = strategy if strategy is not None else McmcStrategy()
         rng = random.Random(config.seed)
         stats = SearchStats()
@@ -193,20 +292,47 @@ class Stoke:
                            self.cost_fn.promote_skips)
         use_incremental = config.incremental and config.init != "empty"
 
-        current = self._initial(config)
-        current_cost = self.cost_fn.cost(current)
-        best_program, best_cost = current, current_cost.total
-        best_correct: Optional[Program] = None
-        best_correct_latency: Optional[int] = None
-        if current_cost.correct:
-            best_correct, best_correct_latency = \
-                self._record_correct(current, None, None)
+        elapsed_base = 0.0
+        if resume is not None:
+            echo = (resume.seed, resume.total_proposals, resume.init,
+                    resume.extra_slots)
+            want = (config.seed, config.proposals, config.init,
+                    config.extra_slots)
+            if echo != want:
+                raise ValueError(
+                    f"checkpoint was taken under config {echo} "
+                    f"(seed, proposals, init, extra_slots); "
+                    f"resuming under {want}")
+            rng.setstate(resume.rng_state)
+            current = resume.current
+            current_cost = self.cost_fn.cost(current)
+            best_program, best_cost = resume.best_program, resume.best_cost
+            best_correct = resume.best_correct
+            best_correct_latency = resume.best_correct_latency
+            stats.proposals = resume.proposals
+            stats.accepted = resume.accepted
+            stats.invalid_proposals = resume.invalid_proposals
+            stats.moves_proposed = dict(resume.moves_proposed)
+            stats.moves_accepted = dict(resume.moves_accepted)
+            trace = list(resume.trace)
+            elapsed_base = resume.elapsed_seconds
+            first_iteration = resume.iteration + 1
+        else:
+            current = self._initial(config)
+            current_cost = self.cost_fn.cost(current)
+            best_program, best_cost = current, current_cost.total
+            best_correct = None
+            best_correct_latency = None
+            if current_cost.correct:
+                best_correct, best_correct_latency = \
+                    self._record_correct(current, None, None)
+            trace = [(0, best_cost)]
+            first_iteration = 1
 
-        trace = [(0, best_cost)]
         trace_stride = max(1, config.proposals // max(1, config.trace_points))
         started = time.perf_counter()
 
-        for iteration in range(1, config.proposals + 1):
+        for iteration in range(first_iteration, config.proposals + 1):
             stats.proposals += 1
             current, current_cost, proposal, result = self._step(
                 rng, strategy, beta, config, stats, iteration,
@@ -220,8 +346,32 @@ class Stoke:
                     best_program, best_cost = proposal, result.total
             if iteration % trace_stride == 0 or iteration == config.proposals:
                 trace.append((iteration, best_cost))
+            if (checkpoint_every and on_checkpoint is not None
+                    and iteration % checkpoint_every == 0
+                    and iteration < config.proposals):
+                on_checkpoint(SearchCheckpoint(
+                    iteration=iteration,
+                    rng_state=rng.getstate(),
+                    current=current,
+                    best_program=best_program,
+                    best_cost=best_cost,
+                    best_correct=best_correct,
+                    best_correct_latency=best_correct_latency,
+                    proposals=stats.proposals,
+                    accepted=stats.accepted,
+                    invalid_proposals=stats.invalid_proposals,
+                    moves_proposed=dict(stats.moves_proposed),
+                    moves_accepted=dict(stats.moves_accepted),
+                    trace=list(trace),
+                    elapsed_seconds=elapsed_base
+                    + (time.perf_counter() - started),
+                    seed=config.seed,
+                    total_proposals=config.proposals,
+                    init=config.init,
+                    extra_slots=config.extra_slots,
+                ))
 
-        stats.elapsed_seconds = time.perf_counter() - started
+        stats.elapsed_seconds = elapsed_base + (time.perf_counter() - started)
         jit_cache_after = compile_cache_stats()
         stats.jit_cache = {
             key: jit_cache_after[key] - jit_cache_before[key]

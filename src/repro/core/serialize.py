@@ -1,0 +1,260 @@
+"""Stable JSON schemas for search, validation, and checkpoint state.
+
+Every value the campaign service persists — results in the ledger,
+artifacts in the content-addressed store, resume checkpoints on disk —
+round-trips through the functions here.  The schema is versioned
+(``SCHEMA_VERSION``) so a ledger written by one build is either readable
+by the next or rejected loudly, never misparsed.
+
+Programs serialize as their full textual rendering (UNUSED slots
+included) plus the slot count, so ``assemble`` reconstructs a
+slot-for-slot identical :class:`~repro.x86.program.Program`.  Test cases
+serialize as ``{location: bits}`` over their live-ins; memory segments
+are *not* serialized — they are environment, reconstructed from the
+kernel spec by whoever deserializes.  Non-finite floats are encoded as
+the strings ``"inf"`` / ``"-inf"`` / ``"nan"`` so every document stays
+strict JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.x86.program import Program
+from repro.x86.testcase import TestCase
+
+SCHEMA_VERSION = 1
+
+
+class SchemaError(ValueError):
+    """A document's schema version or shape is not understood."""
+
+
+def check_version(data: Dict, kind: str) -> None:
+    version = data.get("version")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported {kind} schema version {version!r} "
+            f"(this build reads version {SCHEMA_VERSION})")
+
+
+# ---------------------------------------------------------------------------
+# Scalars
+
+def enc_float(value: Optional[float]):
+    """JSON-safe float: non-finite values become strings."""
+    if value is None:
+        return None
+    value = float(value)
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def dec_float(raw) -> Optional[float]:
+    if raw is None:
+        return None
+    if isinstance(raw, str):
+        return float(raw)
+    return float(raw)
+
+
+def enc_rng_state(state: tuple) -> list:
+    """``random.Random.getstate()`` as a JSON array."""
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def dec_rng_state(raw: Sequence) -> tuple:
+    version, internal, gauss_next = raw
+    return (version, tuple(internal), gauss_next)
+
+
+# ---------------------------------------------------------------------------
+# Programs and test cases
+
+def program_to_dict(program: Optional[Program]) -> Optional[Dict]:
+    if program is None:
+        return None
+    return {
+        "text": program.to_text(include_unused=True),
+        "slots": len(program.slots),
+    }
+
+
+def program_from_dict(data: Optional[Dict]) -> Optional[Program]:
+    if data is None:
+        return None
+    from repro.x86.assembler import assemble
+
+    program = assemble(data["text"], total_slots=int(data["slots"]))
+    if len(program.slots) != int(data["slots"]):
+        raise SchemaError(
+            f"program text has {len(program.slots)} slots, "
+            f"header says {data['slots']}")
+    return program
+
+
+def testcase_to_dict(test: Optional[TestCase]) -> Optional[Dict]:
+    """Live-in bits by location; segments are the caller's problem."""
+    if test is None:
+        return None
+    return {"inputs": {str(loc): bits for loc, bits in test.inputs.items()}}
+
+
+def testcase_from_dict(data: Optional[Dict],
+                       segments: Sequence = ()) -> Optional[TestCase]:
+    if data is None:
+        return None
+    return TestCase(dict(data["inputs"]), segments)
+
+
+# ---------------------------------------------------------------------------
+# Search results
+
+def search_stats_to_dict(stats) -> Dict:
+    return {
+        "proposals": stats.proposals,
+        "accepted": stats.accepted,
+        "invalid_proposals": stats.invalid_proposals,
+        "elapsed_seconds": stats.elapsed_seconds,
+        "moves_proposed": dict(stats.moves_proposed),
+        "moves_accepted": dict(stats.moves_accepted),
+        "jit_cache": dict(stats.jit_cache),
+        "incremental": dict(stats.incremental),
+        "dce_cache": dict(stats.dce_cache),
+        "test_ordering": dict(stats.test_ordering),
+    }
+
+
+def search_stats_from_dict(data: Dict):
+    from repro.core.result import SearchStats
+
+    return SearchStats(
+        proposals=int(data["proposals"]),
+        accepted=int(data["accepted"]),
+        invalid_proposals=int(data["invalid_proposals"]),
+        elapsed_seconds=float(data["elapsed_seconds"]),
+        moves_proposed=dict(data["moves_proposed"]),
+        moves_accepted=dict(data["moves_accepted"]),
+        jit_cache=dict(data.get("jit_cache", {})),
+        incremental=dict(data.get("incremental", {})),
+        dce_cache=dict(data.get("dce_cache", {})),
+        test_ordering=dict(data.get("test_ordering", {})),
+    )
+
+
+def search_result_to_dict(result) -> Dict:
+    return {
+        "version": SCHEMA_VERSION,
+        "kind": "search_result",
+        "target": program_to_dict(result.target),
+        "best_program": program_to_dict(result.best_program),
+        "best_cost": enc_float(result.best_cost),
+        "best_correct": program_to_dict(result.best_correct),
+        "best_correct_latency": result.best_correct_latency,
+        "stats": search_stats_to_dict(result.stats),
+        "trace": [[i, enc_float(c)] for i, c in result.trace],
+        "seed": result.seed,
+    }
+
+
+def search_result_from_dict(data: Dict):
+    from repro.core.result import SearchResult
+
+    check_version(data, "SearchResult")
+    latency = data["best_correct_latency"]
+    return SearchResult(
+        target=program_from_dict(data["target"]),
+        best_program=program_from_dict(data["best_program"]),
+        best_cost=dec_float(data["best_cost"]),
+        best_correct=program_from_dict(data["best_correct"]),
+        best_correct_latency=None if latency is None else int(latency),
+        stats=search_stats_from_dict(data["stats"]),
+        trace=[(int(i), dec_float(c)) for i, c in data["trace"]],
+        seed=None if data["seed"] is None else int(data["seed"]),
+    )
+
+
+def restart_result_to_dict(result) -> Dict:
+    return {
+        "version": SCHEMA_VERSION,
+        "kind": "restart_result",
+        "best_seed": result.best.seed,
+        "chains": [search_result_to_dict(c) for c in result.chains],
+        "jobs": result.jobs,
+    }
+
+
+def restart_result_from_dict(data: Dict):
+    from repro.core.restarts import RestartResult
+
+    check_version(data, "RestartResult")
+    chains = [search_result_from_dict(c) for c in data["chains"]]
+    best = next((c for c in chains if c.seed == data["best_seed"]),
+                chains[0] if chains else None)
+    if best is None:
+        raise SchemaError("restart result with no chains")
+    return RestartResult(best=best, chains=chains, jobs=int(data["jobs"]))
+
+
+# ---------------------------------------------------------------------------
+# Validation results
+
+def validation_result_to_dict(result) -> Dict:
+    return {
+        "version": SCHEMA_VERSION,
+        "kind": "validation_result",
+        "max_err": enc_float(result.max_err),
+        "argmax": testcase_to_dict(result.argmax),
+        "samples": result.samples,
+        "converged": result.converged,
+        "passed": result.passed,
+        "z_scores": [[i, enc_float(z)] for i, z in result.z_scores],
+        "trace": [[i, enc_float(e)] for i, e in result.trace],
+        "chain": None if result.chain is None
+        else [enc_float(v) for v in result.chain],
+        "evaluations": result.evaluations,
+        "wasted": result.wasted,
+    }
+
+
+def validation_result_from_dict(data: Dict, segments: Sequence = ()):
+    from repro.validation.validator import ValidationResult
+
+    check_version(data, "ValidationResult")
+    return ValidationResult(
+        max_err=dec_float(data["max_err"]),
+        argmax=testcase_from_dict(data["argmax"], segments),
+        samples=int(data["samples"]),
+        converged=bool(data["converged"]),
+        passed=bool(data["passed"]),
+        z_scores=[(int(i), dec_float(z)) for i, z in data["z_scores"]],
+        trace=[(int(i), dec_float(e)) for i, e in data["trace"]],
+        chain=None if data["chain"] is None
+        else [dec_float(v) for v in data["chain"]],
+        evaluations=int(data["evaluations"]),
+        wasted=int(data["wasted"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Canonical JSON (content addressing)
+
+def canonical_json(data) -> str:
+    """Deterministic rendering: sorted keys, no whitespace, strict JSON."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def fresh_rng(state: Optional[Sequence]) -> random.Random:
+    """A ``random.Random`` restored from an encoded state (or fresh)."""
+    rng = random.Random()
+    if state is not None:
+        rng.setstate(dec_rng_state(state))
+    return rng

@@ -12,6 +12,11 @@ about it:
 
 The known paper rewrites are also measured as a reference row, since a
 scaled-down search does not always rediscover the best rewrite.
+
+Search rows run through the campaign service (:mod:`repro.service`): the
+harness submits one search+select campaign over the four kernels and
+reads the select artifacts back, so runs are resumable and a repeat
+invocation with ``--store`` reuses every finished search.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from typing import Dict, List, Optional
 from repro.x86.memory import Memory
 from repro.x86.program import Program
 
-from repro.core import CostConfig, SearchConfig, Stoke, run_restarts
+from repro.core import CostConfig, Stoke
 from repro.harness.report import format_table
 from repro.kernels.aek import vector as V
 from repro.validation import ValidationConfig, Validator
@@ -84,25 +89,74 @@ def measure_rewrite(name: str, rewrite: Program, spec, tests,
     )
 
 
+def _campaign_spec(names, proposals: int, testcases: int, seed: int,
+                   restarts: int):
+    """The campaign behind the search rows: one (kernel, eta) cell per
+    kernel, search + select stages only (the harness does its own
+    measurement against the shared test set)."""
+    from repro.service.campaign import CampaignSpec
+
+    return CampaignSpec(
+        kernels=tuple((name, DELTA_ETA if name == "delta" else 0.0)
+                      for name in names),
+        chains=restarts, proposals=proposals, testcases=testcases,
+        seed=seed, stages=("search", "select"))
+
+
+def search_rows(names, proposals: int = 8_000, testcases: int = 32,
+                seed: int = 0, restarts: int = 1, jobs: int = 1,
+                store: Optional[str] = None) -> List[KernelRow]:
+    """Search rows via the campaign service: submit one campaign over
+    ``names``, serve it to completion, and read the select artifacts.
+
+    ``store`` persists the ledger across invocations — a re-run with the
+    same parameters reuses every finished job instead of searching
+    again.  The default is a throwaway directory.  Results are
+    bit-identical to the direct ``run_restarts`` path for the same
+    seeds (chain *i* searches with ``seed + 1 + i`` on test cases drawn
+    from ``seed``).
+    """
+    import tempfile
+
+    from repro.core.serialize import program_from_dict
+    from repro.service import Ledger, Scheduler
+    from repro.service.campaign import campaign_cells, submit_campaign
+
+    names = list(names)
+    root = store if store is not None else tempfile.mkdtemp(
+        prefix="repro-figure8-")
+    rows: List[KernelRow] = []
+    with Ledger(root) as ledger:
+        cid, _ = submit_campaign(
+            ledger, _campaign_spec(names, proposals, testcases, seed,
+                                   restarts),
+            name="figure8")
+        Scheduler(ledger, jobs=jobs).run()
+        cells = campaign_cells(ledger, cid)
+        for name in names:
+            eta = DELTA_ETA if name == "delta" else 0.0
+            cell = cells.get(f"{name}/eta={eta:g}", {})
+            select = cell.get("select")
+            if select is None or select["state"] != "done":
+                continue
+            doc = ledger.result_doc(select["digest"])
+            rewrite = program_from_dict(doc["best_correct"])
+            spec = V.AEK_KERNELS[name]()
+            tests = spec.testcases(random.Random(seed), testcases)
+            row = measure_rewrite(name, rewrite, spec, tests, "search")
+            row.chains = restarts
+            row.jobs = jobs
+            rows.append(row)
+    return rows
+
+
 def search_kernel(name: str, proposals: int = 8_000, testcases: int = 32,
-                  seed: int = 0, restarts: int = 1,
-                  jobs: int = 1) -> Optional[KernelRow]:
-    spec = V.AEK_KERNELS[name]()
-    rng = random.Random(seed)
-    tests = spec.testcases(rng, testcases)
-    eta = DELTA_ETA if name == "delta" else 0.0
-    stoke = Stoke(spec.program, tests, spec.live_outs,
-                  CostConfig(eta=eta, k=1.0))
-    restart = run_restarts(stoke, SearchConfig(proposals=proposals,
-                                               seed=seed + 1),
-                           chains=restarts, jobs=jobs)
-    if restart.best.best_correct is None:
-        return None
-    row = measure_rewrite(name, restart.best.best_correct, spec, tests,
-                          "search")
-    row.chains = restarts
-    row.jobs = restart.jobs
-    return row
+                  seed: int = 0, restarts: int = 1, jobs: int = 1,
+                  store: Optional[str] = None) -> Optional[KernelRow]:
+    rows = search_rows([name], proposals=proposals, testcases=testcases,
+                       seed=seed, restarts=restarts, jobs=jobs,
+                       store=store)
+    return rows[0] if rows else None
 
 
 def paper_rows(testcases: int = 32, seed: int = 0) -> List[KernelRow]:
@@ -143,15 +197,14 @@ def delta_bounds(seed: int = 0) -> Dict[str, float]:
 
 def run(proposals: int = 8_000, testcases: int = 32,
         seed: int = 0, include_search: bool = True,
-        restarts: int = 1, jobs: int = 1) -> List[KernelRow]:
+        restarts: int = 1, jobs: int = 1,
+        store: Optional[str] = None) -> List[KernelRow]:
     rows = paper_rows(testcases=testcases, seed=seed)
     if include_search:
-        for name in ("scale", "dot", "add", "delta"):
-            row = search_kernel(name, proposals=proposals,
-                                testcases=testcases, seed=seed,
-                                restarts=restarts, jobs=jobs)
-            if row is not None:
-                rows.append(row)
+        rows.extend(search_rows(("scale", "dot", "add", "delta"),
+                                proposals=proposals, testcases=testcases,
+                                seed=seed, restarts=restarts, jobs=jobs,
+                                store=store))
     return rows
 
 
@@ -184,10 +237,14 @@ def main() -> None:
                              "(the paper runs 16)")
     parser.add_argument("--jobs", type=int, default=0,
                         help="worker processes; 0 = auto (cpu count)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="persistent campaign store; a re-run with "
+                             "the same parameters reuses finished jobs")
     args = parser.parse_args()
     rows = run(proposals=args.proposals, seed=args.seed,
                include_search=not args.no_search,
-               restarts=args.restarts, jobs=args.jobs)
+               restarts=args.restarts, jobs=args.jobs,
+               store=args.store)
     print(report(rows))
     print()
     bounds = delta_bounds(seed=args.seed)

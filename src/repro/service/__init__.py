@@ -1,0 +1,36 @@
+"""Campaign service: persistent, resumable optimization jobs.
+
+The service turns one-shot library calls (search, validate, verify) into
+durable *jobs* in a crash-safe SQLite ledger with a content-addressed
+artifact store:
+
+* :mod:`repro.service.store` — the ledger and artifact store.
+* :mod:`repro.service.jobs` — job kinds, payload schemas, and the
+  content digests that give every job its identity.
+* :mod:`repro.service.worker` — executes one job in a worker process,
+  checkpointing so an interrupted job resumes bit-identically.
+* :mod:`repro.service.scheduler` — claims ready jobs from the ledger
+  and fans them out over a :class:`~repro.core.parallel.TaskPool`.
+* :mod:`repro.service.campaign` — expands an eta-sweep x restart matrix
+  into a job DAG (search -> select -> validate -> verify).
+
+Everything is keyed by content: two submissions of the same (kernel,
+eta, seed, config) collapse to one job, and a finished job is never
+re-run.
+"""
+
+from repro.service.campaign import CampaignSpec, plan_campaign, submit_campaign
+from repro.service.jobs import JobSpec, job_digest, resolve_kernel
+from repro.service.scheduler import Scheduler
+from repro.service.store import Ledger
+
+__all__ = [
+    "CampaignSpec",
+    "JobSpec",
+    "Ledger",
+    "Scheduler",
+    "job_digest",
+    "plan_campaign",
+    "resolve_kernel",
+    "submit_campaign",
+]

@@ -1,0 +1,188 @@
+"""The scheduler: claims ready jobs, fans them out, survives anything.
+
+One scheduler process owns the ledger.  Each turn it claims runnable
+jobs (dependencies done, backoff elapsed), ships them to a
+:class:`~repro.core.parallel.TaskPool` with their dependency result
+documents, and folds outcomes back into the ledger:
+
+* success  -> artifacts stored (content-addressed), job ``done``,
+  checkpoint file deleted;
+* error / timeout / worker crash -> bounded retry with exponential
+  backoff (``retry_base * 2**(attempt-1)``) while attempts remain,
+  ``failed`` (cascading to dependents) after that.  The job's
+  checkpoint file survives, so the retry resumes mid-run.
+
+Shutdown is two-stage: the first SIGINT/SIGTERM stops claiming and
+drains in-flight jobs (they keep checkpointing); a second signal
+releases the in-flight jobs back to ``pending`` and kills the workers.
+A SIGKILLed scheduler needs no cooperation at all — the next
+scheduler's :meth:`~repro.service.store.Ledger.recover` returns its
+orphaned ``running`` jobs to ``pending`` and their checkpoints resume.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.core.parallel import TaskOutcome, TaskPool, default_jobs
+
+from repro.service.store import Ledger
+from repro.service.worker import execute_job, worker_context
+
+
+class Scheduler:
+    """Dispatch loop over a ledger and a worker pool."""
+
+    def __init__(self, ledger: Ledger, jobs: int = 1,
+                 checkpoint_every: int = 500,
+                 checkpoint_rounds: int = 4,
+                 retry_base: float = 0.25,
+                 task_timeout: Optional[float] = None,
+                 on_event: Optional[Callable[[str, str, Dict], None]] = None):
+        self.ledger = ledger
+        self.jobs = jobs if jobs else default_jobs()
+        self.policy = {"checkpoint_every": int(checkpoint_every),
+                       "checkpoint_rounds": int(checkpoint_rounds)}
+        self.retry_base = retry_base
+        self.task_timeout = task_timeout
+        self.on_event = on_event
+        self._pool: Optional[TaskPool] = None
+        self._stop = False
+        self._abort = False
+        self._claimed: Dict[str, Dict] = {}  # digest -> claimed job row
+
+    # -- events -----------------------------------------------------------
+
+    def _emit(self, digest: str, event: str, info: Dict) -> None:
+        if self.on_event is not None:
+            self.on_event(digest, event, info)
+
+    # -- signals ----------------------------------------------------------
+
+    def _on_signal(self, signum, frame) -> None:
+        if self._stop:
+            self._abort = True
+        self._stop = True
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _submit(self, pool: TaskPool, job: Dict) -> None:
+        import json
+
+        digest = job["digest"]
+        deps: Dict[str, Dict] = {}
+        for dep in self.ledger.deps_of(digest):
+            doc = self.ledger.result_doc(dep)
+            if doc is None:
+                self.ledger.fail(digest,
+                                 f"missing dependency result {dep[:12]}",
+                                 retry_in=None)
+                self._emit(digest, "failed",
+                           {"error": "missing dependency result"})
+                return
+            deps[dep] = doc
+        item = {
+            "digest": digest,
+            "kind": job["kind"],
+            "payload": json.loads(job["payload"]),
+            "deps": deps,
+            "policy": dict(self.policy),
+        }
+        self._claimed[digest] = job
+        self._emit(digest, "start",
+                   {"kind": job["kind"], "attempt": job["attempts"]})
+        pool.submit(digest, item, timeout=self.task_timeout)
+
+    def _absorb(self, outcome: TaskOutcome) -> None:
+        digest = str(outcome.key)
+        job = self._claimed.pop(digest, None) or self.ledger.job(digest)
+        if outcome.ok:
+            value = outcome.value or {}
+            doc = value.get("doc", {})
+            from repro.core.serialize import canonical_json
+
+            art = self.ledger.put_artifact(
+                canonical_json(doc).encode("utf-8"), kind="result")
+            self.ledger.link_artifact(digest, "result.json", art)
+            for name, text in (value.get("files") or {}).items():
+                file_digest = self.ledger.put_artifact(
+                    text.encode("utf-8"), kind="file")
+                self.ledger.link_artifact(digest, name, file_digest)
+            telemetry = dict(value.get("telemetry") or {})
+            telemetry["scheduler_elapsed"] = outcome.elapsed
+            self.ledger.record_telemetry(digest, "attempt", telemetry)
+            self.ledger.finish(digest)
+            self.ledger.clear_checkpoint(digest)
+            self._emit(digest, "done", {"elapsed": outcome.elapsed})
+            return
+        attempt = (job or {}).get("attempts", 1)
+        # Worker crashes and timeouts retry exactly like task errors:
+        # the checkpoint file survives, so the retry resumes.
+        retry_in = self.retry_base * (2 ** max(attempt - 1, 0))
+        state = self.ledger.fail(digest, f"{outcome.kind}: {outcome.error}",
+                                 retry_in=retry_in)
+        self.ledger.record_telemetry(
+            digest, "failure",
+            {"kind": outcome.kind, "error": outcome.error,
+             "attempt": attempt, "elapsed": outcome.elapsed})
+        self._emit(digest, "retry" if state == "pending" else "failed",
+                   {"kind": outcome.kind, "error": outcome.error,
+                    "attempt": attempt})
+
+    # -- the loop ---------------------------------------------------------
+
+    def run(self, until_idle: bool = True,
+            poll_interval: float = 0.25) -> Dict[str, int]:
+        """Serve jobs until the ledger is idle (or drained by signals).
+
+        Returns the final job-state counts.  ``until_idle=False`` keeps
+        polling for new submissions until a signal arrives.
+        """
+        released = self.ledger.recover()
+        if released:
+            self._emit("", "recovered", {"jobs": released})
+        self._stop = False
+        self._abort = False
+        old_int = signal.signal(signal.SIGINT, self._on_signal)
+        old_term = signal.signal(signal.SIGTERM, self._on_signal)
+        pool = TaskPool(worker_context, self.ledger.root, execute_job,
+                        jobs=self.jobs, task_timeout=self.task_timeout)
+        self._pool = pool
+        try:
+            while True:
+                claimed_now = 0
+                if not self._stop:
+                    free = self.jobs - len(self._claimed)
+                    for job in self.ledger.claim_ready(free):
+                        self._submit(pool, job)
+                        claimed_now += 1
+                outcomes = pool.poll(timeout=poll_interval)
+                for outcome in outcomes:
+                    self._absorb(outcome)
+                if self._abort:
+                    break
+                if self._stop and not self._claimed:
+                    break
+                if until_idle and not self._claimed and not claimed_now:
+                    counts = self.ledger.counts()
+                    if counts["pending"] == 0 and counts["running"] == 0:
+                        break
+                if not self._claimed and not claimed_now and not outcomes:
+                    # Nothing in flight and nothing runnable: a backoff
+                    # (or, with until_idle=False, a future submission) is
+                    # what we're waiting on — don't spin hot.
+                    time.sleep(min(poll_interval, 0.05))
+        finally:
+            # Jobs still in flight (abort path) go back to pending; their
+            # checkpoints resume under the next scheduler.
+            for digest in list(self._claimed):
+                self.ledger.release(digest, note="drain")
+                self._emit(digest, "released", {})
+            self._claimed.clear()
+            pool.close()
+            self._pool = None
+            signal.signal(signal.SIGINT, old_int)
+            signal.signal(signal.SIGTERM, old_term)
+        return self.ledger.counts()

@@ -1,0 +1,475 @@
+"""Crash-safe ledger and content-addressed artifact store.
+
+One SQLite database (WAL mode) records jobs, their dependency edges,
+attempts, telemetry snapshots, and campaign membership; artifacts live
+next to it as content-addressed files (``artifacts/ab/abcdef...``)
+written atomically (tmp + rename), so a SIGKILL at any instant leaves
+either the old state or the new state, never a torn one.
+
+The ledger is single-writer by design: only the scheduler process opens
+it read-write (workers communicate results over pipes and write only
+their own per-job checkpoint files).  Every mutation runs in its own
+``BEGIN IMMEDIATE`` transaction, so a killed scheduler loses at most
+the in-flight transaction — which the WAL rolls back — and
+:meth:`Ledger.recover` then returns any job stuck ``running`` to
+``pending`` with its checkpoint file intact.
+
+Job lifecycle::
+
+    pending --claim--> running --ok--> done
+       ^                  |
+       |                  +--error, attempts left--> pending (backoff)
+       |                  +--error, attempts exhausted--> failed
+       +--recover() after a crash (attempt recorded as 'interrupted')
+
+A job whose dependency fails is failed eagerly (``upstream failed``)
+so campaigns always terminate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.serialize import canonical_json
+
+from repro.service.jobs import JobSpec
+
+LEDGER_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    digest TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    role TEXT NOT NULL DEFAULT '',
+    state TEXT NOT NULL DEFAULT 'pending',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL DEFAULT 3,
+    not_before REAL NOT NULL DEFAULT 0,
+    error TEXT,
+    created_at REAL NOT NULL,
+    updated_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state);
+CREATE TABLE IF NOT EXISTS job_deps (
+    job TEXT NOT NULL,
+    dep TEXT NOT NULL,
+    PRIMARY KEY (job, dep)
+);
+CREATE INDEX IF NOT EXISTS job_deps_dep ON job_deps (dep);
+CREATE TABLE IF NOT EXISTS campaigns (
+    id TEXT PRIMARY KEY,
+    name TEXT NOT NULL,
+    spec TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaign_jobs (
+    campaign TEXT NOT NULL,
+    job TEXT NOT NULL,
+    role TEXT NOT NULL DEFAULT '',
+    PRIMARY KEY (campaign, job)
+);
+CREATE TABLE IF NOT EXISTS attempts (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    job TEXT NOT NULL,
+    number INTEGER NOT NULL,
+    started_at REAL NOT NULL,
+    finished_at REAL,
+    outcome TEXT,
+    error TEXT
+);
+CREATE INDEX IF NOT EXISTS attempts_job ON attempts (job);
+CREATE TABLE IF NOT EXISTS telemetry (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    job TEXT NOT NULL,
+    at REAL NOT NULL,
+    kind TEXT NOT NULL,
+    data TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS artifacts (
+    digest TEXT PRIMARY KEY,
+    kind TEXT NOT NULL DEFAULT '',
+    size INTEGER NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS job_artifacts (
+    job TEXT NOT NULL,
+    name TEXT NOT NULL,
+    artifact TEXT NOT NULL,
+    PRIMARY KEY (job, name)
+);
+"""
+
+# Job states a job can rest in between scheduler turns.
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    """Write via tmp + rename so readers never see a torn file."""
+    tmp = f"{path}.tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class Ledger:
+    """The campaign service's durable state, rooted at one directory."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        os.makedirs(os.path.join(self.root, "artifacts"), exist_ok=True)
+        os.makedirs(os.path.join(self.root, "checkpoints"), exist_ok=True)
+        self.db_path = os.path.join(self.root, "ledger.sqlite3")
+        self._conn = sqlite3.connect(self.db_path, timeout=30.0,
+                                     isolation_level=None)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA foreign_keys=ON")
+        # executescript commits on its own; keep it outside _tx.
+        self._conn.executescript(_SCHEMA)
+        with self._tx():
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(LEDGER_SCHEMA_VERSION)))
+            elif int(row["value"]) != LEDGER_SCHEMA_VERSION:
+                raise RuntimeError(
+                    f"ledger at {self.db_path} has schema version "
+                    f"{row['value']}, this build reads "
+                    f"{LEDGER_SCHEMA_VERSION}")
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "Ledger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @contextmanager
+    def _tx(self):
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield self._conn
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        else:
+            self._conn.execute("COMMIT")
+
+    # -- jobs -------------------------------------------------------------
+
+    def add_job(self, spec: JobSpec, max_attempts: int = 3) -> bool:
+        """Record a job; returns False when its digest already exists.
+
+        Dedupe is the point: a duplicate submission (same kind +
+        payload) is a no-op regardless of the state the original is in.
+        """
+        digest = spec.digest
+        now = time.time()
+        with self._tx() as conn:
+            cur = conn.execute(
+                "INSERT OR IGNORE INTO jobs (digest, kind, payload, role, "
+                "state, max_attempts, created_at, updated_at) "
+                "VALUES (?, ?, ?, ?, 'pending', ?, ?, ?)",
+                (digest, spec.kind, canonical_json(spec.payload), spec.role,
+                 max_attempts, now, now))
+            created = cur.rowcount > 0
+            if created:
+                for dep in spec.deps:
+                    conn.execute(
+                        "INSERT OR IGNORE INTO job_deps (job, dep) "
+                        "VALUES (?, ?)", (digest, dep))
+        return created
+
+    def job(self, digest: str) -> Optional[Dict]:
+        row = self._conn.execute(
+            "SELECT * FROM jobs WHERE digest=?", (digest,)).fetchone()
+        return dict(row) if row else None
+
+    def deps_of(self, digest: str) -> List[str]:
+        rows = self._conn.execute(
+            "SELECT dep FROM job_deps WHERE job=? ORDER BY dep",
+            (digest,)).fetchall()
+        return [r["dep"] for r in rows]
+
+    def jobs(self, state: Optional[str] = None,
+             campaign: Optional[str] = None) -> List[Dict]:
+        query = "SELECT jobs.* FROM jobs"
+        args: List = []
+        clauses = []
+        if campaign is not None:
+            query += (" JOIN campaign_jobs ON campaign_jobs.job = "
+                      "jobs.digest")
+            clauses.append("campaign_jobs.campaign = ?")
+            args.append(campaign)
+        if state is not None:
+            clauses.append("jobs.state = ?")
+            args.append(state)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY jobs.created_at, jobs.digest"
+        return [dict(r) for r in self._conn.execute(query, args)]
+
+    def counts(self, campaign: Optional[str] = None) -> Dict[str, int]:
+        out = {state: 0 for state in JOB_STATES}
+        for row in self.jobs(campaign=campaign):
+            out[row["state"]] = out.get(row["state"], 0) + 1
+        return out
+
+    def claim_ready(self, limit: int, now: Optional[float] = None
+                    ) -> List[Dict]:
+        """Atomically move up to ``limit`` runnable jobs to ``running``.
+
+        Runnable: ``pending``, past its backoff time, with every
+        dependency ``done``.  An attempt row is opened per claim.
+        """
+        if limit <= 0:
+            return []
+        now = time.time() if now is None else now
+        claimed: List[Dict] = []
+        with self._tx() as conn:
+            rows = conn.execute(
+                "SELECT * FROM jobs WHERE state='pending' AND not_before<=? "
+                "AND NOT EXISTS (SELECT 1 FROM job_deps JOIN jobs AS d ON "
+                "d.digest = job_deps.dep WHERE job_deps.job = jobs.digest "
+                "AND d.state != 'done') "
+                "ORDER BY created_at, digest LIMIT ?",
+                (now, limit)).fetchall()
+            for row in rows:
+                conn.execute(
+                    "UPDATE jobs SET state='running', attempts=attempts+1, "
+                    "updated_at=? WHERE digest=?", (now, row["digest"]))
+                conn.execute(
+                    "INSERT INTO attempts (job, number, started_at) "
+                    "VALUES (?, ?, ?)",
+                    (row["digest"], row["attempts"] + 1, now))
+                job = dict(row)
+                job["state"] = "running"
+                job["attempts"] = row["attempts"] + 1
+                claimed.append(job)
+        return claimed
+
+    def _close_attempt(self, conn, digest: str, outcome: str,
+                       error: Optional[str], now: float) -> None:
+        conn.execute(
+            "UPDATE attempts SET finished_at=?, outcome=?, error=? "
+            "WHERE id = (SELECT id FROM attempts WHERE job=? AND "
+            "finished_at IS NULL ORDER BY id DESC LIMIT 1)",
+            (now, outcome, error, digest))
+
+    def finish(self, digest: str) -> None:
+        now = time.time()
+        with self._tx() as conn:
+            conn.execute(
+                "UPDATE jobs SET state='done', error=NULL, updated_at=? "
+                "WHERE digest=?", (now, digest))
+            self._close_attempt(conn, digest, "ok", None, now)
+
+    def fail(self, digest: str, error: str, retry_in: Optional[float]
+             ) -> str:
+        """Record a failed attempt.  Retries (state back to ``pending``
+        with ``not_before = now + retry_in``) while attempts remain and
+        ``retry_in`` is given; otherwise the job is failed and every
+        transitive dependent is failed with it.  Returns the resulting
+        state."""
+        now = time.time()
+        with self._tx() as conn:
+            row = conn.execute("SELECT attempts, max_attempts FROM jobs "
+                               "WHERE digest=?", (digest,)).fetchone()
+            if row is None:
+                raise KeyError(f"no such job {digest}")
+            retry = (retry_in is not None
+                     and row["attempts"] < row["max_attempts"])
+            state = "pending" if retry else "failed"
+            not_before = now + retry_in if retry else 0
+            conn.execute(
+                "UPDATE jobs SET state=?, error=?, not_before=?, "
+                "updated_at=? WHERE digest=?",
+                (state, error, not_before, now, digest))
+            self._close_attempt(conn, digest, "error", error, now)
+            if state == "failed":
+                self._fail_dependents(conn, digest, now)
+        return state
+
+    def _fail_dependents(self, conn, digest: str, now: float) -> None:
+        frontier = [digest]
+        while frontier:
+            dep = frontier.pop()
+            rows = conn.execute(
+                "SELECT job FROM job_deps JOIN jobs ON jobs.digest = "
+                "job_deps.job WHERE job_deps.dep=? AND jobs.state IN "
+                "('pending', 'running')", (dep,)).fetchall()
+            for row in rows:
+                conn.execute(
+                    "UPDATE jobs SET state='failed', error=?, updated_at=? "
+                    "WHERE digest=?",
+                    (f"upstream failed: {dep[:12]}", now, row["job"]))
+                frontier.append(row["job"])
+
+    def release(self, digest: str, note: str = "interrupted") -> None:
+        """Return one ``running`` job to ``pending`` (attempt closed as
+        interrupted, attempt count refunded); its checkpoint survives."""
+        now = time.time()
+        with self._tx() as conn:
+            conn.execute(
+                "UPDATE jobs SET state='pending', "
+                "attempts=MAX(attempts-1, 0), updated_at=? "
+                "WHERE digest=? AND state='running'", (now, digest))
+            self._close_attempt(conn, digest, "interrupted", note, now)
+
+    def recover(self) -> int:
+        """Crash recovery: every job left ``running`` by a dead
+        scheduler goes back to ``pending``.  Returns how many."""
+        stuck = [row["digest"] for row in self.jobs(state="running")]
+        for digest in stuck:
+            self.release(digest, note="scheduler restart")
+        return len(stuck)
+
+    # -- campaigns --------------------------------------------------------
+
+    def add_campaign(self, campaign_id: str, name: str, spec: Dict) -> bool:
+        with self._tx() as conn:
+            cur = conn.execute(
+                "INSERT OR IGNORE INTO campaigns (id, name, spec, "
+                "created_at) VALUES (?, ?, ?, ?)",
+                (campaign_id, name, canonical_json(spec), time.time()))
+            return cur.rowcount > 0
+
+    def link_campaign(self, campaign_id: str, digest: str,
+                      role: str = "") -> None:
+        with self._tx() as conn:
+            conn.execute(
+                "INSERT OR IGNORE INTO campaign_jobs (campaign, job, role) "
+                "VALUES (?, ?, ?)", (campaign_id, digest, role))
+
+    def campaigns(self) -> List[Dict]:
+        rows = self._conn.execute(
+            "SELECT * FROM campaigns ORDER BY created_at").fetchall()
+        return [dict(r) for r in rows]
+
+    def campaign(self, campaign_id: str) -> Optional[Dict]:
+        row = self._conn.execute(
+            "SELECT * FROM campaigns WHERE id=?", (campaign_id,)).fetchone()
+        return dict(row) if row else None
+
+    def campaign_roles(self, campaign_id: str) -> List[Tuple[str, str]]:
+        """(job digest, role) pairs of one campaign, submission order."""
+        rows = self._conn.execute(
+            "SELECT job, role FROM campaign_jobs WHERE campaign=? "
+            "ORDER BY rowid", (campaign_id,)).fetchall()
+        return [(r["job"], r["role"]) for r in rows]
+
+    # -- telemetry --------------------------------------------------------
+
+    def record_telemetry(self, digest: str, kind: str, data: Dict) -> None:
+        with self._tx() as conn:
+            conn.execute(
+                "INSERT INTO telemetry (job, at, kind, data) "
+                "VALUES (?, ?, ?, ?)",
+                (digest, time.time(), kind, json.dumps(data)))
+
+    def telemetry_of(self, digest: str) -> List[Dict]:
+        rows = self._conn.execute(
+            "SELECT at, kind, data FROM telemetry WHERE job=? ORDER BY id",
+            (digest,)).fetchall()
+        return [{"at": r["at"], "kind": r["kind"],
+                 "data": json.loads(r["data"])} for r in rows]
+
+    def attempts_of(self, digest: str) -> List[Dict]:
+        rows = self._conn.execute(
+            "SELECT * FROM attempts WHERE job=? ORDER BY id",
+            (digest,)).fetchall()
+        return [dict(r) for r in rows]
+
+    # -- artifacts --------------------------------------------------------
+
+    def _artifact_path(self, digest: str) -> str:
+        return os.path.join(self.root, "artifacts", digest[:2], digest)
+
+    def put_artifact(self, data: bytes, kind: str = "") -> str:
+        """Store content-addressed bytes; returns the content digest."""
+        digest = hashlib.sha256(data).hexdigest()
+        path = self._artifact_path(digest)
+        if not os.path.exists(path):
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            _atomic_write(path, data)
+        with self._tx() as conn:
+            conn.execute(
+                "INSERT OR IGNORE INTO artifacts (digest, kind, size, "
+                "created_at) VALUES (?, ?, ?, ?)",
+                (digest, kind, len(data), time.time()))
+        return digest
+
+    def get_artifact(self, digest: str) -> bytes:
+        with open(self._artifact_path(digest), "rb") as fh:
+            data = fh.read()
+        if hashlib.sha256(data).hexdigest() != digest:
+            raise IOError(f"artifact {digest[:12]} content does not match "
+                          "its digest (corrupt store)")
+        return data
+
+    def link_artifact(self, job: str, name: str, artifact: str) -> None:
+        with self._tx() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO job_artifacts (job, name, artifact) "
+                "VALUES (?, ?, ?)", (job, name, artifact))
+
+    def artifacts_of(self, job: str) -> Dict[str, str]:
+        rows = self._conn.execute(
+            "SELECT name, artifact FROM job_artifacts WHERE job=? "
+            "ORDER BY name", (job,)).fetchall()
+        return {r["name"]: r["artifact"] for r in rows}
+
+    def result_doc(self, job: str) -> Optional[Dict]:
+        """The job's ``result.json`` artifact, parsed (None if absent)."""
+        named = self.artifacts_of(job)
+        if "result.json" not in named:
+            return None
+        return json.loads(self.get_artifact(named["result.json"]))
+
+    # -- checkpoints ------------------------------------------------------
+
+    def checkpoint_path(self, digest: str) -> str:
+        return os.path.join(self.root, "checkpoints", f"{digest}.json")
+
+    def read_checkpoint(self, digest: str) -> Optional[Dict]:
+        path = self.checkpoint_path(digest)
+        try:
+            with open(path, "r") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except ValueError:
+            # Torn writes are impossible (tmp + rename); a JSON error
+            # here means foreign bytes.  Ignore and restart the job.
+            return None
+
+    def write_checkpoint(self, digest: str, doc: Dict) -> None:
+        _atomic_write(self.checkpoint_path(digest),
+                      json.dumps(doc).encode("utf-8"))
+
+    def clear_checkpoint(self, digest: str) -> None:
+        try:
+            os.remove(self.checkpoint_path(digest))
+        except FileNotFoundError:
+            pass

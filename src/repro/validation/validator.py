@@ -86,6 +86,89 @@ class ValidationResult:
     evaluations: int = 0
     wasted: int = 0
 
+    def to_dict(self) -> dict:
+        """Versioned JSON-safe document (see :mod:`repro.core.serialize`)."""
+        from repro.core.serialize import validation_result_to_dict
+
+        return validation_result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict, segments=()) -> "ValidationResult":
+        from repro.core.serialize import validation_result_from_dict
+
+        return validation_result_from_dict(data, segments)
+
+
+@dataclass
+class ValidationCheckpoint:
+    """Exact mid-chain state of one validation run.
+
+    Captured at speculative-block boundaries, where the chain state is
+    consistent; resuming reproduces the uninterrupted run's sample
+    stream bit-for-bit (the RNG state, the chain's current point, and
+    the EWMA block-sizing state are all part of the capture).  Test
+    cases serialize as live-in bits only — memory segments are
+    reconstructed from the validator's base test case on resume.
+    """
+
+    iteration: int
+    rng_state: tuple
+    current_inputs: dict
+    current_err: float
+    max_err: float
+    argmax_inputs: Optional[dict]
+    chain: List[float]
+    z_scores: List[Tuple[int, float]]
+    trace: List[Tuple[int, float]]
+    evaluations: int
+    accept_rate: float
+    # Config echo checked by resume.
+    seed: int = 0
+    max_proposals: int = 0
+
+    def to_dict(self) -> dict:
+        from repro.core import serialize as S
+
+        return {
+            "version": S.SCHEMA_VERSION,
+            "kind": "validation_checkpoint",
+            "iteration": self.iteration,
+            "rng_state": S.enc_rng_state(self.rng_state),
+            "current_inputs": {k: v for k, v in self.current_inputs.items()},
+            "current_err": S.enc_float(self.current_err),
+            "max_err": S.enc_float(self.max_err),
+            "argmax_inputs": self.argmax_inputs,
+            "chain": [S.enc_float(v) for v in self.chain],
+            "z_scores": [[i, S.enc_float(z)] for i, z in self.z_scores],
+            "trace": [[i, S.enc_float(e)] for i, e in self.trace],
+            "evaluations": self.evaluations,
+            "accept_rate": self.accept_rate,
+            "seed": self.seed,
+            "max_proposals": self.max_proposals,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ValidationCheckpoint":
+        from repro.core import serialize as S
+
+        S.check_version(data, "ValidationCheckpoint")
+        return cls(
+            iteration=int(data["iteration"]),
+            rng_state=S.dec_rng_state(data["rng_state"]),
+            current_inputs=dict(data["current_inputs"]),
+            current_err=S.dec_float(data["current_err"]),
+            max_err=S.dec_float(data["max_err"]),
+            argmax_inputs=None if data["argmax_inputs"] is None
+            else dict(data["argmax_inputs"]),
+            chain=[S.dec_float(v) for v in data["chain"]],
+            z_scores=[(int(i), S.dec_float(z)) for i, z in data["z_scores"]],
+            trace=[(int(i), S.dec_float(e)) for i, e in data["trace"]],
+            evaluations=int(data["evaluations"]),
+            accept_rate=float(data["accept_rate"]),
+            seed=int(data["seed"]),
+            max_proposals=int(data["max_proposals"]),
+        )
+
 
 @dataclass
 class MultiChainResult:
@@ -251,6 +334,10 @@ class Validator:
 
     def validate(self, config: ValidationConfig = ValidationConfig(),
                  strategy: Optional[ValidationStrategy] = None,
+                 checkpoint_every: int = 0,
+                 on_checkpoint: Optional[
+                     Callable[["ValidationCheckpoint"], None]] = None,
+                 resume: Optional["ValidationCheckpoint"] = None,
                  ) -> ValidationResult:
         """Run the input-space chain until mixed or out of budget.
 
@@ -280,25 +367,48 @@ class Validator:
         proposer = TestCaseProposer(self.ranges,
                                     sigma_fraction=config.sigma_fraction)
 
-        current = proposer.initial(rng, self.base_testcase_factory())
-        current_err = self.err(current)
-        max_err, argmax = current_err, current
-        # The Geweke diagnostic runs on log-compressed errors: the raw
-        # error spans ~19 decades, which would let a single spike dominate
-        # the spectral density estimate forever.
-        chain: List[float] = [math.log1p(current_err)]
-        z_scores: List[Tuple[int, float]] = []
-        trace: List[Tuple[int, float]] = [(0, max_err)]
+        base = self.base_testcase_factory()
+        if resume is not None:
+            echo = (resume.seed, resume.max_proposals)
+            want = (config.seed, config.max_proposals)
+            if echo != want:
+                raise ValueError(
+                    f"checkpoint was taken under config {echo} "
+                    f"(seed, max_proposals); resuming under {want}")
+            rng.setstate(resume.rng_state)
+            current = TestCase(dict(resume.current_inputs), base.segments)
+            current_err = resume.current_err
+            max_err = resume.max_err
+            argmax = None if resume.argmax_inputs is None \
+                else TestCase(dict(resume.argmax_inputs), base.segments)
+            chain = list(resume.chain)
+            z_scores = list(resume.z_scores)
+            trace = list(resume.trace)
+            evaluations = resume.evaluations
+            accept_rate = resume.accept_rate
+            iteration = resume.iteration
+            samples = iteration
+        else:
+            current = proposer.initial(rng, base)
+            current_err = self.err(current)
+            max_err, argmax = current_err, current
+            # The Geweke diagnostic runs on log-compressed errors: the raw
+            # error spans ~19 decades, which would let a single spike
+            # dominate the spectral density estimate forever.
+            chain = [math.log1p(current_err)]
+            z_scores = []
+            trace = [(0, max_err)]
+            samples = 0
+            evaluations = 0
+            # Exponentially weighted acceptance-rate estimate; the block
+            # is sized to the expected rejection streak (1 / p-hat).  The
+            # prior of 0.5 starts the chain scalar and lets rejection
+            # streaks grow the block as evidence accumulates.
+            accept_rate = 0.5
+            iteration = 0
         trace_stride = max(1, config.max_proposals
                            // max(1, config.trace_points))
         converged = False
-        samples = 0
-        evaluations = 0
-        # Exponentially weighted acceptance-rate estimate; the block is
-        # sized to the expected rejection streak (1 / p-hat).  The prior
-        # of 0.5 starts the chain scalar and lets rejection streaks grow
-        # the block as evidence accumulates.
-        accept_rate = 0.5
         ewma = 0.05
         independent = strategy.uniform_proposals
         draw = (proposer.propose_uniform if independent
@@ -307,8 +417,29 @@ class Validator:
         if max_block is None:
             max_block = DEFAULT_UNIFORM_BLOCK if independent else 1
 
-        iteration = 0
+        last_checkpoint = iteration
         while iteration < config.max_proposals and not converged:
+            if (checkpoint_every and on_checkpoint is not None
+                    and iteration - last_checkpoint >= checkpoint_every):
+                last_checkpoint = iteration
+                on_checkpoint(ValidationCheckpoint(
+                    iteration=iteration,
+                    rng_state=rng.getstate(),
+                    current_inputs={str(loc): bits for loc, bits
+                                    in current.inputs.items()},
+                    current_err=current_err,
+                    max_err=max_err,
+                    argmax_inputs=None if argmax is None
+                    else {str(loc): bits for loc, bits
+                          in argmax.inputs.items()},
+                    chain=list(chain),
+                    z_scores=list(z_scores),
+                    trace=list(trace),
+                    evaluations=evaluations,
+                    accept_rate=accept_rate,
+                    seed=config.seed,
+                    max_proposals=config.max_proposals,
+                ))
             if independent:
                 block = max_block
             else:

@@ -149,6 +149,97 @@ class _Entry:
                 else -_INF, self.seq)
 
 
+def _entry_to_dict(entry: _Entry) -> dict:
+    from repro.core import serialize as S
+
+    return {
+        "priority": entry.priority,
+        "bound": S.enc_float(entry.bound),
+        "seq": entry.seq,
+        "box": [list(b) for b in entry.box.bounds],
+        "per_loc": None if entry.per_loc is None
+        else {loc: S.enc_float(v) for loc, v in entry.per_loc.items()},
+    }
+
+
+def _entry_from_dict(data: dict) -> _Entry:
+    from repro.core import serialize as S
+
+    per_loc = data["per_loc"]
+    return _Entry(
+        priority=int(data["priority"]),
+        bound=S.dec_float(data["bound"]),
+        seq=int(data["seq"]),
+        box=BitBox(tuple((int(lo), int(hi)) for lo, hi in data["box"])),
+        per_loc=None if per_loc is None
+        else {loc: S.dec_float(v) for loc, v in per_loc.items()},
+    )
+
+
+@dataclass
+class BnBCheckpoint:
+    """Exact mid-refinement state of one branch-and-bound run.
+
+    Captured at round boundaries (the frontier/leaf sets are consistent
+    there) and sufficient for :meth:`BnBVerifier.run` to continue the
+    bit-identical search: entry ``seq`` numbers are preserved, so the
+    strict ``(priority, bound, seq)`` heap order — and therefore the
+    refinement order and final leaf partition — matches the
+    uninterrupted run (wall-clock fields excepted).  Leaf boxes reuse
+    the certificate's inclusive bit-index range encoding.
+    """
+
+    seq: int
+    explored: int
+    pruned: int
+    rounds: int
+    max_frontier: int
+    complete: bool
+    stats_boxes: int
+    stats_concrete: int
+    stats_widened: int
+    frontier: List[_Entry]
+    leaves: List[_Entry]
+
+    def to_dict(self) -> dict:
+        from repro.core import serialize as S
+
+        return {
+            "version": S.SCHEMA_VERSION,
+            "kind": "bnb_checkpoint",
+            "seq": self.seq,
+            "explored": self.explored,
+            "pruned": self.pruned,
+            "rounds": self.rounds,
+            "max_frontier": self.max_frontier,
+            "complete": self.complete,
+            "stats": [self.stats_boxes, self.stats_concrete,
+                      self.stats_widened],
+            "frontier": [_entry_to_dict(e) for e in self.frontier],
+            "leaves": [_entry_to_dict(e) for e in self.leaves],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BnBCheckpoint":
+        from repro.core import serialize as S
+
+        S.check_version(data, "BnBCheckpoint")
+        boxes, concrete, widened = data["stats"]
+        return cls(
+            seq=int(data["seq"]),
+            explored=int(data["explored"]),
+            pruned=int(data["pruned"]),
+            rounds=int(data["rounds"]),
+            max_frontier=int(data["max_frontier"]),
+            complete=bool(data["complete"]),
+            stats_boxes=int(boxes),
+            stats_concrete=int(concrete),
+            stats_widened=int(widened),
+            frontier=[_entry_from_dict(e) for e in data["frontier"]],
+            leaves=[_entry_from_dict(e) for e in data["leaves"]],
+        )
+
+
 class BnBVerifier:
     """Branch-and-bound driver over a shared :class:`IntervalTransfer`."""
 
@@ -180,7 +271,19 @@ class BnBVerifier:
             out.append((indices_of_values(values, self.dims), float(err)))
         return out
 
-    def run(self, config: BnBConfig = BnBConfig()) -> BnBResult:
+    def run(self, config: BnBConfig = BnBConfig(),
+            resume: Optional[BnBCheckpoint] = None,
+            checkpoint_rounds: int = 0,
+            on_checkpoint=None) -> BnBResult:
+        """Refine until a termination condition fires.
+
+        ``checkpoint_rounds`` > 0 calls ``on_checkpoint`` with an exact
+        :class:`BnBCheckpoint` every that-many refinement rounds;
+        ``resume`` continues from one and — for budget/gap-terminated
+        configs — reproduces the uninterrupted run's partition and
+        bounds exactly (deadline termination is wall-clock and outside
+        the identity).
+        """
         start = time.monotonic()
         seeds = self.seed_indices(config.seeds)
         lower = max([err for _, err in seeds], default=0.0)
@@ -189,11 +292,14 @@ class BnBVerifier:
                         jobs=config.jobs)
         # Inline path: reuse the already-built transfer so its stats
         # accumulate across runs of the same verifier.
-        if pool._pool is None:
-            pool._context = self.transfer
+        if pool.inline:
+            pool.set_context(self.transfer)
         stats = TransferStats()
         try:
-            result = self._search(pool, config, seeds, lower, stats, start)
+            result = self._search(pool, config, seeds, lower, stats, start,
+                                  resume=resume,
+                                  checkpoint_rounds=checkpoint_rounds,
+                                  on_checkpoint=on_checkpoint)
         finally:
             pool.close()
         self.last_result = result
@@ -211,7 +317,9 @@ class BnBVerifier:
 
     def _search(self, pool: TaskPool, config: BnBConfig, seeds,
                 lower: float, stats: TransferStats,
-                start: float) -> BnBResult:
+                start: float, resume: Optional[BnBCheckpoint] = None,
+                checkpoint_rounds: int = 0,
+                on_checkpoint=None) -> BnBResult:
         root = self.transfer.root
         seq = 0
         explored = 0
@@ -237,11 +345,38 @@ class BnBVerifier:
         def push(entry: _Entry) -> None:
             heapq.heappush(frontier, (entry.key(), entry))
 
-        for entry in map(absorb, pool.map([root.bounds]), [root]):
-            push(entry)
+        if resume is not None:
+            seq = resume.seq
+            explored = resume.explored
+            pruned = resume.pruned
+            rounds = resume.rounds
+            max_frontier = resume.max_frontier
+            complete = resume.complete
+            stats.boxes += resume.stats_boxes
+            stats.concrete_bit_ops += resume.stats_concrete
+            stats.widened_bit_ops += resume.stats_widened
+            leaves = list(resume.leaves)
+            for entry in resume.frontier:
+                push(entry)
+        else:
+            for entry in map(absorb, pool.map([root.bounds]), [root]):
+                push(entry)
+
+        def snapshot() -> BnBCheckpoint:
+            return BnBCheckpoint(
+                seq=seq, explored=explored, pruned=pruned, rounds=rounds,
+                max_frontier=max_frontier, complete=complete,
+                stats_boxes=stats.boxes,
+                stats_concrete=stats.concrete_bit_ops,
+                stats_widened=stats.widened_bit_ops,
+                frontier=[entry for _, entry in frontier],
+                leaves=list(leaves))
 
         termination = "exhausted"
         while frontier:
+            if (checkpoint_rounds and on_checkpoint is not None
+                    and rounds > 0 and rounds % checkpoint_rounds == 0):
+                on_checkpoint(snapshot())
             if explored >= config.max_boxes:
                 termination = "budget"
                 break

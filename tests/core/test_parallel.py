@@ -171,3 +171,106 @@ class TestTelemetry:
             # The trace is monotone non-increasing in best cost.
             costs = [c for _, c in t["best_cost_trace"]]
             assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+
+# ---------------------------------------------------------------------------
+# TaskPool hardening: crash recovery, deadlines, streaming dispatch.
+# Task functions must be module-level (pickled by reference into workers).
+
+
+def _pool_context(spec):
+    return {"spec": spec}
+
+
+def _pool_task(context, item):
+    import os as _os
+    import signal as _signal
+    import time as _time
+
+    kind, value = item
+    if kind == "square":
+        return value * value
+    if kind == "raise":
+        raise ValueError(f"bad item {value}")
+    if kind == "die":
+        # Simulate a segfault/OOM: the worker vanishes mid-task.
+        _os.kill(_os.getpid(), _signal.SIGKILL)
+    if kind == "sleep":
+        _time.sleep(value)
+        return value
+    raise AssertionError(f"unknown kind {kind}")
+
+
+class TestTaskPool:
+    def _pool(self, jobs=2, **kwargs):
+        from repro.core.parallel import TaskPool
+
+        return TaskPool(_pool_context, None, _pool_task, jobs=jobs,
+                        **kwargs)
+
+    def test_map_inline(self):
+        with self._pool(jobs=1) as pool:
+            assert pool.inline
+            assert pool.map([("square", i) for i in range(5)]) == \
+                [0, 1, 4, 9, 16]
+
+    def test_map_subprocess(self):
+        with self._pool(jobs=2) as pool:
+            assert not pool.inline
+            assert pool.map([("square", i) for i in range(8)]) == \
+                [i * i for i in range(8)]
+
+    def test_task_error_propagates(self):
+        from repro.core.parallel import TaskError
+
+        with self._pool(jobs=2) as pool:
+            with pytest.raises(TaskError, match="bad item 3"):
+                pool.map([("square", 1), ("raise", 3), ("square", 2)])
+
+    def test_worker_killed_mid_task_is_reported_and_pool_survives(self):
+        # Regression test: a worker SIGKILLed mid-task must be detected,
+        # its task reported as a crash, and the pool must keep serving.
+        with self._pool(jobs=2) as pool:
+            outcomes = pool.run([("square", 1), ("die", 0), ("square", 2)])
+            by_key = {o.key: o for o in outcomes}
+            assert by_key[0].ok and by_key[0].value == 1
+            assert by_key[2].ok and by_key[2].value == 4
+            assert not by_key[1].ok
+            assert by_key[1].kind == "crash"
+            # The pool respawned the dead worker and still works.
+            assert pool.map([("square", 6)]) == [36]
+
+    def test_per_task_timeout(self):
+        from repro.core.parallel import TaskTimeout
+
+        with self._pool(jobs=2, task_timeout=0.5) as pool:
+            outcomes = pool.run([("sleep", 30.0), ("square", 3)])
+            by_key = {o.key: o for o in outcomes}
+            assert not by_key[0].ok and by_key[0].kind == "timeout"
+            assert by_key[1].ok and by_key[1].value == 9
+            with pytest.raises(TaskTimeout):
+                pool.map([("sleep", 30.0)])
+
+    def test_streaming_submit_poll(self):
+        with self._pool(jobs=2) as pool:
+            pool.submit("a", ("square", 2))
+            pool.submit("b", ("square", 3))
+            got = {}
+            while len(got) < 2:
+                for outcome in pool.poll(timeout=10.0):
+                    got[outcome.key] = outcome.value
+            assert got == {"a": 4, "b": 9}
+            assert pool.in_flight == 0
+
+    def test_submit_after_close_rejected(self):
+        pool = self._pool(jobs=1)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.submit("x", ("square", 1))
+
+    def test_close_kills_workers(self):
+        pool = self._pool(jobs=2)
+        procs = [w.proc for w in pool._workers]
+        assert all(p.is_alive() for p in procs)
+        pool.close()
+        assert all(not p.is_alive() for p in procs)

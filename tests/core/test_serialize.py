@@ -1,0 +1,166 @@
+"""JSON round-trips for results, programs, and checkpoints (satellite of
+the campaign service: everything the ledger persists must survive a
+serialize/parse cycle bit-for-bit)."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.core import CostConfig, SearchConfig, Stoke, run_restarts
+from repro.core import serialize as S
+from repro.core.restarts import RestartResult
+from repro.core.result import SearchResult
+from repro.kernels.aek.vector import AEK_KERNELS, AEK_REWRITES
+from repro.kernels.libimf import LIBIMF_KERNELS
+from repro.validation.validator import ValidationConfig, Validator
+from repro.x86.assembler import assemble
+from repro.x86.testcase import uniform_testcases
+
+TARGET = assemble("movq $2.0d, xmm1\nmulsd xmm1, xmm0\naddsd xmm0, xmm0\n")
+
+
+def _roundtrip(doc):
+    """Force the document through actual JSON text."""
+    return json.loads(json.dumps(doc))
+
+
+class TestScalars:
+    @pytest.mark.parametrize("value", [0.0, -1.5, 1e300, float("inf"),
+                                       float("-inf")])
+    def test_float_roundtrip(self, value):
+        assert S.dec_float(_roundtrip(S.enc_float(value))) == value
+
+    def test_nan_roundtrip(self):
+        out = S.dec_float(_roundtrip(S.enc_float(float("nan"))))
+        assert math.isnan(out)
+
+    def test_none_roundtrip(self):
+        assert S.enc_float(None) is None
+        assert S.dec_float(None) is None
+
+    def test_nonfinite_is_strict_json(self):
+        # canonical_json refuses NaN literals; the encoding must not
+        # produce any.
+        S.canonical_json({"v": S.enc_float(float("inf"))})
+
+    def test_rng_state_roundtrip(self):
+        rng = random.Random(1234)
+        rng.gauss(0, 1)  # populate gauss_next
+        state = rng.getstate()
+        restored = S.dec_rng_state(_roundtrip(S.enc_rng_state(state)))
+        assert restored == state
+        clone = random.Random()
+        clone.setstate(restored)
+        assert [clone.random() for _ in range(5)] == \
+            [rng.random() for _ in range(5)]
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("name", sorted(AEK_KERNELS))
+    def test_aek_kernels_roundtrip(self, name):
+        program = AEK_KERNELS[name]().program
+        out = S.program_from_dict(_roundtrip(S.program_to_dict(program)))
+        assert out.to_text(include_unused=True) == \
+            program.to_text(include_unused=True)
+        assert len(out.slots) == len(program.slots)
+
+    @pytest.mark.parametrize("name", sorted(LIBIMF_KERNELS))
+    def test_libimf_kernels_roundtrip(self, name):
+        program = LIBIMF_KERNELS[name]().program
+        out = S.program_from_dict(_roundtrip(S.program_to_dict(program)))
+        assert out.to_text(include_unused=True) == \
+            program.to_text(include_unused=True)
+
+    @pytest.mark.parametrize("name", sorted(AEK_REWRITES))
+    def test_aek_rewrites_roundtrip(self, name):
+        program = AEK_REWRITES[name]()
+        out = S.program_from_dict(_roundtrip(S.program_to_dict(program)))
+        assert out.to_text(include_unused=True) == \
+            program.to_text(include_unused=True)
+
+    def test_none_program(self):
+        assert S.program_to_dict(None) is None
+        assert S.program_from_dict(None) is None
+
+    def test_slot_count_mismatch_rejected(self):
+        # A header slot count below the instruction count cannot be
+        # honored by assemble; the round-trip must fail loudly.
+        doc = S.program_to_dict(TARGET)
+        doc["slots"] = 1
+        with pytest.raises(S.SchemaError):
+            S.program_from_dict(doc)
+
+
+class TestResults:
+    def _search_result(self, proposals=300, seed=5):
+        tests = uniform_testcases(random.Random(0), 8, {"xmm0": (-4, 4)})
+        stoke = Stoke(TARGET, tests, ["xmm0"], CostConfig(eta=0.0, k=1.0))
+        return stoke.search(SearchConfig(proposals=proposals, seed=seed))
+
+    def test_search_result_roundtrip(self):
+        result = self._search_result()
+        out = SearchResult.from_dict(_roundtrip(result.to_dict()))
+        assert out.best_cost == result.best_cost
+        assert out.seed == result.seed
+        assert out.trace == result.trace
+        assert out.stats.proposals == result.stats.proposals
+        assert out.stats.accepted == result.stats.accepted
+        assert out.stats.moves_proposed == result.stats.moves_proposed
+        assert out.best_program.to_text(include_unused=True) == \
+            result.best_program.to_text(include_unused=True)
+        assert (out.best_correct is None) == (result.best_correct is None)
+        if result.best_correct is not None:
+            assert out.best_correct.to_text() == \
+                result.best_correct.to_text()
+            assert out.best_correct_latency == result.best_correct_latency
+
+    def test_search_result_version_check(self):
+        doc = self._search_result(proposals=50).to_dict()
+        doc["version"] = 999
+        with pytest.raises(S.SchemaError):
+            SearchResult.from_dict(doc)
+
+    def test_restart_result_roundtrip(self):
+        tests = uniform_testcases(random.Random(0), 8, {"xmm0": (-4, 4)})
+        stoke = Stoke(TARGET, tests, ["xmm0"], CostConfig(eta=0.0, k=1.0))
+        restarts = run_restarts(stoke, SearchConfig(proposals=200, seed=2),
+                                chains=2, jobs=1)
+        out = RestartResult.from_dict(_roundtrip(restarts.to_dict()))
+        assert out.jobs == restarts.jobs
+        assert len(out.chains) == len(restarts.chains)
+        assert out.best.seed == restarts.best.seed
+        assert [c.best_cost for c in out.chains] == \
+            [c.best_cost for c in restarts.chains]
+
+    def test_validation_result_roundtrip(self):
+        spec = AEK_KERNELS["dot"]()
+        validator = Validator(spec.program, AEK_REWRITES["dot"](),
+                              spec.live_outs, dict(spec.ranges),
+                              spec.base_testcase)
+        result = validator.validate(ValidationConfig(
+            eta=1.0, max_proposals=200, seed=3, keep_chain=True))
+        doc = _roundtrip(S.validation_result_to_dict(result))
+        base = spec.base_testcase()
+        out = S.validation_result_from_dict(doc, segments=base.segments)
+        assert out.max_err == result.max_err
+        assert out.samples == result.samples
+        assert out.passed == result.passed
+        assert out.z_scores == result.z_scores
+        assert out.chain == result.chain
+        if result.argmax is not None:
+            assert out.argmax.inputs == result.argmax.inputs
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert S.canonical_json({"b": 1, "a": 2}) == \
+            S.canonical_json({"a": 2, "b": 1})
+
+    def test_no_whitespace(self):
+        assert " " not in S.canonical_json({"a": [1, 2], "b": {"c": 3}})
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            S.canonical_json({"v": float("nan")})

@@ -1,0 +1,106 @@
+"""Campaign planning: DAG shape, digest stability, ledger dedupe."""
+
+import pytest
+
+from repro.service.campaign import (CampaignSpec, campaign_id,
+                                    plan_campaign, submit_campaign)
+from repro.service.jobs import job_digest
+from repro.service.store import Ledger
+
+
+def _spec(**overrides):
+    base = dict(kernels=(("dot", 0.0), ("delta", 1.0e5)), chains=3,
+                proposals=100, testcases=8, seed=0)
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestPlan:
+    def test_dag_shape(self):
+        plan = plan_campaign(_spec())
+        # Per cell: 3 searches + select + validate + verify.
+        assert len(plan) == 2 * (3 + 3)
+        by_digest = {job.digest: job for job in plan}
+        selects = [j for j in plan if j.kind == "select"]
+        assert len(selects) == 2
+        for select in selects:
+            assert len(select.deps) == 3
+            for dep in select.deps:
+                assert by_digest[dep].kind == "search"
+        verifies = [j for j in plan if j.kind == "verify"]
+        for verify in verifies:
+            kinds = sorted(by_digest[d].kind for d in verify.deps)
+            assert kinds == ["select", "validate"]
+
+    def test_chain_seeds_are_derived(self):
+        plan = plan_campaign(_spec())
+        searches = [j for j in plan if j.kind == "search"
+                    and j.payload["kernel"] == "dot"]
+        assert [j.payload["seed"] for j in searches] == [1, 2, 3]
+        assert all(j.payload["tests_seed"] == 0 for j in searches)
+
+    def test_verify_engine_by_eta(self):
+        plan = plan_campaign(_spec())
+        engines = {j.payload["kernel"]: j.payload["engine"]
+                   for j in plan if j.kind == "verify"}
+        assert engines == {"dot": "uf", "delta": "bnb"}
+
+    def test_digests_stable_across_plans(self):
+        one = [j.digest for j in plan_campaign(_spec())]
+        two = [j.digest for j in plan_campaign(_spec())]
+        assert one == two
+
+    def test_eta_changes_search_digests(self):
+        base = {j.role: j.digest for j in plan_campaign(_spec())}
+        moved = {j.role: j.digest
+                 for j in plan_campaign(_spec(kernels=(("dot", 1.0),
+                                                       ("delta", 1.0e5))))}
+        assert base["dot/eta=0/search[0]"] != moved["dot/eta=1/search[0]"]
+        # The untouched cell is unchanged: overlap dedupes.
+        assert base["delta/eta=100000/search[0]"] == \
+            moved["delta/eta=100000/search[0]"]
+
+    def test_stage_prefixes(self):
+        plan = plan_campaign(_spec(stages=("search", "select")))
+        assert sorted({j.kind for j in plan}) == ["search", "select"]
+        with pytest.raises(ValueError, match="upstream"):
+            _spec(stages=("search", "verify"))
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(kernels=())
+        with pytest.raises(ValueError):
+            _spec(chains=0)
+        with pytest.raises(ValueError, match="unknown stages"):
+            _spec(stages=("search", "frobnicate"))
+
+    def test_spec_roundtrip(self):
+        spec = _spec()
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+        assert campaign_id(spec) == campaign_id(CampaignSpec.from_dict(
+            spec.to_dict()))
+
+
+class TestSubmit:
+    def test_submit_then_resubmit_dedupes(self, tmp_path):
+        with Ledger(str(tmp_path / "store")) as ledger:
+            cid, counts = submit_campaign(ledger, _spec(), name="c")
+            assert counts == {"jobs": 12, "new": 12, "reused": 0}
+            cid2, counts2 = submit_campaign(ledger, _spec(), name="c")
+            assert cid2 == cid
+            assert counts2 == {"jobs": 12, "new": 0, "reused": 12}
+
+    def test_overlapping_campaign_reuses_shared_cells(self, tmp_path):
+        with Ledger(str(tmp_path / "store")) as ledger:
+            submit_campaign(ledger, _spec(), name="c")
+            wider = _spec(kernels=(("dot", 0.0), ("delta", 1.0e5),
+                                   ("scale", 0.0)))
+            cid, counts = submit_campaign(ledger, wider, name="c2")
+            assert counts["reused"] == 12
+            assert counts["new"] == 6
+
+    def test_job_digest_is_kind_plus_payload(self):
+        assert job_digest("search", {"a": 1}) != \
+            job_digest("select", {"a": 1})
+        assert job_digest("search", {"a": 1, "b": 2}) == \
+            job_digest("search", {"b": 2, "a": 1})

@@ -1,0 +1,185 @@
+"""End-to-end crash recovery: SIGKILL the scheduler mid-run, restart,
+and require (a) finished jobs are not re-run, (b) the interrupted job
+resumes from its checkpoint, and (c) every artifact is bit-identical to
+an uninterrupted run of the same campaign.
+
+This is the invariant the whole service is built around, so it runs as
+a real subprocess test: the serve process is killed with SIGKILL (no
+cleanup handlers), exactly like a machine crash.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import Ledger, Scheduler, submit_campaign
+from repro.service.campaign import CampaignSpec
+
+CHECKPOINT_EVERY = 100
+
+
+def _spec():
+    # A 2-eta sweep, small enough to finish in seconds but big enough
+    # that the searches emit several checkpoints before completing.
+    # eta=0 verifies via UF equivalence; eta=1e5 via branch-and-bound,
+    # which also exercises the certificate artifact.
+    return CampaignSpec(kernels=(("dot", 0.0), ("dot", 1.0e5)), chains=2,
+                        proposals=2_400, testcases=8, seed=0,
+                        validate_proposals=300, verify_budget=64)
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                       "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return env
+
+
+def _serve(store, extra=()):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--store", store,
+         "--jobs", "1", "--checkpoint-every", str(CHECKPOINT_EVERY),
+         "--quiet", *extra],
+        env=_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def _wait_for_checkpoint(store, distinct=1, timeout=90.0):
+    """Block until checkpoint files for ``distinct`` different jobs have
+    been observed.  Checkpoints are named ``<job digest>.json`` and are
+    deleted when their job finishes, so seeing a second digest proves
+    the first job ran to completion — without touching the ledger while
+    the serve process owns it."""
+    checkpoints = os.path.join(store, "checkpoints")
+    seen = set()
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.isdir(checkpoints):
+            seen.update(name for name in os.listdir(checkpoints)
+                        if name.endswith(".json"))
+        if len(seen) >= distinct:
+            return
+        time.sleep(0.05)
+    pytest.fail(f"saw {len(seen)} checkpointed job(s), wanted "
+                f"{distinct}, before the deadline")
+
+
+@pytest.mark.slow
+def test_kill_and_restart_resumes_bit_identical(tmp_path):
+    spec = _spec()
+
+    # Reference: the same campaign served start-to-finish, in-process.
+    ref_root = str(tmp_path / "reference")
+    with Ledger(ref_root) as ledger:
+        cid, _ = submit_campaign(ledger, spec, name="smoke")
+        Scheduler(ledger, jobs=1,
+                  checkpoint_every=CHECKPOINT_EVERY).run()
+        assert ledger.counts()["failed"] == 0
+        reference = {
+            digest: ledger.artifacts_of(digest)
+            for digest, _role in ledger.campaign_roles(cid)
+        }
+
+    # Crash run: submit via the CLI, serve in a subprocess, SIGKILL it
+    # once the first search has checkpointed.
+    root = str(tmp_path / "crashed")
+    submit = subprocess.run(
+        [sys.executable, "-m", "repro", "submit", "--store", root,
+         "--kernel", "dot", "--etas", "0,1e5", "--chains", "2",
+         "--proposals", "2400", "--testcases", "8", "--seed", "0",
+         "--validate-proposals", "300", "--verify-budget", "64",
+         "--name", "smoke"],
+        env=_env(), capture_output=True, text=True)
+    assert submit.returncode == 0, submit.stderr
+
+    serve = _serve(root)
+    try:
+        # Two distinct checkpointed jobs = the first search finished
+        # and the second is mid-flight: the kill interrupts real work
+        # while completed work already sits in the ledger.
+        _wait_for_checkpoint(root, distinct=2)
+    finally:
+        serve.kill()
+        serve.wait()
+
+    with Ledger(root) as ledger:
+        states = {row["digest"]: row["state"] for row in ledger.jobs()}
+        done_before_kill = {d for d, s in states.items() if s == "done"}
+        assert done_before_kill
+        # SIGKILL gave the scheduler no chance to release its claim.
+        assert "running" in states.values()
+
+    # Restart: recovery must release the orphaned claim and finish
+    # everything without re-running completed jobs.
+    second = _serve(root)
+    stdout, stderr = second.communicate(timeout=300)
+    assert second.returncode == 0, stderr.decode()
+
+    with Ledger(root) as ledger:
+        counts = ledger.counts()
+        assert counts["done"] == len(states) and counts["failed"] == 0
+
+        for digest in done_before_kill:
+            attempts = ledger.attempts_of(digest)
+            assert len(attempts) == 1, \
+                f"finished job {digest[:12]} was re-run"
+
+        # At least one job resumed from a checkpoint rather than
+        # starting over.
+        resumed_at = [
+            row["data"]["resumed_at"]
+            for digest in states
+            for row in ledger.telemetry_of(digest)
+            if row["kind"] == "attempt" and "resumed_at" in row["data"]
+        ]
+        assert any(offset >= CHECKPOINT_EVERY for offset in resumed_at)
+
+        # Checkpoints are cleaned up once their jobs complete.
+        assert os.listdir(os.path.join(root, "checkpoints")) == []
+
+        # The payoff: every artifact of every job matches the
+        # uninterrupted run byte for byte (artifact digests are
+        # sha256 of content, so digest equality is byte equality).
+        cid = ledger.campaigns()[0]["id"]
+        crashed = {digest: ledger.artifacts_of(digest)
+                   for digest, _role in ledger.campaign_roles(cid)}
+        # The eta=1e5 cell's verifier emitted its certificate.
+        assert any("certificate.json" in named
+                   for named in crashed.values())
+    assert crashed == reference
+
+
+@pytest.mark.slow
+def test_graceful_sigterm_releases_claims(tmp_path):
+    root = str(tmp_path / "store")
+    with Ledger(root) as ledger:
+        submit_campaign(ledger, _spec(), name="smoke")
+
+    serve = _serve(root)
+    try:
+        _wait_for_checkpoint(root)
+        serve.send_signal(signal.SIGTERM)
+        serve.wait(timeout=120)
+    finally:
+        if serve.poll() is None:
+            serve.kill()
+            serve.wait()
+
+    with Ledger(root) as ledger:
+        states = [row["state"] for row in ledger.jobs()]
+        # A graceful drain leaves no orphaned claims behind; the
+        # in-flight job goes back to pending with its checkpoint kept.
+        assert "running" not in states
+        assert "pending" in states
+
+    # And the drained store finishes cleanly on the next serve.
+    second = _serve(root)
+    _stdout, stderr = second.communicate(timeout=300)
+    assert second.returncode == 0, stderr.decode()
+    with Ledger(root) as ledger:
+        assert ledger.counts()["failed"] == 0
+        assert ledger.counts()["pending"] == 0

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line front-end."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_ranges, _parse_values, main
@@ -127,3 +129,98 @@ class TestVerify:
                    "--check-cert", str(cert)])
         assert rc == 1
         assert "REJECTED" in capsys.readouterr().out
+
+    def test_check_cert_missing_file(self, tmp_path, capsys):
+        rc = main(["verify", "--kernel", "sin", "--degree", "9",
+                   "--check-cert", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_check_cert_malformed_file(self, tmp_path, capsys):
+        cert = tmp_path / "garbage.json"
+        cert.write_text("{not a certificate")
+        rc = main(["verify", "--kernel", "sin", "--degree", "9",
+                   "--check-cert", str(cert)])
+        assert rc == 2
+        assert "malformed" in capsys.readouterr().out
+
+    def test_check_cert_truncated_document(self, tmp_path, capsys):
+        cert = tmp_path / "partial.json"
+        cert.write_text('{"version": 1}')  # valid JSON, not a cert
+        rc = main(["verify", "--kernel", "sin", "--degree", "9",
+                   "--check-cert", str(cert)])
+        assert rc == 2
+        assert "malformed" in capsys.readouterr().out
+
+
+class TestOptimizeExitCodes:
+    def test_zero_accepted_proposals_fails(self, kernel_file, capsys):
+        # Seed 0 rejects both of its two proposals; an optimize run that
+        # never accepted anything must not exit 0.
+        rc = main(["optimize", kernel_file, "--live-out", "xmm0",
+                   "--range", "xmm0=-10:10", "--proposals", "2",
+                   "--seed", "0"])
+        assert rc == 1
+        assert "zero proposals" in capsys.readouterr().out
+
+
+class TestService:
+    """submit/serve/status/artifacts happy path against a tmp store."""
+
+    def _submit(self, store, capsys):
+        rc = main(["submit", "--store", store, "--kernel", "dot",
+                   "--chains", "1", "--proposals", "300",
+                   "--testcases", "8", "--stages", "search,select",
+                   "--name", "cli-test", "--json"])
+        assert rc == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_full_cycle(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        doc = self._submit(store, capsys)
+        assert doc["new"] == 2 and doc["reused"] == 0
+        roles = {job["role"]: job["digest"] for job in doc["jobs"]}
+        assert sorted(roles) == ["dot/eta=0/search[0]", "dot/eta=0/select"]
+
+        rc = main(["serve", "--store", store, "--jobs", "1",
+                   "--quiet", "--json"])
+        assert rc == 0
+        counts = json.loads(capsys.readouterr().out)["counts"]
+        assert counts == {"pending": 0, "running": 0, "done": 2,
+                          "failed": 0}
+
+        rc = main(["status", "--store", store, "--json"])
+        assert rc == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["totals"]["done"] == 2
+        states = {job["role"]: job["state"]
+                  for job in status["campaigns"][0]["jobs"]}
+        assert set(states.values()) == {"done"}
+
+        # Resubmitting the identical campaign reuses every job.
+        assert self._submit(store, capsys)["reused"] == 2
+
+        # The select job's rewrite artifact is readable by digest prefix.
+        select = roles["dot/eta=0/select"]
+        rc = main(["artifacts", "--store", store, "--job", select[:12],
+                   "--name", "rewrite.s"])
+        assert rc == 0
+        assert capsys.readouterr().out.strip()
+
+        rc = main(["artifacts", "--store", store, "--job", select[:12],
+                   "--json"])
+        assert rc == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert "result.json" in listing["artifacts"]
+        assert "rewrite.s" in listing["artifacts"]
+
+    def test_artifacts_rejects_unknown_prefix(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._submit(store, capsys)
+        with pytest.raises(SystemExit):
+            main(["artifacts", "--store", store, "--job", "ffff"])
+
+    def test_submit_rejects_unknown_kernel(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["submit", "--store", str(tmp_path / "s"),
+                  "--kernel", "nosuch"])
