@@ -23,6 +23,7 @@ from typing import Dict, List, Tuple
 
 from repro.core import (
     CostConfig,
+    known_backends,
     SearchConfig,
     Stoke,
     StokeSpec,
@@ -79,7 +80,8 @@ def cmd_optimize(args) -> int:
     tests = uniform_testcases(random.Random(args.seed), args.testcases,
                               ranges)
     stoke = Stoke(target, tests, args.live_out,
-                  CostConfig(eta=args.eta, k=args.k))
+                  CostConfig(eta=args.eta, k=args.k),
+                  backend=args.backend)
     config = SearchConfig(proposals=args.proposals, seed=args.seed)
     restarts = run_restarts(stoke, config, chains=args.restarts,
                             jobs=args.jobs,
@@ -117,7 +119,8 @@ def cmd_validate(args) -> int:
     ranges = _parse_ranges(args.range)
     midpoints = {loc: (lo + hi) / 2 for loc, (lo, hi) in ranges.items()}
     validator = Validator(target, rewrite, args.live_out, ranges,
-                          lambda: TestCase.from_values(midpoints))
+                          lambda: TestCase.from_values(midpoints),
+                          backend=args.backend)
     result = validator.validate(ValidationConfig(
         eta=args.eta, max_proposals=args.proposals, seed=args.seed))
     print(f"max error: {result.max_err:.6g} ULPs "
@@ -298,7 +301,7 @@ def cmd_submit(args) -> int:
         kernels=kernels, chains=args.chains, proposals=args.proposals,
         testcases=args.testcases, seed=args.seed, stages=stages,
         validate_proposals=args.validate_proposals,
-        verify_budget=args.verify_budget)
+        verify_budget=args.verify_budget, backend=args.backend)
     with Ledger(args.store) as ledger:
         cid, counts = submit_campaign(ledger, spec, name=args.name,
                                       max_attempts=args.max_attempts)
@@ -450,6 +453,8 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--proposals", type=int, default=10_000)
     opt.add_argument("--testcases", type=int, default=32)
     opt.add_argument("--seed", type=int, default=0)
+    opt.add_argument("--backend", default="jit", choices=known_backends(),
+                     help="execution backend for the cost function")
     opt.add_argument("--restarts", type=_positive_int, default=1,
                      metavar="N",
                      help="independent chains with seeds seed, seed+1, ... "
@@ -469,6 +474,8 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("--eta", type=float, default=0.0)
     val.add_argument("--proposals", type=int, default=20_000)
     val.add_argument("--seed", type=int, default=0)
+    val.add_argument("--backend", default="jit", choices=known_backends(),
+                     help="execution backend for error evaluation")
     val.set_defaults(fn=cmd_validate)
 
     ver = sub.add_parser(
@@ -532,6 +539,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--validate-proposals", type=_positive_int,
                     default=2_000)
     sp.add_argument("--verify-budget", type=_positive_int, default=128)
+    sp.add_argument("--backend", default="jit", choices=known_backends(),
+                     help="execution backend for the campaign's "
+                          "search jobs")
     sp.add_argument("--max-attempts", type=_positive_int, default=3)
     sp.add_argument("--name", default="campaign")
     sp.add_argument("--json", action="store_true")

@@ -1,5 +1,11 @@
 """The stochastic superoptimizer: cost function, transforms, and search."""
 
+from repro.core.backends import (
+    Backend,
+    known_backends,
+    register_backend,
+    resolve_backend,
+)
 from repro.core.cost import CostConfig, CostFunction, CostResult
 from repro.core.mcmc import acceptance_probability, metropolis_accept
 from repro.core.perf import LatencyPerf, speedup
@@ -30,6 +36,10 @@ from repro.core.strategies import (
 from repro.core.transforms import OperandPool, Transforms, default_opcode_pool
 
 __all__ = [
+    "Backend",
+    "known_backends",
+    "register_backend",
+    "resolve_backend",
     "CostConfig",
     "CostFunction",
     "CostResult",

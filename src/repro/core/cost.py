@@ -393,6 +393,24 @@ class CostFunction:
             plan.run_suffix = run_suffix
             plan.run_segment = lambda state, base: compile_program(
                 Program(slots[base:boundary])).run(state).signal
+        elif self.runner._compiled:
+            # Vector (or any future compiled backend with cheap
+            # preparation): the prepared object exposes the same
+            # run_from/run_batch_from surface as the JIT, and
+            # vectorize_program is a memoized translation — no machine
+            # code is generated, so preparing the rewrite itself is
+            # fine here, unlike the JIT case above.  The flags-safe
+            # boundary keeps the resume sound: the suffix never reads
+            # flags left by the prefix, matching the backend's
+            # all-clear flag start.
+            prepared = self.runner._backend.prepare(rewrite)
+            plan.writes_at_b = program_writes(rewrite, 0, boundary)
+            plan.promise = union_writes(
+                plan.writes_at_b, program_writes(rewrite, boundary))
+            plan.run_suffix = lambda states: prepared.run_batch_from(
+                boundary, states)
+            plan.run_segment = lambda state, base: prepared.run_from(
+                base, state, boundary).signal
         else:
             emulator = self.runner._emulator
             plan.writes_at_b = program_writes(rewrite, 0, boundary)

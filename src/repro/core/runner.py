@@ -1,8 +1,10 @@
 """Shared program-execution plumbing for cost functions and validation.
 
 A :class:`Runner` binds the live-out locations and a backend choice
-(``"jit"`` or ``"emulator"``) and turns (program, test case) pairs into
-output bit patterns or a signal.
+(any name in :func:`repro.core.backends.known_backends`) and turns
+(program, test case) pairs into output bit patterns or a signal.
+Compiled backends (jit, vector) execute through the prepared object and
+its ``writes`` promise; interpreted ones go through the Emulator.
 """
 
 from __future__ import annotations
@@ -10,11 +12,12 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.x86.emulator import Emulator
-from repro.x86.jit import compile_program
 from repro.x86.locations import Loc, MemLoc, make_reader, parse_loc
 from repro.x86.program import Program
 from repro.x86.signals import Signal
 from repro.x86.testcase import TestCase
+
+from repro.core.backends import resolve_backend
 
 Location = Union[Loc, MemLoc]
 
@@ -32,11 +35,21 @@ class Runner:
 
     def __init__(self, live_outs: Iterable[Union[str, Location]],
                  backend: str = "jit"):
-        if backend not in ("jit", "emulator"):
-            raise ValueError(f"unknown backend: {backend!r}")
+        self._backend = resolve_backend(backend)
         self.live_outs = resolve_locations(live_outs)
-        self.backend = backend
-        self._emulator = Emulator() if backend == "emulator" else None
+        self.backend = self._backend.name
+        self._compiled = self._backend.compiled
+        self._emulator = None if self._compiled else Emulator()
+        # Vector fast path: live-outs are read straight from the lane
+        # arrays (one C-level row conversion per location instead of one
+        # reader call per test), and the batch executes from cached
+        # pristine pack images rather than pooled scalar states.
+        if self.backend == "vector":
+            from repro.x86.vector import make_column_readers
+            self._column_readers = make_column_readers(self.live_outs)
+        else:
+            self._column_readers = None
+        self._pack_cache = None
         # Precompiled per-location readers: location resolution happens
         # here, once, instead of on every execution's read-back.
         self._readers = tuple(make_reader(loc) for loc in self.live_outs)
@@ -48,9 +61,7 @@ class Runner:
 
     def prepare(self, program: Program):
         """Pre-process a program for repeated execution."""
-        if self.backend == "jit":
-            return compile_program(program)
-        return program
+        return self._backend.prepare(program)
 
     def read_values(self, state) -> Tuple[int, ...]:
         """Live-out bit patterns of a state, in ``live_outs`` order."""
@@ -59,7 +70,7 @@ class Runner:
     def run(self, prepared, test: TestCase
             ) -> Tuple[Optional[Dict[Location, int]], Optional[Signal]]:
         """Execute and return ({location: bits}, None) or (None, signal)."""
-        if self.backend == "jit":
+        if self._compiled:
             state = test.pooled_state(prepared.writes)
             outcome = prepared.run(state)
         else:
@@ -76,7 +87,7 @@ class Runner:
         This is the hot-path variant: no dict is built, and the test
         case's pooled state is reused in place.
         """
-        if self.backend == "jit":
+        if self._compiled:
             state = test.pooled_state(prepared.writes)
             outcome = prepared.run(state)
         else:
@@ -94,13 +105,16 @@ class Runner:
                                   Optional[Signal]]]:
         """Execute on every test and read back live-outs, batched.
 
-        On the JIT backend the whole test set executes inside one
-        compiled-function call; the emulator keeps per-test dispatch but
-        shares the pooled-state reuse.  Returns one ``(values, signal)``
+        On compiled backends the whole test set executes inside one
+        prepared-program call (one generated function for the JIT, one
+        vectorized pass for the vector backend); the emulator keeps
+        per-test dispatch but shares the pooled-state reuse.  Returns one ``(values, signal)``
         pair per test, where ``values`` is a live-out bits tuple (None
         when the execution signalled).
         """
-        writes = prepared.writes if self.backend == "jit" else None
+        if self._column_readers is not None:
+            return self._run_batch_columns(prepared, tests)
+        writes = prepared.writes if self._compiled else None
         states = []
         seen = set()
         for test in tests:
@@ -113,7 +127,7 @@ class Runner:
             else:
                 seen.add(ident)
                 states.append(test.pooled_state(writes))
-        if self.backend == "jit":
+        if self._compiled:
             signals = prepared.run_batch(states)
         else:
             signals = self._emulator.run_batch(prepared, states)
@@ -126,6 +140,91 @@ class Runner:
         return [(None, signal) if signal is not None
                 else (tuple(read(state) for read in readers), None)
                 for state, signal in zip(states, signals)]
+
+    def _run_batch_columns(self, prepared, tests: Sequence[TestCase]
+                           ) -> List[Tuple[Optional[Tuple[int, ...]],
+                                           Optional[Signal]]]:
+        """Vector-backend batch: execute in lane arrays, read live-outs
+        at array level, never write register state back.
+
+        Programs that cannot store to memory run on the tests' shared
+        pristine templates — no pooled-state restore at all, and the
+        full-register pack image is cached across batches (the search
+        evaluates thousands of proposals against one fixed test set).
+        Memory-writing programs mutate per-lane sandbox segments in
+        place, so they take each test's pooled state with a
+        registers-clean promise; the register files still never leave
+        the lane arrays.
+        """
+        if prepared.writes[3]:
+            promise = ((), (), (), True)
+            states = []
+            seen = set()
+            for test in tests:
+                ident = id(test)
+                if ident in seen:
+                    states.append(test.build_state())
+                else:
+                    seen.add(ident)
+                    states.append(test.pooled_state(promise))
+            packed = None
+        else:
+            states, packed = self._packed_templates(tests)
+        signals, ctx = prepared.run_batch_columns(states, packed)
+        if ctx is None:
+            return []
+        readers = self._column_readers
+        if len(readers) == 1:
+            column = readers[0](ctx, states)
+            return [(None, signal) if signal is not None
+                    else ((column[j],), None)
+                    for j, signal in enumerate(signals)]
+        columns = [read(ctx, states) for read in readers]
+        return [(None, signal) if signal is not None
+                else (tuple(column[j] for column in columns), None)
+                for j, signal in enumerate(signals)]
+
+    def _packed_templates(self, tests: Sequence[TestCase]):
+        """(template states, owned pack image) for a test sequence.
+
+        The cache maps test-object identity to a column in a growing
+        full-register pack built from each test's pristine template;
+        a batch's image is then one C-level ``np.take`` gather per
+        array, however the cost function slices or reorders its test
+        list.  The cache holds strong references to its tests, so the
+        ids stay valid as long as their columns do.  Duplicated test
+        objects are harmless here — templates are read-only to the
+        vector path.
+        """
+        import numpy as np
+
+        from repro.x86.vector import pack_states
+        cache = self._pack_cache
+        if cache is None or len(cache["tests"]) > 8192:
+            cache = self._pack_cache = {
+                "index": {}, "tests": [], "templates": [],
+                "gp": None, "xl": None, "xh": None,
+            }
+        index = cache["index"]
+        missing = [test for test in tests if id(test) not in index]
+        if missing:
+            fresh = [test.template_state() for test in missing]
+            gp, xl, xh = pack_states(fresh)
+            base = len(cache["tests"])
+            for offset, test in enumerate(missing):
+                index[id(test)] = base + offset
+            cache["tests"].extend(missing)
+            cache["templates"].extend(fresh)
+            for key, cols in (("gp", gp), ("xl", xl), ("xh", xh)):
+                held = cache[key]
+                cache[key] = cols if held is None else \
+                    np.concatenate((held, cols), axis=1)
+        columns = [index[id(test)] for test in tests]
+        templates = cache["templates"]
+        states = [templates[col] for col in columns]
+        packed = tuple(np.take(cache[key], columns, axis=1)
+                       for key in ("gp", "xl", "xh"))
+        return states, packed
 
     def values_of(self, state) -> Tuple[int, ...]:
         """Live-out bits of an already-executed state (hot-path variant
@@ -141,7 +240,7 @@ class Runner:
         state; returns the signal (None = clean).  The incremental
         evaluator uses this for checkpoint capture segments and
         single-test suffix runs."""
-        if self.backend == "jit":
+        if self._compiled:
             outcome = prepared.run_from(start, state, stop)
         else:
             outcome = self._emulator.run_from(prepared, state, start, stop)
@@ -151,7 +250,7 @@ class Runner:
                            ) -> List[Optional[Signal]]:
         """Batched :meth:`execute_from` over explicit states (each must
         already hold its test's checkpoint at ``start``)."""
-        if self.backend == "jit":
+        if self._compiled:
             return prepared.run_batch_from(start, states)
         return self._emulator.run_batch_from(prepared, states, start)
 

@@ -21,6 +21,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.core.backends import resolve_backend
 from repro.core.serialize import canonical_json
 
 JOB_KINDS = ("search", "select", "validate", "verify")
@@ -92,6 +93,10 @@ def verify_environment(name: str):
 def search_payload(kernel: str, eta: float, seed: int, proposals: int,
                    testcases: int, tests_seed: int, k: float = 1.0,
                    backend: str = "jit") -> Dict:
+    # Validate here, at enqueue time: a typo'd backend should fail the
+    # submission with the registry's known-backends error, not surface
+    # as a retried worker crash hours later.
+    resolve_backend(backend)
     return {
         "kernel": kernel,
         "eta": float(eta),

@@ -134,6 +134,15 @@ class Ledger:
         os.makedirs(os.path.join(self.root, "artifacts"), exist_ok=True)
         os.makedirs(os.path.join(self.root, "checkpoints"), exist_ok=True)
         self.db_path = os.path.join(self.root, "ledger.sqlite3")
+        # Retry backoff deadlines on the monotonic clock, by job digest.
+        # The epoch ``not_before`` column is kept for display, ledger
+        # records, and the cross-restart fallback — but elapsed-time
+        # decisions ("has the backoff passed?") use these, so a wall
+        # clock step (NTP, suspend/resume) can neither stall a retry
+        # indefinitely nor fire it early.  In-memory is correct here:
+        # the ledger is single-writer, and after a restart the epoch
+        # fallback is the best available information anyway.
+        self._backoff: Dict[str, float] = {}
         self._conn = sqlite3.connect(self.db_path, timeout=30.0,
                                      isolation_level=None)
         self._conn.row_factory = sqlite3.Row
@@ -242,20 +251,39 @@ class Ledger:
 
         Runnable: ``pending``, past its backoff time, with every
         dependency ``done``.  An attempt row is opened per claim.
+
+        Backoff gating: jobs whose retry this process scheduled are
+        gated by their monotonic deadline (immune to wall-clock steps);
+        jobs inherited from a previous process fall back to the epoch
+        ``not_before`` stamp.  Passing ``now`` explicitly selects pure
+        epoch comparison — the simulated-time mode the scheduler tests
+        use.
         """
         if limit <= 0:
             return []
+        epoch_only = now is not None
         now = time.time() if now is None else now
         claimed: List[Dict] = []
         with self._tx() as conn:
             rows = conn.execute(
-                "SELECT * FROM jobs WHERE state='pending' AND not_before<=? "
+                "SELECT * FROM jobs WHERE state='pending' "
                 "AND NOT EXISTS (SELECT 1 FROM job_deps JOIN jobs AS d ON "
                 "d.digest = job_deps.dep WHERE job_deps.job = jobs.digest "
                 "AND d.state != 'done') "
-                "ORDER BY created_at, digest LIMIT ?",
-                (now, limit)).fetchall()
+                "ORDER BY created_at, digest").fetchall()
+            ready = []
             for row in rows:
+                deadline = self._backoff.get(row["digest"])
+                if not epoch_only and deadline is not None:
+                    if time.monotonic() < deadline:
+                        continue
+                elif row["not_before"] > now:
+                    continue
+                ready.append(row)
+                if len(ready) >= limit:
+                    break
+            for row in ready:
+                self._backoff.pop(row["digest"], None)
                 conn.execute(
                     "UPDATE jobs SET state='running', attempts=attempts+1, "
                     "updated_at=? WHERE digest=?", (now, row["digest"]))
@@ -278,6 +306,7 @@ class Ledger:
             (now, outcome, error, digest))
 
     def finish(self, digest: str) -> None:
+        self._backoff.pop(digest, None)
         now = time.time()
         with self._tx() as conn:
             conn.execute(
@@ -301,7 +330,13 @@ class Ledger:
             retry = (retry_in is not None
                      and row["attempts"] < row["max_attempts"])
             state = "pending" if retry else "failed"
+            # Epoch stamp for display/ledger; the claim-time decision
+            # uses the monotonic deadline recorded alongside it.
             not_before = now + retry_in if retry else 0
+            if retry:
+                self._backoff[digest] = time.monotonic() + retry_in
+            else:
+                self._backoff.pop(digest, None)
             conn.execute(
                 "UPDATE jobs SET state=?, error=?, not_before=?, "
                 "updated_at=? WHERE digest=?",
@@ -329,6 +364,7 @@ class Ledger:
     def release(self, digest: str, note: str = "interrupted") -> None:
         """Return one ``running`` job to ``pending`` (attempt closed as
         interrupted, attempt count refunded); its checkpoint survives."""
+        self._backoff.pop(digest, None)
         now = time.time()
         with self._tx() as conn:
             conn.execute(

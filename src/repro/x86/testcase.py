@@ -59,8 +59,14 @@ class TestCase:
             inputs[loc] = encode_for(loc, value)
         return cls(inputs, segments)
 
-    def build_state(self) -> MachineState:
-        """A fresh machine state initialized from this test case."""
+    def template_state(self) -> MachineState:
+        """The cached pristine template state for this test case.
+
+        Shared and never reset: callers must treat it as read-only (the
+        vector backend packs its lane arrays straight from templates and
+        leaves them untouched).  Anything that executes a program needs
+        :meth:`build_state` or :meth:`pooled_state` instead.
+        """
         if self._template is None:
             mem = Memory(seg.copy() if seg.writable else seg
                          for seg in self.segments)
@@ -68,7 +74,11 @@ class TestCase:
             for loc, bits in self.inputs.items():
                 loc.write(state, bits)
             self._template = state
-        return self._template.copy()
+        return self._template
+
+    def build_state(self) -> MachineState:
+        """A fresh machine state initialized from this test case."""
+        return self.template_state().copy()
 
     def pooled_state(self, writes: Optional[tuple] = None) -> MachineState:
         """This test's reusable machine state, reset in place.

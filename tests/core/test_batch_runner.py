@@ -20,7 +20,7 @@ from repro.kernels.libimf import LIBIMF_KERNELS
 
 from tests.conftest import base_testcase, random_program
 
-BACKENDS = ("jit", "emulator")
+BACKENDS = ("jit", "emulator", "vector")
 
 
 def reference_results(runner, program, tests):
@@ -34,10 +34,10 @@ def reference_results(runner, program, tests):
     results = []
     for tc in tests:
         state = tc.build_state()
-        if runner.backend == "jit":
-            outcome = prepared.run(state)
-        else:
+        if runner.backend == "emulator":
             outcome = runner._emulator.run(prepared, state)
+        else:
+            outcome = prepared.run(state)
         if outcome.ok:
             results.append((runner.read_values(state), None))
         else:
@@ -247,3 +247,103 @@ def test_make_reader_matches_loc_read():
         ["xmm0", "xmm1:hd", "rax", "ecx", MemLoc("scratch", 8, "f64")])
     for loc in locs:
         assert make_reader(loc)(state) == loc.read(state)
+
+
+# ---------------------------------------------------------------------------
+# Special-value differential fuzz: adversarial IEEE-754 bit patterns
+# driven through all three backends.  Any divergence found by widening
+# these pools gets pinned here as a regression.
+
+_SPECIAL_F64 = (
+    0x7FF8000000000000,  # canonical quiet NaN
+    0xFFF8000000000001,  # negative quiet NaN, nonzero payload
+    0x7FF0000000000001,  # signalling NaN, minimal payload
+    0x7FF4DEADBEEF0001,  # signalling NaN, arbitrary payload
+    0x0000000000000000,  # +0.0
+    0x8000000000000000,  # -0.0
+    0x0000000000000001,  # smallest positive denormal
+    0x800FFFFFFFFFFFFF,  # largest-magnitude negative denormal
+    0x7FF0000000000000,  # +inf
+    0xFFF0000000000000,  # -inf
+    0x7FEFFFFFFFFFFFFF,  # largest finite double
+    0xBFF0000000000000,  # -1.0
+)
+
+_SPECIAL_F32 = (
+    0x7FC00000,  # canonical quiet NaN
+    0xFFC00001,  # negative quiet NaN, nonzero payload
+    0x7F800001,  # signalling NaN
+    0x00000000,  # +0.0
+    0x80000000,  # -0.0
+    0x00000001,  # smallest positive denormal
+    0x7F800000,  # +inf
+    0xFF800000,  # -inf
+)
+
+
+def _assert_backends_agree(program, live_outs, tests):
+    """run_batch of every backend must agree bit-for-bit (values and
+    signals); jit is the reference."""
+    reference = None
+    for backend in BACKENDS:
+        runner = Runner(live_outs, backend=backend)
+        results = runner.run_batch(runner.prepare(program), tests)
+        if reference is None:
+            reference = results
+        else:
+            assert results == reference, f"{backend} diverges from jit"
+
+
+@pytest.mark.parametrize("kernel", sorted(LIBIMF_KERNELS))
+def test_special_value_fuzz_on_kernels(kernel):
+    # NaN payloads (quiet and signalling), signed zeros, denormals and
+    # infinities pushed straight through each kernel's argument register.
+    spec = LIBIMF_KERNELS[kernel]()
+    base = spec.testcases(random.Random(19), 1)[0]
+    tests = [base.replace("xmm0", bits) for bits in _SPECIAL_F64]
+    _assert_backends_agree(spec.program, spec.live_outs, tests)
+
+
+def test_special_value_fuzz_on_delta():
+    # The AEK delta kernel: packed-single arithmetic and memory-resident
+    # camera constants (the vector backend's per-lane fallback path).
+    from repro.kernels.aek.vector import delta_kernel
+
+    spec = delta_kernel()
+    base = spec.testcases(random.Random(23), 1)[0]
+    tests = [base.replace("xmm0:s0", bits) for bits in _SPECIAL_F32]
+    tests += [base.replace("xmm1:s0", bits) for bits in _SPECIAL_F32]
+    _assert_backends_agree(spec.program, spec.live_outs, tests)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_special_value_fuzz_on_random_programs(seed):
+    # Random programs over the full opcode surface with special values
+    # planted in every input register the pools draw from.
+    program = random_program(1000 + seed, 10)
+    tests = []
+    for i, bits in enumerate(_SPECIAL_F64):
+        tc = base_testcase(seed * 37 + i)
+        tc = tc.replace("xmm0", bits)
+        tc = tc.replace("xmm1", _SPECIAL_F64[-1 - i])
+        tc = tc.replace("xmm2", _SPECIAL_F64[(i + 3) % len(_SPECIAL_F64)])
+        tests.append(tc)
+    _assert_backends_agree(program, ["xmm0", "xmm1", "rax"], tests)
+
+
+def test_vector_backend_faulting_lane_is_frozen():
+    # A lane that signals mid-program must freeze: its later
+    # instructions (including memory stores) must not execute, and the
+    # surviving lanes' results must be unaffected.
+    program = assemble("""
+        movsd (rax), xmm0
+        movsd xmm1, (rbx)
+    """)
+    good = [base_testcase(i).replace("rax", 0x4000) for i in range(3)]
+    bad = base_testcase(4).replace("rax", 0xDEAD0000)
+    tests = [good[0], bad, good[1], good[2]]
+    runner = Runner([MemLoc("scratch", 0, "f64")], backend="vector")
+    expected = reference_results(runner, program, tests)
+    assert expected[1] == (None, Signal.SIGSEGV)
+    prepared = runner.prepare(program)
+    assert runner.run_batch(prepared, tests) == expected

@@ -27,7 +27,7 @@ from repro.core.transforms import Transforms
 
 from tests.conftest import base_testcase, random_program
 
-BACKENDS = ("jit", "emulator")
+BACKENDS = ("jit", "emulator", "vector")
 
 # A 12-instruction kernel with register arithmetic, a flags-producing
 # compare + conditional move, and stores/loads through the scratch
@@ -135,22 +135,22 @@ class TestSuffixEntryPoints:
         prepared = runner.prepare(program)
         for tc in kernel_tests(3, seed=40 + seed):
             full = tc.build_state()
-            if backend == "jit":
-                out_full = prepared.run(full)
-            else:
+            if backend == "emulator":
                 out_full = runner._emulator.run(program, full)
+            else:
+                out_full = prepared.run(full)
             for boundary in range(1, 12):
                 if flags[boundary]:
                     continue  # not a resumable split point
                 state = tc.build_state()
-                if backend == "jit":
-                    head = prepared.run_from(0, state, stop=boundary)
-                    tail = (prepared.run_from(boundary, state)
-                            if head.ok else head)
-                else:
+                if backend == "emulator":
                     emulator = runner._emulator
                     head = emulator.run_from(program, state, 0, boundary)
                     tail = (emulator.run_from(program, state, boundary)
+                            if head.ok else head)
+                else:
+                    head = prepared.run_from(0, state, stop=boundary)
+                    tail = (prepared.run_from(boundary, state)
                             if head.ok else head)
                 if not out_full.ok:
                     # Straight-line code: a fault in either piece must
@@ -463,3 +463,91 @@ class TestSearchEquivalence:
             assert key in tele["incremental"]
         assert set(tele["dce_cache"]) == {"hits", "misses"}
         assert set(tele["test_ordering"]) == {"moves", "skips"}
+
+
+class TestVectorCheckpointComposition:
+    """Checkpoint-slice composition on the vector backend: resuming a
+    vectorized batch from a prefix boundary must equal full vector
+    execution and equal both scalar backends, bit for bit."""
+
+    def _full_reference(self, backend, program, tests):
+        runner = Runner(LIVE_OUTS, backend=backend)
+        return runner.run_batch(runner.prepare(program), tests)
+
+    def test_vector_resume_equals_full_across_backends(self):
+        from repro.x86.vector import vectorize_program
+
+        tests = kernel_tests(8, seed=61)
+        refs = [self._full_reference(b, KERNEL, tests)
+                for b in ("jit", "emulator", "vector")]
+        assert refs[0] == refs[1] == refs[2]
+        runner = Runner(LIVE_OUTS, backend="vector")
+        vp = vectorize_program(KERNEL)
+        flags = flags_live_in(KERNEL)
+        for boundary in range(1, 12):
+            if flags[boundary]:
+                continue
+            states = [tc.build_state() for tc in tests]
+            for state in states:
+                assert vp.run_from(0, state, stop=boundary).ok
+            signals = vp.run_batch_from(boundary, states)
+            got = [(None, sig) if sig is not None
+                   else (runner.values_of(state), None)
+                   for state, sig in zip(states, signals)]
+            assert got == refs[0], f"boundary {boundary}"
+
+    def test_vector_resume_with_mid_program_faulting_lane(self):
+        from repro.x86.signals import Signal
+        from repro.x86.vector import vectorize_program
+
+        # Slot 6 (inside the suffix for boundary 4) loads through rax;
+        # one lane carries a wild pointer and must fault there, after
+        # the resume point, while the other lanes complete.
+        lines = ["addsd xmm0, xmm0"] * 12
+        lines[6] = "movsd (rax), xmm3"
+        program = assemble("\n".join(lines))
+        good = [base_testcase(i).replace("rax", 0x4000) for i in range(3)]
+        bad = base_testcase(7).replace("rax", 0xDEAD0000)
+        tests = [good[0], bad, good[1], good[2]]
+        refs = [self._full_reference(b, program, tests)
+                for b in ("jit", "emulator", "vector")]
+        assert refs[0] == refs[1] == refs[2]
+        assert refs[0][1] == (None, Signal.SIGSEGV)
+        runner = Runner(LIVE_OUTS, backend="vector")
+        vp = vectorize_program(program)
+        boundary = resume_boundary(program, 5)
+        assert 0 < boundary <= 6
+        states = [tc.build_state() for tc in tests]
+        for state in states:
+            assert vp.run_from(0, state, stop=boundary).ok
+        signals = vp.run_batch_from(boundary, states)
+        got = [(None, sig) if sig is not None
+               else (runner.values_of(state), None)
+               for state, sig in zip(states, signals)]
+        assert got == refs[0]
+
+    def test_vector_incremental_cost_matches_scalar_backends(self):
+        # The full incremental path (checkpoint capture, suffix resume,
+        # promise-scoped pooled restore) through CostFunction must give
+        # identical CostResults on all three backends.
+        tests = kernel_tests(8, seed=67)
+        transforms = Transforms(KERNEL)
+        rng = random.Random(67)
+        proposals = []
+        current = KERNEL
+        while len(proposals) < 40:
+            proposal, _move, span = transforms.propose(rng, current)
+            if proposal is not None:
+                proposals.append((proposal, span))
+        per_backend = []
+        for backend in ("jit", "emulator", "vector"):
+            clear_checkpoint_store()
+            inc, ref = make_pair(KERNEL, tests, backend=backend)
+            costs = []
+            for proposal, span in proposals:
+                got = inc.cost(proposal, edit_index=span)
+                assert got == ref.cost(proposal)
+                costs.append(got)
+            assert inc.incremental_hits > 0
+            per_backend.append(costs)
+        assert per_backend[0] == per_backend[1] == per_backend[2]

@@ -199,3 +199,58 @@ class TestTelemetry:
         assert len(rows) == 1
         assert rows[0]["kind"] == "attempt"
         assert rows[0]["data"] == {"elapsed": 1.5}
+
+
+class TestMonotonicBackoff:
+    """Retry backoff decisions ride the monotonic clock; the epoch
+    ``not_before`` column is display/ledger data and the cross-restart
+    fallback only."""
+
+    def test_backoff_immune_to_wall_clock_step(self, ledger):
+        spec = _job(1)
+        ledger.add_job(spec, max_attempts=3)
+        ledger.claim_ready(1)
+        assert ledger.fail(spec.digest, "boom", retry_in=0.0) == "pending"
+        # Simulate a forward wall-clock step during the backoff: the
+        # epoch stamp now claims the retry is an hour away.  The
+        # monotonic deadline (already passed) must win.
+        with ledger._tx() as conn:
+            import time
+            conn.execute("UPDATE jobs SET not_before=? WHERE digest=?",
+                         (time.time() + 3600.0, spec.digest))
+        claimed = ledger.claim_ready(1)
+        assert [j["digest"] for j in claimed] == [spec.digest]
+
+    def test_backoff_holds_even_if_wall_clock_steps_back(self, ledger):
+        spec = _job(1)
+        ledger.add_job(spec, max_attempts=3)
+        ledger.claim_ready(1)
+        ledger.fail(spec.digest, "boom", retry_in=3600.0)
+        # A backward wall-clock step cannot fire the retry early: zero
+        # out the epoch stamp; the monotonic deadline still gates.
+        with ledger._tx() as conn:
+            conn.execute("UPDATE jobs SET not_before=0 WHERE digest=?",
+                         (spec.digest,))
+        assert ledger.claim_ready(1) == []
+
+    def test_restart_falls_back_to_epoch_stamp(self, ledger):
+        spec = _job(1)
+        ledger.add_job(spec, max_attempts=3)
+        ledger.claim_ready(1)
+        ledger.fail(spec.digest, "boom", retry_in=3600.0)
+        # A restarted scheduler has no monotonic deadlines; the epoch
+        # stamp (the best surviving information) gates the claim.
+        ledger._backoff.clear()
+        assert ledger.claim_ready(1) == []
+        row = ledger.job(spec.digest)
+        assert ledger.claim_ready(1, now=row["not_before"] + 1) != []
+
+    def test_explicit_now_is_pure_epoch_mode(self, ledger):
+        spec = _job(1)
+        ledger.add_job(spec, max_attempts=3)
+        ledger.claim_ready(1)
+        ledger.fail(spec.digest, "boom", retry_in=3600.0)
+        row = ledger.job(spec.digest)
+        # Simulated time bypasses the monotonic gate entirely (the
+        # scheduler tests drive claim_ready with synthetic clocks).
+        assert ledger.claim_ready(1, now=row["not_before"] + 1) != []
