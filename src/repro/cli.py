@@ -283,10 +283,16 @@ def _resolve_job_prefix(ledger, prefix: str) -> str:
     return matches[0]
 
 
+def _store_or_url(args) -> None:
+    if (args.store is None) == (args.url is None):
+        raise SystemExit("exactly one of --store and --url is required")
+
+
 def cmd_submit(args) -> int:
-    from repro.service import Ledger, resolve_kernel
+    from repro.service import resolve_kernel
     from repro.service.campaign import CampaignSpec, submit_campaign
 
+    _store_or_url(args)
     for name in args.kernel:
         try:
             resolve_kernel(name)
@@ -302,11 +308,22 @@ def cmd_submit(args) -> int:
         testcases=args.testcases, seed=args.seed, stages=stages,
         validate_proposals=args.validate_proposals,
         verify_budget=args.verify_budget, backend=args.backend)
-    with Ledger(args.store) as ledger:
-        cid, counts = submit_campaign(ledger, spec, name=args.name,
-                                      max_attempts=args.max_attempts)
-        jobs = [{"digest": digest, "role": role}
-                for digest, role in ledger.campaign_roles(cid)]
+    if args.url:
+        from repro.service.api import ServiceClient
+
+        out = ServiceClient(args.url).submit_campaign(
+            spec, name=args.name, max_attempts=args.max_attempts)
+        cid, jobs = out["campaign"], out["jobs"]
+        counts = {"jobs": len(jobs), "new": out["new"],
+                  "reused": out["reused"]}
+    else:
+        from repro.service import Ledger
+
+        with Ledger(args.store) as ledger:
+            cid, counts = submit_campaign(ledger, spec, name=args.name,
+                                          max_attempts=args.max_attempts)
+            jobs = [{"digest": digest, "role": role}
+                    for digest, role in ledger.campaign_roles(cid)]
     if args.json:
         _json_out({"campaign": cid, "name": args.name, **counts,
                    "jobs": jobs})
@@ -322,22 +339,46 @@ def cmd_serve(args) -> int:
     from repro.service import Ledger, Scheduler
 
     def narrate(digest, event, info):
-        if args.json:
+        if args.json or args.quiet:
             return
         label = digest[:12] if digest else "-"
         detail = " ".join(f"{k}={v}" for k, v in sorted(info.items()))
         print(f"[{event}] {label} {detail}".rstrip(), flush=True)
 
-    with Ledger(args.store) as ledger:
-        scheduler = Scheduler(
-            ledger, jobs=args.jobs,
-            checkpoint_every=args.checkpoint_every,
-            checkpoint_rounds=args.checkpoint_rounds,
-            retry_base=args.retry_base,
-            task_timeout=args.task_timeout,
-            on_event=None if args.quiet else narrate)
-        counts = scheduler.run(until_idle=not args.wait,
-                               poll_interval=args.poll_interval)
+    server = None
+    on_event = None if args.quiet else narrate
+    if args.http is not None:
+        from repro.service.api import ApiServer
+
+        server = ApiServer(args.store, host=args.host,
+                           port=args.http).start()
+        if not args.json:
+            print(f"serving HTTP on {server.url}", flush=True)
+
+        def on_event(digest, event, info):  # noqa: F811 - http variant
+            server.bus.publish({"digest": digest, "event": event,
+                                "info": info})
+            narrate(digest, event, info)
+
+    try:
+        with Ledger(args.store) as ledger:
+            scheduler = Scheduler(
+                ledger, jobs=args.jobs,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_rounds=args.checkpoint_rounds,
+                retry_base=args.retry_base,
+                task_timeout=args.task_timeout,
+                lease=args.lease,
+                dispatch=args.dispatch != "none",
+                on_event=on_event)
+            # An HTTP server exists to accept future submissions; idle
+            # is not exit unless the operator said otherwise.
+            until_idle = not args.wait and args.http is None
+            counts = scheduler.run(until_idle=until_idle,
+                                   poll_interval=args.poll_interval)
+    finally:
+        if server is not None:
+            server.stop()
     if args.json:
         _json_out({"counts": counts})
     else:
@@ -346,9 +387,74 @@ def cmd_serve(args) -> int:
     return 0 if counts["failed"] == 0 else 1
 
 
+def cmd_agent(args) -> int:
+    from repro.service.agent import run_agent
+
+    _store_or_url(args)
+
+    def narrate(digest, event, info):
+        if args.json:
+            return
+        label = digest[:12] if digest else "-"
+        detail = " ".join(f"{k}={v}" for k, v in sorted(info.items()))
+        print(f"[{event}] {label} {detail}".rstrip(), flush=True)
+
+    counts = run_agent(
+        url=args.url, store=args.store, workdir=args.workdir,
+        jobs=args.jobs, lease=args.lease,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_rounds=args.checkpoint_rounds,
+        retry_base=args.retry_base, task_timeout=args.task_timeout,
+        on_event=None if args.quiet else narrate,
+        until_idle=not args.wait, poll_interval=args.poll_interval)
+    if args.json:
+        _json_out({"counts": counts})
+    else:
+        print(f"agent done: {counts['done']} done, "
+              f"{counts['failed']} failed, {counts['pending']} pending, "
+              f"{counts['running']} running")
+    return 0 if counts["failed"] == 0 else 1
+
+
+def _status_remote(args) -> int:
+    from repro.service.api import ServiceClient
+
+    client = ServiceClient(args.url)
+    doc = client.status()
+    campaigns = []
+    for row in doc["campaigns"]:
+        if args.campaign and row["campaign"] != args.campaign:
+            continue
+        detail = client.campaign(row["campaign"])
+        campaigns.append({"campaign": row["campaign"],
+                          "name": row["name"],
+                          "counts": detail["counts"],
+                          "jobs": detail["jobs"]})
+    totals = doc["totals"]
+    if args.json:
+        _json_out({"totals": totals, "campaigns": campaigns})
+        return 0
+    print(f"jobs: {totals['done']} done, {totals['failed']} failed, "
+          f"{totals['pending']} pending, {totals['running']} running")
+    for campaign in campaigns:
+        counts = campaign["counts"]
+        print(f"campaign {campaign['campaign']} ({campaign['name']}): "
+              f"{counts['done']}/{sum(counts.values())} done")
+        for job in campaign["jobs"]:
+            line = (f"  {job['digest'][:12]}  {job['state']:<8} "
+                    f"{job['role']}")
+            if job["error"]:
+                line += f"  [{job['error']}]"
+            print(line)
+    return 0
+
+
 def cmd_status(args) -> int:
     from repro.service import Ledger
 
+    _store_or_url(args)
+    if args.url:
+        return _status_remote(args)
     with Ledger(args.store) as ledger:
         campaigns = []
         for row in ledger.campaigns():
@@ -380,11 +486,44 @@ def cmd_status(args) -> int:
     return 0
 
 
+def _artifacts_remote(args) -> int:
+    import os
+
+    from repro.service.api import ServiceClient
+
+    client = ServiceClient(args.url)
+    doc = client.job(args.job)
+    digest, named = doc["digest"], doc["artifacts"]
+    if args.name:
+        if args.name not in named:
+            raise SystemExit(
+                f"job {digest[:12]} has no artifact {args.name!r} "
+                f"(has: {', '.join(sorted(named)) or 'none'})")
+        sys.stdout.write(
+            client.artifact(digest, args.name).decode("utf-8"))
+        return 0
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for name in named:
+            with open(os.path.join(args.out, name), "wb") as fh:
+                fh.write(client.artifact(digest, name))
+    if args.json:
+        _json_out({"job": digest, "artifacts": named})
+    else:
+        print(f"job {digest}")
+        for name, content_digest in named.items():
+            print(f"  {content_digest[:12]}  {name}")
+    return 0
+
+
 def cmd_artifacts(args) -> int:
     import os
 
     from repro.service import Ledger
 
+    _store_or_url(args)
+    if args.url:
+        return _artifacts_remote(args)
     with Ledger(args.store) as ledger:
         digest = _resolve_job_prefix(ledger, args.job)
         named = ledger.artifacts_of(digest)
@@ -521,8 +660,11 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser(
         "submit",
         help="record an optimization campaign in a service store")
-    sp.add_argument("--store", required=True, metavar="DIR",
+    sp.add_argument("--store", default=None, metavar="DIR",
                     help="service store directory (created if missing)")
+    sp.add_argument("--url", default=None, metavar="URL",
+                    help="submit over HTTP to a `repro serve --http` "
+                         "service instead of a local store")
     sp.add_argument("--kernel", action="append", required=True,
                     metavar="NAME",
                     help="built-in kernel (repeatable); each kernel is "
@@ -568,6 +710,19 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="SEC", help="per-job deadline")
     sv.add_argument("--poll-interval", type=float, default=0.25,
                     metavar="SEC")
+    sv.add_argument("--lease", type=float, default=15.0, metavar="SEC",
+                    help="lease granted per claim; a dead scheduler's "
+                         "jobs requeue after this long (default: 15)")
+    sv.add_argument("--http", type=int, default=None, metavar="PORT",
+                    help="also serve the HTTP API on this port (0 picks "
+                         "a free one; implies --wait)")
+    sv.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                    help="bind address for --http (default: 127.0.0.1)")
+    sv.add_argument("--dispatch", choices=("local", "none"),
+                    default="local",
+                    help="'none' turns this process into a pure "
+                         "coordinator (reap + HTTP), leaving execution "
+                         "to fleet agents")
     sv.add_argument("--wait", action="store_true",
                     help="keep serving after the store is idle (until "
                          "SIGINT/SIGTERM)")
@@ -575,15 +730,50 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--json", action="store_true")
     sv.set_defaults(fn=cmd_serve)
 
+    ag = sub.add_parser(
+        "agent",
+        help="run a fleet agent that pulls and executes leased jobs")
+    ag.add_argument("--store", default=None, metavar="DIR",
+                    help="shared-store mode: open this ledger directly")
+    ag.add_argument("--url", default=None, metavar="URL",
+                    help="HTTP mode: pull leases from a `repro serve "
+                         "--http` service")
+    ag.add_argument("--workdir", default=None, metavar="DIR",
+                    help="scratch directory for HTTP-mode checkpoints "
+                         "(default: a fresh temp dir)")
+    ag.add_argument("--jobs", type=_nonnegative_int, default=1,
+                    metavar="N",
+                    help="worker processes (0 = cpu count, 1 = inline)")
+    ag.add_argument("--lease", type=float, default=15.0, metavar="SEC")
+    ag.add_argument("--checkpoint-every", type=_nonnegative_int,
+                    default=500, metavar="N")
+    ag.add_argument("--checkpoint-rounds", type=_nonnegative_int,
+                    default=4, metavar="N")
+    ag.add_argument("--retry-base", type=float, default=0.25,
+                    metavar="SEC")
+    ag.add_argument("--task-timeout", type=float, default=None,
+                    metavar="SEC")
+    ag.add_argument("--poll-interval", type=float, default=0.25,
+                    metavar="SEC")
+    ag.add_argument("--wait", action="store_true",
+                    help="keep pulling after the service goes idle")
+    ag.add_argument("--quiet", action="store_true")
+    ag.add_argument("--json", action="store_true")
+    ag.set_defaults(fn=cmd_agent)
+
     st = sub.add_parser("status", help="show job/campaign states")
-    st.add_argument("--store", required=True, metavar="DIR")
+    st.add_argument("--store", default=None, metavar="DIR")
+    st.add_argument("--url", default=None, metavar="URL",
+                    help="query a `repro serve --http` service")
     st.add_argument("--campaign", default=None, metavar="ID")
     st.add_argument("--json", action="store_true")
     st.set_defaults(fn=cmd_status)
 
     ar = sub.add_parser("artifacts",
                         help="list or export a job's artifacts")
-    ar.add_argument("--store", required=True, metavar="DIR")
+    ar.add_argument("--store", default=None, metavar="DIR")
+    ar.add_argument("--url", default=None, metavar="URL",
+                    help="fetch from a `repro serve --http` service")
     ar.add_argument("--job", required=True, metavar="DIGEST",
                     help="job digest (unique prefix accepted)")
     ar.add_argument("--name", default=None, metavar="FILE",
@@ -614,6 +804,12 @@ def main(argv=None) -> int:
         return args.fn(args)
     except BrokenPipeError:  # output piped into head etc.
         return 0
+    except Exception as exc:
+        from repro.service.api import ServiceError
+
+        if isinstance(exc, ServiceError):
+            raise SystemExit(str(exc))
+        raise
 
 
 if __name__ == "__main__":

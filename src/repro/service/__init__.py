@@ -2,17 +2,26 @@
 
 The service turns one-shot library calls (search, validate, verify) into
 durable *jobs* in a crash-safe SQLite ledger with a content-addressed
-artifact store:
+artifact store, shared by any number of schedulers and fleet agents:
 
-* :mod:`repro.service.store` — the ledger and artifact store.
+* :mod:`repro.service.store` — the ledger and artifact store; claims
+  are worker-id'd leases with heartbeats, so a dead node's jobs are
+  requeued (attempt refunded) once its leases expire.
 * :mod:`repro.service.jobs` — job kinds, payload schemas, and the
   content digests that give every job its identity.
 * :mod:`repro.service.worker` — executes one job in a worker process,
   checkpointing so an interrupted job resumes bit-identically.
-* :mod:`repro.service.scheduler` — claims ready jobs from the ledger
-  and fans them out over a :class:`~repro.core.parallel.TaskPool`.
+* :mod:`repro.service.queue` — pluggable execution backends; the
+  in-process :class:`~repro.core.parallel.TaskPool` queue is the
+  default.
+* :mod:`repro.service.scheduler` — the dispatch loop: claim leases,
+  fan out, heartbeat, reap, absorb outcomes.
 * :mod:`repro.service.campaign` — expands an eta-sweep x restart matrix
   into a job DAG (search -> select -> validate -> verify).
+* :mod:`repro.service.api` — stdlib HTTP front end (REST + SSE) and
+  its urllib client.
+* :mod:`repro.service.agent` — pull-worker fleet agent, shared-store
+  or HTTP mode, with server-synced checkpoints.
 
 Everything is keyed by content: two submissions of the same (kernel,
 eta, seed, config) collapse to one job, and a finished job is never

@@ -1,0 +1,269 @@
+"""Pull-worker fleet agent: execute leased jobs on a remote host.
+
+An agent is the same :class:`~repro.service.scheduler.Scheduler` loop as
+``repro serve``, pointed at a different job source:
+
+* **shared-store mode** (``repro agent --store DIR``): the host mounts
+  the store directory; the agent opens the ledger directly and is just
+  another scheduler in the fleet.
+* **HTTP mode** (``repro agent --url http://host:port``): the host has
+  no access to the store at all.  :class:`RemoteSource` speaks the
+  agent surface of :class:`~repro.service.api.ApiServer` — claim leases
+  (dependency documents and the last uploaded checkpoint ride along in
+  the claim response), heartbeat while running, upload results — and
+  executes through the ordinary local :class:`~repro.service.queue.
+  LocalQueue` over a scratch directory.
+
+Checkpoint sync makes HTTP agents crash-equivalent to local ones: the
+claim response carries the job's last uploaded checkpoint (written into
+the scratch directory before the job starts, so ``worker.execute_job``
+resumes from it), and every heartbeat uploads the checkpoint file if it
+changed since the last sync.  Kill the agent at any instant and the
+server still holds a recent checkpoint; once the lease expires the job
+re-runs elsewhere from that checkpoint, bit-identical by the resume
+guarantees of the underlying engines.
+
+Network hiccups are never treated as lost leases — only an explicit
+heartbeat response that omits a digest is.  A server outage therefore
+stalls an agent (it keeps executing and retrying) rather than making
+it abandon work the server still considers leased to it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.serialize import canonical_json
+
+from repro.service.api import ServiceClient, ServiceError
+from repro.service.scheduler import Scheduler
+from repro.service.store import DEFAULT_LEASE, Ledger, _atomic_write
+
+
+class RemoteSource:
+    """Scheduler job source over the service HTTP API.
+
+    ``workdir`` is this agent's scratch root: workers read and write
+    checkpoints under ``workdir/checkpoints`` exactly as they would on
+    the store host, and this source keeps those files in sync with the
+    server (download on claim, upload on heartbeat and release).
+    """
+
+    def __init__(self, client: ServiceClient, workdir: str,
+                 retry_base: float = 0.25):
+        self.client = client
+        self.root = os.path.abspath(workdir)
+        self.retry_base = retry_base
+        os.makedirs(os.path.join(self.root, "checkpoints"), exist_ok=True)
+        self._lock = threading.Lock()
+        self._deps: Dict[str, Dict] = {}  # digest -> dep result docs
+        self._uploaded: Dict[str, str] = {}  # digest -> sha of last sync
+
+    # -- local checkpoint files ------------------------------------------
+
+    def _checkpoint_path(self, digest: str) -> str:
+        return os.path.join(self.root, "checkpoints", f"{digest}.json")
+
+    def _drop(self, digest: str) -> None:
+        with self._lock:
+            self._deps.pop(digest, None)
+            self._uploaded.pop(digest, None)
+        try:
+            os.remove(self._checkpoint_path(digest))
+        except OSError:
+            pass
+
+    def _sync_checkpoints(self, owner: str, digests: List[str]) -> None:
+        """Upload any checkpoint file that changed since its last sync."""
+        for digest in digests:
+            try:
+                with open(self._checkpoint_path(digest), "rb") as fh:
+                    data = fh.read()
+            except OSError:
+                continue
+            sha = hashlib.sha256(data).hexdigest()
+            with self._lock:
+                if self._uploaded.get(digest) == sha:
+                    continue
+            try:
+                doc = json.loads(data)
+            except ValueError:
+                continue
+            try:
+                if self.client.put_checkpoint(digest, owner, doc):
+                    with self._lock:
+                        self._uploaded[digest] = sha
+            except ServiceError:
+                pass  # retried on the next heartbeat
+
+    # -- source protocol --------------------------------------------------
+
+    def startup(self) -> int:
+        return 0  # recovery belongs to the store-side reaper
+
+    def reap(self) -> List[str]:
+        return []  # ditto
+
+    def claim(self, owner: str, limit: int, lease: float) -> List[Dict]:
+        try:
+            granted = self.client.claim(owner, limit, lease,
+                                        retry_base=self.retry_base)
+        except ServiceError:
+            return []  # server unreachable: try again next turn
+        jobs: List[Dict] = []
+        for job in granted:
+            digest = job["digest"]
+            with self._lock:
+                self._deps[digest] = job.get("deps") or {}
+            checkpoint = job.get("checkpoint")
+            path = self._checkpoint_path(digest)
+            if checkpoint is not None:
+                data = canonical_json(checkpoint).encode("utf-8")
+                _atomic_write(path, data)
+                with self._lock:
+                    self._uploaded[digest] = \
+                        hashlib.sha256(data).hexdigest()
+            else:
+                # No server-side checkpoint: scrub any stale local one
+                # so the job starts fresh, as it would on the store host.
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                with self._lock:
+                    self._uploaded.pop(digest, None)
+            jobs.append({"digest": digest, "kind": job["kind"],
+                         "payload": job["payload"],
+                         "attempts": job["attempts"]})
+        return jobs
+
+    def dependency_docs(self, digest: str
+                        ) -> Tuple[str, str, Optional[Dict]]:
+        # Triage already happened server-side at claim time; a granted
+        # job always arrives with its dependency documents.
+        return "ok", "", self._deps.get(digest, {})
+
+    def heartbeat(self, owner: str, digests: List[str],
+                  lease: float) -> Set[str]:
+        self._sync_checkpoints(owner, digests)
+        try:
+            kept = set(self.client.heartbeat(owner, digests, lease))
+        except ServiceError:
+            # Unreachable server is not a lost lease; keep working and
+            # let the next heartbeat (or the server's reaper) decide.
+            return set(digests)
+        for digest in set(digests) - kept:
+            self._drop(digest)
+        return kept
+
+    def heartbeater(self) -> "_RemoteHeartbeat":
+        return _RemoteHeartbeat(self)
+
+    def succeed(self, digest: str, value: Dict, elapsed: float,
+                owner: str) -> bool:
+        try:
+            applied = self.client.finish(digest, owner, value, elapsed)
+        except ServiceError:
+            applied = False  # lease will expire; the job re-runs
+        self._drop(digest)
+        return applied
+
+    def fail_attempt(self, digest: str, error: str, retry_base: float,
+                     owner: str) -> Dict:
+        self._drop(digest)
+        try:
+            return self.client.fail(digest, owner, error,
+                                    retry_base=retry_base)
+        except ServiceError:
+            return {"state": "pending", "attempts": 0, "retry_in": None}
+
+    def fail_hard(self, digest: str, error: str) -> str:
+        self._drop(digest)
+        try:
+            return self.client.fail(digest, "", error, hard=True)["state"]
+        except ServiceError:
+            return "failed"
+
+    def record_failure(self, digest: str, data: Dict) -> None:
+        try:
+            self.client.telemetry(digest, "failure", data)
+        except ServiceError:
+            pass
+
+    def release(self, digest: str, owner: str, note: str) -> bool:
+        # Final checkpoint sync first: the drain handoff should resume
+        # from where this agent actually stopped, not its last beat.
+        self._sync_checkpoints(owner, [digest])
+        try:
+            applied = self.client.release(digest, owner, note=note)
+        except ServiceError:
+            applied = False
+        self._drop(digest)
+        return applied
+
+    def counts(self) -> Dict[str, int]:
+        try:
+            return self.client.status()["totals"]
+        except ServiceError:
+            # Unknown is not idle: report phantom pending work so an
+            # until_idle agent rides out a server restart.
+            return {"pending": 1, "running": 0, "done": 0, "failed": 0}
+
+    def close(self) -> None:
+        pass
+
+
+class _RemoteHeartbeat:
+    """Heartbeat channel for the scheduler's sidecar thread.  HTTP
+    requests are independent per call; the source's lock guards the
+    shared checkpoint-sync state."""
+
+    def __init__(self, source: RemoteSource):
+        self._source = source
+
+    def __call__(self, owner: str, digests: List[str],
+                 lease: float) -> Set[str]:
+        return self._source.heartbeat(owner, digests, lease)
+
+    def close(self) -> None:
+        pass
+
+
+def run_agent(url: Optional[str] = None, store: Optional[str] = None,
+              workdir: Optional[str] = None, jobs: int = 1,
+              lease: float = DEFAULT_LEASE,
+              checkpoint_every: int = 500, checkpoint_rounds: int = 4,
+              retry_base: float = 0.25,
+              task_timeout: Optional[float] = None,
+              on_event: Optional[Callable[[str, str, Dict], None]] = None,
+              worker_id: Optional[str] = None,
+              until_idle: bool = True,
+              poll_interval: float = 0.25) -> Dict[str, int]:
+    """Run one fleet agent until the service is idle (or signalled).
+
+    Exactly one of ``url`` (HTTP mode) and ``store`` (shared-store
+    mode) must be given.  Returns the final job-state counts as the
+    agent saw them.
+    """
+    if (url is None) == (store is None):
+        raise ValueError("agent needs exactly one of url= or store=")
+    kwargs = dict(jobs=jobs, checkpoint_every=checkpoint_every,
+                  checkpoint_rounds=checkpoint_rounds,
+                  retry_base=retry_base, task_timeout=task_timeout,
+                  on_event=on_event, worker_id=worker_id, lease=lease)
+    if store is not None:
+        with Ledger(store) as ledger:
+            scheduler = Scheduler(ledger, **kwargs)
+            return scheduler.run(until_idle=until_idle,
+                                 poll_interval=poll_interval)
+    scratch = workdir or tempfile.mkdtemp(prefix="repro-agent-")
+    source = RemoteSource(ServiceClient(url), scratch,
+                          retry_base=retry_base)
+    scheduler = Scheduler(source, **kwargs)
+    return scheduler.run(until_idle=until_idle,
+                         poll_interval=poll_interval)

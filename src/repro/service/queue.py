@@ -1,0 +1,82 @@
+"""Pluggable execution queues for the campaign scheduler.
+
+The scheduler's dispatch loop is queue-agnostic: it claims leased jobs
+from a :class:`~repro.service.store.Ledger` (or an HTTP job source),
+hands each one to a :class:`JobQueue`, and folds
+:class:`~repro.core.parallel.TaskOutcome`\\ s back into the ledger.
+Every queue implementation runs jobs through the same executor
+(:func:`repro.service.worker.execute_job`), so the in-process pool of
+``repro serve`` and the pull-worker fleets of ``repro agent`` share one
+dispatch path and one set of result/checkpoint semantics.
+
+Queues are deliberately dumb: no retry policy, no ledger access, no
+lease awareness.  All of that lives with the scheduler and the store,
+which is what makes N schedulers over one ledger coherent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.parallel import TaskOutcome, TaskPool
+
+from repro.service.worker import execute_job, worker_context
+
+
+class JobQueue:
+    """Interface the scheduler dispatches through.
+
+    ``jobs`` is the queue's concurrency (how many items it will work on
+    at once — the scheduler claims no more leases than it has free
+    slots).  ``synchronous`` queues execute inside :meth:`submit`
+    itself; the scheduler compensates by renewing leases from a sidecar
+    heartbeat thread, since its own loop is blocked while the queue
+    runs.
+    """
+
+    jobs: int = 1
+    synchronous: bool = False
+
+    def submit(self, key: str, item: dict,
+               timeout: Optional[float] = None) -> None:
+        raise NotImplementedError
+
+    def poll(self, timeout: float = 0.0) -> List[TaskOutcome]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class LocalQueue(JobQueue):
+    """Execute jobs on this host via a :class:`TaskPool`.
+
+    ``jobs=1`` runs inline (no subprocesses, deterministic serial
+    path); ``jobs>1`` fans out over worker processes that each build
+    their kernel cache once.  ``root`` is where the workers read and
+    write checkpoint files — the store directory for a shared-store
+    scheduler, a local scratch directory for a remote agent.
+    """
+
+    def __init__(self, root: str, jobs: int = 1,
+                 task_timeout: Optional[float] = None):
+        self._pool = TaskPool(worker_context, root, execute_job,
+                              jobs=jobs, task_timeout=task_timeout)
+        self.jobs = self._pool.jobs
+        self.synchronous = self._pool.inline
+
+    def submit(self, key: str, item: dict,
+               timeout: Optional[float] = None) -> None:
+        self._pool.submit(key, item, timeout=timeout)
+
+    def poll(self, timeout: float = 0.0) -> List[TaskOutcome]:
+        return self._pool.poll(timeout=timeout)
+
+    def close(self) -> None:
+        self._pool.close()

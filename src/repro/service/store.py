@@ -6,21 +6,27 @@ next to it as content-addressed files (``artifacts/ab/abcdef...``)
 written atomically (tmp + rename), so a SIGKILL at any instant leaves
 either the old state or the new state, never a torn one.
 
-The ledger is single-writer by design: only the scheduler process opens
-it read-write (workers communicate results over pipes and write only
-their own per-job checkpoint files).  Every mutation runs in its own
-``BEGIN IMMEDIATE`` transaction, so a killed scheduler loses at most
-the in-flight transaction — which the WAL rolls back — and
-:meth:`Ledger.recover` then returns any job stuck ``running`` to
-``pending`` with its checkpoint file intact.
+Any number of schedulers and fleet agents may share one ledger.  Every
+mutation runs in its own ``BEGIN IMMEDIATE`` transaction (WAL readers
+never block, writers serialize with a busy timeout), and *claims are
+leases*: :meth:`Ledger.claim_ready` grants a worker-id'd lease with an
+expiry, the owner extends it with :meth:`Ledger.heartbeat` while the
+job runs, and :meth:`Ledger.reap_expired` requeues any job whose owner
+stopped heartbeating — attempt refunded, checkpoint intact — exactly
+like the graceful-drain path.  Completion calls (:meth:`finish`,
+:meth:`fail`, :meth:`release`) are owner-guarded, so a worker whose
+lease was reaped and re-granted elsewhere cannot clobber the new
+owner's run.  Workers never open the database; they communicate over
+pipes or HTTP and write only their own per-job checkpoint files.
 
 Job lifecycle::
 
-    pending --claim--> running --ok--> done
-       ^                  |
-       |                  +--error, attempts left--> pending (backoff)
-       |                  +--error, attempts exhausted--> failed
-       +--recover() after a crash (attempt recorded as 'interrupted')
+    pending --claim (lease granted)--> running --ok--> done
+       ^                                  |
+       |                                  +--error, attempts left--> pending (backoff)
+       |                                  +--error, attempts exhausted--> failed
+       +--lease expired / drain / recover() (attempt refunded,
+          recorded as 'interrupted')
 
 A job whose dependency fails is failed eagerly (``upstream failed``)
 so campaigns always terminate.
@@ -35,13 +41,19 @@ import sqlite3
 import time
 import uuid
 from contextlib import contextmanager
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.serialize import canonical_json
 
 from repro.service.jobs import JobSpec
 
-LEDGER_SCHEMA_VERSION = 1
+LEDGER_SCHEMA_VERSION = 2
+
+# Default lease duration granted per claim.  Owners heartbeat at a
+# fraction of this; a scheduler that dies stops heartbeating and its
+# jobs are requeued once the lease runs out.  Leases compare on the
+# epoch clock because they must be meaningful across hosts.
+DEFAULT_LEASE = 15.0
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -57,6 +69,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     attempts INTEGER NOT NULL DEFAULT 0,
     max_attempts INTEGER NOT NULL DEFAULT 3,
     not_before REAL NOT NULL DEFAULT 0,
+    lease_owner TEXT NOT NULL DEFAULT '',
+    lease_expires REAL NOT NULL DEFAULT 0,
     error TEXT,
     created_at REAL NOT NULL,
     updated_at REAL NOT NULL
@@ -136,12 +150,14 @@ class Ledger:
         self.db_path = os.path.join(self.root, "ledger.sqlite3")
         # Retry backoff deadlines on the monotonic clock, by job digest.
         # The epoch ``not_before`` column is kept for display, ledger
-        # records, and the cross-restart fallback — but elapsed-time
-        # decisions ("has the backoff passed?") use these, so a wall
-        # clock step (NTP, suspend/resume) can neither stall a retry
-        # indefinitely nor fire it early.  In-memory is correct here:
-        # the ledger is single-writer, and after a restart the epoch
-        # fallback is the best available information anyway.
+        # records, and the cross-process fallback — but elapsed-time
+        # decisions ("has the backoff passed?") this process makes use
+        # these, so a wall clock step (NTP, suspend/resume) can neither
+        # stall a retry indefinitely nor fire it early.  On handoff
+        # (release or close) the *remaining* monotonic delay is written
+        # back into ``not_before``, so the next claimant — another
+        # scheduler sharing the ledger, or a restart — honors the same
+        # backoff even if the wall clock stepped in between.
         self._backoff: Dict[str, float] = {}
         self._conn = sqlite3.connect(self.db_path, timeout=30.0,
                                      isolation_level=None)
@@ -159,6 +175,20 @@ class Ledger:
                 self._conn.execute(
                     "INSERT INTO meta (key, value) VALUES (?, ?)",
                     ("schema_version", str(LEDGER_SCHEMA_VERSION)))
+            elif int(row["value"]) == 1:
+                # v1 -> v2: single-writer claims become leases.  Old
+                # rows get the empty owner / epoch-zero expiry, which
+                # reads as "expired", so recovery requeues them just as
+                # v1's recover() would have.
+                self._conn.execute(
+                    "ALTER TABLE jobs ADD COLUMN lease_owner TEXT "
+                    "NOT NULL DEFAULT ''")
+                self._conn.execute(
+                    "ALTER TABLE jobs ADD COLUMN lease_expires REAL "
+                    "NOT NULL DEFAULT 0")
+                self._conn.execute(
+                    "UPDATE meta SET value=? WHERE key='schema_version'",
+                    (str(LEDGER_SCHEMA_VERSION),))
             elif int(row["value"]) != LEDGER_SCHEMA_VERSION:
                 raise RuntimeError(
                     f"ledger at {self.db_path} has schema version "
@@ -166,6 +196,16 @@ class Ledger:
                     f"{LEDGER_SCHEMA_VERSION}")
 
     def close(self) -> None:
+        # Backoff deadlines live on this process's monotonic clock;
+        # hand the remaining delays to whoever opens the ledger next.
+        if self._backoff:
+            try:
+                with self._tx() as conn:
+                    now = time.time()
+                    for digest in list(self._backoff):
+                        self._flush_backoff(conn, digest, now)
+            except sqlite3.Error:
+                pass
         self._conn.close()
 
     def __enter__(self) -> "Ledger":
@@ -245,16 +285,22 @@ class Ledger:
             out[row["state"]] = out.get(row["state"], 0) + 1
         return out
 
-    def claim_ready(self, limit: int, now: Optional[float] = None
-                    ) -> List[Dict]:
-        """Atomically move up to ``limit`` runnable jobs to ``running``.
+    def claim_ready(self, limit: int, now: Optional[float] = None,
+                    owner: str = "", lease: float = 0.0) -> List[Dict]:
+        """Atomically lease up to ``limit`` runnable jobs to ``owner``.
 
         Runnable: ``pending``, past its backoff time, with every
-        dependency ``done``.  An attempt row is opened per claim.
+        dependency ``done``.  Each claimed job moves to ``running``
+        with ``lease_owner=owner`` and ``lease_expires=now+lease``, and
+        an attempt row is opened.  The owner must :meth:`heartbeat`
+        before the lease runs out or :meth:`reap_expired` will requeue
+        the job.  A claim with ``lease=0`` (the legacy single-writer
+        mode) is born expired: it is recoverable by anyone, which is
+        exactly v1's semantics.
 
         Backoff gating: jobs whose retry this process scheduled are
         gated by their monotonic deadline (immune to wall-clock steps);
-        jobs inherited from a previous process fall back to the epoch
+        jobs inherited from another process fall back to the epoch
         ``not_before`` stamp.  Passing ``now`` explicitly selects pure
         epoch comparison — the simulated-time mode the scheduler tests
         use.
@@ -263,6 +309,7 @@ class Ledger:
             return []
         epoch_only = now is not None
         now = time.time() if now is None else now
+        expires = now + lease if lease else 0.0
         claimed: List[Dict] = []
         with self._tx() as conn:
             rows = conn.execute(
@@ -286,7 +333,9 @@ class Ledger:
                 self._backoff.pop(row["digest"], None)
                 conn.execute(
                     "UPDATE jobs SET state='running', attempts=attempts+1, "
-                    "updated_at=? WHERE digest=?", (now, row["digest"]))
+                    "lease_owner=?, lease_expires=?, updated_at=? "
+                    "WHERE digest=?",
+                    (owner, expires, now, row["digest"]))
                 conn.execute(
                     "INSERT INTO attempts (job, number, started_at) "
                     "VALUES (?, ?, ?)",
@@ -294,8 +343,63 @@ class Ledger:
                 job = dict(row)
                 job["state"] = "running"
                 job["attempts"] = row["attempts"] + 1
+                job["lease_owner"] = owner
+                job["lease_expires"] = expires
                 claimed.append(job)
         return claimed
+
+    def heartbeat(self, digests: List[str], owner: str, lease: float,
+                  now: Optional[float] = None) -> List[str]:
+        """Extend ``owner``'s leases on ``digests`` to ``now + lease``.
+
+        Returns the digests still held.  A digest missing from the
+        result means the lease was lost — reaped after an expiry and
+        possibly re-granted — and the caller must treat its in-flight
+        execution as abandoned (its completion calls will be rejected
+        by the owner guard).
+        """
+        if not digests:
+            return []
+        now = time.time() if now is None else now
+        kept: List[str] = []
+        with self._tx() as conn:
+            for digest in digests:
+                cur = conn.execute(
+                    "UPDATE jobs SET lease_expires=?, updated_at=? "
+                    "WHERE digest=? AND state='running' AND lease_owner=?",
+                    (now + lease, now, digest, owner))
+                if cur.rowcount:
+                    kept.append(digest)
+        return kept
+
+    def reap_expired(self, now: Optional[float] = None) -> List[str]:
+        """Requeue every ``running`` job whose lease has expired.
+
+        The dead owner's attempt is closed as ``interrupted`` and
+        refunded (a crash loop cannot exhaust the retry budget), the
+        checkpoint file survives, and the job is immediately claimable
+        — by any scheduler sharing the ledger.  Returns the digests
+        requeued.  One transaction, so concurrent reapers cannot
+        double-refund.
+        """
+        wall = time.time()
+        now = wall if now is None else now
+        reaped: List[str] = []
+        with self._tx() as conn:
+            rows = conn.execute(
+                "SELECT digest FROM jobs WHERE state='running' AND "
+                "lease_expires <= ? ORDER BY created_at, digest",
+                (now,)).fetchall()
+            for row in rows:
+                conn.execute(
+                    "UPDATE jobs SET state='pending', "
+                    "attempts=MAX(attempts-1, 0), lease_owner='', "
+                    "lease_expires=0, updated_at=? WHERE digest=?",
+                    (wall, row["digest"]))
+                self._close_attempt(conn, row["digest"], "interrupted",
+                                    "lease expired", wall)
+                reaped.append(row["digest"])
+        return reaped
 
     def _close_attempt(self, conn, digest: str, outcome: str,
                        error: Optional[str], now: float) -> None:
@@ -305,28 +409,56 @@ class Ledger:
             "finished_at IS NULL ORDER BY id DESC LIMIT 1)",
             (now, outcome, error, digest))
 
-    def finish(self, digest: str) -> None:
+    def finish(self, digest: str, owner: Optional[str] = None) -> bool:
+        """Mark a job ``done``; returns whether the update applied.
+
+        With ``owner`` given, only the current lease holder of a
+        ``running`` job may finish it — a worker whose lease was reaped
+        gets ``False`` back and must discard its result.
+        """
         self._backoff.pop(digest, None)
         now = time.time()
         with self._tx() as conn:
-            conn.execute(
-                "UPDATE jobs SET state='done', error=NULL, updated_at=? "
-                "WHERE digest=?", (now, digest))
-            self._close_attempt(conn, digest, "ok", None, now)
+            query = ("UPDATE jobs SET state='done', error=NULL, "
+                     "lease_owner='', lease_expires=0, updated_at=? "
+                     "WHERE digest=?")
+            args: List = [now, digest]
+            if owner is not None:
+                query += " AND state='running' AND lease_owner=?"
+                args.append(owner)
+            cur = conn.execute(query, args)
+            if cur.rowcount:
+                self._close_attempt(conn, digest, "ok", None, now)
+        return cur.rowcount > 0
 
-    def fail(self, digest: str, error: str, retry_in: Optional[float]
-             ) -> str:
+    def fail(self, digest: str, error: str,
+             retry_in: Union[float, None, Callable[[int], float]],
+             owner: Optional[str] = None) -> str:
         """Record a failed attempt.  Retries (state back to ``pending``
         with ``not_before = now + retry_in``) while attempts remain and
         ``retry_in`` is given; otherwise the job is failed and every
         transitive dependent is failed with it.  Returns the resulting
-        state."""
+        state.
+
+        ``retry_in`` may be a callable ``attempts -> seconds``; it is
+        evaluated inside the transaction on the row's own post-claim
+        attempt count, so backoff schedules never act on a stale
+        claim-time snapshot.  With ``owner`` given, a caller that no
+        longer holds the lease mutates nothing and gets the job's
+        current state back.
+        """
         now = time.time()
         with self._tx() as conn:
-            row = conn.execute("SELECT attempts, max_attempts FROM jobs "
-                               "WHERE digest=?", (digest,)).fetchone()
+            row = conn.execute(
+                "SELECT state, attempts, max_attempts, lease_owner "
+                "FROM jobs WHERE digest=?", (digest,)).fetchone()
             if row is None:
                 raise KeyError(f"no such job {digest}")
+            if owner is not None and (row["state"] != "running"
+                                      or row["lease_owner"] != owner):
+                return row["state"]
+            if callable(retry_in):
+                retry_in = retry_in(row["attempts"])
             retry = (retry_in is not None
                      and row["attempts"] < row["max_attempts"])
             state = "pending" if retry else "failed"
@@ -339,12 +471,32 @@ class Ledger:
                 self._backoff.pop(digest, None)
             conn.execute(
                 "UPDATE jobs SET state=?, error=?, not_before=?, "
-                "updated_at=? WHERE digest=?",
+                "lease_owner='', lease_expires=0, updated_at=? "
+                "WHERE digest=?",
                 (state, error, not_before, now, digest))
             self._close_attempt(conn, digest, "error", error, now)
             if state == "failed":
                 self._fail_dependents(conn, digest, now)
         return state
+
+    def fail_attempt(self, digest: str, error: str, retry_base: float,
+                     owner: Optional[str] = None) -> Dict:
+        """Fail one attempt with exponential backoff pinned to the
+        ledger's own attempt count: retry *n* waits
+        ``retry_base * 2**(n-1)`` seconds (0.25/0.5/1.0s at the default
+        base).  Returns ``{state, attempts, retry_in}``; ``retry_in``
+        is ``None`` unless the job went back to ``pending``."""
+        info: Dict = {"attempts": 0, "retry_in": None}
+
+        def backoff(attempts: int) -> float:
+            info["attempts"] = attempts
+            info["retry_in"] = retry_base * (2 ** max(attempts - 1, 0))
+            return info["retry_in"]
+
+        info["state"] = self.fail(digest, error, backoff, owner=owner)
+        if info["state"] != "pending":
+            info["retry_in"] = None
+        return info
 
     def _fail_dependents(self, conn, digest: str, now: float) -> None:
         frontier = [digest]
@@ -361,25 +513,53 @@ class Ledger:
                     (f"upstream failed: {dep[:12]}", now, row["job"]))
                 frontier.append(row["job"])
 
-    def release(self, digest: str, note: str = "interrupted") -> None:
+    def _flush_backoff(self, conn, digest: str, now: float) -> None:
+        """Persist the remaining monotonic backoff delay into the epoch
+        ``not_before`` stamp.  Called at handoff points (release,
+        close): without this, a scheduler dropping its in-memory
+        deadline would let the next claimant fire the retry early
+        whenever the wall clock had stepped forward past the original
+        epoch stamp."""
+        deadline = self._backoff.pop(digest, None)
+        if deadline is None:
+            return
+        remaining = deadline - time.monotonic()
+        if remaining > 0:
+            conn.execute(
+                "UPDATE jobs SET not_before=? "
+                "WHERE digest=? AND state='pending'",
+                (now + remaining, digest))
+
+    def release(self, digest: str, note: str = "interrupted",
+                owner: Optional[str] = None) -> bool:
         """Return one ``running`` job to ``pending`` (attempt closed as
-        interrupted, attempt count refunded); its checkpoint survives."""
-        self._backoff.pop(digest, None)
+        interrupted, attempt count refunded); its checkpoint survives.
+        With ``owner`` given, only the lease holder may release.  Any
+        pending monotonic backoff is persisted, not dropped."""
         now = time.time()
         with self._tx() as conn:
-            conn.execute(
-                "UPDATE jobs SET state='pending', "
-                "attempts=MAX(attempts-1, 0), updated_at=? "
-                "WHERE digest=? AND state='running'", (now, digest))
-            self._close_attempt(conn, digest, "interrupted", note, now)
+            self._flush_backoff(conn, digest, now)
+            query = ("UPDATE jobs SET state='pending', "
+                     "attempts=MAX(attempts-1, 0), lease_owner='', "
+                     "lease_expires=0, updated_at=? "
+                     "WHERE digest=? AND state='running'")
+            args: List = [now, digest]
+            if owner is not None:
+                query += " AND lease_owner=?"
+                args.append(owner)
+            cur = conn.execute(query, args)
+            if cur.rowcount:
+                self._close_attempt(conn, digest, "interrupted", note, now)
+        return cur.rowcount > 0
 
     def recover(self) -> int:
-        """Crash recovery: every job left ``running`` by a dead
-        scheduler goes back to ``pending``.  Returns how many."""
-        stuck = [row["digest"] for row in self.jobs(state="running")]
-        for digest in stuck:
-            self.release(digest, note="scheduler restart")
-        return len(stuck)
+        """Startup recovery, lease-scoped: requeue every ``running``
+        job whose lease has expired — which includes the lease-less
+        claims of a v1-era (or ``lease=0``) scheduler.  Jobs under a
+        live lease belong to another scheduler sharing the ledger and
+        are left alone, so a newcomer's recovery cannot steal (and
+        double-run) in-flight work.  Returns how many were requeued."""
+        return len(self.reap_expired())
 
     # -- campaigns --------------------------------------------------------
 

@@ -1,0 +1,225 @@
+"""HTTP front end: REST round trips, content-digest dedupe over the
+wire, the agent lease RPCs with owner guards, checkpoint sync, and the
+SSE progress feed.  No real job execution — jobs are completed through
+the same RPCs a fleet agent uses."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.service.agent import RemoteSource
+from repro.service.api import ApiServer, ServiceClient, ServiceError
+from repro.service.campaign import CampaignSpec
+from repro.service.jobs import JobSpec
+from repro.service.store import Ledger
+
+
+@pytest.fixture
+def service(tmp_path):
+    root = str(tmp_path / "store")
+    with ApiServer(root) as server:
+        yield server, ServiceClient(server.url), root
+
+
+def _value(doc=None, files=None):
+    return {"doc": doc or {"answer": 42}, "files": files or {},
+            "telemetry": {"elapsed_seconds": 0.5}}
+
+
+class TestRest:
+    def test_health(self, service):
+        _server, client, _root = service
+        assert client.health()["ok"] is True
+
+    def test_submit_job_dedupes(self, service):
+        _server, client, _root = service
+        first = client.submit_job("search", {"n": 1})
+        again = client.submit_job("search", {"n": 1})
+        assert first["created"] is True
+        assert again["created"] is False
+        assert first["digest"] == again["digest"]
+
+    def test_submit_rejects_unknown_kind(self, service):
+        _server, client, _root = service
+        with pytest.raises(ServiceError) as err:
+            client.submit_job("frobnicate", {"n": 1})
+        assert err.value.status == 400
+
+    def test_campaign_round_trip(self, service):
+        _server, client, _root = service
+        spec = CampaignSpec(kernels=(("sin", 0.0),), chains=2,
+                            proposals=100, testcases=4,
+                            stages=("search", "select"))
+        out = client.submit_campaign(spec, name="t")
+        assert out["new"] == 3 and out["reused"] == 0
+        # Duplicate submission over the wire is a cheap 200.
+        again = client.submit_campaign(spec, name="t")
+        assert again["new"] == 0 and again["reused"] == 3
+        detail = client.campaign(out["campaign"])
+        assert detail["counts"]["pending"] == 3
+        assert len(detail["jobs"]) == 3
+        totals = client.status()["totals"]
+        assert totals["pending"] == 3
+
+    def test_job_status_and_prefix_resolution(self, service):
+        _server, client, _root = service
+        digest = client.submit_job("search", {"n": 1})["digest"]
+        doc = client.job(digest[:12])
+        assert doc["digest"] == digest
+        assert doc["state"] == "pending"
+        assert doc["payload"] == {"n": 1}
+
+    def test_unknown_job_is_404(self, service):
+        _server, client, _root = service
+        with pytest.raises(ServiceError) as err:
+            client.job("deadbeef" * 8)
+        assert err.value.status == 404
+
+    def test_unknown_endpoint_is_404(self, service):
+        _server, client, _root = service
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/v1/nonsense")
+        assert err.value.status == 404
+
+    def test_artifact_bytes_round_trip(self, service):
+        _server, client, _root = service
+        digest = client.submit_job("search", {"n": 1})["digest"]
+        job = client.claim("w1", 1, 30.0)[0]
+        client.finish(job["digest"], "w1",
+                      _value(files={"rewrite.s": "addss %xmm0\n"}), 1.0)
+        doc = json.loads(client.artifact(digest, "result.json"))
+        assert doc == {"answer": 42}
+        text = client.artifact(digest, "rewrite.s")
+        assert text == b"addss %xmm0\n"
+        with pytest.raises(ServiceError) as err:
+            client.artifact(digest, "missing.txt")
+        assert err.value.status == 404
+
+
+class TestAgentRpc:
+    def test_lease_heartbeat_finish(self, service):
+        _server, client, _root = service
+        digest = client.submit_job("search", {"n": 1})["digest"]
+        jobs = client.claim("w1", 4, 30.0)
+        assert [j["digest"] for j in jobs] == [digest]
+        assert jobs[0]["deps"] == {}
+        assert jobs[0]["checkpoint"] is None
+        assert client.heartbeat("w1", [digest], 30.0) == [digest]
+        assert client.heartbeat("w2", [digest], 30.0) == []
+        assert client.finish(digest, "w1", _value(), 1.0) is True
+        assert client.job(digest)["state"] == "done"
+
+    def test_finish_owner_guard(self, service):
+        _server, client, _root = service
+        digest = client.submit_job("search", {"n": 1})["digest"]
+        client.claim("w1", 1, 30.0)
+        assert client.finish(digest, "intruder", _value(), 1.0) is False
+        assert client.job(digest)["state"] == "running"
+
+    def test_fail_retries_then_exhausts(self, service):
+        _server, client, _root = service
+        digest = client.submit_job("search", {"n": 1},
+                                   max_attempts=2)["digest"]
+        client.claim("w1", 1, 30.0)
+        info = client.fail(digest, "w1", "boom", retry_base=0.01)
+        assert info["state"] == "pending"
+        assert info["attempts"] == 1
+        assert info["retry_in"] == pytest.approx(0.01)
+        time.sleep(0.05)
+        client.claim("w1", 1, 30.0)
+        info = client.fail(digest, "w1", "boom again", retry_base=0.01)
+        assert info["state"] == "failed"
+
+    def test_release_hands_back(self, service):
+        _server, client, _root = service
+        digest = client.submit_job("search", {"n": 1})["digest"]
+        client.claim("w1", 1, 30.0)
+        assert client.release(digest, "w1", note="drain") is True
+        doc = client.job(digest)
+        assert doc["state"] == "pending"
+        assert doc["attempts"] == 0  # refunded
+
+    def test_dep_docs_ride_the_claim(self, service):
+        _server, client, _root = service
+        dep = client.submit_job("search", {"n": 1})["digest"]
+        job = JobSpec("select", {"n": 2}, deps=(dep,))
+        client.submit_job("select", {"n": 2}, deps=[dep])
+        client.claim("w1", 1, 30.0)
+        client.finish(dep, "w1", _value(doc={"x": 7}), 1.0)
+        jobs = client.claim("w1", 1, 30.0)
+        assert jobs[0]["digest"] == job.digest
+        assert jobs[0]["deps"] == {dep: {"x": 7}}
+
+    def test_checkpoint_owner_guard(self, service):
+        _server, client, _root = service
+        digest = client.submit_job("search", {"n": 1})["digest"]
+        client.claim("w1", 1, 30.0)
+        assert client.put_checkpoint(digest, "w1",
+                                     {"job_kind": "search",
+                                      "state": {"i": 5}}) is True
+        assert client.put_checkpoint(digest, "intruder",
+                                     {"job_kind": "search",
+                                      "state": {"i": 9}}) is False
+        assert client.get_checkpoint(digest)["state"] == {"i": 5}
+
+    def test_events_stream(self, service):
+        server, client, _root = service
+        seen = []
+        ready = threading.Event()
+
+        def listen():
+            for event in client.events():
+                seen.append(event)
+                ready.set()
+
+        thread = threading.Thread(target=listen, daemon=True)
+        thread.start()
+        time.sleep(0.2)  # let the subscription attach
+        client.submit_job("search", {"n": 1})
+        assert ready.wait(timeout=5.0)
+        assert seen[0]["event"] == "submitted"
+
+
+class TestRemoteSource:
+    def test_claim_execute_finish(self, service, tmp_path):
+        _server, client, _root = service
+        digest = client.submit_job("search", {"n": 1})["digest"]
+        source = RemoteSource(client, str(tmp_path / "scratch"))
+        jobs = source.claim("w1", 1, 30.0)
+        assert jobs[0]["digest"] == digest
+        assert source.dependency_docs(digest) == ("ok", "", {})
+        assert source.heartbeat("w1", [digest], 30.0) == {digest}
+        assert source.succeed(digest, _value(), 1.0, "w1") is True
+        assert client.job(digest)["state"] == "done"
+
+    def test_checkpoints_sync_both_ways(self, service, tmp_path):
+        _server, client, root = service
+        digest = client.submit_job("search", {"n": 1})["digest"]
+        # The server already holds a checkpoint for this job (uploaded
+        # by a previous owner before it died).
+        with Ledger(root) as ledger:
+            ledger.write_checkpoint(digest, {"job_kind": "search",
+                                             "state": {"i": 100}})
+        scratch = str(tmp_path / "scratch")
+        source = RemoteSource(client, scratch)
+        source.claim("w1", 1, 30.0)
+        # Download on claim: the worker will resume from iteration 100.
+        local = source._checkpoint_path(digest)
+        assert json.load(open(local))["state"] == {"i": 100}
+        # The worker makes progress; the next heartbeat uploads it.
+        with open(local, "w") as fh:
+            json.dump({"job_kind": "search", "state": {"i": 200}}, fh)
+        source.heartbeat("w1", [digest], 30.0)
+        assert client.get_checkpoint(digest)["state"] == {"i": 200}
+
+    def test_lost_lease_reported(self, service, tmp_path):
+        _server, client, root = service
+        digest = client.submit_job("search", {"n": 1})["digest"]
+        source = RemoteSource(client, str(tmp_path / "scratch"))
+        source.claim("w1", 1, 0.0)  # born expired
+        with Ledger(root) as ledger:
+            assert ledger.reap_expired() == [digest]
+        client.claim("w2", 1, 30.0)
+        assert source.heartbeat("w1", [digest], 30.0) == set()

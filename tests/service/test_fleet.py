@@ -1,0 +1,155 @@
+"""HTTP worker fleet: a ``serve --http --dispatch none`` coordinator,
+jobs submitted over the wire, two pull-worker agents, one SIGKILLed
+mid-search.  The survivor must absorb the dead agent's job from its
+last uploaded checkpoint and the final artifacts must be bit-identical
+to a local, single-process run."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import Ledger, Scheduler, submit_campaign
+from repro.service.campaign import CampaignSpec
+
+CHECKPOINT_EVERY = 100
+LEASE = 2.0
+
+
+def _spec():
+    return CampaignSpec(kernels=(("dot", 0.0), ("dot", 1.0e5)), chains=2,
+                        proposals=2_400, testcases=8, seed=0,
+                        validate_proposals=300, verify_budget=64)
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                       "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return env
+
+
+def _coordinator(store):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--store", store,
+         "--http", "0", "--dispatch", "none", "--lease", str(LEASE),
+         "--quiet"],
+        env=_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True)
+    line = proc.stdout.readline()
+    assert line.startswith("serving HTTP on "), line
+    return proc, line.split()[-1].strip()
+
+
+def _agent(url, workdir):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "agent", "--url", url,
+         "--workdir", workdir, "--jobs", "1", "--lease", str(LEASE),
+         "--checkpoint-every", str(CHECKPOINT_EVERY), "--quiet"],
+        env=_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def _wait_for_checkpoints(store, distinct, timeout=90.0):
+    """Watch the *server's* checkpoint directory: agents upload their
+    progress on every heartbeat, so a file here proves the server could
+    hand the job to a different agent."""
+    checkpoints = os.path.join(store, "checkpoints")
+    seen = set()
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.isdir(checkpoints):
+            seen.update(name for name in os.listdir(checkpoints)
+                        if name.endswith(".json"))
+        if len(seen) >= distinct:
+            return
+        time.sleep(0.05)
+    pytest.fail(f"saw {len(seen)} uploaded checkpoint(s), wanted "
+                f"{distinct}")
+
+
+@pytest.mark.slow
+def test_fleet_survives_agent_kill_bit_identical(tmp_path):
+    spec = _spec()
+
+    # Reference: the same campaign, one process, no network.
+    ref_root = str(tmp_path / "reference")
+    with Ledger(ref_root) as ledger:
+        cid, _ = submit_campaign(ledger, spec, name="fleet")
+        Scheduler(ledger, jobs=1,
+                  checkpoint_every=CHECKPOINT_EVERY).run()
+        assert ledger.counts()["failed"] == 0
+        reference = {digest: ledger.artifacts_of(digest)
+                     for digest, _role in ledger.campaign_roles(cid)}
+
+    root = str(tmp_path / "fleet")
+    coordinator = victim = survivor = None
+    try:
+        coordinator, url = _coordinator(root)
+
+        # Submit over the wire; a duplicate submit is a cheap no-op.
+        submit = subprocess.run(
+            [sys.executable, "-m", "repro", "submit", "--url", url,
+             "--kernel", "dot", "--etas", "0,1e5", "--chains", "2",
+             "--proposals", "2400", "--testcases", "8", "--seed", "0",
+             "--validate-proposals", "300", "--verify-budget", "64",
+             "--name", "fleet"],
+            env=_env(), capture_output=True, text=True)
+        assert submit.returncode == 0, submit.stderr
+        assert "new job(s), 0 reused" in submit.stdout, submit.stdout
+
+        victim = _agent(url, str(tmp_path / "w1"))
+        survivor = _agent(url, str(tmp_path / "w2"))
+
+        # Both agents are mid-search once two distinct uploaded
+        # checkpoints exist; SIGKILL one of them.
+        _wait_for_checkpoints(root, distinct=2)
+        victim.send_signal(signal.SIGKILL)
+        victim.wait()
+
+        _out, err = survivor.communicate(timeout=300)
+        assert survivor.returncode == 0, err.decode()
+    finally:
+        for proc in (victim, survivor, coordinator):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    with Ledger(root) as ledger:
+        counts = ledger.counts()
+        assert counts["failed"] == 0 and counts["pending"] == 0 \
+            and counts["running"] == 0
+
+        # Exactly one completion per job across the whole fleet.
+        for row in ledger.jobs():
+            outcomes = [a["outcome"] for a in
+                        ledger.attempts_of(row["digest"])]
+            assert outcomes.count("ok") == 1
+
+        # The dead agent's lease expired, its job was reaped...
+        interrupted = [
+            row["digest"] for row in ledger.jobs()
+            if any(a["outcome"] == "interrupted"
+                   for a in ledger.attempts_of(row["digest"]))]
+        assert interrupted, "the kill interrupted no leased job"
+
+        # ...and the survivor resumed it from the uploaded checkpoint.
+        resumed_at = [
+            rec["data"]["resumed_at"]
+            for digest in interrupted
+            for rec in ledger.telemetry_of(digest)
+            if rec["kind"] == "attempt" and "resumed_at" in rec["data"]
+        ]
+        assert any(offset >= CHECKPOINT_EVERY for offset in resumed_at)
+
+        # Artifact digests are sha256 of content, so digest equality
+        # is byte equality with the no-network reference run.
+        cid = ledger.campaigns()[0]["id"]
+        fleet = {digest: ledger.artifacts_of(digest)
+                 for digest, _role in ledger.campaign_roles(cid)}
+        assert any("certificate.json" in named
+                   for named in fleet.values())
+    assert fleet == reference

@@ -1,0 +1,251 @@
+"""Lease/heartbeat claiming: expiry, reaping, owner guards, the pinned
+retry-backoff sequence, backoff persistence across handoff, and the
+v1 -> v2 schema migration."""
+
+import os
+import sqlite3
+import time
+
+import pytest
+
+from repro.service.jobs import JobSpec
+from repro.service.store import DEFAULT_LEASE, Ledger
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    with Ledger(str(tmp_path / "store")) as led:
+        yield led
+
+
+def _job(n=0, kind="search", deps=()):
+    return JobSpec(kind, {"n": n}, deps=tuple(deps), role=f"job[{n}]")
+
+
+class TestLeases:
+    def test_claim_grants_lease(self, ledger):
+        spec = _job(1)
+        ledger.add_job(spec)
+        now = time.time()
+        job = ledger.claim_ready(1, owner="w1", lease=30.0)[0]
+        assert job["lease_owner"] == "w1"
+        assert job["lease_expires"] >= now + 29.0
+        row = ledger.job(spec.digest)
+        assert row["lease_owner"] == "w1"
+
+    def test_heartbeat_extends_lease(self, ledger):
+        spec = _job(1)
+        ledger.add_job(spec)
+        ledger.claim_ready(1, owner="w1", lease=5.0)
+        before = ledger.job(spec.digest)["lease_expires"]
+        kept = ledger.heartbeat([spec.digest], "w1", 60.0)
+        assert kept == [spec.digest]
+        assert ledger.job(spec.digest)["lease_expires"] > before + 30.0
+
+    def test_heartbeat_rejects_wrong_owner(self, ledger):
+        spec = _job(1)
+        ledger.add_job(spec)
+        ledger.claim_ready(1, owner="w1", lease=5.0)
+        assert ledger.heartbeat([spec.digest], "w2", 60.0) == []
+        # The real owner is unaffected.
+        assert ledger.job(spec.digest)["lease_owner"] == "w1"
+
+    def test_reap_requeues_only_expired(self, ledger):
+        a, b = _job(1), _job(2)
+        ledger.add_job(a)
+        ledger.add_job(b)
+        ledger.claim_ready(2, owner="w1", lease=30.0)
+        assert ledger.reap_expired() == []
+        # Fast-forward past the lease: both jobs fall.
+        reaped = ledger.reap_expired(now=time.time() + 60.0)
+        assert sorted(reaped) == sorted([a.digest, b.digest])
+        for spec in (a, b):
+            row = ledger.job(spec.digest)
+            assert row["state"] == "pending"
+            # Attempt refunded, interruption recorded — the same
+            # contract as a graceful drain.
+            assert row["attempts"] == 0
+            assert ledger.attempts_of(spec.digest)[0]["outcome"] == \
+                "interrupted"
+
+    def test_recover_is_lease_scoped(self, ledger):
+        live, stale = _job(1), _job(2)
+        ledger.add_job(live)
+        ledger.add_job(stale)
+        ledger.claim_ready(1, owner="alive", lease=3600.0)
+        ledger.claim_ready(1, owner="dead", lease=0.0)  # born expired
+        assert ledger.recover() == 1
+        # The live scheduler's lease was not stolen.
+        assert ledger.job(live.digest)["state"] == "running"
+        assert ledger.job(stale.digest)["state"] == "pending"
+
+    def test_owner_guard_on_finish(self, ledger):
+        spec = _job(1)
+        ledger.add_job(spec)
+        ledger.claim_ready(1, owner="w1", lease=0.0)
+        # Lease expires, job re-granted to w2.
+        assert ledger.reap_expired() == [spec.digest]
+        ledger.claim_ready(1, owner="w2", lease=60.0)
+        # The zombie's completion is rejected; the new owner's works.
+        assert not ledger.finish(spec.digest, owner="w1")
+        assert ledger.job(spec.digest)["state"] == "running"
+        assert ledger.finish(spec.digest, owner="w2")
+        assert ledger.job(spec.digest)["state"] == "done"
+        # Exactly one attempt closed 'ok': no double completion.
+        outcomes = [a["outcome"] for a in ledger.attempts_of(spec.digest)]
+        assert outcomes.count("ok") == 1
+
+    def test_owner_guard_on_fail_and_release(self, ledger):
+        spec = _job(1)
+        ledger.add_job(spec)
+        ledger.claim_ready(1, owner="w1", lease=0.0)
+        ledger.reap_expired()
+        ledger.claim_ready(1, owner="w2", lease=60.0)
+        assert ledger.fail(spec.digest, "zombie", retry_in=0.0,
+                           owner="w1") == "running"
+        assert not ledger.release(spec.digest, owner="w1")
+        assert ledger.job(spec.digest)["state"] == "running"
+        assert ledger.job(spec.digest)["error"] is None
+        assert ledger.release(spec.digest, owner="w2")
+        assert ledger.job(spec.digest)["state"] == "pending"
+
+    def test_finish_clears_lease(self, ledger):
+        spec = _job(1)
+        ledger.add_job(spec)
+        ledger.claim_ready(1, owner="w1", lease=60.0)
+        ledger.finish(spec.digest, owner="w1")
+        row = ledger.job(spec.digest)
+        assert row["lease_owner"] == "" and row["lease_expires"] == 0
+
+    def test_legacy_unowned_claim_still_recovers(self, ledger):
+        # lease=0 claims (the v1 single-writer mode) are born expired:
+        # recover() requeues them exactly as before.
+        spec = _job(1)
+        ledger.add_job(spec)
+        ledger.claim_ready(1)
+        assert ledger.recover() == 1
+        assert ledger.job(spec.digest)["state"] == "pending"
+
+
+class TestBackoffSequence:
+    """The retry backoff is computed from the ledger's own post-fail
+    attempt count inside the failing transaction — never from a stale
+    claim-time row — so the sequence is exactly base * 2^(n-1)."""
+
+    def test_pinned_quarter_half_one(self, ledger):
+        spec = _job(1)
+        ledger.add_job(spec, max_attempts=4)
+        waits = []
+        now = time.time()
+        for _ in range(3):
+            claimed = ledger.claim_ready(1, now=now, owner="w1",
+                                         lease=60.0)
+            assert claimed
+            info = ledger.fail_attempt(spec.digest, "boom", 0.25,
+                                       owner="w1")
+            assert info["state"] == "pending"
+            waits.append(info["retry_in"])
+            now = ledger.job(spec.digest)["not_before"] + 0.001
+        assert waits == [0.25, 0.5, 1.0]
+
+    def test_exhaustion_reports_no_retry(self, ledger):
+        spec = _job(1)
+        ledger.add_job(spec, max_attempts=1)
+        ledger.claim_ready(1, owner="w1", lease=60.0)
+        info = ledger.fail_attempt(spec.digest, "boom", 0.25, owner="w1")
+        assert info["state"] == "failed"
+        assert info["retry_in"] is None
+
+    def test_attempt_count_is_post_fail(self, ledger):
+        spec = _job(1)
+        ledger.add_job(spec, max_attempts=5)
+        now = time.time()
+        for expected in (1, 2, 3):
+            ledger.claim_ready(1, now=now, owner="w1", lease=60.0)
+            info = ledger.fail_attempt(spec.digest, "boom", 0.25,
+                                       owner="w1")
+            assert info["attempts"] == expected
+            now = ledger.job(spec.digest)["not_before"] + 0.001
+
+
+class TestBackoffHandoff:
+    """In-memory monotonic backoff deadlines are flushed into the epoch
+    ``not_before`` column at handoff points, so another scheduler
+    honors the remaining delay."""
+
+    def test_close_persists_remaining_delay(self, tmp_path):
+        root = str(tmp_path / "store")
+        spec = _job(1)
+        with Ledger(root) as led:
+            led.add_job(spec, max_attempts=3)
+            led.claim_ready(1, owner="w1", lease=60.0)
+            led.fail(spec.digest, "boom", retry_in=3600.0, owner="w1")
+            # Simulate a backward wall-clock step losing the epoch
+            # stamp: without the flush, the next ledger would claim
+            # this job an hour early.
+            with led._tx() as conn:
+                conn.execute("UPDATE jobs SET not_before=0 "
+                             "WHERE digest=?", (spec.digest,))
+        with Ledger(root) as led:
+            assert led.claim_ready(1, owner="w2", lease=60.0) == []
+            remaining = led.job(spec.digest)["not_before"] - time.time()
+            assert 3500.0 < remaining <= 3600.0
+
+    def test_flush_only_touches_pending_jobs(self, tmp_path):
+        root = str(tmp_path / "store")
+        spec = _job(1)
+        with Ledger(root) as led:
+            led.add_job(spec, max_attempts=3)
+            led.claim_ready(1, owner="w1", lease=60.0)
+            led.fail(spec.digest, "boom", retry_in=3600.0, owner="w1")
+            # Another scheduler claims it (epoch mode skips the gate)
+            # and finishes; the stale deadline must not resurrect a
+            # not_before on the done row at close time.
+            led._backoff[spec.digest] = led._backoff.get(
+                spec.digest, time.monotonic() + 3600.0)
+            now = led.job(spec.digest)["not_before"] + 1
+            led.claim_ready(1, now=now, owner="w2", lease=60.0)
+            led.finish(spec.digest, owner="w2")
+            before = led.job(spec.digest)["not_before"]
+        with Ledger(root) as led:
+            assert led.job(spec.digest)["state"] == "done"
+            assert led.job(spec.digest)["not_before"] == before
+
+
+class TestMigration:
+    def test_v1_ledger_upgrades_in_place(self, tmp_path):
+        root = str(tmp_path / "store")
+        os.makedirs(root)
+        conn = sqlite3.connect(os.path.join(root, "ledger.sqlite3"))
+        conn.executescript("""
+            CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+            INSERT INTO meta VALUES ('schema_version', '1');
+            CREATE TABLE jobs (
+                digest TEXT PRIMARY KEY,
+                kind TEXT NOT NULL,
+                payload TEXT NOT NULL,
+                role TEXT NOT NULL DEFAULT '',
+                state TEXT NOT NULL DEFAULT 'pending',
+                attempts INTEGER NOT NULL DEFAULT 0,
+                max_attempts INTEGER NOT NULL DEFAULT 3,
+                not_before REAL NOT NULL DEFAULT 0,
+                error TEXT,
+                created_at REAL NOT NULL,
+                updated_at REAL NOT NULL
+            );
+            INSERT INTO jobs (digest, kind, payload, state, attempts,
+                              created_at, updated_at)
+            VALUES ('abc123', 'search', '{}', 'running', 1, 0, 0);
+        """)
+        conn.commit()
+        conn.close()
+        with Ledger(root) as led:
+            row = led.job("abc123")
+            # Migrated rows read as expired leases with no owner...
+            assert row["lease_owner"] == ""
+            assert row["lease_expires"] == 0
+            # ...so v1 crash recovery works unchanged.
+            assert led.recover() == 1
+            assert led.job("abc123")["state"] == "pending"
+        with Ledger(root) as led:  # reopen: migration is idempotent
+            assert led.job("abc123") is not None

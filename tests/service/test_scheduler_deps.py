@@ -1,0 +1,190 @@
+"""Scheduler dispatch-path fixes: dependency-document triage (retry a
+transiently unreadable dep, fail only when the dep itself failed) and
+retry events that carry the ledger's post-fail attempt count."""
+
+import json
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.core.parallel import TaskOutcome
+
+from repro.service.jobs import JobSpec
+from repro.service.queue import JobQueue
+from repro.service.scheduler import LocalSource, Scheduler
+from repro.service.store import Ledger
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    with Ledger(str(tmp_path / "store")) as led:
+        yield led
+
+
+def _finish_with_doc(ledger, digest, doc):
+    art = ledger.put_artifact(json.dumps(doc).encode("utf-8"),
+                              kind="result")
+    ledger.link_artifact(digest, "result.json", art)
+    ledger.finish(digest)
+    return art
+
+
+def _corrupt_artifact(ledger, art_digest):
+    path = ledger._artifact_path(art_digest)
+    with open(path, "wb") as fh:
+        fh.write(b"{torn")
+    return path
+
+
+class StubQueue(JobQueue):
+    """Asynchronous queue double: scripted outcomes, no execution."""
+
+    jobs = 4
+    synchronous = False
+
+    def __init__(self, fail_times: int = 0):
+        self.fail_times = fail_times
+        self.submitted: List[Dict] = []
+        self._pending: List[TaskOutcome] = []
+        self._failed = 0
+
+    def submit(self, key, item, timeout=None):
+        self.submitted.append(item)
+        if self._failed < self.fail_times:
+            self._failed += 1
+            self._pending.append(TaskOutcome(
+                key=key, ok=False, error="scripted failure",
+                kind="error"))
+        else:
+            self._pending.append(TaskOutcome(
+                key=key, ok=True,
+                value={"doc": {"ran": item["payload"]},
+                       "files": {}, "telemetry": {}}))
+
+    def poll(self, timeout=0.0):
+        out, self._pending = self._pending, []
+        return out
+
+    def close(self):
+        pass
+
+
+class TestDependencyTriage:
+    def _pair(self, ledger):
+        dep = JobSpec("search", {"n": 1})
+        job = JobSpec("select", {"n": 2}, deps=(dep.digest,))
+        ledger.add_job(dep)
+        ledger.add_job(job)
+        return dep, job
+
+    def test_ok_when_readable(self, ledger):
+        dep, job = self._pair(ledger)
+        ledger.claim_ready(1)
+        _finish_with_doc(ledger, dep.digest, {"x": 1})
+        status, _reason, docs = \
+            LocalSource(ledger).dependency_docs(job.digest)
+        assert status == "ok"
+        assert docs == {dep.digest: {"x": 1}}
+
+    def test_unreadable_dep_is_retryable(self, ledger):
+        dep, job = self._pair(ledger)
+        ledger.claim_ready(1)
+        art = _finish_with_doc(ledger, dep.digest, {"x": 1})
+        _corrupt_artifact(ledger, art)
+        status, reason, _docs = \
+            LocalSource(ledger).dependency_docs(job.digest)
+        assert status == "retry"
+        assert "unreadable" in reason
+
+    def test_failed_dep_is_fatal(self, ledger):
+        dep, job = self._pair(ledger)
+        ledger.claim_ready(1)
+        ledger.fail(dep.digest, "boom", retry_in=None)
+        # The cascade already failed the dependent; triage agrees.
+        status, reason, _docs = \
+            LocalSource(ledger).dependency_docs(job.digest)
+        assert status == "fatal"
+        assert "failed" in reason
+
+    def test_unknown_dep_is_fatal(self, ledger):
+        job = JobSpec("select", {"n": 2}, deps=("0" * 64,))
+        ledger.add_job(job)
+        status, reason, _docs = \
+            LocalSource(ledger).dependency_docs(job.digest)
+        assert status == "fatal"
+        assert "unknown" in reason
+
+    def test_scheduler_retries_then_heals(self, ledger):
+        """A corrupt dep artifact costs a retry, not the job: once the
+        artifact heals, the dependent dispatches and completes."""
+        dep, job = self._pair(ledger)
+        ledger.claim_ready(1)
+        art = _finish_with_doc(ledger, dep.digest, {"x": 1})
+        path = _corrupt_artifact(ledger, art)
+        events = []
+
+        def on_event(digest, event, info):
+            events.append((digest, event, info))
+            if event == "retry":
+                with open(path, "wb") as fh:  # the artifact heals
+                    fh.write(json.dumps({"x": 1}).encode("utf-8"))
+
+        queue = StubQueue()
+        scheduler = Scheduler(ledger, queue=queue, retry_base=0.01,
+                              on_event=on_event)
+        counts = scheduler.run()
+        assert counts == {"pending": 0, "running": 0, "done": 2,
+                          "failed": 0}
+        kinds = [e for _d, e, _i in events if _d == job.digest]
+        assert "retry" in kinds and "done" in kinds
+        assert "failed" not in kinds
+        # The healed attempt actually shipped the dep docs to the queue.
+        assert queue.submitted[-1]["deps"] == {dep.digest: {"x": 1}}
+
+    def test_scheduler_hard_fails_on_failed_dep(self, ledger):
+        dep = JobSpec("search", {"n": 1})
+        job = JobSpec("select", {"n": 2}, deps=(dep.digest,))
+        ledger.add_job(dep, max_attempts=1)
+        ledger.add_job(job)
+
+        queue = StubQueue(fail_times=1)  # dep's only attempt fails
+        scheduler = Scheduler(ledger, queue=queue, retry_base=0.01)
+        counts = scheduler.run()
+        assert counts["failed"] == 2
+        assert "upstream failed" in ledger.job(job.digest)["error"]
+
+
+class TestRetryAttemptCounts:
+    def test_events_carry_post_fail_attempts(self, ledger):
+        """Retry events report the attempt count the ledger recorded
+        for the failure — 1, 2, 3 — not the stale claim-time row."""
+        spec = JobSpec("search", {"n": 1})
+        ledger.add_job(spec, max_attempts=3)
+        events = []
+        queue = StubQueue(fail_times=2)
+        scheduler = Scheduler(
+            ledger, queue=queue, retry_base=0.01,
+            on_event=lambda d, e, i: events.append((e, i)))
+        counts = scheduler.run()
+        assert counts["done"] == 1
+        retries = [info["attempt"] for event, info in events
+                   if event == "retry"]
+        assert retries == [1, 2]
+        # The third (successful) attempt started as attempt 3.
+        starts = [info["attempt"] for event, info in events
+                  if event == "start"]
+        assert starts == [1, 2, 3]
+
+    def test_exhaustion_fails_with_final_count(self, ledger):
+        spec = JobSpec("search", {"n": 1})
+        ledger.add_job(spec, max_attempts=2)
+        events = []
+        queue = StubQueue(fail_times=5)
+        scheduler = Scheduler(
+            ledger, queue=queue, retry_base=0.01,
+            on_event=lambda d, e, i: events.append((e, i)))
+        counts = scheduler.run()
+        assert counts["failed"] == 1
+        failed = [info["attempt"] for event, info in events
+                  if event == "failed"]
+        assert failed == [2]
