@@ -189,6 +189,7 @@ def _verify_setup(args):
 
 
 def cmd_verify(args) -> int:
+    from repro.core import serialize as S
     from repro.verify import checker
     from repro.verify.bnb import BnBConfig, BnBVerifier, seeds_from_validation
     from repro.verify.certificate import Certificate
@@ -217,7 +218,9 @@ def cmd_verify(args) -> int:
         return 0 if report.ok else 1
 
     verifier = BnBVerifier(target, rewrite, live_outs, ranges,
-                           memory=memory, concrete_gp=concrete_gp)
+                           memory=memory, concrete_gp=concrete_gp,
+                           profile=args.profile_transfers)
+    quiet = args.json
 
     seeds = ()
     if args.seed_proposals:
@@ -226,31 +229,94 @@ def cmd_verify(args) -> int:
         validation = validator.validate(ValidationConfig(
             max_proposals=args.seed_proposals, seed=args.seed))
         seeds = seeds_from_validation(validation, verifier.dims)
-        print(f"# validator: max error {validation.max_err:.6g} ULPs "
-              f"({validation.samples} samples, "
-              f"converged={validation.converged}) -> "
-              f"{len(seeds)} counterexample seed(s)")
+        if not quiet:
+            print(f"# validator: max error {validation.max_err:.6g} ULPs "
+                  f"({validation.samples} samples, "
+                  f"converged={validation.converged}) -> "
+                  f"{len(seeds)} counterexample seed(s)")
 
     config = BnBConfig(max_boxes=args.budget, deadline=args.deadline,
                        target_gap=args.target_gap, jobs=args.jobs,
-                       seeds=seeds)
+                       seeds=seeds, engine=args.engine)
     result = verifier.run(config)
-    print(f"certified bound: {result.bound_ulps:.6g} ULPs "
-          f"(complete={result.complete})")
-    print(f"# lower bound {result.lower_bound:.6g} ULPs, "
-          f"gap {result.gap:.3g}, termination: {result.termination}")
-    print(f"# {result.boxes_explored} boxes explored, "
-          f"{result.boxes_pruned} pruned, {len(result.leaves)} leaves, "
-          f"frontier peak {result.max_frontier}, "
-          f"{result.rounds} rounds x {result.jobs} worker(s), "
-          f"{result.wall_time:.2f}s")
-    print(f"# bit ops: {result.stats.concrete_bit_ops} concrete, "
-          f"{result.stats.widened_bit_ops} widened")
+    if not quiet:
+        print(f"certified bound: {result.bound_ulps:.6g} ULPs "
+              f"(complete={result.complete})")
+        print(f"# lower bound {result.lower_bound:.6g} ULPs, "
+              f"gap {result.gap:.3g}, termination: {result.termination}")
+        print(f"# {result.boxes_explored} boxes explored, "
+              f"{result.boxes_pruned} pruned, {len(result.leaves)} leaves, "
+              f"frontier peak {result.max_frontier}, "
+              f"{result.rounds} rounds x {result.jobs} worker(s), "
+              f"{result.wall_time:.2f}s "
+              f"({result.boxes_per_second:,.0f} boxes/s, "
+              f"engine={config.engine})")
+        print(f"# bit ops: {result.stats.concrete_bit_ops} concrete, "
+              f"{result.stats.widened_bit_ops} widened")
+        if args.profile_transfers and result.stats.op_seconds:
+            total = sum(result.stats.op_seconds.values()) or 1.0
+            top = sorted(result.stats.op_seconds.items(),
+                         key=lambda kv: -kv[1])[:8]
+            parts = ", ".join(f"{op} {secs / total:.0%}"
+                              for op, secs in top)
+            print(f"# transfer time by opcode: {parts}")
+
+    exhaustive = None
+    if args.exhaustive_bits:
+        from repro.verify import exhaustive_check
+
+        exact = exhaustive_check(target, rewrite, live_outs, val_ranges,
+                                 base_testcase,
+                                 bits_per_input=args.exhaustive_bits,
+                                 backend=args.backend)
+        exhaustive = {
+            "max_ulps": S.enc_float(exact.max_ulps),
+            "cases_checked": exact.cases_checked,
+            "bits_per_input": args.exhaustive_bits,
+            "backend": args.backend,
+            "dominated": bool(exact.max_ulps <= result.bound_ulps),
+        }
+        if not quiet:
+            print(f"# exhaustive ({args.exhaustive_bits} bits/input, "
+                  f"{args.backend}): max {exact.max_ulps:.6g} ULPs over "
+                  f"{exact.cases_checked:,} cases, "
+                  f"dominated={exhaustive['dominated']}")
+
     if args.emit_cert:
         cert = verifier.certificate(result, config=config)
         cert.save(args.emit_cert)
-        print(f"# certificate: {args.emit_cert} "
-              f"({cert.size_bytes:,} bytes, {len(cert.leaves)} leaves)")
+        if not quiet:
+            print(f"# certificate: {args.emit_cert} "
+                  f"({cert.size_bytes:,} bytes, {len(cert.leaves)} leaves)")
+    if args.json:
+        payload = {
+            "engine": config.engine,
+            "bound_ulps": S.enc_float(result.bound_ulps),
+            "lower_bound": S.enc_float(result.lower_bound),
+            "gap": S.enc_float(result.gap),
+            "complete": result.complete,
+            "termination": result.termination,
+            "boxes_explored": result.boxes_explored,
+            "boxes_pruned": result.boxes_pruned,
+            "leaves": len(result.leaves),
+            "rounds": result.rounds,
+            "max_frontier": result.max_frontier,
+            "jobs": result.jobs,
+            "seeds_covered": result.seeds_covered,
+            "unsupported": result.unsupported,
+            "wall_time": result.wall_time,
+            "boxes_per_second": result.boxes_per_second,
+            "stats": {
+                "concrete_bit_ops": result.stats.concrete_bit_ops,
+                "widened_bit_ops": result.stats.widened_bit_ops,
+                "transfer_seconds": result.stats.transfer_seconds,
+                "op_counts": dict(result.stats.op_counts),
+                "op_seconds": dict(result.stats.op_seconds),
+            },
+        }
+        if exhaustive is not None:
+            payload["exhaustive"] = exhaustive
+        _json_out(payload)
     return 0 if result.complete else 1
 
 
@@ -366,6 +432,7 @@ def cmd_serve(args) -> int:
                 ledger, jobs=args.jobs,
                 checkpoint_every=args.checkpoint_every,
                 checkpoint_rounds=args.checkpoint_rounds,
+                checkpoint_seconds=args.checkpoint_seconds,
                 retry_base=args.retry_base,
                 task_timeout=args.task_timeout,
                 lease=args.lease,
@@ -404,6 +471,7 @@ def cmd_agent(args) -> int:
         jobs=args.jobs, lease=args.lease,
         checkpoint_every=args.checkpoint_every,
         checkpoint_rounds=args.checkpoint_rounds,
+        checkpoint_seconds=args.checkpoint_seconds,
         retry_base=args.retry_base, task_timeout=args.task_timeout,
         on_event=None if args.quiet else narrate,
         until_idle=not args.wait, poll_interval=args.poll_interval)
@@ -645,6 +713,23 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--jobs", type=_nonnegative_int, default=1,
                      metavar="N",
                      help="refinement worker processes (0 = cpu count)")
+    ver.add_argument("--engine", choices=("batched", "reference"),
+                     default="batched",
+                     help="'batched' = pipelined compiled transfers "
+                          "(jobs-invariant partition); 'reference' = the "
+                          "historical barriered interpretive engine")
+    ver.add_argument("--profile-transfers", action="store_true",
+                     help="record per-opcode transfer timing (adds "
+                          "overhead; surfaces in --json op_seconds)")
+    ver.add_argument("--json", action="store_true",
+                     help="emit the full result as JSON instead of text")
+    ver.add_argument("--exhaustive-bits", type=_nonnegative_int, default=0,
+                     metavar="N",
+                     help="also sweep an N-bit-per-input exhaustive grid "
+                          "as ground truth (0 = skip)")
+    ver.add_argument("--backend", default="vector",
+                     choices=known_backends(),
+                     help="execution backend for --exhaustive-bits")
     ver.add_argument("--seed-proposals", type=_nonnegative_int, default=0,
                      metavar="N",
                      help="MCMC validator proposals mining counterexample "
@@ -703,6 +788,10 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--checkpoint-rounds", type=_nonnegative_int,
                     default=4, metavar="N",
                     help="refinement rounds between verifier checkpoints")
+    sv.add_argument("--checkpoint-seconds", type=float, default=1.0,
+                    metavar="SEC",
+                    help="minimum wall-clock spacing between verifier "
+                         "checkpoints (0 = every eligible round)")
     sv.add_argument("--retry-base", type=float, default=0.25,
                     metavar="SEC",
                     help="backoff base: retry n waits base * 2^(n-1)")
@@ -749,6 +838,8 @@ def build_parser() -> argparse.ArgumentParser:
                     default=500, metavar="N")
     ag.add_argument("--checkpoint-rounds", type=_nonnegative_int,
                     default=4, metavar="N")
+    ag.add_argument("--checkpoint-seconds", type=float, default=1.0,
+                    metavar="SEC")
     ag.add_argument("--retry-base", type=float, default=0.25,
                     metavar="SEC")
     ag.add_argument("--task-timeout", type=float, default=None,

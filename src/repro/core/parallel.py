@@ -524,6 +524,18 @@ class TaskPool:
         """Tasks submitted whose outcomes have not been drained."""
         return self._in_flight
 
+    @property
+    def idle_workers(self) -> int:
+        """Workers alive and not running a task (0 for inline pools).
+
+        Streaming callers use this to size speculative dispatch: keep
+        submitting while capacity is free, stop once saturated.
+        """
+        if self.inline:
+            return 0
+        return sum(1 for w in self._workers
+                   if not w.busy and w.proc.is_alive())
+
     # -- public: batches --------------------------------------------------
 
     def run(self, items: Sequence,

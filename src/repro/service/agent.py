@@ -238,6 +238,7 @@ def run_agent(url: Optional[str] = None, store: Optional[str] = None,
               workdir: Optional[str] = None, jobs: int = 1,
               lease: float = DEFAULT_LEASE,
               checkpoint_every: int = 500, checkpoint_rounds: int = 4,
+              checkpoint_seconds: float = 1.0,
               retry_base: float = 0.25,
               task_timeout: Optional[float] = None,
               on_event: Optional[Callable[[str, str, Dict], None]] = None,
@@ -254,6 +255,7 @@ def run_agent(url: Optional[str] = None, store: Optional[str] = None,
         raise ValueError("agent needs exactly one of url= or store=")
     kwargs = dict(jobs=jobs, checkpoint_every=checkpoint_every,
                   checkpoint_rounds=checkpoint_rounds,
+                  checkpoint_seconds=checkpoint_seconds,
                   retry_base=retry_base, task_timeout=task_timeout,
                   on_event=on_event, worker_id=worker_id, lease=lease)
     if store is not None:

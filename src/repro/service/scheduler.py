@@ -198,6 +198,7 @@ class Scheduler:
     def __init__(self, ledger, jobs: int = 1,
                  checkpoint_every: int = 500,
                  checkpoint_rounds: int = 4,
+                 checkpoint_seconds: float = 1.0,
                  retry_base: float = 0.25,
                  task_timeout: Optional[float] = None,
                  on_event: Optional[Callable[[str, str, Dict], None]] = None,
@@ -213,7 +214,8 @@ class Scheduler:
             self.ledger = getattr(ledger, "ledger", None)
         self.jobs = jobs if jobs else default_jobs()
         self.policy = {"checkpoint_every": int(checkpoint_every),
-                       "checkpoint_rounds": int(checkpoint_rounds)}
+                       "checkpoint_rounds": int(checkpoint_rounds),
+                       "checkpoint_seconds": float(checkpoint_seconds)}
         self.retry_base = retry_base
         self.task_timeout = task_timeout
         self.on_event = on_event

@@ -224,7 +224,8 @@ def _run_verify(context: Dict, digest: str, payload: Dict,
     result = verifier.run(
         config, resume=resume,
         checkpoint_rounds=int(policy.get("checkpoint_rounds", 0)),
-        on_checkpoint=_saver(context, digest, "verify"))
+        on_checkpoint=_saver(context, digest, "verify"),
+        checkpoint_seconds=float(policy.get("checkpoint_seconds", 0.0)))
     cert = verifier.certificate(result, config=config)
     cert_doc = cert.to_dict()
     # Wall time is telemetry; scrub it so certificates are reproducible
@@ -248,6 +249,9 @@ def _run_verify(context: Dict, digest: str, payload: Dict,
             "files": {"certificate.json": S.canonical_json(cert_doc)},
             "telemetry": {"wall_time": result.wall_time,
                           "boxes_explored": result.boxes_explored,
+                          "boxes_per_second": result.boxes_per_second,
+                          "transfer_seconds":
+                              result.stats.transfer_seconds,
                           "resumed": resume is not None}}
 
 

@@ -17,10 +17,19 @@ with the largest interval bound along its widest ULP-space dimension:
   largest is a *lower* bound on the sup error, boxes whose bound is
   already below it are never worth refining (pruned), and boxes that
   contain a counterexample are refined first while the bound has slack.
-* **Parallel refinement.**  Each round pops a batch of boxes and
-  evaluates their children through a :class:`repro.core.parallel.TaskPool`
-  whose workers build one :class:`~repro.verify.interval.IntervalTransfer`
-  each; ``jobs=1`` is a deterministic inline path.
+* **Two engines.**  ``engine='batched'`` (the default) commits one
+  split at a time in strict heap order — so the refinement sequence,
+  leaf tiling, and certified bound are those of the serial search at
+  *any* ``jobs`` — while a speculation cache keeps the worker pool
+  saturated: the splits most likely to be committed next (the head of
+  the frontier, plus children of in-flight splits) are dispatched ahead
+  of time in adaptively-sized chunks, and results that the serial
+  commit order never asks for are simply dropped.  Workers analyze both
+  children of a split in one unit, sharing the parent's abstract prefix
+  (:meth:`~repro.verify.interval.IntervalTransfer.analyze_split`).
+  ``engine='reference'`` is the historical barriered engine — one box
+  per task through the interpretive transfer, ``jobs``-wide rounds —
+  kept as the oracle for identity tests and throughput baselines.
 * **Termination triad.**  A box budget, a wall-clock deadline, and a
   target gap (``bound <= lower + gap * max(lower, 1)``) — whichever
   fires first; an exhausted frontier (everything pruned or at point
@@ -37,18 +46,30 @@ import heapq
 import math
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.core.parallel import TaskPool
+from repro.core.parallel import TaskCrash, TaskError, TaskPool, TaskTimeout
 from repro.core.runner import Location
 from repro.x86.memory import Memory
 from repro.x86.program import Program
 from repro.x86.testcase import decode_from
 
 from repro.verify.interval import IntervalTransfer, TransferStats
-from repro.verify.partition import BitBox, Dim, indices_of_values
+from repro.verify.partition import (BitBox, Dim, covered_seed_count,
+                                    indices_of_values)
 
 _INF = math.inf
+
+# Dispatch shaping for the batched engine: cap the per-task chunk
+# ladder, bound the speculation cache, size the adaptive-chunk
+# observation window, and — when a window shows speculation isn't
+# being consumed (oversubscribed CPUs, inaccurate predictions) — pause
+# dispatch for this many commits before probing again.
+_MAX_CHUNK = 8
+_MAX_CACHE = 1024
+_MAX_SPEC_CHILDREN = 512
+_CHUNK_WINDOW = 32
+_SPEC_PAUSE = 1024
 
 
 @dataclass(frozen=True)
@@ -61,12 +82,14 @@ class TransferSpec:
     ranges: Tuple[Tuple[str, float, float], ...]
     memory: Optional[Memory]
     concrete_gp: Tuple[Tuple[int, int], ...]
+    profile: bool = False
 
     def build(self) -> IntervalTransfer:
         return IntervalTransfer(
             self.target, self.rewrite, list(self.live_outs),
             {loc: (lo, hi) for loc, lo, hi in self.ranges},
-            memory=self.memory, concrete_gp=dict(self.concrete_gp))
+            memory=self.memory, concrete_gp=dict(self.concrete_gp),
+            profile=self.profile)
 
 
 def _build_transfer(spec: TransferSpec) -> IntervalTransfer:
@@ -76,27 +99,45 @@ def _build_transfer(spec: TransferSpec) -> IntervalTransfer:
 def _analyze_box(transfer: IntervalTransfer, bounds: Tuple[Tuple[int, int], ...]
                  ) -> Tuple[float, Optional[Dict[str, float]],
                             Tuple[int, int, int], Optional[str]]:
-    """TaskPool job: bound one box; IntervalUnsupported -> +inf bound."""
+    """Reference-engine job: bound one box through the interpretive
+    transfer; IntervalUnsupported -> +inf bound."""
     from repro.verify.interval import IntervalUnsupported
 
-    before = (transfer.stats.boxes, transfer.stats.concrete_bit_ops,
-              transfer.stats.widened_bit_ops)
     try:
-        bound, per_loc = transfer.analyze(BitBox(bounds))
-        error = None
+        bound, per_loc, stats = transfer.analyze_interpretive(BitBox(bounds))
     except IntervalUnsupported as exc:
-        bound, per_loc, error = _INF, None, str(exc)
-    after = (transfer.stats.boxes, transfer.stats.concrete_bit_ops,
-              transfer.stats.widened_bit_ops)
-    delta = tuple(b - a for a, b in zip(before, after))
-    if delta == (0, 0, 0):
-        delta = (1, 0, 0)  # the failed analysis still visited a box
-    return bound, per_loc, delta, error
+        return _INF, None, (1, 0, 0), str(exc)
+    return bound, per_loc, (stats.boxes, stats.concrete_bit_ops,
+                            stats.widened_bit_ops), None
+
+
+def _analyze_units(transfer: IntervalTransfer, units: Sequence[Tuple]
+                   ) -> List[Tuple]:
+    """Batched-engine job: a chunk of work units through the compiled
+    transfer.
+
+    Units are ``('box', bounds)`` or ``('split', bounds, dim, sharing)``;
+    each yields ``(value, elapsed_seconds, op_seconds)`` where ``value``
+    is one :data:`~repro.verify.interval.UnitResult` for a box and a
+    ``(left, right)`` pair of them for a split.
+    """
+    out: List[Tuple] = []
+    for unit in units:
+        t0 = time.perf_counter()
+        if unit[0] == "box":
+            res, op_secs = transfer.analyze_unit(BitBox(unit[1]))
+            out.append((res, time.perf_counter() - t0, op_secs))
+        else:
+            _, bounds, dim, sharing = unit
+            l_res, r_res, op_secs = transfer.analyze_split(
+                BitBox(bounds), dim, sharing=sharing)
+            out.append(((l_res, r_res), time.perf_counter() - t0, op_secs))
+    return out
 
 
 @dataclass(frozen=True)
 class BnBConfig:
-    """Search policy: termination triad, parallelism, seeding."""
+    """Search policy: termination triad, parallelism, seeding, engine."""
 
     max_boxes: int = 256          # analyze-call budget
     deadline: Optional[float] = None   # wall-clock seconds
@@ -105,6 +146,13 @@ class BnBConfig:
     # ((input values in range order), observed true error) pairs,
     # typically from seeds_from_validation().
     seeds: Tuple[Tuple[Tuple[float, ...], float], ...] = ()
+    # 'batched' = pipelined compiled engine (jobs-invariant partition);
+    # 'reference' = the historical barriered interpretive engine.
+    engine: str = "batched"
+    # Work units per task for the batched engine; 0 = adaptive ladder.
+    chunk: int = 0
+    # Share the parent's abstract prefix between split children.
+    prefix_sharing: bool = True
 
 
 @dataclass
@@ -126,6 +174,7 @@ class BnBResult:
     max_frontier: int = 0
     jobs: int = 1
     seeds_covered: int = 0
+    unsupported: int = 0
 
     @property
     def gap(self) -> float:
@@ -133,6 +182,13 @@ class BnBResult:
         lower bound (0 means the bound is tight against evidence)."""
         return (self.bound_ulps - self.lower_bound) / \
             max(self.lower_bound, 1.0)
+
+    @property
+    def boxes_per_second(self) -> float:
+        """End-to-end verification throughput (explored / wall time)."""
+        if self.wall_time <= 0:
+            return 0.0
+        return self.boxes_explored / self.wall_time
 
 
 @dataclass
@@ -186,7 +242,10 @@ class BnBCheckpoint:
     strict ``(priority, bound, seq)`` heap order — and therefore the
     refinement order and final leaf partition — matches the
     uninterrupted run (wall-clock fields excepted).  Leaf boxes reuse
-    the certificate's inclusive bit-index range encoding.
+    the certificate's inclusive bit-index range encoding.  The batched
+    engine's speculation cache is deliberately absent: cached results
+    are pure functions of their boxes, so a resumed run recomputes
+    them and still lands on the identical partition.
     """
 
     seq: int
@@ -200,6 +259,7 @@ class BnBCheckpoint:
     stats_widened: int
     frontier: List[_Entry]
     leaves: List[_Entry]
+    unsupported: int = 0
 
     def to_dict(self) -> dict:
         from repro.core import serialize as S
@@ -215,6 +275,7 @@ class BnBCheckpoint:
             "complete": self.complete,
             "stats": [self.stats_boxes, self.stats_concrete,
                       self.stats_widened],
+            "unsupported": self.unsupported,
             "frontier": [_entry_to_dict(e) for e in self.frontier],
             "leaves": [_entry_to_dict(e) for e in self.leaves],
         }
@@ -237,7 +298,26 @@ class BnBCheckpoint:
             stats_widened=int(widened),
             frontier=[_entry_from_dict(e) for e in data["frontier"]],
             leaves=[_entry_from_dict(e) for e in data["leaves"]],
+            unsupported=int(data.get("unsupported", 0)),
         )
+
+
+class _SearchState:
+    """Counters and collections one search accumulates (both engines)."""
+
+    __slots__ = ("seq", "explored", "pruned", "rounds", "max_frontier",
+                 "complete", "unsupported", "frontier", "leaves")
+
+    def __init__(self):
+        self.seq = 0
+        self.explored = 0
+        self.pruned = 0
+        self.rounds = 0
+        self.max_frontier = 1
+        self.complete = True
+        self.unsupported = 0
+        self.frontier: List[Tuple] = []
+        self.leaves: List[_Entry] = []
 
 
 class BnBVerifier:
@@ -247,7 +327,8 @@ class BnBVerifier:
                  live_outs: Sequence[Union[str, Location]],
                  ranges: Dict[Union[str, Location], Tuple[float, float]],
                  memory: Optional[Memory] = None,
-                 concrete_gp: Optional[Dict[int, int]] = None):
+                 concrete_gp: Optional[Dict[int, int]] = None,
+                 profile: bool = False):
         self.spec = TransferSpec(
             target=target,
             rewrite=rewrite,
@@ -256,6 +337,7 @@ class BnBVerifier:
                          for loc, (lo, hi) in ranges.items()),
             memory=memory,
             concrete_gp=tuple((concrete_gp or {}).items()),
+            profile=profile,
         )
         # A local transfer for dims/root bookkeeping (and the jobs=1 path).
         self.transfer = self.spec.build()
@@ -274,32 +356,44 @@ class BnBVerifier:
     def run(self, config: BnBConfig = BnBConfig(),
             resume: Optional[BnBCheckpoint] = None,
             checkpoint_rounds: int = 0,
-            on_checkpoint=None) -> BnBResult:
+            on_checkpoint=None,
+            checkpoint_seconds: float = 0.0) -> BnBResult:
         """Refine until a termination condition fires.
 
         ``checkpoint_rounds`` > 0 calls ``on_checkpoint`` with an exact
         :class:`BnBCheckpoint` every that-many refinement rounds;
+        ``checkpoint_seconds`` > 0 additionally rate-limits checkpoint
+        construction to one per that many wall-clock seconds (snapshots
+        serialize the whole frontier — on fast searches the round gate
+        alone would rebuild them far more often than any sink needs).
         ``resume`` continues from one and — for budget/gap-terminated
         configs — reproduces the uninterrupted run's partition and
         bounds exactly (deadline termination is wall-clock and outside
         the identity).
         """
+        if config.engine not in ("batched", "reference"):
+            raise ValueError(f"unknown BnB engine {config.engine!r} "
+                             "(expected 'batched' or 'reference')")
         start = time.monotonic()
         seeds = self.seed_indices(config.seeds)
         lower = max([err for _, err in seeds], default=0.0)
 
-        pool = TaskPool(_build_transfer, self.spec, _analyze_box,
+        task_fn = (_analyze_units if config.engine == "batched"
+                   else _analyze_box)
+        pool = TaskPool(_build_transfer, self.spec, task_fn,
                         jobs=config.jobs)
-        # Inline path: reuse the already-built transfer so its stats
-        # accumulate across runs of the same verifier.
+        # Inline path: reuse the already-built transfer (no recompile).
         if pool.inline:
             pool.set_context(self.transfer)
         stats = TransferStats()
+        search = (self._search_batched if config.engine == "batched"
+                  else self._search_reference)
         try:
-            result = self._search(pool, config, seeds, lower, stats, start,
-                                  resume=resume,
-                                  checkpoint_rounds=checkpoint_rounds,
-                                  on_checkpoint=on_checkpoint)
+            result = search(pool, config, seeds, lower, stats, start,
+                            resume=resume,
+                            checkpoint_rounds=checkpoint_rounds,
+                            on_checkpoint=on_checkpoint,
+                            checkpoint_seconds=checkpoint_seconds)
         finally:
             pool.close()
         self.last_result = result
@@ -315,69 +409,124 @@ class BnBVerifier:
             return 1
         return 0
 
-    def _search(self, pool: TaskPool, config: BnBConfig, seeds,
-                lower: float, stats: TransferStats,
-                start: float, resume: Optional[BnBCheckpoint] = None,
-                checkpoint_rounds: int = 0,
-                on_checkpoint=None) -> BnBResult:
-        root = self.transfer.root
-        seq = 0
-        explored = 0
-        pruned = 0
-        rounds = 0
-        max_frontier = 1
-        complete = True
-        frontier: List[Tuple] = []
-        leaves: List[_Entry] = []
+    def _absorb(self, st: _SearchState, stats: TransferStats, result,
+                box: BitBox, seeds, lower: float) -> _Entry:
+        """Fold one UnitResult into the search; returns its entry."""
+        bound, per_loc, delta, error = result
+        stats.boxes += delta[0]
+        stats.concrete_bit_ops += delta[1]
+        stats.widened_bit_ops += delta[2]
+        st.explored += 1
+        if error is not None:
+            st.unsupported += 1
+        entry = _Entry(self._priority(box, bound, error, seeds, lower),
+                       bound, st.seq, box, per_loc)
+        st.seq += 1
+        return entry
 
-        def absorb(result, box: BitBox) -> _Entry:
-            nonlocal seq, explored, complete
-            bound, per_loc, delta, error = result
-            stats.boxes += delta[0]
-            stats.concrete_bit_ops += delta[1]
-            stats.widened_bit_ops += delta[2]
-            explored += 1
-            entry = _Entry(self._priority(box, bound, error, seeds, lower),
-                           bound, seq, box, per_loc)
-            seq += 1
-            return entry
+    def _restore(self, st: _SearchState, stats: TransferStats,
+                 resume: BnBCheckpoint, push) -> None:
+        st.seq = resume.seq
+        st.explored = resume.explored
+        st.pruned = resume.pruned
+        st.rounds = resume.rounds
+        st.max_frontier = resume.max_frontier
+        st.complete = resume.complete
+        st.unsupported = resume.unsupported
+        stats.boxes += resume.stats_boxes
+        stats.concrete_bit_ops += resume.stats_concrete
+        stats.widened_bit_ops += resume.stats_widened
+        st.leaves = list(resume.leaves)
+        for entry in resume.frontier:
+            push(entry)
+
+    @staticmethod
+    def _snapshot(st: _SearchState, stats: TransferStats) -> BnBCheckpoint:
+        return BnBCheckpoint(
+            seq=st.seq, explored=st.explored, pruned=st.pruned,
+            rounds=st.rounds, max_frontier=st.max_frontier,
+            complete=st.complete,
+            stats_boxes=stats.boxes,
+            stats_concrete=stats.concrete_bit_ops,
+            stats_widened=stats.widened_bit_ops,
+            frontier=[entry for _, entry in st.frontier],
+            leaves=list(st.leaves),
+            unsupported=st.unsupported)
+
+    def _assemble(self, st: _SearchState, config: BnBConfig, seeds,
+                  lower: float, stats: TransferStats, start: float,
+                  termination: str) -> BnBResult:
+        leaves = st.leaves
+        leaves.extend(entry for _, entry in st.frontier)
+        complete = st.complete
+        if any(not math.isfinite(e.bound) for e in leaves):
+            complete = False
+
+        bound = max((e.bound for e in leaves), default=0.0)
+        worst = max(leaves, key=lambda e: e.bound, default=None)
+        per_location = dict(worst.per_loc) if worst is not None and \
+            worst.per_loc is not None else {}
+        covered = covered_seed_count([e.box for e in leaves], seeds, bound)
+        # Nominal opcode traffic: every successfully analyzed box runs
+        # the full instruction mix (prefix sharing skips re-execution,
+        # not accounting — the shared prefix still "covers" both kids).
+        supported = st.explored - st.unsupported
+        if self.transfer.op_histogram and supported > 0:
+            stats.op_counts = {op: n * supported
+                               for op, n in self.transfer.op_histogram.items()}
+        return BnBResult(
+            bound_ulps=bound,
+            lower_bound=lower,
+            boxes_explored=st.explored,
+            boxes_pruned=st.pruned,
+            leaves=[e.box for e in leaves],
+            leaf_bounds=[e.bound for e in leaves],
+            per_location=per_location,
+            stats=stats,
+            complete=complete,
+            termination=termination,
+            wall_time=time.monotonic() - start,
+            rounds=st.rounds,
+            max_frontier=st.max_frontier,
+            jobs=config.jobs,
+            seeds_covered=covered,
+            unsupported=st.unsupported,
+        )
+
+    # -- reference engine (historical barriered search) -----------------
+
+    def _search_reference(self, pool: TaskPool, config: BnBConfig, seeds,
+                          lower: float, stats: TransferStats,
+                          start: float,
+                          resume: Optional[BnBCheckpoint] = None,
+                          checkpoint_rounds: int = 0,
+                          on_checkpoint=None,
+                          checkpoint_seconds: float = 0.0) -> BnBResult:
+        root = self.transfer.root
+        st = _SearchState()
+        frontier = st.frontier
 
         def push(entry: _Entry) -> None:
             heapq.heappush(frontier, (entry.key(), entry))
 
         if resume is not None:
-            seq = resume.seq
-            explored = resume.explored
-            pruned = resume.pruned
-            rounds = resume.rounds
-            max_frontier = resume.max_frontier
-            complete = resume.complete
-            stats.boxes += resume.stats_boxes
-            stats.concrete_bit_ops += resume.stats_concrete
-            stats.widened_bit_ops += resume.stats_widened
-            leaves = list(resume.leaves)
-            for entry in resume.frontier:
-                push(entry)
+            self._restore(st, stats, resume, push)
         else:
-            for entry in map(absorb, pool.map([root.bounds]), [root]):
-                push(entry)
+            for result in pool.map([root.bounds]):
+                push(self._absorb(st, stats, result, root, seeds, lower))
 
-        def snapshot() -> BnBCheckpoint:
-            return BnBCheckpoint(
-                seq=seq, explored=explored, pruned=pruned, rounds=rounds,
-                max_frontier=max_frontier, complete=complete,
-                stats_boxes=stats.boxes,
-                stats_concrete=stats.concrete_bit_ops,
-                stats_widened=stats.widened_bit_ops,
-                frontier=[entry for _, entry in frontier],
-                leaves=list(leaves))
-
+        last_checkpoint = start
         termination = "exhausted"
         while frontier:
             if (checkpoint_rounds and on_checkpoint is not None
-                    and rounds > 0 and rounds % checkpoint_rounds == 0):
-                on_checkpoint(snapshot())
-            if explored >= config.max_boxes:
+                    and st.rounds > 0
+                    and st.rounds % checkpoint_rounds == 0):
+                now = time.monotonic()
+                if checkpoint_seconds <= 0 or \
+                        now - last_checkpoint >= checkpoint_seconds:
+                    on_checkpoint(self._snapshot(st, stats))
+                    last_checkpoint = now
+            if st.explored >= config.max_boxes:
                 termination = "budget"
                 break
             if config.deadline is not None and \
@@ -387,7 +536,7 @@ class BnBVerifier:
             if config.target_gap is not None:
                 current = max(
                     [e.bound for _, e in frontier] +
-                    [e.bound for e in leaves] + [0.0])
+                    [e.bound for e in st.leaves] + [0.0])
                 if current <= lower + config.target_gap * max(lower, 1.0):
                     termination = "gap"
                     break
@@ -398,56 +547,268 @@ class BnBVerifier:
                 if entry.bound <= lower and entry.priority < 2:
                     # Refining cannot lower the global max below the
                     # empirical lower bound: keep as a leaf.
-                    leaves.append(entry)
-                    pruned += 1
+                    st.leaves.append(entry)
+                    st.pruned += 1
                     continue
                 if not entry.box.splittable:
                     if not math.isfinite(entry.bound):
-                        complete = False
-                    leaves.append(entry)
+                        st.complete = False
+                    st.leaves.append(entry)
                     continue
                 batch.append(entry)
             if not batch:
                 break  # frontier drained into leaves
-            rounds += 1
+            st.rounds += 1
 
             children: List[BitBox] = []
             for entry in batch:
                 left, right = entry.box.split(entry.box.widest_dim())
                 children.extend((left, right))
-            for entry in map(absorb, pool.map([c.bounds for c in children]),
-                             children):
-                push(entry)
-            max_frontier = max(max_frontier, len(frontier))
+            for result, child in zip(pool.map([c.bounds for c in children]),
+                                     children):
+                push(self._absorb(st, stats, result, child, seeds, lower))
+            st.max_frontier = max(st.max_frontier, len(frontier))
 
-        leaves.extend(entry for _, entry in frontier)
-        if any(not math.isfinite(e.bound) for e in leaves):
-            complete = False
+        return self._assemble(st, config, seeds, lower, stats, start,
+                              termination)
 
-        bound = max((e.bound for e in leaves), default=0.0)
-        worst = max(leaves, key=lambda e: e.bound, default=None)
-        per_location = dict(worst.per_loc) if worst is not None and \
-            worst.per_loc is not None else {}
-        covered = sum(1 for idx, err in seeds
-                      if err <= bound and any(
-                          leaf.box.contains(idx) for leaf in leaves))
-        return BnBResult(
-            bound_ulps=bound,
-            lower_bound=lower,
-            boxes_explored=explored,
-            boxes_pruned=pruned,
-            leaves=[e.box for e in leaves],
-            leaf_bounds=[e.bound for e in leaves],
-            per_location=per_location,
-            stats=stats,
-            complete=complete,
-            termination=termination,
-            wall_time=time.monotonic() - start,
-            rounds=rounds,
-            max_frontier=max_frontier,
-            jobs=config.jobs,
-            seeds_covered=covered,
-        )
+    # -- batched engine (pipelined, jobs-invariant) ----------------------
+
+    def _search_batched(self, pool: TaskPool, config: BnBConfig, seeds,
+                        lower: float, stats: TransferStats,
+                        start: float,
+                        resume: Optional[BnBCheckpoint] = None,
+                        checkpoint_rounds: int = 0,
+                        on_checkpoint=None,
+                        checkpoint_seconds: float = 0.0) -> BnBResult:
+        """Serial-commit search over speculatively dispatched chunks.
+
+        The commit loop is byte-for-byte the ``jobs=1`` refinement
+        order: pop the heap, split the worst box, absorb left then
+        right.  Parallelism comes entirely from *speculation*: the heap
+        head tells us which splits the commit loop will ask for next,
+        so those are shipped to the pool early, in chunks sized by a
+        hit-rate ladder.  A result is only ever *used* when the serial
+        order commits it, so the partition is independent of jobs,
+        chunking, timing, and speculation accuracy.
+        """
+        root = self.transfer.root
+        st = _SearchState()
+        frontier = st.frontier
+        sharing = bool(config.prefix_sharing)
+
+        cache: Dict[Tuple, Tuple] = {}      # unit key -> payload
+        inflight: Set[Tuple] = set()        # dispatched, not yet drained
+        spec_children: List[Tuple] = []     # future split keys (FIFO)
+        chunk = config.chunk if config.chunk > 0 else 1
+        adaptive = config.chunk <= 0
+        window_hits = 0
+        window_total = 0
+        spec_pause = 0
+
+        def push(entry: _Entry) -> None:
+            heapq.heappush(frontier, (entry.key(), entry))
+
+        def split_key(box: BitBox) -> Tuple:
+            return ("s", box.bounds, box.widest_dim())
+
+        def drain(block: bool) -> bool:
+            outcomes = pool.poll(timeout=60.0 if block else 0.0)
+            for outcome in outcomes:
+                if not outcome.ok:
+                    exc_type = {"timeout": TaskTimeout,
+                                "crash": TaskCrash}.get(outcome.kind,
+                                                        TaskError)
+                    raise exc_type(f"task {outcome.key}: {outcome.error}")
+                for key, payload in zip(outcome.key, outcome.value):
+                    inflight.discard(key)
+                    if key not in cache:
+                        cache[key] = payload
+            return bool(outcomes)
+
+        def dispatch(keys: List[Tuple]) -> None:
+            units = []
+            for key in keys:
+                if key[0] == "s":
+                    units.append(("split", key[1], key[2], sharing))
+                else:
+                    units.append(("box", key[1]))
+                inflight.add(key)
+            pool.submit(tuple(keys), units)
+            # A dispatched split's children are the next generation of
+            # likely commits — remember them as speculation candidates.
+            for key in keys:
+                if key[0] != "s" or len(spec_children) >= _MAX_SPEC_CHILDREN:
+                    continue
+                for child in BitBox(key[1]).split(key[2]):
+                    if child.splittable:
+                        spec_children.append(split_key(child))
+
+        def candidates(limit: int) -> List[Tuple]:
+            wanted: List[Tuple] = []
+            taken: Set[Tuple] = set()
+            for _, entry in heapq.nsmallest(limit * 2, frontier):
+                if entry.bound <= lower and entry.priority < 2:
+                    continue  # the commit loop will prune it
+                if not entry.box.splittable:
+                    continue
+                key = split_key(entry.box)
+                if key in cache or key in inflight or key in taken:
+                    continue
+                wanted.append(key)
+                taken.add(key)
+                if len(wanted) >= limit:
+                    return wanted
+            while len(wanted) < limit and spec_children:
+                key = spec_children.pop(0)
+                if key in cache or key in inflight or key in taken:
+                    continue
+                wanted.append(key)
+                taken.add(key)
+            return wanted
+
+        def top_up() -> None:
+            nonlocal spec_pause
+            if pool.inline:
+                return
+            drain(block=False)
+            if spec_pause > 0:
+                spec_pause -= 1
+                return
+            # One task per idle worker: dispatch lands immediately, so a
+            # demand miss never queues behind a wall of speculation.
+            budget = pool.idle_workers
+            if budget <= 0:
+                return
+            wanted = candidates(budget * max(chunk, 1))
+            while budget > 0 and wanted:
+                dispatch(wanted[:chunk])
+                wanted = wanted[chunk:]
+                budget -= 1
+
+        def merge_op_seconds(op_secs: Optional[Dict[str, float]]) -> None:
+            if not op_secs:
+                return
+            for op, secs in op_secs.items():
+                stats.op_seconds[op] = stats.op_seconds.get(op, 0.0) + secs
+
+        def obtain_split(box: BitBox):
+            nonlocal chunk, window_hits, window_total, spec_pause
+            dim = box.widest_dim()
+            if pool.inline:
+                t0 = time.perf_counter()
+                l_res, r_res, op_secs = self.transfer.analyze_split(
+                    box, dim, sharing=sharing)
+                return l_res, r_res, time.perf_counter() - t0, op_secs
+            key = ("s", box.bounds, dim)
+            if key not in cache:
+                drain(block=False)
+            if key in cache:
+                hit = True
+                value, elapsed, op_secs = cache.pop(key)
+            else:
+                # Speculation missed (or is still mid-flight): the
+                # leader computes the split on its own transfer instead
+                # of stalling behind the worker queue — worst case is
+                # the serial engine's throughput, not a round trip.
+                hit = False
+                t0 = time.perf_counter()
+                l_res, r_res, unit_secs = self.transfer.analyze_split(
+                    box, dim, sharing=sharing)
+                value = (l_res, r_res)
+                elapsed = time.perf_counter() - t0
+                op_secs = unit_secs
+            window_total += 1
+            window_hits += 1 if hit else 0
+            if adaptive and window_total >= _CHUNK_WINDOW:
+                ratio = window_hits / window_total
+                if ratio > 0.7:
+                    chunk = min(chunk * 2, _MAX_CHUNK)
+                elif ratio < 0.3:
+                    chunk = max(chunk // 2, 1)
+                if ratio < 0.1:
+                    # The leader is outrunning the pool (or predictions
+                    # are cold): stop feeding it for a while — the
+                    # inline-miss path alone is the serial engine.
+                    spec_pause = _SPEC_PAUSE
+                window_hits = window_total = 0
+            l_res, r_res = value
+            return l_res, r_res, elapsed, op_secs
+
+        if resume is not None:
+            self._restore(st, stats, resume, push)
+        else:
+            if pool.inline:
+                t0 = time.perf_counter()
+                res, op_secs = self.transfer.analyze_unit(root)
+                elapsed = time.perf_counter() - t0
+            else:
+                key = ("b", root.bounds)
+                dispatch([key])
+                while key not in cache:
+                    drain(block=True)
+                res, elapsed, op_secs = cache.pop(key)
+            push(self._absorb(st, stats, res, root, seeds, lower))
+            stats.transfer_seconds += elapsed
+            merge_op_seconds(op_secs)
+
+        last_checkpoint = start
+        termination = "exhausted"
+        while frontier:
+            if (checkpoint_rounds and on_checkpoint is not None
+                    and st.rounds > 0
+                    and st.rounds % checkpoint_rounds == 0):
+                now = time.monotonic()
+                if checkpoint_seconds <= 0 or \
+                        now - last_checkpoint >= checkpoint_seconds:
+                    on_checkpoint(self._snapshot(st, stats))
+                    last_checkpoint = now
+            if st.explored >= config.max_boxes:
+                termination = "budget"
+                break
+            if config.deadline is not None and \
+                    time.monotonic() - start > config.deadline:
+                termination = "deadline"
+                break
+            if config.target_gap is not None:
+                current = max(
+                    [e.bound for _, e in frontier] +
+                    [e.bound for e in st.leaves] + [0.0])
+                if current <= lower + config.target_gap * max(lower, 1.0):
+                    termination = "gap"
+                    break
+
+            entry: Optional[_Entry] = None
+            while frontier:
+                _, popped = heapq.heappop(frontier)
+                if popped.bound <= lower and popped.priority < 2:
+                    st.leaves.append(popped)
+                    st.pruned += 1
+                    continue
+                if not popped.box.splittable:
+                    if not math.isfinite(popped.bound):
+                        st.complete = False
+                    st.leaves.append(popped)
+                    continue
+                entry = popped
+                break
+            if entry is None:
+                break  # frontier drained into leaves
+            st.rounds += 1
+
+            l_res, r_res, elapsed, op_secs = obtain_split(entry.box)
+            left, right = entry.box.split(entry.box.widest_dim())
+            push(self._absorb(st, stats, l_res, left, seeds, lower))
+            push(self._absorb(st, stats, r_res, right, seeds, lower))
+            stats.transfer_seconds += elapsed
+            merge_op_seconds(op_secs)
+            st.max_frontier = max(st.max_frontier, len(frontier))
+            while len(cache) > _MAX_CACHE:
+                cache.pop(next(iter(cache)))
+            top_up()
+
+        return self._assemble(st, config, seeds, lower, stats, start,
+                              termination)
 
     def certificate(self, result: Optional[BnBResult] = None,
                     config: Optional[BnBConfig] = None):

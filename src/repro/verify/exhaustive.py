@@ -48,6 +48,12 @@ def _lane_values(loc: Loc, lo: float, hi: float, bits: int) -> List[int]:
     return [encode_for(loc, lo + i * step) for i in range(count)]
 
 
+# Tests per run_batch call: large enough to amortize batch dispatch
+# (one generated function call for the JIT, one vectorized pass for the
+# SoA backend), small enough to keep pooled-state memory bounded.
+_BATCH = 4096
+
+
 def exhaustive_check(
     target: Program,
     rewrite: Program,
@@ -56,7 +62,7 @@ def exhaustive_check(
     base_testcase_factory: Callable[[], TestCase],
     bits_per_input: int = 8,
     max_ulps: float = 0.0,
-    backend: str = "jit",
+    backend: str = "vector",
 ) -> ExhaustiveResult:
     """Check equivalence over the full cross product of quantized inputs.
 
@@ -66,6 +72,13 @@ def exhaustive_check(
     Returns the max ULP error over the grid and the first counterexample
     exceeding ``max_ulps`` (the check still completes the sweep so the
     reported max is over the whole grid).
+
+    ``backend`` names any registered execution backend
+    (:func:`repro.core.backends.known_backends`); the grid streams
+    through :meth:`~repro.core.runner.Runner.run_batch` in chunks, so
+    the sweep gets whatever batching the backend offers.  The grid
+    order — and therefore the first-counterexample identity — does not
+    depend on the backend or the chunk size.
     """
     runner = Runner(live_outs, backend=backend)
     prepared_t = runner.prepare(target)
@@ -79,25 +92,33 @@ def exhaustive_check(
     counterexample: Optional[TestCase] = None
     checked = 0
     base = base_testcase_factory()
-    for assignment in itertools.product(*grids):
-        test = base
-        for loc, bits in zip(locs, assignment):
-            test = test.replace(loc, bits)
-        checked += 1
-        t_out, t_sig = runner.run(prepared_t, test)
-        r_out, r_sig = runner.run(prepared_r, test)
-        if t_sig is not None or r_sig is not None:
-            if t_sig != r_sig:
-                worst = float("inf")
-                if counterexample is None:
-                    counterexample = test
-            continue
-        err = 0.0
-        for loc in runner.live_outs:
-            err += location_ulp_distance(loc, r_out[loc], t_out[loc])
-        if err > worst:
-            worst = err
-        if err > max_ulps and counterexample is None:
-            counterexample = test
+    assignments = itertools.product(*grids)
+    while True:
+        tests: List[TestCase] = []
+        for assignment in itertools.islice(assignments, _BATCH):
+            test = base
+            for loc, bits in zip(locs, assignment):
+                test = test.replace(loc, bits)
+            tests.append(test)
+        if not tests:
+            break
+        checked += len(tests)
+        t_outs = runner.run_batch(prepared_t, tests)
+        r_outs = runner.run_batch(prepared_r, tests)
+        for test, (t_val, t_sig), (r_val, r_sig) in zip(tests, t_outs,
+                                                        r_outs):
+            if t_sig is not None or r_sig is not None:
+                if t_sig != r_sig:
+                    worst = float("inf")
+                    if counterexample is None:
+                        counterexample = test
+                continue
+            err = 0.0
+            for loc, t_bits, r_bits in zip(runner.live_outs, t_val, r_val):
+                err += location_ulp_distance(loc, r_bits, t_bits)
+            if err > worst:
+                worst = err
+            if err > max_ulps and counterexample is None:
+                counterexample = test
     return ExhaustiveResult(max_ulps=worst, cases_checked=checked,
                             counterexample=counterexample)

@@ -26,7 +26,8 @@ Two lessons from the E11 unsoundness post-mortem are baked in here:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -66,22 +67,37 @@ M64 = 0xFFFFFFFFFFFFFFFF
 
 @dataclass
 class TransferStats:
-    """Bit-op accounting for one or more interval transfers.
+    """Bit-op and timing accounting for one or more interval transfers.
 
     ``concrete_bit_ops`` counts integer/bit instructions evaluated
     exactly on degenerate (point) data; ``widened_bit_ops`` counts those
     handled by the sound integer-interval transfer functions instead of
     raising :class:`IntervalUnsupported`.
+
+    Observability fields (PR 8): ``transfer_seconds`` accumulates wall
+    time spent inside transfer evaluation, ``op_counts`` the number of
+    transfer-closure executions per opcode, and ``op_seconds`` per-opcode
+    wall time when profiling is enabled
+    (``IntervalTransfer(profile=True)``).  None of these participate in
+    certificate bytes.
     """
 
     boxes: int = 0
     concrete_bit_ops: int = 0
     widened_bit_ops: int = 0
+    transfer_seconds: float = 0.0
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    op_seconds: Dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "TransferStats") -> None:
         self.boxes += other.boxes
         self.concrete_bit_ops += other.concrete_bit_ops
         self.widened_bit_ops += other.widened_bit_ops
+        self.transfer_seconds += other.transfer_seconds
+        for op, n in other.op_counts.items():
+            self.op_counts[op] = self.op_counts.get(op, 0) + n
+        for op, secs in other.op_seconds.items():
+            self.op_seconds[op] = self.op_seconds.get(op, 0.0) + secs
 
 
 @dataclass(frozen=True)
@@ -101,28 +117,48 @@ class IntInterval:
         return self.lo == self.hi
 
 
-@dataclass(frozen=True)
 class IntervalD:
-    """A closed interval of doubles."""
+    """A closed interval of doubles.
 
-    lo: float
-    hi: float
+    A plain ``__slots__`` class rather than a frozen dataclass: interval
+    creation is the single hottest allocation in the transfer (four to
+    six per abstract instruction), and the dataclass machinery (frozen
+    ``__setattr__``, ``__post_init__`` dispatch) tripled its cost.
+    Value equality and the validation semantics are unchanged
+    (``x != x`` is the cheap NaN test).
+    """
 
-    def __post_init__(self):
-        if math.isnan(self.lo) or math.isnan(self.hi) or self.lo > self.hi:
-            raise IntervalUnsupported(f"bad interval [{self.lo}, {self.hi}]")
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: float, hi: float):
+        if lo != lo or hi != hi or lo > hi:
+            raise IntervalUnsupported(f"bad interval [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    def __eq__(self, other):
+        return isinstance(other, IntervalD) and \
+            self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self):
+        return hash((self.lo, self.hi))
+
+    def __repr__(self):
+        return f"IntervalD(lo={self.lo}, hi={self.hi})"
 
     @classmethod
     def point(cls, x: float) -> "IntervalD":
         return cls(x, x)
 
 
-def _down(x: float) -> float:
-    return x if math.isinf(x) else math.nextafter(x, -math.inf)
+def _down(x: float, _isinf=math.isinf, _next=math.nextafter,
+          _ninf=-math.inf) -> float:
+    return x if _isinf(x) else _next(x, _ninf)
 
 
-def _up(x: float) -> float:
-    return x if math.isinf(x) else math.nextafter(x, math.inf)
+def _up(x: float, _isinf=math.isinf, _next=math.nextafter,
+        _inf=math.inf) -> float:
+    return x if _isinf(x) else _next(x, _inf)
 
 
 def _down32(x: float) -> float:
@@ -153,17 +189,33 @@ class _Arith:
                          self.round_up(a.hi - b.lo))
 
     def mul(self, a: IntervalD, b: IntervalD) -> IntervalD:
-        products = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi]
-        products = [0.0 if math.isnan(p) else p for p in products]
-        return IntervalD(self.round_down(min(products)),
-                         self.round_up(max(products)))
+        # Endpoint products with IEEE NaNs (0 * inf) treated as 0,
+        # unrolled — this is the hottest arithmetic in the transfer and
+        # the list comprehensions it replaces dominated its profile.
+        p0 = a.lo * b.lo
+        p1 = a.lo * b.hi
+        p2 = a.hi * b.lo
+        p3 = a.hi * b.hi
+        if p0 != p0:
+            p0 = 0.0
+        if p1 != p1:
+            p1 = 0.0
+        if p2 != p2:
+            p2 = 0.0
+        if p3 != p3:
+            p3 = 0.0
+        return IntervalD(self.round_down(min(p0, p1, p2, p3)),
+                         self.round_up(max(p0, p1, p2, p3)))
 
     def div(self, a: IntervalD, b: IntervalD) -> IntervalD:
         if b.lo <= 0.0 <= b.hi:
             return IntervalD(-math.inf, math.inf)
-        quotients = [a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi]
-        return IntervalD(self.round_down(min(quotients)),
-                         self.round_up(max(quotients)))
+        q0 = a.lo / b.lo
+        q1 = a.lo / b.hi
+        q2 = a.hi / b.lo
+        q3 = a.hi / b.hi
+        return IntervalD(self.round_down(min(q0, q1, q2, q3)),
+                         self.round_up(max(q0, q1, q2, q3)))
 
     def sqrt(self, a: IntervalD) -> IntervalD:
         if a.lo < 0.0:
@@ -187,17 +239,26 @@ _OPS = {"add": "add", "sub": "sub", "mul": "mul", "div": "div",
 
 class _Half:
     """One 64-bit XMM half: a double interval, two single-lane values,
-    concrete bits, or TOP."""
+    concrete bits, or TOP.
 
-    __slots__ = ("kind", "value")
+    Instances are immutable once built (``with_lane`` returns a new
+    half), so compiled transfer plans share them freely across boxes;
+    ``_f64`` memoizes the bits -> point-interval decode that dominated
+    the interpretive profile.
+    """
+
+    __slots__ = ("kind", "value", "_f64")
 
     def __init__(self, kind: str, value):
         self.kind = kind  # 'f64' | 'f32pair' | 'bits' | 'top'
         self.value = value
+        self._f64 = None
 
     @classmethod
     def top(cls) -> "_Half":
-        return cls("top", None)
+        # Halves are immutable, so every TOP is the same object (16
+        # registers x 2 halves per fresh state adds up).
+        return _TOP_HALF
 
     @classmethod
     def bits(cls, value: int) -> "_Half":
@@ -207,10 +268,13 @@ class _Half:
         if self.kind == "f64":
             return self.value
         if self.kind == "bits":
-            x = u2d(self.value)
-            if math.isnan(x):
-                raise IntervalUnsupported("NaN constant")
-            return IntervalD.point(x)
+            cached = self._f64
+            if cached is None:
+                x = u2d(self.value)
+                if math.isnan(x):
+                    raise IntervalUnsupported("NaN constant")
+                cached = self._f64 = IntervalD.point(x)
+            return cached
         return TOP
 
     def lane(self, index: int) -> Union[IntervalD, str]:
@@ -230,6 +294,9 @@ class _Half:
         return _Half("f32pair", tuple(lanes))
 
 
+_TOP_HALF = _Half("top", None)
+
+
 class _IntervalState:
     """Abstract machine state.
 
@@ -247,7 +314,7 @@ class _IntervalState:
         for idx, value in concrete_gp.items():
             self.gp[idx] = value
         self.xmm: List[List[_Half]] = [
-            [_Half.top(), _Half.top()] for _ in range(16)
+            [_TOP_HALF, _TOP_HALF] for _ in range(16)
         ]
         self.mem = mem
         # (segment, offset) -> ('f32'|'f64', interval)
@@ -1012,22 +1079,60 @@ def _exec_interval(state: _IntervalState, instr) -> None:
     )
 
 
+def _apply_reg_input(state: _IntervalState, loc: Loc, kind: str,
+                     interval: IntervalD) -> None:
+    idx = XMM_INDEX[loc.reg]
+    if kind == "f64":
+        state.xmm[idx][loc.lane] = _Half("f64", interval)
+    else:
+        half = state.xmm[idx][loc.lane // 2]
+        state.xmm[idx][loc.lane // 2] = half.with_lane(loc.lane % 2,
+                                                       interval)
+
+
 def _run_interval(program: Program, mem: Memory,
                   concrete_gp: Dict[int, int],
                   mem_inputs, reg_inputs,
                   stats: Optional[TransferStats] = None) -> _IntervalState:
     state = _IntervalState(mem, concrete_gp, mem_inputs, stats)
     for loc, (kind, interval) in reg_inputs.items():
-        idx = XMM_INDEX[loc.reg]
-        if kind == "f64":
-            state.xmm[idx][loc.lane] = _Half("f64", interval)
-        else:
-            half = state.xmm[idx][loc.lane // 2]
-            state.xmm[idx][loc.lane // 2] = half.with_lane(loc.lane % 2,
-                                                           interval)
+        _apply_reg_input(state, loc, kind, interval)
     for instr in program.slots:
         _exec_interval(state, instr)
     return state
+
+
+class _StateSnapshot:
+    """Copy-on-capture image of an abstract state at a step boundary.
+
+    Used by prefix sharing: the right child of a split restores this
+    snapshot (taken on the left child just before the first step that
+    can depend on the split dimension), re-applies its own input
+    interval for the split dimension, and runs only the suffix.
+    """
+
+    __slots__ = ("gp", "xmm", "mem_stores", "cmp")
+
+    @classmethod
+    def capture(cls, state: _IntervalState) -> "_StateSnapshot":
+        snap = cls()
+        snap.gp = list(state.gp)
+        snap.xmm = [list(pair) for pair in state.xmm]
+        snap.mem_stores = dict(state.mem_stores)
+        snap.cmp = state.cmp
+        return snap
+
+    def restore(self, mem: Memory, mem_inputs,
+                stats: TransferStats) -> _IntervalState:
+        state = _IntervalState.__new__(_IntervalState)
+        state.gp = list(self.gp)
+        state.xmm = [list(pair) for pair in self.xmm]
+        state.mem = mem
+        state.mem_inputs = mem_inputs
+        state.mem_stores = dict(self.mem_stores)
+        state.stats = stats
+        state.cmp = self.cmp
+        return state
 
 
 def _read_output(state: _IntervalState, loc: Location):
@@ -1056,6 +1161,29 @@ def _interval_ulp_pair(loc: Location, a, b) -> float:
     return float(max(dist(a.lo, b.hi), dist(a.hi, b.lo)))
 
 
+# Dimension storage keys (must match repro.verify.compile): the coarse
+# memory key plus ('x', xmm_index) per register.
+_MEM_KEY = "mem"
+
+# A unit result as shipped between engine and workers:
+# (bound, per_loc_or_None, (boxes, concrete, widened), error_or_None).
+UnitResult = Tuple[float, Optional[Dict[str, float]],
+                   Tuple[int, int, int], Optional[str]]
+
+
+def _merge_op_seconds(a: Optional[Dict[str, float]],
+                      b: Optional[Dict[str, float]]
+                      ) -> Optional[Dict[str, float]]:
+    if not a:
+        return b or None
+    if not b:
+        return a
+    merged = dict(a)
+    for op, secs in b.items():
+        merged[op] = merged.get(op, 0.0) + secs
+    return merged
+
+
 class IntervalTransfer:
     """Box -> sound ULP-bound transfer shared by the search and checker.
 
@@ -1066,13 +1194,23 @@ class IntervalTransfer:
     (:mod:`repro.verify.bnb`) and the certificate checker
     (:mod:`repro.verify.checker`) both call this class, so a bug in the
     search loop cannot silently weaken a certificate.
+
+    Construction compiles both programs once into per-instruction
+    transfer closures (:mod:`repro.verify.compile`); analyzing a box is
+    then a plain loop over prebound closures.  The original dispatching
+    interpreter survives as :meth:`analyze_interpretive` — the reference
+    engine and the differential tests run both paths and demand
+    identical bounds, stats, and error strings.
     """
 
     def __init__(self, target: Program, rewrite: Program,
                  live_outs: Sequence[Union[str, Location]],
                  ranges: Dict[Union[str, Location], Tuple[float, float]],
                  memory: Optional[Memory] = None,
-                 concrete_gp: Optional[Dict[int, int]] = None):
+                 concrete_gp: Optional[Dict[int, int]] = None,
+                 profile: bool = False):
+        from repro.verify.compile import compile_transfer
+
         self.target = target
         self.rewrite = rewrite
         self.live_outs = tuple(str(loc) for loc in live_outs)
@@ -1081,18 +1219,32 @@ class IntervalTransfer:
         self.memory = memory if memory is not None else Memory()
         self.concrete_gp = dict(concrete_gp or {})
         self.stats = TransferStats()
+        self.profile = bool(profile)
+        self._plans = (compile_transfer(target, profile=self.profile),
+                       compile_transfer(rewrite, profile=self.profile))
+        # first step of each program that can depend on each dimension
+        self._first_touch = [
+            [plan.first_touch(self._dim_key(d)) for d in self.dims]
+            for plan in self._plans
+        ]
+        self.op_histogram: Dict[str, int] = {}
+        for plan in self._plans:
+            for op, n in plan.histogram.items():
+                self.op_histogram[op] = self.op_histogram.get(op, 0) + n
+
+    @staticmethod
+    def _dim_key(d: Dim):
+        if isinstance(d.loc, MemLoc):
+            return _MEM_KEY
+        return ("x", XMM_INDEX[d.loc.reg])
 
     @property
     def root(self) -> BitBox:
         return full_box(self.dims)
 
-    def analyze(self, box: BitBox) -> Tuple[float, Dict[str, float]]:
-        return self.analyze_values(box.value_box(self.dims))
+    # -- input/output plumbing --------------------------------------------
 
-    def analyze_values(
-        self, value_box: Sequence[Tuple[float, float]]
-    ) -> Tuple[float, Dict[str, float]]:
-        """Sound (bound, per-live-out bounds) over a closed value box."""
+    def _inputs_of(self, value_box: Sequence[Tuple[float, float]]):
         mem_inputs: Dict[Tuple[str, int], Tuple[str, IntervalD]] = {}
         reg_inputs: Dict[Loc, Tuple[str, IntervalD]] = {}
         for d, (lo, hi) in zip(self.dims, value_box):
@@ -1101,13 +1253,17 @@ class IntervalTransfer:
                 mem_inputs[(d.loc.segment, d.loc.offset)] = (d.ftype, interval)
             else:
                 reg_inputs[d.loc] = (d.ftype, interval)
-        stats = TransferStats(boxes=1)
-        t_state = _run_interval(self.target, self.memory.copy(),
-                                self.concrete_gp, mem_inputs, reg_inputs,
-                                stats)
-        r_state = _run_interval(self.rewrite, self.memory.copy(),
-                                self.concrete_gp, mem_inputs, reg_inputs,
-                                stats)
+        return mem_inputs, reg_inputs
+
+    def _fresh_state(self, mem_inputs, reg_inputs,
+                     stats: TransferStats) -> _IntervalState:
+        state = _IntervalState(self.memory, self.concrete_gp, mem_inputs,
+                               stats)
+        for loc, (kind, interval) in reg_inputs.items():
+            _apply_reg_input(state, loc, kind, interval)
+        return state
+
+    def _outputs(self, t_state: _IntervalState, r_state: _IntervalState):
         per_loc: Dict[str, float] = {}
         total = 0.0
         for loc in self.locations:
@@ -1116,8 +1272,196 @@ class IntervalTransfer:
             bound = _interval_ulp_pair(loc, t_out, r_out)
             per_loc[str(loc)] = bound
             total += bound
+        return total, per_loc
+
+    # -- compiled path -----------------------------------------------------
+
+    def analyze(self, box: BitBox) -> Tuple[float, Dict[str, float]]:
+        return self.analyze_values(box.value_box(self.dims))
+
+    def analyze_values(
+        self, value_box: Sequence[Tuple[float, float]]
+    ) -> Tuple[float, Dict[str, float]]:
+        """Sound (bound, per-live-out bounds) over a closed value box.
+
+        Accumulates into :attr:`stats` on success (the checker's
+        accounting contract).
+        """
+        t0 = time.perf_counter()
+        stats = TransferStats(boxes=1)
+        mem_inputs, reg_inputs = self._inputs_of(value_box)
+        states = []
+        for plan in self._plans:
+            state = self._fresh_state(mem_inputs, reg_inputs, stats)
+            for fn in plan.steps:
+                fn(state)
+            states.append(state)
+        total, per_loc = self._outputs(states[0], states[1])
+        stats.op_counts = dict(self.op_histogram)
+        stats.transfer_seconds = time.perf_counter() - t0
         self.stats.merge(stats)
         return total, per_loc
+
+    def analyze_with_stats(
+        self, box: BitBox
+    ) -> Tuple[float, Dict[str, float], TransferStats]:
+        """Compiled analysis with a private stats object (no merge)."""
+        stats = TransferStats(boxes=1)
+        mem_inputs, reg_inputs = self._inputs_of(box.value_box(self.dims))
+        states = []
+        for plan in self._plans:
+            state = self._fresh_state(mem_inputs, reg_inputs, stats)
+            for fn in plan.steps:
+                fn(state)
+            states.append(state)
+        total, per_loc = self._outputs(states[0], states[1])
+        return total, per_loc, stats
+
+    def analyze_interpretive(
+        self, box: BitBox
+    ) -> Tuple[float, Dict[str, float], TransferStats]:
+        """Reference path: the original per-instruction dispatcher.
+
+        Faithful to the historical engine including its cost model: the
+        memory image is copied per program per box, as the original
+        ``analyze`` did (states never mutate Memory — stores land in the
+        ``mem_stores`` overlay — so the copies are semantically inert,
+        and the compiled path drops them).
+        """
+        stats = TransferStats(boxes=1)
+        mem_inputs, reg_inputs = self._inputs_of(box.value_box(self.dims))
+        t_state = _run_interval(self.target, self.memory.copy(),
+                                self.concrete_gp, mem_inputs, reg_inputs,
+                                stats)
+        r_state = _run_interval(self.rewrite, self.memory.copy(),
+                                self.concrete_gp, mem_inputs, reg_inputs,
+                                stats)
+        total, per_loc = self._outputs(t_state, r_state)
+        return total, per_loc, stats
+
+    # -- engine work units -------------------------------------------------
+
+    def analyze_unit(
+        self, box: BitBox
+    ) -> Tuple[UnitResult, Optional[Dict[str, float]]]:
+        """One box as a BnB work unit.
+
+        Failure is data, not control flow: an unsupported program costs
+        exactly a ``(1, 0, 0)`` stats delta, matching the historical
+        engine (partial bit-op counts of a failed run are dropped).
+        """
+        try:
+            total, per_loc, stats = self.analyze_with_stats(box)
+        except IntervalUnsupported as exc:
+            return (math.inf, None, (1, 0, 0), str(exc)), None
+        return (
+            (total, per_loc,
+             (stats.boxes, stats.concrete_bit_ops, stats.widened_bit_ops),
+             None),
+            stats.op_seconds or None,
+        )
+
+    def analyze_split(
+        self, box: BitBox, dim: int, sharing: bool = True
+    ) -> Tuple[UnitResult, UnitResult, Optional[Dict[str, float]]]:
+        """Split ``box`` on ``dim`` and analyze both children.
+
+        With ``sharing`` the right child restores the left child's
+        abstract state captured just before the first step that can
+        depend on the split dimension, swaps in its own input interval,
+        and runs only the suffix; every step before that point is
+        dimension-independent by construction of the touch sets, so the
+        result — bound, per-location map, and stats delta — is
+        bit-identical to two from-scratch analyses.
+        """
+        left, right = box.split(dim)
+        if sharing:
+            # Sharing only pays once the skipped prefix outweighs the
+            # snapshot copy; below that, run both children from scratch
+            # (the results are identical either way — pinned by tests —
+            # so this gate is purely a performance heuristic).
+            saved = sum(touch[dim] for touch in self._first_touch)
+            if saved < 6:
+                sharing = False
+        if not sharing:
+            l_res, l_secs = self.analyze_unit(left)
+            r_res, r_secs = self.analyze_unit(right)
+            return l_res, r_res, _merge_op_seconds(l_secs, r_secs)
+
+        d = self.dims[dim]
+        l_mem, l_reg = self._inputs_of(left.value_box(self.dims))
+        r_mem, r_reg = self._inputs_of(right.value_box(self.dims))
+
+        l_stats = TransferStats(boxes=1)
+        snaps: List[Optional[Tuple[_StateSnapshot, int, int]]] = [None, None]
+        states: List[Optional[_IntervalState]] = [None, None]
+        l_res: Optional[UnitResult] = None
+        for p, plan in enumerate(self._plans):
+            k = self._first_touch[p][dim]
+            state = self._fresh_state(l_mem, l_reg, l_stats)
+            c0 = l_stats.concrete_bit_ops
+            w0 = l_stats.widened_bit_ops
+            steps = plan.steps
+            try:
+                for fn in steps[:k]:
+                    fn(state)
+                snaps[p] = (_StateSnapshot.capture(state),
+                            l_stats.concrete_bit_ops - c0,
+                            l_stats.widened_bit_ops - w0)
+                for fn in steps[k:]:
+                    fn(state)
+            except IntervalUnsupported as exc:
+                l_res = (math.inf, None, (1, 0, 0), str(exc))
+                break
+            states[p] = state
+        if l_res is None:
+            try:
+                total, per_loc = self._outputs(states[0], states[1])
+                l_res = (total, per_loc,
+                         (1, l_stats.concrete_bit_ops,
+                          l_stats.widened_bit_ops), None)
+            except IntervalUnsupported as exc:
+                l_res = (math.inf, None, (1, 0, 0), str(exc))
+
+        r_stats = TransferStats(boxes=1)
+        r_value = None if isinstance(d.loc, MemLoc) else r_reg[d.loc]
+        states = [None, None]
+        r_res: Optional[UnitResult] = None
+        for p, plan in enumerate(self._plans):
+            steps = plan.steps
+            try:
+                snap = snaps[p]
+                if snap is None:
+                    # The left child failed before this program's
+                    # snapshot point; run the right child from scratch.
+                    state = self._fresh_state(r_mem, r_reg, r_stats)
+                    for fn in steps:
+                        fn(state)
+                else:
+                    snapshot, prefix_concrete, prefix_widened = snap
+                    state = snapshot.restore(self.memory, r_mem, r_stats)
+                    r_stats.concrete_bit_ops += prefix_concrete
+                    r_stats.widened_bit_ops += prefix_widened
+                    if r_value is not None:
+                        _apply_reg_input(state, d.loc, r_value[0], r_value[1])
+                    for fn in steps[self._first_touch[p][dim]:]:
+                        fn(state)
+            except IntervalUnsupported as exc:
+                r_res = (math.inf, None, (1, 0, 0), str(exc))
+                break
+            states[p] = state
+        if r_res is None:
+            try:
+                total, per_loc = self._outputs(states[0], states[1])
+                r_res = (total, per_loc,
+                         (1, r_stats.concrete_bit_ops,
+                          r_stats.widened_bit_ops), None)
+            except IntervalUnsupported as exc:
+                r_res = (math.inf, None, (1, 0, 0), str(exc))
+
+        op_seconds = _merge_op_seconds(l_stats.op_seconds or None,
+                                       r_stats.op_seconds or None)
+        return l_res, r_res, op_seconds
 
 
 @dataclass

@@ -208,3 +208,45 @@ def check_tiling(root: BitBox, leaves: Sequence[BitBox]) -> List[str]:
             f"leaf volumes sum to {total}, root volume is {root.volume} "
             f"({'gap' if total < root.volume else 'double cover'})")
     return failures
+
+
+def covered_seed_count(boxes: Sequence[BitBox],
+                       seeds: Sequence[Tuple[Sequence[int], float]],
+                       bound: float) -> int:
+    """Seeds whose observed error the certified bound explains.
+
+    Equivalent to the quadratic ``any(leaf.contains(idx) for leaf in
+    leaves)`` scan per seed, but the leaves are grouped by their
+    first-dimension interval and looked up by bisection: a seed only
+    needs to test groups whose interval can reach its first index
+    (``max-hi`` prefix array bounds the leftward walk).  For
+    one-dimensional kernels — the common case — group intervals are
+    disjoint, so each seed costs one bisect plus one exact test.
+    """
+    import bisect
+
+    if not seeds or not boxes:
+        return 0
+    groups: Dict[Tuple[int, int], List[BitBox]] = {}
+    for box in boxes:
+        groups.setdefault(box.bounds[0], []).append(box)
+    intervals = sorted(groups)
+    los = [iv[0] for iv in intervals]
+    max_hi: List[int] = []
+    running = intervals[0][1]
+    for iv in intervals:
+        running = max(running, iv[1])
+        max_hi.append(running)
+    covered = 0
+    for idx, err in seeds:
+        if not err <= bound:  # NaN-safe: matches the historical scan
+            continue
+        first = idx[0]
+        j = bisect.bisect_right(los, first) - 1
+        while j >= 0 and max_hi[j] >= first:
+            if intervals[j][1] >= first and any(
+                    box.contains(idx) for box in groups[intervals[j]]):
+                covered += 1
+                break
+            j -= 1
+    return covered

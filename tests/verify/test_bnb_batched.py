@@ -1,0 +1,284 @@
+"""Identity and determinism tests for the batched BnB engine.
+
+The batched engine's contract is stronger than soundness: for a fixed
+:class:`BnBConfig` its refinement order, leaf tiling, certified bound,
+and certificate bytes are those of the serial search — independent of
+``jobs``, chunking, prefix sharing, speculation timing, and mid-run
+checkpoint/resume.  These tests pin each clause against the reference
+engine and against brute-force oracles.
+"""
+
+import hashlib
+import json
+import math
+import random
+
+import pytest
+
+from repro.x86.assembler import assemble
+from repro.x86.testcase import TestCase
+
+from repro.core.serialize import canonical_json
+from repro.kernels.libimf import LIBIMF_KERNELS
+from repro.verify import exhaustive_check
+from repro.verify.bnb import BnBConfig, BnBVerifier
+from repro.verify.partition import BitBox, covered_seed_count
+
+REDUCED_DEGREE = {"sin": 9, "cos": 8, "tan": 9, "log": 12, "exp": 8}
+
+
+def _poly_pair():
+    target = assemble("""
+        movq $0.1d, xmm1
+        mulsd xmm0, xmm1
+        addsd xmm1, xmm0
+    """)
+    rewrite = assemble("""
+        movq $1.1d, xmm1
+        mulsd xmm1, xmm0
+    """)
+    return target, rewrite
+
+
+def _poly_verifier():
+    target, rewrite = _poly_pair()
+    return BnBVerifier(target, rewrite, ["xmm0"], {"xmm0": (0.5, 2.0)})
+
+
+def _libimf_verifier(name):
+    factory = LIBIMF_KERNELS[name]
+    spec = factory()
+    rewrite = factory(REDUCED_DEGREE[name]).program
+    return BnBVerifier(spec.program, rewrite, spec.live_outs,
+                       dict(spec.ranges))
+
+
+def _cert_digest(verifier, result, config):
+    """Certificate identity: canonical bytes with wall time scrubbed
+    (the same scrub the campaign worker applies before storing)."""
+    doc = verifier.certificate(result, config=config).to_dict()
+    doc.get("stats", {})["wall_time"] = 0.0
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+def _partition(result):
+    return (result.bound_ulps, result.leaf_bounds,
+            [box.bounds for box in result.leaves])
+
+
+class TestEngineIdentity:
+    @pytest.mark.parametrize("name", ["sin", "log"])
+    def test_batched_matches_reference_cert(self, name):
+        verifier = _libimf_verifier(name)
+        ref_cfg = BnBConfig(max_boxes=64, engine="reference")
+        bat_cfg = BnBConfig(max_boxes=64, engine="batched")
+        ref = verifier.run(ref_cfg)
+        bat = verifier.run(bat_cfg)
+        assert _partition(bat) == _partition(ref)
+        # Certificates must be byte-identical: engine choice is not a
+        # certified input, so the digests use the same config.
+        cfg = BnBConfig(max_boxes=64)
+        assert _cert_digest(verifier, bat, cfg) == \
+            _cert_digest(verifier, ref, cfg)
+
+    def test_batched_matches_reference_with_seeds(self):
+        verifier = _poly_verifier()
+        seeds = ((  # a fabricated counterexample inside the range
+            (1.25,), 2.0),)
+        ref = verifier.run(BnBConfig(max_boxes=48, seeds=seeds,
+                                     engine="reference"))
+        bat = verifier.run(BnBConfig(max_boxes=48, seeds=seeds,
+                                     engine="batched"))
+        assert _partition(bat) == _partition(ref)
+        assert bat.seeds_covered == ref.seeds_covered
+        assert bat.boxes_pruned == ref.boxes_pruned
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown BnB engine"):
+            _poly_verifier().run(BnBConfig(max_boxes=8, engine="turbo"))
+
+
+class TestJobsInvariance:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_batched_partition_independent_of_jobs(self, jobs):
+        verifier = _poly_verifier()
+        cfg1 = BnBConfig(max_boxes=48, jobs=1)
+        cfgN = BnBConfig(max_boxes=48, jobs=jobs)
+        serial = verifier.run(cfg1)
+        parallel = verifier.run(cfgN)
+        assert _partition(parallel) == _partition(serial)
+        assert parallel.boxes_explored == serial.boxes_explored
+        assert parallel.rounds == serial.rounds
+
+    def test_fixed_chunk_partition_identical(self):
+        verifier = _poly_verifier()
+        adaptive = verifier.run(BnBConfig(max_boxes=48, jobs=2))
+        fixed = verifier.run(BnBConfig(max_boxes=48, jobs=2, chunk=4))
+        assert _partition(fixed) == _partition(adaptive)
+
+
+class TestPrefixSharing:
+    @pytest.mark.parametrize("name", ["sin", "exp"])
+    def test_sharing_invisible_in_partition(self, name):
+        verifier = _libimf_verifier(name)
+        on = verifier.run(BnBConfig(max_boxes=64, prefix_sharing=True))
+        off = verifier.run(BnBConfig(max_boxes=64, prefix_sharing=False))
+        assert _partition(on) == _partition(off)
+        triple = lambda r: (r.stats.boxes, r.stats.concrete_bit_ops,
+                            r.stats.widened_bit_ops)
+        assert triple(on) == triple(off)
+
+
+class TestCoveredSeedCount:
+    def _oracle(self, boxes, seeds, bound):
+        covered = 0
+        for idx, err in seeds:
+            if not err <= bound:
+                continue
+            if any(box.contains(idx) for box in boxes):
+                covered += 1
+        return covered
+
+    def test_matches_bruteforce_oracle(self):
+        rng = random.Random(42)
+        for _ in range(50):
+            ndims = rng.randint(1, 3)
+            boxes = []
+            for _ in range(rng.randint(0, 12)):
+                bounds = []
+                for _ in range(ndims):
+                    lo = rng.randint(0, 100)
+                    bounds.append((lo, lo + rng.randint(0, 30)))
+                boxes.append(BitBox(tuple(bounds)))
+            seeds = []
+            for _ in range(rng.randint(0, 10)):
+                idx = tuple(rng.randint(0, 130) for _ in range(ndims))
+                err = rng.choice([0.0, 1.5, 7.0, math.inf, math.nan])
+                seeds.append((idx, err))
+            bound = rng.choice([0.0, 2.0, 10.0, math.inf])
+            assert covered_seed_count(boxes, seeds, bound) == \
+                self._oracle(boxes, seeds, bound)
+
+    def test_nan_error_never_covered(self):
+        box = BitBox(((0, 10),))
+        assert covered_seed_count([box], [((5,), math.nan)], math.inf) == 0
+
+    def test_empty_inputs(self):
+        assert covered_seed_count([], [((0,), 0.0)], 1.0) == 0
+        assert covered_seed_count([BitBox(((0, 1),))], [], 1.0) == 0
+
+
+class TestCheckpointResume:
+    """Satellite: a mid-round interrupt/resume under the batched engine
+    reproduces the uninterrupted run bit-for-bit — bound, leaf tiling,
+    and certificate digest — at jobs=1 and jobs=4."""
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_resume_bit_identical(self, jobs):
+        verifier = _poly_verifier()
+        config = BnBConfig(max_boxes=64, jobs=jobs)
+        baseline = verifier.run(config)
+
+        snapshots = []
+        verifier.run(config, checkpoint_rounds=3,
+                     on_checkpoint=snapshots.append)
+        assert snapshots, "no checkpoints captured"
+        mid = snapshots[len(snapshots) // 2]
+        assert 0 < mid.rounds < baseline.rounds
+
+        # Serialize through JSON: resume must survive the wire format.
+        from repro.verify.bnb import BnBCheckpoint
+        restored = BnBCheckpoint.from_dict(
+            json.loads(json.dumps(mid.to_dict())))
+        resumed = verifier.run(config, resume=restored)
+
+        assert _partition(resumed) == _partition(baseline)
+        assert resumed.boxes_explored == baseline.boxes_explored
+        assert resumed.rounds == baseline.rounds
+        assert resumed.boxes_pruned == baseline.boxes_pruned
+        assert _cert_digest(verifier, resumed, config) == \
+            _cert_digest(verifier, baseline, config)
+
+    def test_resume_under_reference_engine_matches_batched(self):
+        # Checkpoints are engine-portable: a snapshot written by one
+        # engine resumes under the other to the identical partition.
+        verifier = _poly_verifier()
+        bat_cfg = BnBConfig(max_boxes=64, engine="batched")
+        ref_cfg = BnBConfig(max_boxes=64, engine="reference")
+        baseline = verifier.run(bat_cfg)
+        snapshots = []
+        verifier.run(bat_cfg, checkpoint_rounds=5,
+                     on_checkpoint=snapshots.append)
+        resumed = verifier.run(ref_cfg, resume=snapshots[0])
+        assert _partition(resumed) == _partition(baseline)
+
+
+class TestCheckpointThrottle:
+    def test_wall_clock_gate_suppresses_snapshots(self):
+        verifier = _poly_verifier()
+        snapshots = []
+        verifier.run(BnBConfig(max_boxes=64),
+                     checkpoint_rounds=1,
+                     on_checkpoint=snapshots.append,
+                     checkpoint_seconds=3600.0)
+        # The interval clock starts at run() entry, so a fast search
+        # never reaches the first wall-clock gate.
+        assert snapshots == []
+
+    def test_zero_interval_checkpoints_every_gated_round(self):
+        verifier = _poly_verifier()
+        snapshots = []
+        result = verifier.run(BnBConfig(max_boxes=64),
+                              checkpoint_rounds=1,
+                              on_checkpoint=snapshots.append,
+                              checkpoint_seconds=0.0)
+        # One per round after round 0, plus one on the terminating
+        # iteration (the gate runs before the budget check).
+        assert len(snapshots) == result.rounds
+
+
+def _cex_inputs(result):
+    """TestCase has no structural __eq__; compare the live-in bits."""
+    if result.counterexample is None:
+        return None
+    return dict(result.counterexample.inputs)
+
+
+class TestExhaustiveBackends:
+    def test_backends_agree_bit_for_bit(self):
+        target, rewrite = _poly_pair()
+        ranges = {"xmm0": (0.5, 2.0)}
+        results = {
+            backend: exhaustive_check(target, rewrite, ["xmm0"], ranges,
+                                      lambda: TestCase({}),
+                                      bits_per_input=8, backend=backend)
+            for backend in ("emulator", "jit", "vector")
+        }
+        baseline = results["emulator"]
+        for backend, result in results.items():
+            assert result.max_ulps == baseline.max_ulps, backend
+            assert result.cases_checked == baseline.cases_checked, backend
+            assert _cex_inputs(result) == _cex_inputs(baseline), backend
+
+    def test_default_backend_is_vector(self):
+        import inspect
+        sig = inspect.signature(exhaustive_check)
+        assert sig.parameters["backend"].default == "vector"
+
+    def test_chunking_preserves_first_counterexample(self):
+        import repro.verify.exhaustive as ex
+        target, rewrite = _poly_pair()
+        ranges = {"xmm0": (0.5, 2.0)}
+        big = exhaustive_check(target, rewrite, ["xmm0"], ranges,
+                               lambda: TestCase({}), bits_per_input=9)
+        original = ex._BATCH
+        ex._BATCH = 17  # force many ragged chunks
+        try:
+            small = exhaustive_check(target, rewrite, ["xmm0"], ranges,
+                                     lambda: TestCase({}),
+                                     bits_per_input=9)
+        finally:
+            ex._BATCH = original
+        assert small.max_ulps == big.max_ulps
+        assert small.cases_checked == big.cases_checked
+        assert _cex_inputs(small) == _cex_inputs(big)
