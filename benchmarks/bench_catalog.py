@@ -1,0 +1,195 @@
+"""Catalog serving costs: assembly, single-kernel lookups, workload
+selection.
+
+The catalog is the artifact the whole pipeline exists to produce, and
+it is read far more often than it is built: every deployment decision
+is a ``fastest_under`` lookup or a ``select_for_budget`` composition.
+This benchmark builds a synthetic catalog (no search has to run — the
+frontier code consumes result documents) and enforces a throughput
+floor on the lookup path.  As a script it writes the
+``BENCH_catalog.json`` baseline consumed by CI::
+
+    PYTHONPATH=src python benchmarks/bench_catalog.py \\
+        --out BENCH_catalog.json
+
+Under pytest it doubles as a pytest-benchmark suite
+(``pytest benchmarks/bench_catalog.py --benchmark-only``).
+"""
+
+import hashlib
+import json
+import random
+import time
+
+from repro.catalog import (
+    assemble_catalog,
+    catalog_digest,
+    fastest_under,
+    select_for_budget,
+)
+from repro.catalog.frontier import program_text_digest
+
+KERNELS = 12
+ETAS = 16
+MIN_LOOKUPS_PER_SEC = 2_000.0
+MIN_SELECTS_PER_SEC = 50.0
+
+
+def synthetic_catalog(kernels=KERNELS, etas=ETAS, seed=0):
+    """A catalog body with a plausible error/latency trade-off curve:
+    per kernel, rising eta buys latency at a rising certified bound,
+    with jittered points so some cells land off the frontier."""
+    rng = random.Random(seed)
+    cells, docs = [], {}
+    for k in range(kernels):
+        name = f"kernel{k:02d}"
+        target_latency = 200 + 10 * k
+        for i in range(etas):
+            eta = float(10 ** i if i else 0)
+            text = f"{name}/rewrite{i}"
+            latency = max(10, int(target_latency
+                                  - (target_latency - 20) * i / etas
+                                  + rng.randint(-15, 15)))
+            sel_digest = hashlib.sha256(
+                f"sel/{name}/{i}".encode()).hexdigest()
+            ver_digest = hashlib.sha256(
+                f"ver/{name}/{i}".encode()).hexdigest()
+            docs[sel_digest] = {
+                "best_correct": {"text": text},
+                "latency": latency,
+                "target_latency": target_latency,
+            }
+            if i == 0:
+                docs[ver_digest] = {
+                    "engine": "uf", "proved": True,
+                    "rewrite_digest": program_text_digest(text),
+                    "target_digest": "t" * 64,
+                }
+            else:
+                docs[ver_digest] = {
+                    "engine": "bnb",
+                    "bound_ulps": float(2 ** i) * rng.uniform(0.5, 1.5),
+                    "rewrite_digest": program_text_digest(text),
+                    "target_digest": "t" * 64,
+                    "certificate_digest": "c" * 64,
+                }
+            cells.append((name, eta, sel_digest, ver_digest))
+    return assemble_catalog(cells, docs)
+
+
+def _lookup_throughput(body, queries=5_000, seed=1):
+    rng = random.Random(seed)
+    names = sorted(body["kernels"])
+    budgets = [0.0, 1.0, 64.0, 4096.0, 1e9]
+    start = time.perf_counter()
+    for _ in range(queries):
+        fastest_under(body, rng.choice(names), rng.choice(budgets))
+    return queries / (time.perf_counter() - start)
+
+
+def _select_throughput(body, selects=200, seed=2):
+    rng = random.Random(seed)
+    names = sorted(body["kernels"])
+    workload = {name: 1 + i % 4 for i, name in enumerate(names[:6])}
+    start = time.perf_counter()
+    for _ in range(selects):
+        select_for_budget(body, workload, rng.choice([0.0, 100.0, 1e6]))
+    return selects / (time.perf_counter() - start)
+
+
+def test_assemble(benchmark):
+    body = benchmark(synthetic_catalog)
+    benchmark.extra_info.update({
+        "kernels": len(body["kernels"]),
+        "cells": body["cells"],
+        "digest": catalog_digest(body)[:16],
+    })
+
+
+def test_lookup_floor(benchmark):
+    body = synthetic_catalog()
+    rate = benchmark.pedantic(_lookup_throughput, args=(body,),
+                              kwargs={"queries": 2_000},
+                              rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["lookups_per_sec"] = round(rate)
+    assert rate >= MIN_LOOKUPS_PER_SEC
+
+
+def test_select_floor(benchmark):
+    body = synthetic_catalog()
+    rate = benchmark.pedantic(_select_throughput, args=(body,),
+                              rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["selects_per_sec"] = round(rate)
+    assert rate >= MIN_SELECTS_PER_SEC
+
+
+def run_baseline(kernels=KERNELS, etas=ETAS, queries=5_000, selects=200,
+                 min_lookups=MIN_LOOKUPS_PER_SEC,
+                 min_selects=MIN_SELECTS_PER_SEC):
+    start = time.perf_counter()
+    body = synthetic_catalog(kernels=kernels, etas=etas)
+    build_seconds = time.perf_counter() - start
+    lookups = _lookup_throughput(body, queries=queries)
+    sel_rate = _select_throughput(body, selects=selects)
+    if lookups < min_lookups:
+        raise AssertionError(
+            f"lookup throughput {lookups:,.0f}/s is below the "
+            f"{min_lookups:,.0f}/s floor")
+    if sel_rate < min_selects:
+        raise AssertionError(
+            f"selection throughput {sel_rate:,.0f}/s is below the "
+            f"{min_selects:,.0f}/s floor")
+    frontier = sum(
+        sum(1 for e in k["entries"] if e["on_frontier"])
+        for k in body["kernels"].values())
+    return {
+        "benchmark": "catalog_serving_throughput",
+        "kernels": kernels,
+        "etas_per_kernel": etas,
+        "cells": body["cells"],
+        "frontier_entries": frontier,
+        "digest": catalog_digest(body),
+        "build_seconds": build_seconds,
+        "lookups_per_sec": lookups,
+        "lookup_floor_per_sec": min_lookups,
+        "selects_per_sec": sel_rate,
+        "select_floor_per_sec": min_selects,
+        "note": "synthetic catalog (no search): fastest_under over "
+                "random (kernel, budget) pairs, select_for_budget over "
+                "a 6-kernel workload.",
+    }
+
+
+def main():
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kernels", type=int, default=KERNELS)
+    parser.add_argument("--etas", type=int, default=ETAS)
+    parser.add_argument("--queries", type=int, default=5_000)
+    parser.add_argument("--selects", type=int, default=200)
+    parser.add_argument("--min-lookups", type=float,
+                        default=MIN_LOOKUPS_PER_SEC)
+    parser.add_argument("--min-selects", type=float,
+                        default=MIN_SELECTS_PER_SEC)
+    parser.add_argument("--out", default="BENCH_catalog.json")
+    args = parser.parse_args()
+    baseline = run_baseline(kernels=args.kernels, etas=args.etas,
+                            queries=args.queries, selects=args.selects,
+                            min_lookups=args.min_lookups,
+                            min_selects=args.min_selects)
+    with open(args.out, "w") as fh:
+        json.dump(baseline, fh, indent=2)
+        fh.write("\n")
+    print(f"catalog {baseline['digest'][:16]}: "
+          f"{baseline['cells']} cells, "
+          f"{baseline['frontier_entries']} frontier entries")
+    print(f"lookups: {baseline['lookups_per_sec']:,.0f}/s "
+          f"(floor {baseline['lookup_floor_per_sec']:,.0f}/s)  "
+          f"selects: {baseline['selects_per_sec']:,.0f}/s "
+          f"(floor {baseline['select_floor_per_sec']:,.0f}/s)")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+"""Render the aek scene with catalog-selected kernels under an error
+budget.
+
+The certified catalog answers the deployment question directly: given a
+whole-workload error tolerance, which implementation of each kernel
+should serve?  This example selects against the ``aek`` workload preset
+(the tracer's inner-loop call mix), renders the scene with exactly the
+chosen programs, and reports the certified composite bound, the static
+latency win, and the observed pixel differences.
+
+By default it assembles a demonstration catalog from the paper's known
+aek rewrites — the bit-wise scale/dot/add rewrites enter as UF-proved
+(error 0) and the imprecise delta rewrite carries its sound interval
+bound of 4.15e9 ULPs (EXPERIMENTS.md E8) — so the budget decides
+whether depth-of-field blur survives.  Point ``--store`` at a campaign
+ledger with a built catalog to select from freshly certified results
+instead.
+
+Run:  PYTHONPATH=src python examples/catalog_select.py --budget 5e9
+"""
+
+import argparse
+import time
+
+from repro.catalog import assemble_catalog, select_for_budget
+from repro.catalog.frontier import program_text_digest
+from repro.core.serialize import dec_float, program_to_dict
+from repro.kernels.aek import (
+    AEK_KERNELS,
+    RenderConfig,
+    add_rewrite,
+    delta_rewrite,
+    dot_rewrite,
+    error_pixels,
+    render_with,
+    scale_rewrite,
+)
+
+# The paper's rewrites with their verification outcomes: scale/dot/add
+# are proved bit-equivalent (EXPERIMENTS.md E6), delta's sound interval
+# bound is 4.15e9 ULPs (E8).
+DEMO_REWRITES = {
+    "scale": (scale_rewrite, None),
+    "dot": (dot_rewrite, None),
+    "add": (add_rewrite, None),
+    "delta": (delta_rewrite, 4.15e9),
+}
+
+
+def demo_catalog():
+    """A catalog body built from the known rewrites; returns
+    ``(body, programs)`` with ``programs`` mapping entry id -> Program
+    for the render step."""
+    cells, docs, programs = [], {}, {}
+    for name, (factory, bound) in DEMO_REWRITES.items():
+        target = AEK_KERNELS[name]().program
+        rewrite = factory()
+        text = program_to_dict(rewrite)["text"]
+        sel, ver = f"sel-{name}", f"ver-{name}"
+        docs[sel] = {"best_correct": program_to_dict(rewrite),
+                     "latency": rewrite.latency,
+                     "target_latency": target.latency}
+        if bound is None:
+            docs[ver] = {"engine": "uf", "proved": True,
+                         "rewrite_digest": program_text_digest(text)}
+        else:
+            docs[ver] = {"engine": "bnb", "bound_ulps": bound,
+                         "rewrite_digest": program_text_digest(text),
+                         "certificate_digest": None}
+        cells.append((name, 0.0 if bound is None else 1.0, sel, ver))
+        programs[f"{name}/eta={0 if bound is None else 1:g}"] = rewrite
+    return assemble_catalog(cells, docs), programs
+
+
+def ledger_catalog(store, campaign):
+    """``(body, programs)`` from a real campaign ledger."""
+    from repro.catalog import load_catalog_bytes, resolve_catalog
+    from repro.core.serialize import program_from_dict
+    from repro.service import Ledger
+
+    with Ledger(store) as ledger:
+        digest = resolve_catalog(ledger, campaign)
+        if digest is None:
+            raise SystemExit("no catalog in this store — run "
+                             "`repro catalog build` first")
+        body = load_catalog_bytes(ledger.get_artifact(digest))
+        programs = {}
+        for name, kernel in body["kernels"].items():
+            for entry in kernel["entries"]:
+                if entry["select_job"] is None:
+                    continue
+                doc = ledger.result_doc(entry["select_job"])
+                programs[entry["id"]] = \
+                    program_from_dict(doc["best_correct"])
+    return body, programs
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=float, default=0.0,
+                        help="composite error budget in ULPs")
+    parser.add_argument("--store", help="campaign ledger to select from "
+                        "(default: built-in demonstration catalog)")
+    parser.add_argument("--campaign", help="campaign id within --store")
+    parser.add_argument("--width", type=int, default=48)
+    parser.add_argument("--height", type=int, default=32)
+    parser.add_argument("--samples", type=int, default=3)
+    parser.add_argument("--out", help="write the selected render as PPM")
+    args = parser.parse_args()
+
+    if args.store:
+        body, programs = ledger_catalog(args.store, args.campaign)
+        workload = {name: calls for name, calls in
+                    (("scale", 4), ("dot", 3), ("add", 3), ("delta", 6))
+                    if name in body["kernels"]}
+    else:
+        body, programs = demo_catalog()
+        workload = "aek"
+
+    choice = select_for_budget(body, workload, args.budget)
+    print(f"budget {args.budget:g} ULPs -> certified composite bound "
+          f"{dec_float(choice['bound']):g} ULPs")
+    print(f"static latency {choice['latency']} vs target "
+          f"{choice['target_latency']} cycles "
+          f"({dec_float(choice['speedup']):.2f}x)")
+    kernels = {}
+    for name in sorted(choice["assignment"]):
+        pick = choice["assignment"][name]
+        served = programs.get(pick["id"])
+        if served is not None:
+            kernels[name] = served
+        print(f"  {name}: {pick['id']} "
+              f"(error {dec_float(pick['error_ulps']):g} ULPs, "
+              f"latency {pick['latency']})")
+
+    config = RenderConfig(width=args.width, height=args.height,
+                          samples=args.samples)
+    start = time.perf_counter()
+    reference = render_with(config=config)
+    ref_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    selected = render_with(config=config, **kernels)
+    sel_seconds = time.perf_counter() - start
+
+    total = args.width * args.height
+    diff = error_pixels(reference, selected)
+    print(f"reference render: {ref_seconds:5.1f}s   "
+          f"selected render: {sel_seconds:5.1f}s")
+    print(f"pixels differing from reference: {diff}/{total}")
+    if args.out:
+        selected.write_ppm(args.out)
+        print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

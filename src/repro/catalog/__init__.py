@@ -1,0 +1,64 @@
+"""Certified (error, latency) Pareto catalogs over campaign ledgers.
+
+The campaign pipeline ends with one verified rewrite per (kernel, eta)
+cell; this package turns those cells into the production artifact: a
+content-addressed catalog of non-dominated implementations per kernel
+(:mod:`~repro.catalog.frontier`), a persisted/queryable document form
+(:mod:`~repro.catalog.document`), and a workload-level selector that
+composes per-kernel choices against an end-to-end error budget
+(:mod:`~repro.catalog.selector`).
+"""
+
+from repro.catalog.document import (
+    catalog_summary,
+    fastest_under,
+    load_catalog,
+    load_catalog_bytes,
+    query_catalog,
+    save_catalog,
+    unwrap_catalog,
+    wrap_catalog,
+)
+from repro.catalog.frontier import (
+    CATALOG_VERSION,
+    CatalogError,
+    assemble_catalog,
+    build_catalog,
+    catalog_digest,
+    mark_frontier,
+    measure_catalog,
+    resolve_catalog,
+    store_catalog,
+    verify_catalog,
+)
+from repro.catalog.selector import (
+    WorkloadKernel,
+    parse_workload_spec,
+    resolve_workload,
+    select_for_budget,
+)
+
+__all__ = [
+    "CATALOG_VERSION",
+    "CatalogError",
+    "WorkloadKernel",
+    "assemble_catalog",
+    "build_catalog",
+    "catalog_digest",
+    "catalog_summary",
+    "fastest_under",
+    "load_catalog",
+    "load_catalog_bytes",
+    "mark_frontier",
+    "measure_catalog",
+    "parse_workload_spec",
+    "query_catalog",
+    "resolve_catalog",
+    "resolve_workload",
+    "save_catalog",
+    "select_for_budget",
+    "store_catalog",
+    "unwrap_catalog",
+    "verify_catalog",
+    "wrap_catalog",
+]

@@ -1,0 +1,168 @@
+"""Catalog persistence and querying.
+
+A catalog on disk (or on the wire) is a wrapper document::
+
+    {"version": 1, "kind": "catalog_document",
+     "digest": <sha256 of canonical_json(catalog)>,
+     "catalog": <canonical body from frontier.assemble_catalog>,
+     "measurements": <side-band wall-clock data or null>}
+
+The ``digest`` pins the canonical body exactly the way the artifact
+store pins its files: :func:`load_catalog` recomputes it and rejects a
+document whose body was edited after assembly.  Measurements live
+*outside* the digested body — they are machine-dependent telemetry, and
+two catalogs built from the same ledger must stay byte-identical
+whether or not a latency probe ran.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.serialize import canonical_json, dec_float
+
+from repro.catalog.frontier import (
+    CATALOG_VERSION,
+    CatalogError,
+    catalog_digest,
+)
+
+
+def wrap_catalog(body: Dict, measurements: Optional[Dict] = None) -> Dict:
+    """The transport/storage wrapper around a canonical catalog body."""
+    return {
+        "version": CATALOG_VERSION,
+        "kind": "catalog_document",
+        "digest": catalog_digest(body),
+        "catalog": body,
+        "measurements": measurements,
+    }
+
+
+def unwrap_catalog(doc: Dict) -> Tuple[Dict, Optional[Dict]]:
+    """Validate a wrapper document; returns ``(body, measurements)``.
+
+    Rejects version skew, a missing/mismatched digest (tampered or
+    truncated body), and bodies that are not catalogs.
+    """
+    if not isinstance(doc, dict) or doc.get("kind") != "catalog_document":
+        raise CatalogError("not a catalog document")
+    if doc.get("version") != CATALOG_VERSION:
+        raise CatalogError(
+            f"unsupported catalog version {doc.get('version')!r} "
+            f"(this build reads version {CATALOG_VERSION})")
+    body = doc.get("catalog")
+    if not isinstance(body, dict) or body.get("kind") != "catalog":
+        raise CatalogError("catalog document has no catalog body")
+    digest = catalog_digest(body)
+    if doc.get("digest") != digest:
+        claimed = doc.get("digest")
+        claimed = claimed[:12] if isinstance(claimed, str) else claimed
+        raise CatalogError(
+            f"catalog digest mismatch: document claims {claimed}, "
+            f"body hashes to {digest[:12]} (tampered or corrupt)")
+    return body, doc.get("measurements")
+
+
+def save_catalog(path: str, body: Dict,
+                 measurements: Optional[Dict] = None) -> str:
+    """Write a wrapper document; returns the catalog digest."""
+    doc = wrap_catalog(body, measurements)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc["digest"]
+
+
+def load_catalog(path: str) -> Tuple[Dict, Optional[Dict]]:
+    """Read + integrity-check a catalog file: ``(body, measurements)``."""
+    with open(path) as fh:
+        try:
+            doc = json.load(fh)
+        except ValueError as exc:
+            raise CatalogError(f"unparseable catalog file: {exc}")
+    return unwrap_catalog(doc)
+
+
+def load_catalog_bytes(data: bytes) -> Dict:
+    """Parse catalog *body* bytes (a ledger artifact) and verify the
+    body is well-formed canonical JSON of a catalog.  The artifact
+    store already checked content digest == artifact digest."""
+    try:
+        body = json.loads(data)
+    except ValueError as exc:
+        raise CatalogError(f"unparseable catalog artifact: {exc}")
+    if not isinstance(body, dict) or body.get("kind") != "catalog":
+        raise CatalogError("artifact is not a catalog body")
+    if body.get("version") != CATALOG_VERSION:
+        raise CatalogError(
+            f"unsupported catalog version {body.get('version')!r}")
+    if canonical_json(body).encode("utf-8") != data:
+        raise CatalogError("catalog artifact is not canonical JSON")
+    return body
+
+
+def query_catalog(body: Dict, kernel: Optional[str] = None,
+                  max_error: Optional[float] = None,
+                  frontier_only: bool = False) -> List[Dict]:
+    """Entries matching the filters, cheapest-adequate first.
+
+    Within a kernel, entries come back sorted by (error, latency) —
+    the frontier order — so with ``max_error`` the *last* surviving
+    frontier entry is the fastest implementation whose certified bound
+    fits.  Unknown kernels raise (catalogs are closed-world: absence
+    means "never certified", which must not read as an empty success).
+    """
+    kernels = body.get("kernels", {})
+    if kernel is not None:
+        if kernel not in kernels:
+            raise CatalogError(
+                f"kernel {kernel!r} not in catalog "
+                f"(has: {', '.join(sorted(kernels)) or 'none'})")
+        names = [kernel]
+    else:
+        names = sorted(kernels)
+    out: List[Dict] = []
+    for name in names:
+        for entry in kernels[name]["entries"]:
+            if frontier_only and not entry["on_frontier"]:
+                continue
+            if max_error is not None and \
+                    dec_float(entry["error_ulps"]) > max_error:
+                continue
+            out.append(dict(entry, kernel=name))
+    return out
+
+
+def fastest_under(body: Dict, kernel: str, max_error: float) -> Dict:
+    """The lowest-latency implementation whose certified error bound is
+    at most ``max_error`` — the catalog's single-kernel lookup."""
+    matches = query_catalog(body, kernel=kernel, max_error=max_error,
+                            frontier_only=True)
+    if not matches:
+        raise CatalogError(
+            f"{kernel}: no certified implementation with error bound "
+            f"<= {max_error:g}")
+    best = min(matches, key=lambda e: (e["latency"],
+                                       dec_float(e["error_ulps"])))
+    return best
+
+
+def catalog_summary(body: Dict) -> Dict:
+    """Counts for status displays: per-kernel entry/frontier totals."""
+    kernels = {}
+    for name in sorted(body.get("kernels", {})):
+        entries = body["kernels"][name]["entries"]
+        frontier = [e for e in entries if e["on_frontier"]]
+        errors = [dec_float(e["error_ulps"]) for e in frontier]
+        kernels[name] = {
+            "entries": len(entries),
+            "frontier": len(frontier),
+            "min_error": min(errors) if errors else math.inf,
+            "max_speedup": max(dec_float(e["speedup"]) for e in frontier)
+            if frontier else 1.0,
+        }
+    return {"digest": catalog_digest(body), "kernels": kernels,
+            "skipped": len(body.get("skipped", []))}

@@ -1,0 +1,409 @@
+"""Frontier assembly: campaign ledger -> certified (error, latency) catalog.
+
+A finished eta-sweep campaign leaves one ``select`` result (the chosen
+rewrite and its static latency) and one ``verify`` result (a sound error
+bound — a UF equivalence proof at eta=0, a BnB certificate otherwise)
+per ``(kernel, eta)`` cell.  :func:`assemble_catalog` joins them into
+per-kernel implementation lists, adds the target program itself as the
+zero-error baseline, and marks the non-dominated (error, latency)
+frontier — dominated entries are retained with provenance
+(``dominated_by``) so the catalog records *why* an implementation is
+not served, not just that it isn't.
+
+The function is pure: it consumes only result documents, never the
+ledger, so the ``catalog`` job kind (a worker fed dependency documents
+over a pipe) and :func:`build_catalog` (a ledger walk) produce the same
+bytes for the same inputs.  Everything in the body is canonical-JSON
+encodable (:func:`repro.core.serialize.enc_float` for floats), and the
+catalog's identity is :func:`catalog_digest` — the same content
+addressing jobs and artifacts use.
+
+Entries whose verification did not produce a finite sound bound (an
+unproved UF run, a BnB run with analysis-unreachable leaves) are
+excluded from the served entries but recorded under ``skipped`` with the
+reason: a catalog must never offer an implementation it cannot bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.serialize import (
+    canonical_json,
+    content_digest,
+    dec_float,
+    enc_float,
+)
+
+CATALOG_VERSION = 1
+
+# Stages a cell must have finished for the catalog to include it.
+CELL_STAGES = ("select", "verify")
+
+
+class CatalogError(ValueError):
+    """The ledger/documents cannot be assembled into a sound catalog."""
+
+
+def program_text_digest(text: str) -> str:
+    """SHA-256 of a program's full textual rendering.
+
+    Matches :func:`repro.verify.certificate.program_digest` for the
+    assembled program, because serialized programs store exactly
+    ``to_text(include_unused=True)``.
+    """
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def catalog_digest(body: Dict) -> str:
+    """Content digest of a catalog body (canonical JSON, SHA-256)."""
+    return content_digest(body)
+
+
+def _entry_id(kernel: str, eta: float) -> str:
+    return f"{kernel}/eta={eta:g}"
+
+
+def _cell_error(ver: Dict) -> Tuple[Optional[float], str]:
+    """(sound error bound, reason-if-none) from a verify result doc."""
+    engine = ver.get("engine")
+    if engine == "uf":
+        if ver.get("proved"):
+            return 0.0, ""
+        return None, "uf equivalence not proved"
+    if engine == "bnb":
+        bound = dec_float(ver.get("bound_ulps"))
+        if bound is None or not math.isfinite(bound):
+            return None, "no finite certified bound"
+        return bound, ""
+    return None, f"unknown verify engine {engine!r}"
+
+
+def mark_frontier(entries: List[Dict]) -> None:
+    """Mark ``on_frontier`` / ``dominated_by`` in place.
+
+    Entry B dominates A when B is no worse on both axes and strictly
+    better on one; ties on both axes keep the first entry (sorted by
+    error, latency, id) as the representative.  Entries are left sorted
+    in that order, so the frontier subsequence has strictly increasing
+    error and strictly decreasing latency.
+    """
+    entries.sort(key=lambda e: (dec_float(e["error_ulps"]),
+                                e["latency"], e["id"]))
+    best_latency = math.inf
+    last_frontier: Optional[str] = None
+    for entry in entries:
+        if entry["latency"] < best_latency:
+            entry["on_frontier"] = True
+            entry["dominated_by"] = None
+            best_latency = entry["latency"]
+            last_frontier = entry["id"]
+        else:
+            entry["on_frontier"] = False
+            entry["dominated_by"] = last_frontier
+
+
+def assemble_catalog(cells: Sequence[Tuple[str, float, str, str]],
+                     docs: Dict[str, Dict]) -> Dict:
+    """Build a catalog body from finished cells.
+
+    ``cells`` is ``[(kernel, eta, select_digest, verify_digest), ...]``
+    in campaign declaration order; ``docs`` maps those job digests to
+    their result documents.  Returns the canonical catalog body (a plain
+    dict of JSON scalars) — hash it with :func:`catalog_digest`.
+    """
+    kernels: Dict[str, Dict] = {}
+    skipped: List[Dict] = []
+    for name, eta, select_digest, verify_digest in cells:
+        entry_id = _entry_id(name, eta)
+        select = docs.get(select_digest)
+        verify = docs.get(verify_digest)
+        if select is None:
+            raise CatalogError(f"{entry_id}: missing select result "
+                               f"{select_digest[:12]}")
+        if verify is None:
+            raise CatalogError(f"{entry_id}: missing verify result "
+                               f"{verify_digest[:12]}")
+        rewrite = select.get("best_correct") or {}
+        text = rewrite.get("text")
+        if not text:
+            raise CatalogError(f"{entry_id}: select result has no rewrite")
+        program_digest = program_text_digest(text)
+        claimed = verify.get("rewrite_digest")
+        if claimed is not None and claimed != program_digest:
+            raise CatalogError(
+                f"{entry_id}: verification was derived against a "
+                f"different rewrite ({claimed[:12]} != "
+                f"{program_digest[:12]})")
+        kernel = kernels.setdefault(name, {
+            "target_latency": int(select["target_latency"]),
+            "target_digest": verify.get("target_digest"),
+            "entries": [],
+        })
+        if kernel["target_latency"] != int(select["target_latency"]):
+            raise CatalogError(f"{name}: cells disagree on target latency")
+        if kernel["target_digest"] is None:
+            kernel["target_digest"] = verify.get("target_digest")
+        error, reason = _cell_error(verify)
+        if error is None:
+            skipped.append({"id": entry_id, "kernel": name,
+                            "eta": enc_float(eta),
+                            "select_job": select_digest,
+                            "verify_job": verify_digest,
+                            "reason": reason})
+            continue
+        latency = int(select["latency"])
+        kernel["entries"].append({
+            "id": entry_id,
+            "eta": enc_float(eta),
+            "error_ulps": enc_float(error),
+            "latency": latency,
+            "speedup": enc_float(kernel["target_latency"] / latency
+                                 if latency else math.inf),
+            "engine": verify.get("engine"),
+            "select_job": select_digest,
+            "verify_job": verify_digest,
+            "certificate": verify.get("certificate_digest"),
+            "program_digest": program_digest,
+        })
+    for name, kernel in kernels.items():
+        kernel["entries"].append({
+            "id": f"{name}/target",
+            "eta": None,
+            "error_ulps": 0.0,
+            "latency": kernel["target_latency"],
+            "speedup": 1.0,
+            "engine": None,
+            "select_job": None,
+            "verify_job": None,
+            "certificate": None,
+            "program_digest": kernel["target_digest"],
+        })
+        mark_frontier(kernel["entries"])
+    return {
+        "version": CATALOG_VERSION,
+        "kind": "catalog",
+        "kernels": kernels,
+        "skipped": skipped,
+        "cells": len(cells),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Ledger-side assembly
+
+
+def campaign_catalog_cells(ledger, cid: str
+                           ) -> List[Tuple[str, float, str, str]]:
+    """The finished ``(kernel, eta, select, verify)`` cells of a
+    campaign, in submission order.  Raises :class:`CatalogError` when a
+    cell's terminal jobs are missing or not ``done``."""
+    grouped: Dict[str, Dict[str, Dict]] = {}
+    order: List[str] = []
+    for row in ledger.campaign_jobs(cid):
+        cell, _, stage = row["role"].rpartition("/")
+        if stage not in CELL_STAGES:
+            continue
+        if cell not in grouped:
+            grouped[cell] = {}
+            order.append(cell)
+        grouped[cell][stage] = row
+    if not grouped:
+        raise CatalogError(f"campaign {cid} has no select/verify cells "
+                           "(was it submitted with the full stage set?)")
+    cells: List[Tuple[str, float, str, str]] = []
+    for cell in order:
+        stages = grouped[cell]
+        missing = [s for s in CELL_STAGES if s not in stages]
+        if missing:
+            raise CatalogError(f"{cell}: missing stage(s) "
+                               f"{', '.join(missing)}")
+        unfinished = {s: stages[s]["state"] for s in CELL_STAGES
+                      if stages[s]["state"] != "done"}
+        if unfinished:
+            detail = ", ".join(f"{s}={state}"
+                               for s, state in sorted(unfinished.items()))
+            raise CatalogError(f"{cell}: not finished ({detail})")
+        payload = stages["select"]["payload"]
+        if isinstance(payload, str):
+            import json
+
+            payload = json.loads(payload)
+        cells.append((payload["kernel"], float(payload["eta"]),
+                      stages["select"]["digest"],
+                      stages["verify"]["digest"]))
+    return cells
+
+
+def build_catalog(ledger, cid: str) -> Dict:
+    """Assemble a campaign's catalog body from the ledger.
+
+    Deterministic: the same ledger state always yields byte-identical
+    ``canonical_json(body)``.  The certificate digest for pre-existing
+    ledgers whose verify documents predate the ``certificate_digest``
+    field falls back to the job's ``certificate.json`` artifact link.
+    """
+    if ledger.campaign(cid) is None:
+        raise CatalogError(f"no such campaign: {cid}")
+    cells = campaign_catalog_cells(ledger, cid)
+    docs: Dict[str, Dict] = {}
+    for _name, _eta, select_digest, verify_digest in cells:
+        for digest in (select_digest, verify_digest):
+            if digest in docs:
+                continue
+            doc = ledger.result_doc(digest)
+            if doc is None:
+                raise CatalogError(
+                    f"job {digest[:12]} has no result document")
+            docs[digest] = doc
+        verify_doc = docs[verify_digest]
+        if verify_doc.get("engine") == "bnb" and \
+                verify_doc.get("certificate_digest") is None:
+            linked = ledger.artifacts_of(verify_digest)
+            verify_doc["certificate_digest"] = \
+                linked.get("certificate.json")
+    return assemble_catalog(cells, docs)
+
+
+def store_catalog(ledger, body: Dict, campaign: Optional[str] = None
+                  ) -> str:
+    """Persist a catalog body as a content-addressed artifact and point
+    the serving head (``catalog:latest``, plus ``catalog:<cid>`` when a
+    campaign id is given) at it.  Returns the catalog digest."""
+    digest = ledger.put_artifact(canonical_json(body).encode("utf-8"),
+                                 kind="catalog")
+    ledger.set_meta("catalog:latest", digest)
+    if campaign:
+        ledger.set_meta(f"catalog:{campaign}", digest)
+    return digest
+
+
+def resolve_catalog(ledger, campaign: Optional[str] = None
+                    ) -> Optional[str]:
+    """The artifact digest of the catalog to serve.
+
+    With ``campaign``: the campaign-specific head if one was recorded,
+    else the campaign's finished ``catalog``-stage job's result
+    artifact.  Without: the ``catalog:latest`` head.
+    """
+    if campaign:
+        digest = ledger.get_meta(f"catalog:{campaign}")
+        if digest:
+            return digest
+        for row in ledger.campaign_jobs(campaign):
+            if row["kind"] == "catalog" and row["state"] == "done":
+                return ledger.artifacts_of(row["digest"]).get(
+                    "result.json")
+        return None
+    return ledger.get_meta("catalog:latest")
+
+
+# ---------------------------------------------------------------------------
+# Re-validation and measurement (ledger-side, never in the canonical body)
+
+
+def verify_catalog(ledger, body: Dict) -> List[str]:
+    """Re-validate a catalog against its ledger; returns failures.
+
+    Every served entry's certificate is fetched (content-verified by the
+    artifact store), its program digests are matched against the entry,
+    and the certificate itself is re-checked by the independent
+    :mod:`repro.verify.checker` against freshly resolved programs — the
+    same trust chain as ``repro verify --check-cert``.
+    """
+    import json as _json
+
+    from repro.core.serialize import program_from_dict
+    from repro.service.jobs import resolve_kernel, verify_environment
+    from repro.verify import checker
+    from repro.verify.certificate import Certificate, program_digest
+
+    failures: List[str] = []
+    for name in sorted(body.get("kernels", {})):
+        kernel = body["kernels"][name]
+        spec = resolve_kernel(name)
+        target_digest = program_digest(spec.program)
+        if kernel.get("target_digest") not in (None, target_digest):
+            failures.append(f"{name}: catalog target digest does not "
+                            f"match the kernel's target program")
+        for entry in kernel["entries"]:
+            if entry["select_job"] is None:
+                continue  # the baseline is the target itself
+            select = ledger.result_doc(entry["select_job"])
+            if select is None:
+                failures.append(f"{entry['id']}: select result missing")
+                continue
+            rewrite = program_from_dict(select["best_correct"])
+            if program_digest(rewrite) != entry["program_digest"]:
+                failures.append(f"{entry['id']}: rewrite program digest "
+                                f"mismatch")
+                continue
+            if entry["certificate"] is None:
+                if entry["engine"] == "bnb":
+                    failures.append(f"{entry['id']}: bnb entry without "
+                                    f"a certificate")
+                continue
+            try:
+                raw = ledger.get_artifact(entry["certificate"])
+            except (OSError, IOError) as exc:
+                failures.append(f"{entry['id']}: certificate unreadable "
+                                f"({exc})")
+                continue
+            try:
+                cert = Certificate.from_dict(_json.loads(raw))
+            except (ValueError, KeyError, TypeError) as exc:
+                failures.append(f"{entry['id']}: certificate malformed "
+                                f"({type(exc).__name__}: {exc})")
+                continue
+            if cert.rewrite_digest != entry["program_digest"]:
+                failures.append(f"{entry['id']}: certificate rewrite "
+                                f"digest mismatch")
+                continue
+            bound = dec_float(entry["error_ulps"])
+            if cert.bound_ulps > bound:
+                failures.append(
+                    f"{entry['id']}: catalog bound {bound:g} below the "
+                    f"certificate's {cert.bound_ulps:g}")
+            memory, concrete_gp, _ranges = verify_environment(name)
+            report = checker.check(cert, spec.program, rewrite,
+                                   memory=memory, concrete_gp=concrete_gp)
+            if not report.ok:
+                failures.extend(f"{entry['id']}: {failure}"
+                                for failure in report.failures)
+    return failures
+
+
+def measure_catalog(ledger, body: Dict, backend: str = "vector",
+                    tests: int = 256, seed: int = 0,
+                    repeats: int = 3) -> Dict:
+    """Wall-clock latency probe over the catalog's programs.
+
+    Returns ``{"backend", "tests", "entries": {id: ns_per_test}}`` —
+    side-band data (machine-dependent), never part of the canonical
+    body or its digest.
+    """
+    import random
+
+    from repro.core.perf import measure_ns_per_test
+    from repro.core.serialize import program_from_dict
+    from repro.service.jobs import resolve_kernel
+
+    measured: Dict[str, float] = {}
+    for name in sorted(body.get("kernels", {})):
+        spec = resolve_kernel(name)
+        cases = spec.testcases(random.Random(seed), tests)
+        for entry in body["kernels"][name]["entries"]:
+            if entry["select_job"] is None:
+                program = spec.program
+            else:
+                select = ledger.result_doc(entry["select_job"])
+                if select is None:
+                    continue
+                program = program_from_dict(select["best_correct"])
+            measured[entry["id"]] = measure_ns_per_test(
+                program, cases, list(spec.live_outs), backend=backend,
+                repeats=repeats)
+    return {"backend": backend, "tests": tests, "seed": seed,
+            "entries": measured}

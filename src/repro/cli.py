@@ -339,13 +339,15 @@ def _json_out(payload) -> None:
 
 
 def _resolve_job_prefix(ledger, prefix: str) -> str:
-    matches = [row["digest"] for row in ledger.jobs()
-               if row["digest"].startswith(prefix)]
+    matches = ledger.resolve_prefix(prefix)
     if not matches:
         raise SystemExit(f"no job matches {prefix!r}")
     if len(matches) > 1:
+        # Refuse to guess; show the collisions so the caller can extend
+        # the prefix by a character or two.
+        listing = "\n".join(f"  {digest}" for digest in matches)
         raise SystemExit(f"{prefix!r} is ambiguous "
-                         f"({len(matches)} jobs match)")
+                         f"({len(matches)} jobs match):\n{listing}")
     return matches[0]
 
 
@@ -369,6 +371,8 @@ def cmd_submit(args) -> int:
     kernels = tuple((name, eta) for name in args.kernel for eta in etas)
     stages = tuple(args.stages.split(",")) if args.stages else \
         ("search", "select", "validate", "verify")
+    if args.catalog and "catalog" not in stages:
+        stages = stages + ("catalog",)
     spec = CampaignSpec(
         kernels=kernels, chains=args.chains, proposals=args.proposals,
         testcases=args.testcases, seed=args.seed, stages=stages,
@@ -618,6 +622,201 @@ def cmd_artifacts(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Catalog commands
+
+
+def _only_campaign(ledger) -> str:
+    campaigns = ledger.campaigns()
+    if len(campaigns) == 1:
+        return campaigns[0]["id"]
+    if not campaigns:
+        raise SystemExit("store has no campaigns")
+    listing = "\n".join(f"  {row['id']}  {row['name']}"
+                        for row in campaigns)
+    raise SystemExit(f"store has {len(campaigns)} campaigns; pick one "
+                     f"with --campaign:\n{listing}")
+
+
+def _local_catalog(ledger, campaign):
+    from repro.catalog import load_catalog_bytes, resolve_catalog
+
+    digest = resolve_catalog(ledger, campaign)
+    if digest is None:
+        where = f"campaign {campaign}" if campaign else "this store"
+        raise SystemExit(f"no catalog for {where} "
+                         f"(run `repro catalog build` first)")
+    return digest, load_catalog_bytes(ledger.get_artifact(digest))
+
+
+def _print_entries(entries) -> None:
+    print(f"{'id':<24} {'error_ulps':>12} {'latency':>8} "
+          f"{'speedup':>8}  frontier  certificate")
+    from repro.core.serialize import dec_float
+
+    for entry in entries:
+        cert = entry.get("certificate")
+        print(f"{entry['id']:<24} {dec_float(entry['error_ulps']):>12.6g} "
+              f"{entry['latency']:>8} {dec_float(entry['speedup']):>8.2f}"
+              f"  {'yes' if entry['on_frontier'] else 'no ':<8}"
+              f"  {cert[:12] if cert else '-'}")
+
+
+def cmd_catalog_build(args) -> int:
+    from repro.catalog import (CatalogError, build_catalog,
+                               catalog_summary, measure_catalog,
+                               save_catalog, store_catalog,
+                               verify_catalog)
+
+    _store_or_url(args)
+    if args.url:
+        for flag in ("check", "measure", "out"):
+            if getattr(args, flag):
+                raise SystemExit(f"--{flag} needs direct store access; "
+                                 f"use --store")
+        from repro.service.api import ServiceClient
+
+        if not args.campaign:
+            raise SystemExit("--url builds need an explicit --campaign")
+        out = ServiceClient(args.url).catalog_build(args.campaign)
+        if args.json:
+            _json_out(out)
+        else:
+            print(f"catalog {out['digest'][:16]} "
+                  f"({len(out['summary']['kernels'])} kernel(s), "
+                  f"{out['summary']['skipped']} skipped cell(s))")
+        return 0
+
+    from repro.service import Ledger
+
+    with Ledger(args.store) as ledger:
+        cid = args.campaign or _only_campaign(ledger)
+        try:
+            body = build_catalog(ledger, cid)
+        except CatalogError as exc:
+            raise SystemExit(f"catalog build failed: {exc}")
+        digest = store_catalog(ledger, body, campaign=cid)
+        failures = []
+        if args.check:
+            failures = verify_catalog(ledger, body)
+        measurements = None
+        if args.measure:
+            measurements = measure_catalog(
+                ledger, body, backend=args.measure_backend,
+                tests=args.measure_tests, seed=args.seed)
+        if args.out:
+            save_catalog(args.out, body, measurements)
+        summary = catalog_summary(body)
+    if args.json:
+        payload = {"campaign": cid, "digest": digest, "summary": summary,
+                   "check_failures": failures}
+        if measurements is not None:
+            payload["measurements"] = measurements
+        _json_out(payload)
+    else:
+        print(f"catalog {digest[:16]} for campaign {cid}")
+        for name, info in sorted(summary["kernels"].items()):
+            print(f"  {name}: {info['frontier']}/{info['entries']} on "
+                  f"frontier, max speedup {info['max_speedup']:.2f}x")
+        if summary["skipped"]:
+            print(f"  skipped cells: {summary['skipped']}")
+        if args.check:
+            verdict = "VALID" if not failures else "REJECTED"
+            print(f"  certificates: {verdict}")
+            for failure in failures:
+                print(f"    - {failure}")
+        if measurements is not None:
+            for entry_id, ns in sorted(measurements["entries"].items()):
+                print(f"  measured {entry_id}: {ns:,.0f} ns/test "
+                      f"({measurements['backend']})")
+    return 1 if failures else 0
+
+
+def cmd_catalog_query(args) -> int:
+    from repro.catalog import CatalogError, query_catalog
+
+    _store_or_url(args)
+    if args.url:
+        from repro.service.api import ServiceClient
+
+        out = ServiceClient(args.url).catalog(
+            campaign=args.campaign, kernel=args.kernel,
+            max_error=args.max_error, frontier=args.frontier)
+        digest, entries = out["digest"], out.get("entries")
+        if entries is None:
+            # No filters: the server answered with a summary; re-fetch
+            # the full document for a uniform entry listing.
+            doc = ServiceClient(args.url).catalog(
+                campaign=args.campaign, full=True)
+            entries = query_catalog(doc["document"]["catalog"],
+                                    frontier_only=args.frontier)
+    else:
+        from repro.service import Ledger
+
+        with Ledger(args.store) as ledger:
+            digest, body = _local_catalog(ledger, args.campaign)
+        try:
+            entries = query_catalog(body, kernel=args.kernel,
+                                    max_error=args.max_error,
+                                    frontier_only=args.frontier)
+        except CatalogError as exc:
+            raise SystemExit(str(exc))
+    if args.json:
+        _json_out({"digest": digest, "entries": entries})
+    else:
+        print(f"catalog {digest[:16]}: {len(entries)} entries")
+        _print_entries(entries)
+    return 0
+
+
+def cmd_catalog_select(args) -> int:
+    from repro.catalog import (CatalogError, parse_workload_spec,
+                               select_for_budget)
+    from repro.core.serialize import dec_float
+
+    _store_or_url(args)
+    if args.url:
+        from repro.service.api import ServiceClient
+
+        try:
+            result = ServiceClient(args.url).catalog_select(
+                budget=args.budget, workload=args.workload,
+                campaign=args.campaign)
+        except Exception as exc:
+            from repro.service.api import ServiceError
+
+            if isinstance(exc, ServiceError):
+                raise SystemExit(exc.message)
+            raise
+    else:
+        from repro.service import Ledger
+
+        with Ledger(args.store) as ledger:
+            digest, body = _local_catalog(ledger, args.campaign)
+        try:
+            workload = parse_workload_spec(args.workload)
+            # Same shape as the HTTP answer: the catalog digest leads,
+            # so local and --url invocations are byte-comparable.
+            result = {"digest": digest,
+                      **select_for_budget(body, workload, args.budget)}
+        except CatalogError as exc:
+            raise SystemExit(str(exc))
+    if args.json:
+        _json_out(result)
+        return 0
+    print(f"budget {dec_float(result['budget']):g} ULPs -> certified "
+          f"composite bound {dec_float(result['bound']):g} ULPs")
+    print(f"workload latency {result['latency']} vs target "
+          f"{result['target_latency']} cycles "
+          f"({dec_float(result['speedup']):.2f}x)")
+    for name in sorted(result["assignment"]):
+        pick = result["assignment"][name]
+        print(f"  {name}: {pick['id']} "
+              f"(error {dec_float(pick['error_ulps']):g}, "
+              f"latency {pick['latency']}, calls {pick['calls']})")
+    return 0
+
+
 def cmd_run(args) -> int:
     program = _load_program(args.program)
     from repro.core.runner import Runner
@@ -771,6 +970,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "search jobs")
     sp.add_argument("--max-attempts", type=_positive_int, default=3)
     sp.add_argument("--name", default="campaign")
+    sp.add_argument("--catalog", action="store_true",
+                    help="append the catalog stage: one terminal job "
+                         "that assembles the certified Pareto catalog "
+                         "once every cell finishes")
     sp.add_argument("--json", action="store_true")
     sp.set_defaults(fn=cmd_submit)
 
@@ -873,6 +1076,65 @@ def build_parser() -> argparse.ArgumentParser:
                     help="export all artifacts into a directory")
     ar.add_argument("--json", action="store_true")
     ar.set_defaults(fn=cmd_artifacts)
+
+    ct = sub.add_parser(
+        "catalog",
+        help="build/query the certified (error, latency) Pareto "
+             "catalog and select implementations under a budget")
+    ctsub = ct.add_subparsers(dest="catalog_command", required=True)
+
+    def _catalog_common(p):
+        p.add_argument("--store", default=None, metavar="DIR")
+        p.add_argument("--url", default=None, metavar="URL",
+                       help="talk to a `repro serve --http` service")
+        p.add_argument("--campaign", default=None, metavar="ID",
+                       help="campaign whose catalog to use (default: "
+                            "the store's only campaign / latest built)")
+        p.add_argument("--json", action="store_true")
+
+    cb = ctsub.add_parser(
+        "build", help="assemble a finished campaign's catalog")
+    _catalog_common(cb)
+    cb.add_argument("--check", action="store_true",
+                    help="re-validate every cited certificate with the "
+                         "independent checker after assembly")
+    cb.add_argument("--measure", action="store_true",
+                    help="probe measured wall-clock latency per entry "
+                         "(side-band data; never part of the catalog "
+                         "digest)")
+    cb.add_argument("--measure-backend", default="vector",
+                    choices=known_backends())
+    cb.add_argument("--measure-tests", type=_positive_int, default=256)
+    cb.add_argument("--seed", type=int, default=0,
+                    help="test-case seed for --measure")
+    cb.add_argument("--out", default=None, metavar="PATH",
+                    help="also write the catalog document (wrapper + "
+                         "digest) to a JSON file")
+    cb.set_defaults(fn=cmd_catalog_build)
+
+    cq = ctsub.add_parser(
+        "query", help="list catalog entries by kernel / error bound")
+    _catalog_common(cq)
+    cq.add_argument("--kernel", default=None, metavar="NAME")
+    cq.add_argument("--max-error", type=float, default=None,
+                    metavar="ULPS",
+                    help="only entries whose certified bound fits")
+    cq.add_argument("--frontier", action="store_true",
+                    help="only non-dominated entries")
+    cq.set_defaults(fn=cmd_catalog_query)
+
+    cs = ctsub.add_parser(
+        "select",
+        help="pick one implementation per workload kernel under an "
+             "end-to-end error budget")
+    _catalog_common(cs)
+    cs.add_argument("--budget", type=float, required=True, metavar="ULPS",
+                    help="composite certified error budget")
+    cs.add_argument("--workload", default="aek",
+                    metavar="NAME|k1:c1,k2:c2",
+                    help="workload preset (aek, s3d) or explicit "
+                         "kernel:calls list")
+    cs.set_defaults(fn=cmd_catalog_select)
 
     runp = sub.add_parser("run", help="execute a program on given inputs")
     runp.add_argument("program")

@@ -37,3 +37,30 @@ def speedup(target: Program, rewrite: Program) -> float:
     """Speedup of a rewrite over the target under the latency model."""
     rl = rewrite.latency
     return float("inf") if rl == 0 else target.latency / rl
+
+
+def measure_ns_per_test(program: Program, tests, live_outs,
+                        backend: str = "vector",
+                        repeats: int = 3) -> float:
+    """Measured wall-clock latency: best-of-``repeats`` nanoseconds per
+    test of one :meth:`~repro.core.runner.Runner.run_batch` pass.
+
+    This is the catalog's optional measured latency axis.  Wall-clock
+    numbers are machine-dependent, so they never enter content-addressed
+    documents — callers attach them as side-band measurements.
+    """
+    import time
+
+    from repro.core.runner import Runner
+
+    if not tests:
+        raise ValueError("latency probe needs at least one test case")
+    runner = Runner(live_outs, backend=backend)
+    prepared = runner.prepare(program)
+    runner.run_batch(prepared, tests)  # warm-up: compile + caches
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        runner.run_batch(prepared, tests)
+        best = min(best, time.perf_counter() - start)
+    return best * 1e9 / len(tests)

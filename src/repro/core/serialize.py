@@ -18,6 +18,7 @@ strict JSON.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import random
@@ -250,6 +251,16 @@ def canonical_json(data) -> str:
     """Deterministic rendering: sorted keys, no whitespace, strict JSON."""
     return json.dumps(data, sort_keys=True, separators=(",", ":"),
                       allow_nan=False)
+
+
+def content_digest(data) -> str:
+    """SHA-256 over the canonical JSON rendering.
+
+    The one content-addressing function: job identities, campaign ids,
+    and catalog documents all hash through here, so "same value, same
+    digest" holds across every layer that persists JSON.
+    """
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
 
 
 def fresh_rng(state: Optional[Sequence]) -> random.Random:

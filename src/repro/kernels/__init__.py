@@ -14,7 +14,17 @@ from repro.kernels.lift import KernelSignalled, LiftedKernel, lift_kernel
 from repro.kernels.polynomial import chebyshev_fit, horner, horner_asm
 from repro.kernels.spec import KernelSpec
 
+# Named workload presets for catalog selection: kernel -> relative call
+# count (latency weight).  The aek counts follow the tracer's inner
+# loop (one delta probe dominates, with vector arithmetic around it);
+# s3d is the single diffusion exponential.
+WORKLOADS = {
+    "aek": {"scale": 4, "dot": 3, "add": 3, "delta": 6},
+    "s3d": {"exp_s3d": 1},
+}
+
 __all__ = [
+    "WORKLOADS",
     "LIBIMF_KERNELS",
     "cos_kernel",
     "exp_kernel",

@@ -15,6 +15,14 @@ User surface::
     GET  /v1/events                     Server-Sent Events progress feed
     GET  /v1/health                     liveness probe
 
+Catalog surface (read-heavy; served from an in-memory cache)::
+
+    GET  /v1/catalog                    summary, ?full=1 document,
+                                        ?kernel=&max_error=&frontier=1
+                                        filtered entries
+    GET  /v1/catalog/select             ?budget=&workload= assignment
+    POST /v1/catalog/build              assemble a campaign's catalog
+
 Agent surface (the HTTP twin of the scheduler's job source)::
 
     POST /v1/leases                     claim runnable jobs under a lease
@@ -49,8 +57,21 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from urllib import error as urlerror
+from urllib import parse as urlparse
 from urllib import request as urlrequest
 
+from repro.catalog import (
+    CatalogError,
+    build_catalog,
+    catalog_summary,
+    load_catalog_bytes,
+    parse_workload_spec,
+    query_catalog,
+    resolve_catalog,
+    select_for_budget,
+    store_catalog,
+    wrap_catalog,
+)
 from repro.service.campaign import CampaignSpec, campaign_cells, \
     submit_campaign
 from repro.service.jobs import JOB_KINDS, JobSpec
@@ -116,6 +137,39 @@ def _route(method: str, pattern: str):
 
 
 _DIGEST = r"(?P<digest>[0-9a-f]{6,64})"
+
+
+class CatalogCache:
+    """In-memory read cache of parsed catalog bodies, keyed by artifact
+    digest.  Content-addressed keys make invalidation trivial — a
+    rebuilt catalog has a new digest, and an unchanged rebuild hits the
+    same entry.  LRU with a small capacity: a node serves a handful of
+    live catalogs, not thousands, and each body is small.
+    """
+
+    def __init__(self, capacity: int = 8):
+        self._capacity = capacity
+        self._entries: Dict[str, Dict] = {}  # insertion order = LRU
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, digest: str) -> Optional[Dict]:
+        with self._lock:
+            body = self._entries.pop(digest, None)
+            if body is None:
+                self.misses += 1
+                return None
+            self._entries[digest] = body  # re-insert: most recent
+            self.hits += 1
+            return body
+
+    def put(self, digest: str, body: Dict) -> None:
+        with self._lock:
+            self._entries.pop(digest, None)
+            self._entries[digest] = body
+            while len(self._entries) > self._capacity:
+                self._entries.pop(next(iter(self._entries)))
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -193,17 +247,115 @@ class _Handler(BaseHTTPRequestHandler):
         self.server.bus.publish(  # type: ignore[attr-defined]
             {"digest": digest, "event": event, "info": info})
 
+    def _query(self) -> Dict[str, str]:
+        """Query-string parameters (last value wins)."""
+        parts = self.path.split("?", 1)
+        if len(parts) == 1:
+            return {}
+        return {key: values[-1] for key, values in
+                urlparse.parse_qs(parts[1]).items()}
+
     def _resolve(self, ledger: Ledger, digest: str) -> str:
         row = ledger.job(digest)
         if row is not None:
             return digest
-        matches = [r["digest"] for r in ledger.jobs()
-                   if r["digest"].startswith(digest)]
+        matches = ledger.resolve_prefix(digest)
         if len(matches) == 1:
             return matches[0]
         if matches:
-            raise _HttpFail(409, f"job prefix {digest!r} is ambiguous")
+            # Never guess between siblings: show the caller exactly
+            # which digests collide so they can extend the prefix.
+            shown = ", ".join(m[:16] for m in matches)
+            raise _HttpFail(
+                409, f"job prefix {digest!r} is ambiguous: matches "
+                     f"{shown}")
         raise _HttpFail(404, f"no such job: {digest}")
+
+    # -- catalog surface --------------------------------------------------
+
+    def _catalog_body(self, ledger: Ledger,
+                      campaign: Optional[str]) -> Tuple[str, Dict]:
+        """Resolve + load the catalog to serve, through the cache."""
+        digest = resolve_catalog(ledger, campaign)
+        if digest is None:
+            where = f"campaign {campaign}" if campaign else "this store"
+            raise _HttpFail(
+                404, f"no catalog for {where} (run `repro catalog "
+                     f"build` or submit with --catalog)")
+        cache: CatalogCache = \
+            self.server.catalog_cache  # type: ignore[attr-defined]
+        body = cache.get(digest)
+        if body is None:
+            try:
+                body = load_catalog_bytes(ledger.get_artifact(digest))
+            except FileNotFoundError:
+                raise _HttpFail(
+                    404, f"catalog artifact {digest[:12]} is missing")
+            except (OSError, CatalogError) as exc:
+                raise _HttpFail(
+                    500, f"catalog artifact {digest[:12]} unreadable: "
+                         f"{exc}")
+            cache.put(digest, body)
+        return digest, body
+
+    @_route("GET", "/v1/catalog")
+    def _catalog(self) -> None:
+        params = self._query()
+        with self._ledger() as ledger:
+            digest, body = self._catalog_body(ledger,
+                                              params.get("campaign"))
+        if params.get("full"):
+            self._send_json({"digest": digest,
+                             "document": wrap_catalog(body)})
+            return
+        if "kernel" in params or "max_error" in params:
+            max_error = (float(params["max_error"])
+                         if "max_error" in params else None)
+            try:
+                entries = query_catalog(
+                    body, kernel=params.get("kernel"),
+                    max_error=max_error,
+                    frontier_only=bool(params.get("frontier")))
+            except CatalogError as exc:
+                raise _HttpFail(404, str(exc))
+            self._send_json({"digest": digest, "entries": entries})
+            return
+        self._send_json({"digest": digest,
+                         "summary": catalog_summary(body)})
+
+    @_route("GET", "/v1/catalog/select")
+    def _catalog_select(self) -> None:
+        params = self._query()
+        if "budget" not in params:
+            raise _HttpFail(400, "select needs a ?budget= error bound")
+        budget = float(params["budget"])
+        with self._ledger() as ledger:
+            digest, body = self._catalog_body(ledger,
+                                              params.get("campaign"))
+        try:
+            workload = parse_workload_spec(
+                params.get("workload") or "aek")
+            result = select_for_budget(body, workload, budget)
+        except CatalogError as exc:
+            raise _HttpFail(409, str(exc))
+        self._send_json({"digest": digest, **result})
+
+    @_route("POST", "/v1/catalog/build")
+    def _catalog_build(self) -> None:
+        body = self._body()
+        cid = str(body.get("campaign") or "")
+        if not cid:
+            raise _HttpFail(400, "catalog build needs a campaign id")
+        with self._ledger() as ledger:
+            try:
+                catalog = build_catalog(ledger, cid)
+            except CatalogError as exc:
+                raise _HttpFail(409, str(exc))
+            digest = store_catalog(ledger, catalog, campaign=cid)
+        self._publish("", "catalog-built",
+                      {"campaign": cid, "digest": digest})
+        self._send_json({"digest": digest,
+                         "summary": catalog_summary(catalog)})
 
     # -- user surface -----------------------------------------------------
 
@@ -483,11 +635,14 @@ class ApiServer:
     def __init__(self, root: str, host: str = "127.0.0.1", port: int = 0,
                  bus: Optional[EventBus] = None, verbose: bool = False):
         self.bus = bus if bus is not None else EventBus()
+        self.catalog_cache = CatalogCache()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.root = root  # type: ignore[attr-defined]
         self._httpd.bus = self.bus  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.catalog_cache = \
+            self.catalog_cache  # type: ignore[attr-defined]
         self.host, self.port = self._httpd.server_address[:2]
         self._thread: Optional[threading.Thread] = None
 
@@ -599,6 +754,41 @@ class ServiceClient:
     def artifact(self, digest: str, name: str) -> bytes:
         return self._request("GET", f"/v1/jobs/{digest}/artifacts/{name}",
                              raw=True)
+
+    # -- catalog surface --------------------------------------------------
+
+    def _catalog_path(self, path: str, params: Dict) -> str:
+        # None/"" means "not given"; flags are included only when set
+        # by the callers below (the server reads bare truthiness).
+        filtered = {k: str(v) for k, v in params.items()
+                    if v is not None and v != ""}
+        if filtered:
+            path += "?" + urlparse.urlencode(filtered)
+        return path
+
+    def catalog(self, campaign: Optional[str] = None,
+                kernel: Optional[str] = None,
+                max_error: Optional[float] = None,
+                frontier: bool = False, full: bool = False) -> Dict:
+        params: Dict = {"campaign": campaign, "kernel": kernel,
+                        "max_error": max_error}
+        if frontier:
+            params["frontier"] = 1
+        if full:
+            params["full"] = 1
+        return self._request(
+            "GET", self._catalog_path("/v1/catalog", params))
+
+    def catalog_select(self, budget: float, workload: str = "aek",
+                       campaign: Optional[str] = None) -> Dict:
+        return self._request(
+            "GET", self._catalog_path("/v1/catalog/select", {
+                "budget": budget, "workload": workload,
+                "campaign": campaign}))
+
+    def catalog_build(self, campaign: str) -> Dict:
+        return self._request("POST", "/v1/catalog/build",
+                             {"campaign": campaign})
 
     def events(self) -> Iterator[Dict]:
         """Yield progress events from the SSE feed until the server

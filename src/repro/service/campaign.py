@@ -20,16 +20,20 @@ it is.  Only genuinely new work is added.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.serialize import canonical_json, enc_float
+from repro.core.serialize import content_digest, enc_float
 
 from repro.service import jobs as J
 from repro.service.store import Ledger
 
-ALL_STAGES = ("search", "select", "validate", "verify")
+# The per-cell pipeline; every campaign runs these.
+DEFAULT_STAGES = ("search", "select", "validate", "verify")
+# Plus the optional campaign-wide terminal stage: one catalog job that
+# joins every cell's (select, verify) pair into the certified Pareto
+# catalog (opt-in — ``--catalog`` — because it gates on *all* cells).
+ALL_STAGES = DEFAULT_STAGES + ("catalog",)
 
 
 @dataclass(frozen=True)
@@ -43,7 +47,7 @@ class CampaignSpec:
     seed: int = 0
     k: float = 1.0
     backend: str = "jit"
-    stages: Tuple[str, ...] = ALL_STAGES
+    stages: Tuple[str, ...] = DEFAULT_STAGES
     validate_proposals: int = 2_000
     verify_budget: int = 128
 
@@ -98,14 +102,14 @@ class CampaignSpec:
 
 
 def campaign_id(spec: CampaignSpec, name: str = "campaign") -> str:
-    doc = canonical_json({"name": name, "spec": spec.to_dict()})
-    return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:16]
+    return content_digest({"name": name, "spec": spec.to_dict()})[:16]
 
 
 def plan_campaign(spec: CampaignSpec) -> List[J.JobSpec]:
     """Expand the campaign into its job DAG (deterministic order:
     upstream before downstream, cells in declaration order)."""
     plan: List[J.JobSpec] = []
+    catalog_cells: List[Tuple[str, float, str, str]] = []
     for name, eta in spec.kernels:
         cell = f"{name}/eta={eta:g}"
         search_digests: List[str] = []
@@ -140,11 +144,23 @@ def plan_campaign(spec: CampaignSpec) -> List[J.JobSpec]:
             deps = [select.digest]
             if validate is not None:
                 deps.append(validate.digest)
-            plan.append(J.JobSpec(
+            verify = J.JobSpec(
                 "verify",
                 J.verify_payload(name, eta, select.digest, engine,
                                  max_boxes=spec.verify_budget),
-                deps=tuple(deps), role=f"{cell}/verify"))
+                deps=tuple(deps), role=f"{cell}/verify")
+            plan.append(verify)
+            catalog_cells.append((name, eta, select.digest,
+                                  verify.digest))
+    if "catalog" in spec.stages and catalog_cells:
+        # One campaign-wide terminal job: depends on every cell's
+        # select (for the rewrite + latency) and verify (for the sound
+        # bound), so it runs exactly when the sweep is fully certified.
+        deps = tuple(d for _, _, sel, ver in catalog_cells
+                     for d in (sel, ver))
+        plan.append(J.JobSpec(
+            "catalog", J.catalog_payload(catalog_cells),
+            deps=deps, role="campaign/catalog"))
     return plan
 
 
@@ -171,12 +187,14 @@ def submit_campaign(ledger: Ledger, spec: CampaignSpec,
 def campaign_cells(ledger: Ledger, cid: str) -> Dict[str, Dict[str, Dict]]:
     """Job rows of one campaign grouped by cell and stage (for status
     displays and harnesses): ``{cell: {stage: job row}}`` where search
-    rows appear as ``search[i]``."""
+    rows appear as ``search[i]``.
+
+    One indexed query (:meth:`Ledger.campaign_jobs` joins membership to
+    job rows over the ``campaign_jobs`` primary key), not a per-job
+    lookup — status polls against a million-job ledger stay O(campaign).
+    """
     cells: Dict[str, Dict[str, Dict]] = {}
-    for digest, role in ledger.campaign_roles(cid):
-        cell, _, stage = role.rpartition("/")
-        job = ledger.job(digest)
-        if job is None:
-            continue
+    for job in ledger.campaign_jobs(cid):
+        cell, _, stage = job["role"].rpartition("/")
         cells.setdefault(cell, {})[stage] = job
     return cells

@@ -17,22 +17,20 @@ job's result, only how it gets there.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.core.backends import resolve_backend
-from repro.core.serialize import canonical_json
+from repro.core.serialize import content_digest
 
-JOB_KINDS = ("search", "select", "validate", "verify")
+JOB_KINDS = ("search", "select", "validate", "verify", "catalog")
 
 
 def job_digest(kind: str, payload: Dict) -> str:
     """SHA-256 identity of a job: kind + canonical payload."""
     if kind not in JOB_KINDS:
         raise ValueError(f"unknown job kind {kind!r} (known: {JOB_KINDS})")
-    doc = canonical_json({"kind": kind, "payload": payload})
-    return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+    return content_digest({"kind": kind, "payload": payload})
 
 
 @dataclass(frozen=True)
@@ -139,4 +137,15 @@ def verify_payload(kernel: str, eta: float, select_digest: str,
         "select": select_digest,
         "engine": engine,
         "max_boxes": int(max_boxes),
+    }
+
+
+def catalog_payload(cells: List[Tuple[str, float, str, str]]) -> Dict:
+    """A catalog job: join ``(kernel, eta, select, verify)`` cells into
+    the campaign's certified Pareto catalog.  Pure function of the dep
+    result documents, so the same finished cells always produce the
+    same catalog bytes regardless of which campaign asked."""
+    return {
+        "cells": [[kernel, float(eta), select, verify]
+                  for kernel, eta, select, verify in cells],
     }

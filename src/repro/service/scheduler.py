@@ -126,9 +126,14 @@ class LocalSource:
     def succeed(self, digest: str, value: Dict, elapsed: float,
                 owner: str) -> bool:
         doc = value.get("doc", {})
+        kind = "catalog" if doc.get("kind") == "catalog" else "result"
         art = self.ledger.put_artifact(
-            canonical_json(doc).encode("utf-8"), kind="result")
+            canonical_json(doc).encode("utf-8"), kind=kind)
         self.ledger.link_artifact(digest, "result.json", art)
+        if kind == "catalog":
+            # A finished catalog job is the sweep's terminal stage;
+            # advance the serving head so readers pick it up.
+            self.ledger.set_meta("catalog:latest", art)
         for name, text in (value.get("files") or {}).items():
             file_digest = self.ledger.put_artifact(
                 text.encode("utf-8"), kind="file")

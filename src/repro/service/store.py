@@ -261,6 +261,21 @@ class Ledger:
             (digest,)).fetchall()
         return [r["dep"] for r in rows]
 
+    def resolve_prefix(self, prefix: str, limit: int = 8) -> List[str]:
+        """Job digests starting with ``prefix``, at most ``limit``.
+
+        Digests are lowercase hex, so the half-open range
+        ``[prefix, prefix + 'g')`` captures exactly the prefix matches
+        and rides the primary-key index — no table scan, no LIKE.
+        Callers decide what multiple matches mean; the CLI and API
+        treat >1 as an ambiguity error and show this list.
+        """
+        rows = self._conn.execute(
+            "SELECT digest FROM jobs WHERE digest >= ? AND digest < ? "
+            "ORDER BY digest LIMIT ?",
+            (prefix, prefix + "g", limit)).fetchall()
+        return [r["digest"] for r in rows]
+
     def jobs(self, state: Optional[str] = None,
              campaign: Optional[str] = None) -> List[Dict]:
         query = "SELECT jobs.* FROM jobs"
@@ -594,6 +609,41 @@ class Ledger:
             "SELECT job, role FROM campaign_jobs WHERE campaign=? "
             "ORDER BY rowid", (campaign_id,)).fetchall()
         return [(r["job"], r["role"]) for r in rows]
+
+    def campaign_jobs(self, campaign_id: str) -> List[Dict]:
+        """Full job rows of one campaign, submission order, in a single
+        query (membership primary key -> jobs primary key join).  Each
+        row carries the campaign-facing ``role``.  The per-job-lookup
+        alternative is O(N) round trips; this is one."""
+        rows = self._conn.execute(
+            "SELECT jobs.*, campaign_jobs.role AS campaign_role "
+            "FROM campaign_jobs JOIN jobs ON jobs.digest = "
+            "campaign_jobs.job WHERE campaign_jobs.campaign=? "
+            "ORDER BY campaign_jobs.rowid", (campaign_id,)).fetchall()
+        out: List[Dict] = []
+        for r in rows:
+            job = dict(r)
+            job["role"] = job.pop("campaign_role")
+            out.append(job)
+        return out
+
+    # -- meta pointers ----------------------------------------------------
+
+    def set_meta(self, key: str, value: str) -> None:
+        """Set a named pointer (e.g. ``catalog:latest`` -> artifact
+        digest).  The schema-version key is the store's own; refuse to
+        let callers clobber it."""
+        if key == "schema_version":
+            raise ValueError("schema_version is managed by the store")
+        with self._tx() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                (key, value))
+
+    def get_meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key=?", (key,)).fetchone()
+        return row["value"] if row else None
 
     # -- telemetry --------------------------------------------------------
 

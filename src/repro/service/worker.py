@@ -14,6 +14,7 @@ canonical document before it is stored).
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import Callable, Dict, Optional
 
@@ -189,8 +190,17 @@ def _run_validate(context: Dict, digest: str, payload: Dict,
 
 def _run_verify(context: Dict, digest: str, payload: Dict,
                 deps: Dict, policy: Dict) -> Dict:
+    from repro.verify.certificate import program_digest
+
     spec = _kernel(context, payload["kernel"])
     rewrite = _rewrite_of(deps, payload["select"])
+    # Program identities ride in the result document so downstream
+    # consumers (the catalog job foremost) can pin what was verified
+    # without re-resolving the kernel or re-reading dep artifacts.
+    identity = {
+        "target_digest": program_digest(spec.program),
+        "rewrite_digest": program_digest(rewrite),
+    }
 
     if payload["engine"] == "uf":
         from repro.verify import check_equivalent_uf
@@ -206,6 +216,7 @@ def _run_verify(context: Dict, digest: str, payload: Dict,
             "kernel": payload["kernel"],
             "eta": S.enc_float(payload["eta"]),
             "proved": bool(outcome.proved),
+            **identity,
         }
         return {"doc": doc, "files": {},
                 "telemetry": {"proved": bool(outcome.proved)}}
@@ -231,6 +242,7 @@ def _run_verify(context: Dict, digest: str, payload: Dict,
     # Wall time is telemetry; scrub it so certificates are reproducible
     # byte-for-byte across interrupted and uninterrupted runs.
     cert_doc.get("stats", {})["wall_time"] = 0.0
+    cert_bytes = S.canonical_json(cert_doc)
     doc = {
         "version": S.SCHEMA_VERSION,
         "kind": "verify_result",
@@ -244,9 +256,15 @@ def _run_verify(context: Dict, digest: str, payload: Dict,
         "boxes_explored": result.boxes_explored,
         "boxes_pruned": result.boxes_pruned,
         "leaves": len(result.leaves),
+        # The certificate is deterministic (wall time scrubbed above),
+        # so its content address belongs in the canonical result: it is
+        # how catalog entries pin the exact proof they cite.
+        "certificate_digest": hashlib.sha256(
+            cert_bytes.encode("utf-8")).hexdigest(),
+        **identity,
     }
     return {"doc": doc,
-            "files": {"certificate.json": S.canonical_json(cert_doc)},
+            "files": {"certificate.json": cert_bytes},
             "telemetry": {"wall_time": result.wall_time,
                           "boxes_explored": result.boxes_explored,
                           "boxes_per_second": result.boxes_per_second,
@@ -255,11 +273,36 @@ def _run_verify(context: Dict, digest: str, payload: Dict,
                           "resumed": resume is not None}}
 
 
+def _run_catalog(context: Dict, digest: str, payload: Dict,
+                 deps: Dict, policy: Dict) -> Dict:
+    from repro.catalog.frontier import (CatalogError, assemble_catalog,
+                                        catalog_digest)
+
+    cells = [(kernel, S.dec_float(eta), select, verify)
+             for kernel, eta, select, verify in payload["cells"]]
+    try:
+        body = assemble_catalog(cells, deps)
+    except CatalogError as exc:
+        raise JobFailed(str(exc))
+    summary = {
+        "digest": catalog_digest(body),
+        "kernels": len(body["kernels"]),
+        "entries": sum(len(k["entries"])
+                       for k in body["kernels"].values()),
+        "skipped": len(body["skipped"]),
+    }
+    # The body IS the result document: the scheduler stores it as
+    # canonical JSON, so the result artifact's content address equals
+    # catalog_digest(body) and rebuilds dedupe in the artifact store.
+    return {"doc": body, "files": {}, "telemetry": summary}
+
+
 _EXECUTORS = {
     "search": _run_search,
     "select": _run_select,
     "validate": _run_validate,
     "verify": _run_verify,
+    "catalog": _run_catalog,
 }
 
 

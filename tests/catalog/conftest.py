@@ -1,0 +1,98 @@
+"""Synthetic campaign results for catalog tests.
+
+A catalog is assembled from select/verify result documents, so most of
+the suite fabricates those documents directly — no search or
+verification has to run to exercise frontier marking, integrity
+checking, or budget selection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.frontier import assemble_catalog, program_text_digest
+from repro.core.serialize import enc_float
+
+
+def select_doc(text: str, latency: int, target_latency: int = 100):
+    return {"best_correct": {"text": text}, "latency": latency,
+            "target_latency": target_latency}
+
+
+def uf_doc(text: str, proved: bool = True):
+    return {"engine": "uf", "proved": proved,
+            "rewrite_digest": program_text_digest(text),
+            "target_digest": "t" * 64}
+
+
+def bnb_doc(text: str, bound, certificate: str = "c" * 64):
+    return {"engine": "bnb", "bound_ulps": enc_float(bound),
+            "rewrite_digest": program_text_digest(text),
+            "target_digest": "t" * 64,
+            "certificate_digest": certificate}
+
+
+def make_cells(*specs):
+    """``specs`` are ``(kernel, eta, select_doc, verify_doc)``; returns
+    the ``(cells, docs)`` pair :func:`assemble_catalog` consumes, with
+    distinct synthetic job digests per cell."""
+    cells, docs = [], {}
+    for i, (kernel, eta, sel, ver) in enumerate(specs):
+        sel_digest = f"{i:02x}se" + "0" * 60
+        ver_digest = f"{i:02x}ve" + "0" * 60
+        docs[sel_digest] = sel
+        docs[ver_digest] = ver
+        cells.append((kernel, eta, sel_digest, ver_digest))
+    return cells, docs
+
+
+def plant_campaign(ledger, cid="cat-test", cells=None, finish=True):
+    """Fabricate a finished campaign in a real ledger: per cell one
+    done select and one done verify job with result documents, linked
+    under the roles the planner would use."""
+    from repro.core.serialize import canonical_json
+    from repro.service.jobs import JobSpec
+
+    if cells is None:
+        cells = [("dot", 0.0, select_doc("d0", 80), uf_doc("d0")),
+                 ("dot", 10.0, select_doc("d10", 50),
+                  bnb_doc("d10", 4.0))]
+    ledger.add_campaign(cid, "test", {"cells": len(cells)})
+    specs = []
+    for kernel, eta, sel, ver in cells:
+        sel_spec = JobSpec("select", {"kernel": kernel, "eta": eta},
+                           role=f"{kernel}/eta={eta:g}/select")
+        ver_spec = JobSpec("verify", {"kernel": kernel, "eta": eta},
+                           role=f"{kernel}/eta={eta:g}/verify")
+        for spec, doc in ((sel_spec, sel), (ver_spec, ver)):
+            ledger.add_job(spec)
+            ledger.link_campaign(cid, spec.digest, role=spec.role)
+            art = ledger.put_artifact(
+                canonical_json(doc).encode("utf-8"), kind="result")
+            ledger.link_artifact(spec.digest, "result.json", art)
+            specs.append(spec)
+    if finish:
+        for job in ledger.claim_ready(len(specs) + 8):
+            ledger.finish(job["digest"])
+    return cid
+
+
+@pytest.fixture
+def sweep_body():
+    """A two-kernel catalog with a real trade-off curve.
+
+    ``dot``: target latency 100; eta=0 proves equivalence at latency 80,
+    eta=10 certifies 4 ULPs at latency 50, eta=100 certifies 16 ULPs at
+    latency 20, and eta=5 (2 ULPs at latency 90) is dominated by the
+    eta=0 rewrite, which is both faster and error-free.  ``add``: a
+    single proved rewrite at half the target's latency.
+    """
+    cells, docs = make_cells(
+        ("dot", 0.0, select_doc("d0", 80), uf_doc("d0")),
+        ("dot", 5.0, select_doc("d5", 90), bnb_doc("d5", 2.0)),
+        ("dot", 10.0, select_doc("d10", 50), bnb_doc("d10", 4.0)),
+        ("dot", 100.0, select_doc("d100", 20), bnb_doc("d100", 16.0)),
+        ("add", 0.0, select_doc("a0", 30, target_latency=60),
+         uf_doc("a0")),
+    )
+    return assemble_catalog(cells, docs)

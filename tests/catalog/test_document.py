@@ -1,0 +1,115 @@
+"""Catalog persistence: wrapper integrity, tamper detection, queries."""
+
+import json
+
+import pytest
+
+from repro.catalog.document import (
+    catalog_summary,
+    fastest_under,
+    load_catalog,
+    load_catalog_bytes,
+    query_catalog,
+    save_catalog,
+    unwrap_catalog,
+    wrap_catalog,
+)
+from repro.catalog.frontier import CatalogError, catalog_digest
+from repro.core.serialize import canonical_json, dec_float
+
+
+class TestWrapper:
+    def test_round_trip(self, sweep_body, tmp_path):
+        path = str(tmp_path / "catalog.json")
+        digest = save_catalog(path, sweep_body,
+                              measurements={"entries": {}})
+        assert digest == catalog_digest(sweep_body)
+        body, measurements = load_catalog(path)
+        assert body == sweep_body
+        assert measurements == {"entries": {}}
+
+    def test_tampered_body_is_rejected(self, sweep_body, tmp_path):
+        path = str(tmp_path / "catalog.json")
+        save_catalog(path, sweep_body)
+        with open(path) as fh:
+            doc = json.load(fh)
+        # Flip one certified bound after the fact.
+        doc["catalog"]["kernels"]["dot"]["entries"][0]["error_ulps"] = 0.5
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        with pytest.raises(CatalogError, match="tampered or corrupt"):
+            load_catalog(path)
+
+    def test_forged_digest_is_rejected(self, sweep_body):
+        doc = wrap_catalog(sweep_body)
+        doc["digest"] = "0" * 64
+        with pytest.raises(CatalogError, match="digest mismatch"):
+            unwrap_catalog(doc)
+
+    def test_version_skew_is_rejected(self, sweep_body):
+        doc = wrap_catalog(sweep_body)
+        doc["version"] = 99
+        with pytest.raises(CatalogError, match="version"):
+            unwrap_catalog(doc)
+
+    def test_non_catalog_document_is_rejected(self):
+        with pytest.raises(CatalogError, match="not a catalog"):
+            unwrap_catalog({"kind": "result", "answer": 42})
+
+    def test_measurements_do_not_change_the_digest(self, sweep_body):
+        bare = wrap_catalog(sweep_body)
+        measured = wrap_catalog(sweep_body,
+                                measurements={"entries": {"dot/eta=0": 1.0}})
+        assert bare["digest"] == measured["digest"]
+
+
+class TestArtifactBytes:
+    def test_canonical_bytes_round_trip(self, sweep_body):
+        data = canonical_json(sweep_body).encode("utf-8")
+        assert load_catalog_bytes(data) == sweep_body
+
+    def test_non_canonical_bytes_are_rejected(self, sweep_body):
+        pretty = json.dumps(sweep_body, indent=2).encode("utf-8")
+        with pytest.raises(CatalogError, match="canonical"):
+            load_catalog_bytes(pretty)
+
+    def test_garbage_is_rejected(self):
+        with pytest.raises(CatalogError, match="unparseable"):
+            load_catalog_bytes(b"{nope")
+        with pytest.raises(CatalogError, match="not a catalog"):
+            load_catalog_bytes(b'{"kind": "result"}')
+
+
+class TestQuery:
+    def test_closed_world_unknown_kernel(self, sweep_body):
+        with pytest.raises(CatalogError, match="not in catalog"):
+            query_catalog(sweep_body, kernel="cos")
+
+    def test_error_filter(self, sweep_body):
+        ids = [e["id"] for e in query_catalog(
+            sweep_body, kernel="dot", max_error=4.0, frontier_only=True)]
+        assert ids == ["dot/eta=0", "dot/eta=10"]
+
+    def test_fastest_under_picks_the_last_fitting_point(self, sweep_body):
+        assert fastest_under(sweep_body, "dot", 4.0)["id"] == "dot/eta=10"
+        assert fastest_under(sweep_body, "dot", 1e9)["id"] == "dot/eta=100"
+        assert fastest_under(sweep_body, "dot", 0.0)["id"] == "dot/eta=0"
+
+    def test_fastest_under_unsatisfiable(self, sweep_body):
+        body = dict(sweep_body)
+        # Error floors are 0 here, so only an impossible negative budget
+        # can fail; check the error path with a raised floor instead.
+        for entry in body["kernels"]["dot"]["entries"]:
+            if dec_float(entry["error_ulps"]) == 0.0:
+                entry["on_frontier"] = False
+        with pytest.raises(CatalogError, match="no certified"):
+            fastest_under(body, "dot", 0.5)
+
+    def test_summary_counts(self, sweep_body):
+        summary = catalog_summary(sweep_body)
+        assert summary["digest"] == catalog_digest(sweep_body)
+        assert summary["kernels"]["dot"]["entries"] == 5
+        assert summary["kernels"]["dot"]["frontier"] == 3
+        assert dec_float(
+            summary["kernels"]["dot"]["max_speedup"]) == 5.0
+        assert summary["skipped"] == 0

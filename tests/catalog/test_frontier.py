@@ -1,0 +1,152 @@
+"""Frontier assembly: dominance marking, soundness gates, identity."""
+
+import math
+
+import pytest
+
+from repro.catalog.frontier import (
+    CatalogError,
+    assemble_catalog,
+    catalog_digest,
+    mark_frontier,
+)
+from repro.core.serialize import canonical_json, dec_float
+
+from tests.catalog.conftest import (
+    bnb_doc,
+    make_cells,
+    select_doc,
+    uf_doc,
+)
+
+
+def _entry(eid, error, latency):
+    return {"id": eid, "error_ulps": error, "latency": latency}
+
+
+class TestMarkFrontier:
+    def test_strictly_improving_staircase(self):
+        entries = [_entry("a", 0.0, 100), _entry("b", 2.0, 50),
+                   _entry("c", 8.0, 10)]
+        mark_frontier(entries)
+        assert all(e["on_frontier"] for e in entries)
+
+    def test_dominated_entry_records_its_dominator(self):
+        entries = [_entry("fast", 1.0, 10), _entry("worse", 2.0, 20)]
+        mark_frontier(entries)
+        by_id = {e["id"]: e for e in entries}
+        assert by_id["fast"]["on_frontier"]
+        assert not by_id["worse"]["on_frontier"]
+        assert by_id["worse"]["dominated_by"] == "fast"
+
+    def test_equal_point_keeps_first_by_id(self):
+        entries = [_entry("b", 1.0, 10), _entry("a", 1.0, 10)]
+        mark_frontier(entries)
+        assert [e["id"] for e in entries] == ["a", "b"]
+        assert entries[0]["on_frontier"]
+        assert entries[1]["dominated_by"] == "a"
+
+    def test_frontier_monotone_after_marking(self):
+        entries = [_entry(f"e{i}", err, lat) for i, (err, lat) in
+                   enumerate([(3.0, 40), (0.0, 90), (1.0, 90),
+                              (5.0, 35), (2.0, 60)])]
+        mark_frontier(entries)
+        frontier = [e for e in entries if e["on_frontier"]]
+        errors = [dec_float(e["error_ulps"]) for e in frontier]
+        latencies = [e["latency"] for e in frontier]
+        assert errors == sorted(errors)
+        assert latencies == sorted(latencies, reverse=True)
+        assert len(set(latencies)) == len(latencies)
+
+
+class TestAssemble:
+    def test_target_baseline_always_present(self, sweep_body):
+        for name in ("dot", "add"):
+            ids = [e["id"] for e in sweep_body["kernels"][name]["entries"]]
+            assert f"{name}/target" in ids
+
+    def test_sweep_frontier(self, sweep_body):
+        entries = sweep_body["kernels"]["dot"]["entries"]
+        frontier = [e["id"] for e in entries if e["on_frontier"]]
+        assert frontier == ["dot/eta=0", "dot/eta=10", "dot/eta=100"]
+        by_id = {e["id"]: e for e in entries}
+        # eta=5 loses to the proved eta=0 rewrite on both axes; the
+        # target loses to it on latency at equal error.
+        assert by_id["dot/eta=5"]["dominated_by"] == "dot/eta=0"
+        assert by_id["dot/target"]["dominated_by"] == "dot/eta=0"
+
+    def test_speedup_is_relative_to_target(self, sweep_body):
+        by_id = {e["id"]: e
+                 for e in sweep_body["kernels"]["dot"]["entries"]}
+        assert dec_float(by_id["dot/eta=100"]["speedup"]) == 5.0
+        assert dec_float(by_id["dot/target"]["speedup"]) == 1.0
+
+    def test_unproved_and_unbounded_cells_are_skipped(self):
+        cells, docs = make_cells(
+            ("dot", 0.0, select_doc("d0", 80), uf_doc("d0", proved=False)),
+            ("dot", 9.0, select_doc("d9", 40),
+             bnb_doc("d9", math.inf)),
+        )
+        body = assemble_catalog(cells, docs)
+        reasons = {s["id"]: s["reason"] for s in body["skipped"]}
+        assert reasons == {
+            "dot/eta=0": "uf equivalence not proved",
+            "dot/eta=9": "no finite certified bound",
+        }
+        # Only the target baseline survives for the kernel.
+        assert [e["id"] for e in body["kernels"]["dot"]["entries"]] == \
+            ["dot/target"]
+
+    def test_rewrite_digest_mismatch_is_rejected(self):
+        # A verify result derived against some *other* rewrite must not
+        # lend its bound to this select's program.
+        cells, docs = make_cells(
+            ("dot", 10.0, select_doc("actual", 40),
+             bnb_doc("different", 4.0)))
+        with pytest.raises(CatalogError, match="different rewrite"):
+            assemble_catalog(cells, docs)
+
+    def test_target_latency_disagreement_is_rejected(self):
+        cells, docs = make_cells(
+            ("dot", 0.0, select_doc("d0", 80, target_latency=100),
+             uf_doc("d0")),
+            ("dot", 10.0, select_doc("d10", 50, target_latency=90),
+             bnb_doc("d10", 4.0)))
+        with pytest.raises(CatalogError, match="target latency"):
+            assemble_catalog(cells, docs)
+
+    def test_missing_documents_are_rejected(self):
+        cells, docs = make_cells(
+            ("dot", 0.0, select_doc("d0", 80), uf_doc("d0")))
+        with pytest.raises(CatalogError, match="missing verify"):
+            assemble_catalog(cells, {cells[0][2]: docs[cells[0][2]]})
+        with pytest.raises(CatalogError, match="missing select"):
+            assemble_catalog(cells, {cells[0][3]: docs[cells[0][3]]})
+
+    def test_unknown_engine_is_skipped_not_trusted(self):
+        cells, docs = make_cells(
+            ("dot", 3.0, select_doc("d3", 40),
+             {"engine": "oracle", "bound_ulps": 0.0,
+              "rewrite_digest": None}))
+        body = assemble_catalog(cells, docs)
+        assert body["kernels"]["dot"]["entries"][0]["id"] == "dot/target"
+        assert "oracle" in body["skipped"][0]["reason"]
+
+
+class TestIdentity:
+    def test_same_inputs_same_bytes(self, sweep_body):
+        cells, docs = make_cells(
+            ("dot", 0.0, select_doc("d0", 80), uf_doc("d0")),
+            ("dot", 10.0, select_doc("d10", 50), bnb_doc("d10", 4.0)))
+        one = assemble_catalog(cells, docs)
+        two = assemble_catalog(list(cells), dict(docs))
+        assert canonical_json(one) == canonical_json(two)
+        assert catalog_digest(one) == catalog_digest(two)
+
+    def test_digest_tracks_content(self):
+        cells, docs = make_cells(
+            ("dot", 10.0, select_doc("d10", 50), bnb_doc("d10", 4.0)))
+        base = catalog_digest(assemble_catalog(cells, docs))
+        docs[cells[0][2]] = select_doc("d10", 49)
+        docs[cells[0][3]] = bnb_doc("d10", 4.0)
+        assert catalog_digest(assemble_catalog(cells, docs)) != base

@@ -1,0 +1,137 @@
+"""Ledger-backed catalog flow: build determinism, serving heads,
+certificate-digest fallback, and (slow) the full campaign-to-selection
+round trip with the checker re-validating every served certificate."""
+
+import json
+
+import pytest
+
+from repro.catalog import (
+    build_catalog,
+    catalog_digest,
+    fastest_under,
+    resolve_catalog,
+    select_for_budget,
+    store_catalog,
+    verify_catalog,
+)
+from repro.catalog.frontier import CatalogError
+from repro.core.serialize import canonical_json
+from repro.service.campaign import ALL_STAGES, CampaignSpec, submit_campaign
+from repro.service.store import Ledger
+
+from tests.catalog.conftest import (
+    bnb_doc,
+    plant_campaign as _plant_campaign,
+    select_doc,
+    uf_doc,
+)
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    with Ledger(str(tmp_path / "store")) as led:
+        yield led
+
+
+class TestBuild:
+    def test_build_is_byte_identical(self, ledger):
+        cid = _plant_campaign(ledger)
+        one = build_catalog(ledger, cid)
+        two = build_catalog(ledger, cid)
+        assert canonical_json(one) == canonical_json(two)
+
+    def test_unknown_campaign(self, ledger):
+        with pytest.raises(CatalogError, match="no such campaign"):
+            build_catalog(ledger, "nope")
+
+    def test_unfinished_cell_is_rejected(self, ledger):
+        cid = _plant_campaign(ledger, finish=False)
+        with pytest.raises(CatalogError, match="not finished"):
+            build_catalog(ledger, cid)
+
+    def test_certificate_digest_falls_back_to_the_artifact_link(
+            self, ledger):
+        # Verify documents written before the certificate_digest field
+        # carry the certificate as a linked artifact only.
+        ver = bnb_doc("d10", 4.0, certificate=None)
+        cid = _plant_campaign(
+            ledger, cells=[("dot", 10.0, select_doc("d10", 50), ver)])
+        verify_digest = next(
+            row["digest"] for row in ledger.campaign_jobs(cid)
+            if row["kind"] == "verify")
+        cert = ledger.put_artifact(b'{"fake": "certificate"}',
+                                   kind="certificate")
+        ledger.link_artifact(verify_digest, "certificate.json", cert)
+        body = build_catalog(ledger, cid)
+        entry = next(e for e in body["kernels"]["dot"]["entries"]
+                     if e["id"] == "dot/eta=10")
+        assert entry["certificate"] == cert
+
+
+class TestServingHead:
+    def test_store_points_latest_and_campaign_heads(self, ledger):
+        cid = _plant_campaign(ledger)
+        body = build_catalog(ledger, cid)
+        digest = store_catalog(ledger, body, campaign=cid)
+        assert digest == catalog_digest(body)
+        assert resolve_catalog(ledger) == digest
+        assert resolve_catalog(ledger, campaign=cid) == digest
+        # The artifact bytes ARE the canonical body: content addressing
+        # makes the artifact digest and the catalog digest coincide.
+        assert ledger.get_artifact(digest) == \
+            canonical_json(body).encode("utf-8")
+
+    def test_latest_follows_the_newest_store(self, ledger):
+        cid = _plant_campaign(ledger)
+        body = build_catalog(ledger, cid)
+        first = store_catalog(ledger, body, campaign=cid)
+        other = _plant_campaign(
+            ledger, cid="cat-2",
+            cells=[("add", 0.0, select_doc("a0", 30, target_latency=60),
+                    uf_doc("a0"))])
+        second = store_catalog(ledger, build_catalog(ledger, other),
+                               campaign=other)
+        assert first != second
+        assert resolve_catalog(ledger) == second
+        assert resolve_catalog(ledger, campaign=cid) == first
+
+    def test_no_catalog_resolves_to_none(self, ledger):
+        assert resolve_catalog(ledger) is None
+        assert resolve_catalog(ledger, campaign="ghost") is None
+
+
+@pytest.mark.slow
+def test_campaign_to_selection_round_trip(tmp_path):
+    """The acceptance path: sweep -> catalog stage -> checker
+    re-validation -> budget selection, all against one real ledger."""
+    spec = CampaignSpec(kernels=(("dot", 0.0), ("dot", 1.0e5)), chains=2,
+                        proposals=2_400, testcases=8, seed=0,
+                        validate_proposals=300, verify_budget=64,
+                        stages=ALL_STAGES)
+    from repro.service.scheduler import Scheduler
+
+    with Ledger(str(tmp_path / "store")) as ledger:
+        cid, _ = submit_campaign(ledger, spec, name="cat")
+        Scheduler(ledger, jobs=1).run()
+        assert ledger.counts()["failed"] == 0
+
+        # The terminal catalog job stored the canonical body and moved
+        # the serving head; a fresh ledger-side build reproduces the
+        # same bytes.
+        head = resolve_catalog(ledger, campaign=cid)
+        assert head is not None
+        body = json.loads(ledger.get_artifact(head))
+        rebuilt = build_catalog(ledger, cid)
+        assert canonical_json(rebuilt) == canonical_json(body)
+        assert catalog_digest(body) == head
+
+        # Every served certificate survives the independent checker.
+        assert verify_catalog(ledger, body) == []
+
+        # The eta=0 cell proves equivalence, so a zero-error lookup and
+        # a zero-budget selection both succeed.
+        assert fastest_under(body, "dot", 0.0)["error_ulps"] == 0.0
+        out = select_for_budget(body, {"dot": 2}, 0.0)
+        assert out["assignment"]["dot"]["error_ulps"] == 0.0
+        assert out["latency"] <= out["target_latency"]

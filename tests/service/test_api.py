@@ -223,3 +223,129 @@ class TestRemoteSource:
             assert ledger.reap_expired() == [digest]
         client.claim("w2", 1, 30.0)
         assert source.heartbeat("w1", [digest], 30.0) == set()
+
+
+class TestCatalogApi:
+    def _seed(self, root):
+        from repro.catalog import build_catalog, store_catalog
+        from tests.catalog.conftest import plant_campaign
+
+        with Ledger(root) as ledger:
+            cid = plant_campaign(ledger)
+            digest = store_catalog(ledger, build_catalog(ledger, cid),
+                                   campaign=cid)
+        return cid, digest
+
+    def test_no_catalog_is_404_with_guidance(self, service):
+        _server, client, _root = service
+        with pytest.raises(ServiceError) as err:
+            client.catalog()
+        assert err.value.status == 404
+        assert "repro catalog build" in str(err.value)
+
+    def test_summary_query_and_full_document(self, service):
+        _server, client, root = service
+        _cid, digest = self._seed(root)
+        out = client.catalog()
+        assert out["digest"] == digest
+        assert out["summary"]["kernels"]["dot"]["frontier"] == 2
+
+        entries = client.catalog(kernel="dot", max_error=0.0,
+                                 frontier=True)["entries"]
+        assert [e["id"] for e in entries] == ["dot/eta=0"]
+
+        from repro.catalog import catalog_digest, unwrap_catalog
+        body, _measurements = unwrap_catalog(
+            client.catalog(full=True)["document"])
+        assert catalog_digest(body) == digest
+        assert body["kernels"]["dot"]["target_latency"] == 100
+
+    def test_unknown_kernel_is_404(self, service):
+        _server, client, root = service
+        self._seed(root)
+        with pytest.raises(ServiceError) as err:
+            client.catalog(kernel="cos")
+        assert err.value.status == 404
+
+    def test_select_under_budget(self, service):
+        _server, client, root = service
+        self._seed(root)
+        out = client.catalog_select(4.0, workload="dot:2")
+        assert out["assignment"]["dot"]["id"] == "dot/eta=10"
+        assert out["latency"] == 100
+        # Zero budget still resolves (the proved rewrite has error 0).
+        out = client.catalog_select(0.0, workload="dot:2")
+        assert out["assignment"]["dot"]["id"] == "dot/eta=0"
+
+    def test_select_requires_budget(self, service):
+        _server, client, root = service
+        self._seed(root)
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/v1/catalog/select?workload=dot")
+        assert err.value.status == 400
+
+    def test_select_bad_workload_is_409(self, service):
+        _server, client, root = service
+        self._seed(root)
+        with pytest.raises(ServiceError) as err:
+            client.catalog_select(1.0, workload="cos:2")
+        assert err.value.status == 409
+
+    def test_build_over_the_wire(self, service):
+        from tests.catalog.conftest import plant_campaign
+
+        _server, client, root = service
+        with Ledger(root) as ledger:
+            cid = plant_campaign(ledger)
+        out = client.catalog_build(cid)
+        assert out["summary"]["kernels"]["dot"]["entries"] == 3
+        assert client.catalog()["digest"] == out["digest"]
+
+    def test_build_unknown_campaign_is_409(self, service):
+        _server, client, _root = service
+        with pytest.raises(ServiceError) as err:
+            client.catalog_build("ghost")
+        assert err.value.status == 409
+
+    def test_cache_hits_on_repeat_reads(self, service):
+        server, client, root = service
+        self._seed(root)
+        client.catalog()
+        client.catalog()
+        client.catalog()
+        assert server.catalog_cache.hits >= 2
+        assert server.catalog_cache.misses == 1
+
+    def test_cache_is_bypassed_by_new_builds(self, service):
+        from tests.catalog.conftest import plant_campaign, select_doc, uf_doc
+
+        server, client, root = service
+        self._seed(root)
+        first = client.catalog()["digest"]
+        with Ledger(root) as ledger:
+            other = plant_campaign(
+                ledger, cid="cat-2",
+                cells=[("add", 0.0,
+                        select_doc("a0", 30, target_latency=60),
+                        uf_doc("a0"))])
+        second = client.catalog_build(other)["digest"]
+        assert second != first
+        # catalog:latest moved; the cache keys on content digest, so
+        # the stale entry can never be served for the new head.
+        assert client.catalog()["digest"] == second
+
+    def test_ambiguous_job_prefix_is_409_with_matches(self, service):
+        _server, client, root = service
+        with Ledger(root) as ledger:
+            for suffix in ("aa", "bb"):
+                ledger._conn.execute(
+                    "INSERT INTO jobs (digest, kind, payload, state,"
+                    " role, max_attempts, created_at, updated_at)"
+                    " VALUES (?, 'search', '{}', 'pending', '', 3, 0, 0)",
+                    ("abcdef" + suffix + "0" * 56,))
+            ledger._conn.commit()
+        with pytest.raises(ServiceError) as err:
+            client.job("abcdef")
+        assert err.value.status == 409
+        assert "abcdefaa" in str(err.value)
+        assert "abcdefbb" in str(err.value)

@@ -182,6 +182,21 @@ class TestCampaigns:
             [(spec.digest, "cell/search[0]")]
         assert ledger.counts(campaign="c1")["pending"] == 1
 
+    def test_campaign_jobs_carries_role_and_order(self, ledger):
+        specs = [_job(1), _job(2, kind="select")]
+        ledger.add_campaign("c1", "test", {})
+        for i, spec in enumerate(specs):
+            ledger.add_job(spec)
+            ledger.link_campaign("c1", spec.digest,
+                                 role=f"cell/stage[{i}]")
+        rows = ledger.campaign_jobs("c1")
+        assert [r["role"] for r in rows] == \
+            ["cell/stage[0]", "cell/stage[1]"]
+        # The campaign role wins over the job's own role column, and
+        # the full job row rides along (state, kind, payload).
+        assert [r["kind"] for r in rows] == ["search", "select"]
+        assert all(r["state"] == "pending" for r in rows)
+
     def test_schema_version_guard(self, tmp_path):
         root = str(tmp_path / "store")
         with Ledger(root) as led:
@@ -190,6 +205,50 @@ class TestCampaigns:
                              "WHERE key='schema_version'")
         with pytest.raises(RuntimeError, match="schema version"):
             Ledger(root)
+
+
+class TestPrefixResolution:
+    def test_resolves_by_range_scan(self, ledger):
+        specs = [_job(n) for n in range(6)]
+        for spec in specs:
+            ledger.add_job(spec)
+        for spec in specs:
+            assert ledger.resolve_prefix(spec.digest[:10]) == \
+                [spec.digest]
+
+    def test_ambiguous_prefix_returns_all_matches(self, ledger):
+        a, b = _job(1), _job(2)
+        ledger.add_job(a)
+        ledger.add_job(b)
+        shared = ""
+        for x, y in zip(a.digest, b.digest):
+            if x != y:
+                break
+            shared += x
+        matches = ledger.resolve_prefix(shared)
+        assert sorted(matches) == sorted([a.digest, b.digest])
+
+    def test_no_match_is_empty(self, ledger):
+        ledger.add_job(_job(1))
+        assert ledger.resolve_prefix("f" * 64) == []
+
+    def test_limit_caps_the_listing(self, ledger):
+        for n in range(6):
+            ledger.add_job(_job(n))
+        assert len(ledger.resolve_prefix("", limit=3)) == 3
+
+
+class TestMeta:
+    def test_round_trip_and_overwrite(self, ledger):
+        assert ledger.get_meta("catalog:latest") is None
+        ledger.set_meta("catalog:latest", "aa")
+        assert ledger.get_meta("catalog:latest") == "aa"
+        ledger.set_meta("catalog:latest", "bb")
+        assert ledger.get_meta("catalog:latest") == "bb"
+
+    def test_schema_version_is_off_limits(self, ledger):
+        with pytest.raises(ValueError, match="schema_version"):
+            ledger.set_meta("schema_version", "999")
 
 
 class TestTelemetry:

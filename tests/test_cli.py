@@ -224,3 +224,109 @@ class TestService:
         with pytest.raises(SystemExit):
             main(["submit", "--store", str(tmp_path / "s"),
                   "--kernel", "nosuch"])
+
+
+class TestCatalogCli:
+    """catalog build/query/select against a fabricated finished sweep."""
+
+    def _seed(self, store, **kwargs):
+        from repro.service import Ledger
+        from tests.catalog.conftest import plant_campaign
+
+        with Ledger(store) as ledger:
+            return plant_campaign(ledger, **kwargs)
+
+    def test_build_query_select_round_trip(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        cid = self._seed(store)
+        rc = main(["catalog", "build", "--store", store, "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["campaign"] == cid
+        digest = doc["digest"]
+
+        # Rebuilding from the same ledger is byte-identical.
+        assert main(["catalog", "build", "--store", store,
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["digest"] == digest
+
+        rc = main(["catalog", "query", "--store", store, "--frontier",
+                   "--json"])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["digest"] == digest
+        assert [e["id"] for e in out["entries"]] == \
+            ["dot/eta=0", "dot/eta=10"]
+
+        rc = main(["catalog", "select", "--store", store, "--budget",
+                   "4", "--workload", "dot:2", "--json"])
+        assert rc == 0
+        sel = json.loads(capsys.readouterr().out)
+        assert sel["assignment"]["dot"]["id"] == "dot/eta=10"
+        assert sel["latency"] == 100
+
+    def test_query_unknown_kernel_exits(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self._seed(store)
+        main(["catalog", "build", "--store", store, "--json"])
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="not in catalog"):
+            main(["catalog", "query", "--store", store,
+                  "--kernel", "cos"])
+
+    def test_select_before_build_exits_with_guidance(self, tmp_path):
+        store = str(tmp_path / "store")
+        self._seed(store)
+        with pytest.raises(SystemExit, match="repro catalog build"):
+            main(["catalog", "select", "--store", store,
+                  "--budget", "1"])
+
+    def test_build_needs_a_campaign(self, tmp_path):
+        from repro.service import Ledger
+
+        store = str(tmp_path / "store")
+        with Ledger(store):
+            pass
+        with pytest.raises(SystemExit, match="no campaigns"):
+            main(["catalog", "build", "--store", store])
+
+    def test_build_picks_among_campaigns(self, tmp_path, capsys):
+        from tests.catalog.conftest import select_doc, uf_doc
+
+        store = str(tmp_path / "store")
+        self._seed(store)
+        self._seed(store, cid="cat-2",
+                   cells=[("add", 0.0,
+                           select_doc("a0", 30, target_latency=60),
+                           uf_doc("a0"))])
+        with pytest.raises(SystemExit, match="pick one"):
+            main(["catalog", "build", "--store", store])
+        rc = main(["catalog", "build", "--store", store,
+                   "--campaign", "cat-2", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert list(doc["summary"]["kernels"]) == ["add"]
+
+    def test_url_build_rejects_store_only_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="--check"):
+            main(["catalog", "build", "--url", "http://localhost:1",
+                  "--campaign", "c", "--check"])
+
+    def test_ambiguous_prefix_lists_matches(self, tmp_path, capsys):
+        from repro.service import Ledger
+
+        store = str(tmp_path / "store")
+        self._seed(store)
+        with Ledger(store) as ledger:
+            for suffix in ("aa", "bb"):
+                ledger._conn.execute(
+                    "INSERT INTO jobs (digest, kind, payload, state,"
+                    " role, max_attempts, created_at, updated_at)"
+                    " VALUES (?, 'search', '{}', 'pending', '', 3, 0, 0)",
+                    ("abcdef" + suffix + "0" * 56,))
+            ledger._conn.commit()
+        with pytest.raises(SystemExit) as err:
+            main(["artifacts", "--store", store, "--job", "abcdef"])
+        message = str(err.value)
+        assert "ambiguous" in message
+        assert "abcdefaa" in message and "abcdefbb" in message
