@@ -1,0 +1,137 @@
+"""Relational-vs-separate certified ULP bound tightness.
+
+The relational domain (``BnBVerifier(..., domain='relational')``) runs
+target and rewrite as one product program and bounds the live-out
+difference directly, instead of subtracting independently computed
+output hulls.  Per box it reports ``min(separate bound, difference
+window)``, so at the *same* box budget the certified bound can never be
+looser than the separate domain's — this benchmark measures how much
+tighter it actually is on the degree-reduced libimf kernels, and
+records the relational domain's wall-clock overhead.
+
+As a script it writes the ``BENCH_relational.json`` baseline consumed
+by CI and enforces the tightness floors: the relational bound must be
+<= the separate bound on *every* kernel, at least ``--min-kernels``
+kernels must be *strictly* tighter, and at least one kernel must reach
+the ``--min-ratio`` separate/relational improvement factor::
+
+    PYTHONPATH=src python benchmarks/bench_relational.py \\
+        --out BENCH_relational.json --min-ratio 10 --min-kernels 3
+"""
+
+import json
+import sys
+import time
+
+from repro.kernels.libimf import LIBIMF_KERNELS
+from repro.verify.bnb import BnBConfig, BnBVerifier
+from repro.verify.checker import check
+
+# The same degree-reduced rewrites bench_verify.py measures: a real,
+# nonzero approximation error for the bounds to enclose.
+REDUCED_DEGREE = {"sin": 9, "cos": 8, "tan": 9, "log": 12, "exp": 8}
+KERNELS = tuple(sorted(REDUCED_DEGREE))
+BUDGET = 512
+
+
+def _programs(name):
+    factory = LIBIMF_KERNELS[name]
+    spec = factory()
+    rewrite = factory(REDUCED_DEGREE[name]).program
+    return spec, rewrite
+
+
+def measure_kernel(name, budget=BUDGET, recheck=True):
+    """Certified bounds from both domains at an equal box budget."""
+    spec, rewrite = _programs(name)
+    config = BnBConfig(max_boxes=budget)
+    row = {"kernel": name, "budget": budget}
+    for domain in ("separate", "relational"):
+        verifier = BnBVerifier(spec.program, rewrite, spec.live_outs,
+                               dict(spec.ranges), domain=domain)
+        start = time.perf_counter()
+        result = verifier.run(config)
+        elapsed = time.perf_counter() - start
+        row[f"{domain}_bound_ulps"] = result.bound_ulps
+        row[f"{domain}_seconds"] = elapsed
+        row[f"{domain}_leaves"] = len(result.leaves)
+        if recheck:
+            # Every certified bound in the baseline must survive the
+            # independent checker — a tightness number for a bound the
+            # checker rejects would be meaningless.
+            cert = verifier.certificate(result, config=config)
+            report = check(cert, spec.program, rewrite)
+            assert report.ok, \
+                f"{name}/{domain}: checker rejected: {report.failures}"
+    sep = row["separate_bound_ulps"]
+    rel = row["relational_bound_ulps"]
+    row["ratio"] = sep / rel if rel > 0 else float("inf")
+    row["strictly_tighter"] = rel < sep
+    return row
+
+
+def run_baseline(kernels=KERNELS, budget=BUDGET, recheck=True):
+    rows = [measure_kernel(name, budget=budget, recheck=recheck)
+            for name in kernels]
+    return {
+        "benchmark": "relational_tightness",
+        "budget": budget,
+        "note": "certified ULP bounds from BnBVerifier at an equal box "
+                "budget; ratio = separate/relational (>= 1 by "
+                "construction, the relational domain mins with the "
+                "separate bound per box).  All bounds re-validated by "
+                "the independent checker before being recorded.",
+        "results": rows,
+        "strictly_tighter": sum(r["strictly_tighter"] for r in rows),
+        "best_ratio": max(r["ratio"] for r in rows),
+    }
+
+
+def main():
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kernels", nargs="*", default=list(KERNELS))
+    parser.add_argument("--budget", type=int, default=BUDGET)
+    parser.add_argument("--out", default="BENCH_relational.json")
+    parser.add_argument("--no-recheck", action="store_true",
+                        help="skip the per-domain certificate recheck")
+    parser.add_argument("--min-ratio", type=float, default=0.0,
+                        help="at least one kernel must be this many "
+                             "times tighter relationally")
+    parser.add_argument("--min-kernels", type=int, default=0,
+                        help="fail unless at least this many kernels "
+                             "are strictly tighter relationally")
+    args = parser.parse_args()
+    baseline = run_baseline(kernels=tuple(args.kernels),
+                            budget=args.budget,
+                            recheck=not args.no_recheck)
+    with open(args.out, "w") as fh:
+        json.dump(baseline, fh, indent=2)
+        fh.write("\n")
+    failures = []
+    for row in baseline["results"]:
+        print(f"{row['kernel']}: separate {row['separate_bound_ulps']:.6g}"
+              f" | relational {row['relational_bound_ulps']:.6g} ULPs "
+              f"({row['ratio']:.3g}x, {row['relational_seconds']:.2f}s vs "
+              f"{row['separate_seconds']:.2f}s)")
+        if row["relational_bound_ulps"] > row["separate_bound_ulps"]:
+            failures.append(f"{row['kernel']}: relational bound looser "
+                            f"than separate")
+    print(f"wrote {args.out}: {baseline['strictly_tighter']}/"
+          f"{len(baseline['results'])} strictly tighter, best ratio "
+          f"{baseline['best_ratio']:.3g}x")
+    if args.min_kernels and baseline["strictly_tighter"] < args.min_kernels:
+        failures.append(f"only {baseline['strictly_tighter']} kernels "
+                        f"strictly tighter (need {args.min_kernels})")
+    if args.min_ratio > 0 and baseline["best_ratio"] < args.min_ratio:
+        failures.append(f"best ratio {baseline['best_ratio']:.3g}x below "
+                        f"the {args.min_ratio:g}x floor")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

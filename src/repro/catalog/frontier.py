@@ -163,6 +163,7 @@ def assemble_catalog(cells: Sequence[Tuple[str, float, str, str]],
             "speedup": enc_float(kernel["target_latency"] / latency
                                  if latency else math.inf),
             "engine": verify.get("engine"),
+            "domain": verify.get("domain", "separate"),
             "select_job": select_digest,
             "verify_job": verify_digest,
             "certificate": verify.get("certificate_digest"),
@@ -176,6 +177,7 @@ def assemble_catalog(cells: Sequence[Tuple[str, float, str, str]],
             "latency": kernel["target_latency"],
             "speedup": 1.0,
             "engine": None,
+            "domain": None,
             "select_job": None,
             "verify_job": None,
             "certificate": None,

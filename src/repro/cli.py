@@ -217,9 +217,15 @@ def cmd_verify(args) -> int:
             print(f"  - {failure}")
         return 0 if report.ok else 1
 
+    if args.smt and args.domain != "relational":
+        print("--smt requires --domain relational (the SMT tier cross-"
+              "checks paired expression DAGs)")
+        return 2
+
     verifier = BnBVerifier(target, rewrite, live_outs, ranges,
                            memory=memory, concrete_gp=concrete_gp,
-                           profile=args.profile_transfers)
+                           profile=args.profile_transfers,
+                           domain=args.domain)
     quiet = args.json
 
     seeds = ()
@@ -241,7 +247,12 @@ def cmd_verify(args) -> int:
     result = verifier.run(config)
     if not quiet:
         print(f"certified bound: {result.bound_ulps:.6g} ULPs "
-              f"(complete={result.complete})")
+              f"(complete={result.complete}, domain={result.domain})")
+        if result.per_location_bounds:
+            parts = ", ".join(f"{loc} <= {b:.6g}"
+                              for loc, b in
+                              sorted(result.per_location_bounds.items()))
+            print(f"# per-live-out bounds: {parts}")
         print(f"# lower bound {result.lower_bound:.6g} ULPs, "
               f"gap {result.gap:.3g}, termination: {result.termination}")
         print(f"# {result.boxes_explored} boxes explored, "
@@ -282,6 +293,23 @@ def cmd_verify(args) -> int:
                   f"{exact.cases_checked:,} cases, "
                   f"dominated={exhaustive['dominated']}")
 
+    smt_outcome = None
+    if args.smt:
+        from repro.verify.relational import smt_available, smt_cross_check
+
+        if not smt_available():
+            smt_outcome = {"status": "unknown", "mode": "none",
+                           "detail": "z3 is not installed",
+                           "counterexample": {}}
+            if not quiet:
+                print("# smt: skipped (z3 is not installed)")
+        else:
+            outcome = smt_cross_check(verifier.transfer, result.bound_ulps)
+            smt_outcome = outcome.to_dict()
+            if not quiet:
+                print(f"# smt: {outcome.status} ({outcome.mode}) "
+                      f"{outcome.detail}")
+
     if args.emit_cert:
         cert = verifier.certificate(result, config=config)
         cert.save(args.emit_cert)
@@ -291,6 +319,7 @@ def cmd_verify(args) -> int:
     if args.json:
         payload = {
             "engine": config.engine,
+            "domain": result.domain,
             "bound_ulps": S.enc_float(result.bound_ulps),
             "lower_bound": S.enc_float(result.lower_bound),
             "gap": S.enc_float(result.gap),
@@ -304,6 +333,11 @@ def cmd_verify(args) -> int:
             "jobs": result.jobs,
             "seeds_covered": result.seeds_covered,
             "unsupported": result.unsupported,
+            "per_location": {loc: S.enc_float(v)
+                             for loc, v in result.per_location.items()},
+            "per_location_bounds": {
+                loc: S.enc_float(v)
+                for loc, v in result.per_location_bounds.items()},
             "wall_time": result.wall_time,
             "boxes_per_second": result.boxes_per_second,
             "stats": {
@@ -316,6 +350,8 @@ def cmd_verify(args) -> int:
         }
         if exhaustive is not None:
             payload["exhaustive"] = exhaustive
+        if smt_outcome is not None:
+            payload["smt"] = smt_outcome
         _json_out(payload)
     return 0 if result.complete else 1
 
@@ -377,7 +413,8 @@ def cmd_submit(args) -> int:
         kernels=kernels, chains=args.chains, proposals=args.proposals,
         testcases=args.testcases, seed=args.seed, stages=stages,
         validate_proposals=args.validate_proposals,
-        verify_budget=args.verify_budget, backend=args.backend)
+        verify_budget=args.verify_budget, backend=args.backend,
+        verify_domain=args.verify_domain)
     if args.url:
         from repro.service.api import ServiceClient
 
@@ -917,6 +954,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="'batched' = pipelined compiled transfers "
                           "(jobs-invariant partition); 'reference' = the "
                           "historical barriered interpretive engine")
+    ver.add_argument("--domain", choices=("separate", "relational"),
+                     default="separate",
+                     help="'separate' = independent output hulls; "
+                          "'relational' = product-program domain bounding "
+                          "the target-vs-rewrite difference directly "
+                          "(never looser on the same partition)")
+    ver.add_argument("--smt", action="store_true",
+                     help="cross-check the certified bound with the "
+                          "optional z3 SMT tier (bit-precise FP with a "
+                          "real-relaxation fallback; requires --domain "
+                          "relational)")
     ver.add_argument("--profile-transfers", action="store_true",
                      help="record per-opcode transfer timing (adds "
                           "overhead; surfaces in --json op_seconds)")
@@ -965,6 +1013,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--validate-proposals", type=_positive_int,
                     default=2_000)
     sp.add_argument("--verify-budget", type=_positive_int, default=128)
+    sp.add_argument("--verify-domain", choices=("separate", "relational"),
+                    default="separate",
+                    help="abstract domain for bnb verify cells")
     sp.add_argument("--backend", default="jit", choices=known_backends(),
                      help="execution backend for the campaign's "
                           "search jobs")

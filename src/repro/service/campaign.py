@@ -50,8 +50,13 @@ class CampaignSpec:
     stages: Tuple[str, ...] = DEFAULT_STAGES
     validate_proposals: int = 2_000
     verify_budget: int = 128
+    # Abstract domain for bnb verify cells ('separate' | 'relational').
+    verify_domain: str = "separate"
 
     def __post_init__(self):
+        if self.verify_domain not in ("separate", "relational"):
+            raise ValueError(
+                f"unknown verify domain {self.verify_domain!r}")
         if not self.kernels:
             raise ValueError("campaign needs at least one (kernel, eta)")
         if self.chains < 1:
@@ -68,7 +73,7 @@ class CampaignSpec:
                     f"stage {stage!r} needs upstream stage(s) {missing}")
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "kernels": [[name, enc_float(eta)] for name, eta in
                         self.kernels],
             "chains": self.chains,
@@ -81,6 +86,11 @@ class CampaignSpec:
             "validate_proposals": self.validate_proposals,
             "verify_budget": self.verify_budget,
         }
+        # Sparse: the default domain is omitted so existing campaign
+        # ids (content digests of this dict) are unchanged.
+        if self.verify_domain != "separate":
+            data["verify_domain"] = self.verify_domain
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "CampaignSpec":
@@ -98,6 +108,7 @@ class CampaignSpec:
             stages=tuple(data["stages"]),
             validate_proposals=int(data["validate_proposals"]),
             verify_budget=int(data["verify_budget"]),
+            verify_domain=str(data.get("verify_domain", "separate")),
         )
 
 
@@ -147,7 +158,10 @@ def plan_campaign(spec: CampaignSpec) -> List[J.JobSpec]:
             verify = J.JobSpec(
                 "verify",
                 J.verify_payload(name, eta, select.digest, engine,
-                                 max_boxes=spec.verify_budget),
+                                 max_boxes=spec.verify_budget,
+                                 domain=(spec.verify_domain
+                                         if engine == "bnb"
+                                         else "separate")),
                 deps=tuple(deps), role=f"{cell}/verify")
             plan.append(verify)
             catalog_cells.append((name, eta, select.digest,

@@ -128,16 +128,24 @@ def validate_payload(kernel: str, eta: float, select_digest: str,
 
 
 def verify_payload(kernel: str, eta: float, select_digest: str,
-                   engine: str, max_boxes: int = 256) -> Dict:
+                   engine: str, max_boxes: int = 256,
+                   domain: str = "separate") -> Dict:
     if engine not in ("uf", "bnb"):
         raise ValueError(f"unknown verify engine {engine!r}")
-    return {
+    if domain not in ("separate", "relational"):
+        raise ValueError(f"unknown verify domain {domain!r}")
+    payload = {
         "kernel": kernel,
         "eta": float(eta),
         "select": select_digest,
         "engine": engine,
         "max_boxes": int(max_boxes),
     }
+    # Sparse encoding: the default domain is omitted so pre-existing
+    # campaigns keep their content-addressed job digests.
+    if domain != "separate":
+        payload["domain"] = domain
+    return payload
 
 
 def catalog_payload(cells: List[Tuple[str, float, str, str]]) -> Dict:

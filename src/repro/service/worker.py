@@ -224,14 +224,20 @@ def _run_verify(context: Dict, digest: str, payload: Dict,
     from repro.verify.bnb import BnBCheckpoint, BnBConfig, BnBVerifier
 
     memory, concrete_gp, ranges = verify_environment(payload["kernel"])
+    domain = payload.get("domain", "separate")
     verifier = BnBVerifier(spec.program, rewrite, spec.live_outs, ranges,
-                           memory=memory, concrete_gp=concrete_gp)
+                           memory=memory, concrete_gp=concrete_gp,
+                           domain=domain)
     # Workers are (daemonic) pool processes and must not nest pools, so
     # the refinement always runs inline here; campaign parallelism comes
     # from running many verify jobs at once.
     config = BnBConfig(max_boxes=payload["max_boxes"], jobs=1)
     resume = _load_checkpoint(context, digest, "verify",
                               BnBCheckpoint.from_dict)
+    if resume is not None and resume.domain != domain:
+        # A stale checkpoint from a different domain cannot seed this
+        # search; start fresh rather than mixing leaf partitions.
+        resume = None
     result = verifier.run(
         config, resume=resume,
         checkpoint_rounds=int(policy.get("checkpoint_rounds", 0)),
@@ -247,6 +253,7 @@ def _run_verify(context: Dict, digest: str, payload: Dict,
         "version": S.SCHEMA_VERSION,
         "kind": "verify_result",
         "engine": "bnb",
+        "domain": domain,
         "kernel": payload["kernel"],
         "eta": S.enc_float(payload["eta"]),
         "bound_ulps": S.enc_float(result.bound_ulps),

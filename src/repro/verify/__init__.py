@@ -16,7 +16,10 @@ The full sound pipeline — budgeted refinement, counterexample seeding,
 process-parallel workers, and checkable certificates — lives in
 :mod:`repro.verify.bnb`, :mod:`repro.verify.partition`,
 :mod:`repro.verify.certificate`, and :mod:`repro.verify.checker`
-(DESIGN.md §10).
+(DESIGN.md §10).  The relational product-program domain, which bounds
+the rewrite-vs-target difference directly instead of subtracting
+independent hulls, lives in :mod:`repro.verify.relational`
+(DESIGN.md §16).
 """
 
 from repro.verify.bnb import (
@@ -27,6 +30,12 @@ from repro.verify.bnb import (
 )
 from repro.verify.certificate import Certificate
 from repro.verify.checker import CheckReport, check
+from repro.verify.relational import (
+    RelationalTransfer,
+    smt_available,
+    smt_cross_check,
+    transfer_class,
+)
 from repro.verify.exhaustive import ExhaustiveResult, exhaustive_check
 from repro.verify.interval import (
     IntervalBound,
@@ -70,6 +79,10 @@ __all__ = [
     "extract",
     "op",
     "symbolic_execute",
+    "RelationalTransfer",
+    "smt_available",
+    "smt_cross_check",
+    "transfer_class",
     "UfResult",
     "VerifyOutcome",
     "check_equivalent_uf",

@@ -45,7 +45,7 @@ from __future__ import annotations
 import heapq
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.parallel import TaskCrash, TaskError, TaskPool, TaskTimeout
@@ -83,9 +83,13 @@ class TransferSpec:
     memory: Optional[Memory]
     concrete_gp: Tuple[Tuple[int, int], ...]
     profile: bool = False
+    domain: str = "separate"
 
     def build(self) -> IntervalTransfer:
-        return IntervalTransfer(
+        from repro.verify.relational.domain import transfer_class
+
+        cls = transfer_class(self.domain)
+        return cls(
             self.target, self.rewrite, list(self.live_outs),
             {loc: (lo, hi) for loc, lo, hi in self.ranges},
             memory=self.memory, concrete_gp=dict(self.concrete_gp),
@@ -175,6 +179,12 @@ class BnBResult:
     jobs: int = 1
     seeds_covered: int = 0
     unsupported: int = 0
+    # Certified per-live-out bound: for each location, the max over all
+    # leaves of that location's contribution (a sound per-output bound
+    # on its own, unlike per_location which is the worst *leaf's*
+    # breakdown and only explains the headline sum).
+    per_location_bounds: Dict[str, float] = field(default_factory=dict)
+    domain: str = "separate"
 
     @property
     def gap(self) -> float:
@@ -260,6 +270,7 @@ class BnBCheckpoint:
     frontier: List[_Entry]
     leaves: List[_Entry]
     unsupported: int = 0
+    domain: str = "separate"
 
     def to_dict(self) -> dict:
         from repro.core import serialize as S
@@ -267,6 +278,7 @@ class BnBCheckpoint:
         return {
             "version": S.SCHEMA_VERSION,
             "kind": "bnb_checkpoint",
+            "domain": self.domain,
             "seq": self.seq,
             "explored": self.explored,
             "pruned": self.pruned,
@@ -299,6 +311,7 @@ class BnBCheckpoint:
             frontier=[_entry_from_dict(e) for e in data["frontier"]],
             leaves=[_entry_from_dict(e) for e in data["leaves"]],
             unsupported=int(data.get("unsupported", 0)),
+            domain=str(data.get("domain", "separate")),
         )
 
 
@@ -328,7 +341,11 @@ class BnBVerifier:
                  ranges: Dict[Union[str, Location], Tuple[float, float]],
                  memory: Optional[Memory] = None,
                  concrete_gp: Optional[Dict[int, int]] = None,
-                 profile: bool = False):
+                 profile: bool = False,
+                 domain: str = "separate"):
+        from repro.verify.relational.domain import transfer_class
+
+        transfer_class(domain)  # reject unknown domains up front
         self.spec = TransferSpec(
             target=target,
             rewrite=rewrite,
@@ -338,6 +355,7 @@ class BnBVerifier:
             memory=memory,
             concrete_gp=tuple((concrete_gp or {}).items()),
             profile=profile,
+            domain=domain,
         )
         # A local transfer for dims/root bookkeeping (and the jobs=1 path).
         self.transfer = self.spec.build()
@@ -374,6 +392,10 @@ class BnBVerifier:
         if config.engine not in ("batched", "reference"):
             raise ValueError(f"unknown BnB engine {config.engine!r} "
                              "(expected 'batched' or 'reference')")
+        if resume is not None and resume.domain != self.spec.domain:
+            raise ValueError(
+                f"checkpoint domain {resume.domain!r} does not match "
+                f"verifier domain {self.spec.domain!r}")
         start = time.monotonic()
         seeds = self.seed_indices(config.seeds)
         lower = max([err for _, err in seeds], default=0.0)
@@ -440,8 +462,8 @@ class BnBVerifier:
         for entry in resume.frontier:
             push(entry)
 
-    @staticmethod
-    def _snapshot(st: _SearchState, stats: TransferStats) -> BnBCheckpoint:
+    def _snapshot(self, st: _SearchState, stats: TransferStats
+                  ) -> BnBCheckpoint:
         return BnBCheckpoint(
             seq=st.seq, explored=st.explored, pruned=st.pruned,
             rounds=st.rounds, max_frontier=st.max_frontier,
@@ -451,7 +473,8 @@ class BnBVerifier:
             stats_widened=stats.widened_bit_ops,
             frontier=[entry for _, entry in st.frontier],
             leaves=list(st.leaves),
-            unsupported=st.unsupported)
+            unsupported=st.unsupported,
+            domain=self.spec.domain)
 
     def _assemble(self, st: _SearchState, config: BnBConfig, seeds,
                   lower: float, stats: TransferStats, start: float,
@@ -466,6 +489,17 @@ class BnBVerifier:
         worst = max(leaves, key=lambda e: e.bound, default=None)
         per_location = dict(worst.per_loc) if worst is not None and \
             worst.per_loc is not None else {}
+        # Per-live-out certified bounds: each location's worst
+        # contribution over *all* leaves.  A leaf with no breakdown
+        # (unsupported transfer) certifies nothing per-output.
+        locations = [str(loc) for loc in self.transfer.locations]
+        if leaves and all(e.per_loc is not None for e in leaves):
+            per_location_bounds = {
+                loc: max(e.per_loc.get(loc, _INF) for e in leaves)
+                for loc in locations}
+        else:
+            per_location_bounds = {loc: _INF for loc in locations} \
+                if leaves else {}
         covered = covered_seed_count([e.box for e in leaves], seeds, bound)
         # Nominal opcode traffic: every successfully analyzed box runs
         # the full instruction mix (prefix sharing skips re-execution,
@@ -491,6 +525,8 @@ class BnBVerifier:
             jobs=config.jobs,
             seeds_covered=covered,
             unsupported=st.unsupported,
+            per_location_bounds=per_location_bounds,
+            domain=self.spec.domain,
         )
 
     # -- reference engine (historical barriered search) -----------------

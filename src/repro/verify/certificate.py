@@ -35,6 +35,10 @@ from repro.verify.partition import BitBox, Dim
 
 CERT_VERSION = 1
 
+# Abstract domains a certificate's leaf bounds may be derived in; the
+# checker rebuilds the same domain's transfer to re-derive them.
+KNOWN_DOMAINS = ("separate", "relational")
+
 
 def program_digest(program: Program) -> str:
     """SHA-256 over the program's full textual rendering."""
@@ -83,6 +87,9 @@ class Certificate:
     termination: str
     config: Dict[str, object]
     stats: Dict[str, float]
+    # Abstract domain the leaf bounds were derived in ('separate' =
+    # independent output hulls, 'relational' = product program).
+    domain: str = "separate"
 
     # -- construction ---------------------------------------------------
 
@@ -129,6 +136,7 @@ class Certificate:
                 "concrete_bit_ops": result.stats.concrete_bit_ops,
                 "widened_bit_ops": result.stats.widened_bit_ops,
             },
+            domain=getattr(spec, "domain", "separate"),
         )
 
     # -- derived views --------------------------------------------------
@@ -166,6 +174,11 @@ class Certificate:
         if data.get("version") != CERT_VERSION:
             raise ValueError(
                 f"unsupported certificate version {data.get('version')!r}")
+        domain = data.get("domain", "separate")
+        if domain not in KNOWN_DOMAINS:
+            raise ValueError(
+                f"unknown certificate domain {domain!r} (expected one of "
+                f"{', '.join(KNOWN_DOMAINS)})")
         return cls(
             version=CERT_VERSION,
             target_digest=data["target_digest"],
@@ -186,6 +199,7 @@ class Certificate:
             termination=data["termination"],
             config=dict(data.get("config", {})),
             stats=dict(data.get("stats", {})),
+            domain=str(domain),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -39,11 +39,11 @@ from repro.verify.certificate import (
     program_digest,
 )
 from repro.verify.interval import (
-    IntervalTransfer,
     IntervalUnsupported,
     TransferStats,
 )
 from repro.verify.partition import check_tiling
+from repro.verify.relational.domain import transfer_class
 
 
 @dataclass
@@ -96,8 +96,15 @@ def check(cert: Certificate, target: Program, rewrite: Program,
                            leaves_checked=0, rechecked_bound=math.inf)
 
     # Obligation 3: every recorded leaf bound is justified by a fresh
-    # transfer, built here from the certificate's own domain.
-    transfer = IntervalTransfer(
+    # transfer, built here in the certificate's own abstract domain —
+    # a relational certificate is rechecked relationally, a separate
+    # one with independent hulls.
+    try:
+        cls = transfer_class(getattr(cert, "domain", "separate"))
+    except ValueError as exc:
+        return CheckReport(ok=False, failures=[str(exc)],
+                           leaves_checked=0, rechecked_bound=math.inf)
+    transfer = cls(
         target, rewrite, list(cert.live_outs), cert.value_ranges(),
         memory=memory, concrete_gp=dict(concrete_gp or {}))
     rechecked = 0.0

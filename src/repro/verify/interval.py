@@ -1263,7 +1263,15 @@ class IntervalTransfer:
             _apply_reg_input(state, loc, kind, interval)
         return state
 
-    def _outputs(self, t_state: _IntervalState, r_state: _IntervalState):
+    def _outputs(self, t_state: _IntervalState, r_state: _IntervalState,
+                 inputs=None):
+        """Sound (total, per-live-out) ULP bounds from two final states.
+
+        ``inputs`` is the ``(mem_inputs, reg_inputs)`` pair the states
+        were built from; the separate domain ignores it, the relational
+        domain (:mod:`repro.verify.relational`) re-evaluates its paired
+        expression DAGs over it.
+        """
         per_loc: Dict[str, float] = {}
         total = 0.0
         for loc in self.locations:
@@ -1296,7 +1304,8 @@ class IntervalTransfer:
             for fn in plan.steps:
                 fn(state)
             states.append(state)
-        total, per_loc = self._outputs(states[0], states[1])
+        total, per_loc = self._outputs(states[0], states[1],
+                                       (mem_inputs, reg_inputs))
         stats.op_counts = dict(self.op_histogram)
         stats.transfer_seconds = time.perf_counter() - t0
         self.stats.merge(stats)
@@ -1314,7 +1323,8 @@ class IntervalTransfer:
             for fn in plan.steps:
                 fn(state)
             states.append(state)
-        total, per_loc = self._outputs(states[0], states[1])
+        total, per_loc = self._outputs(states[0], states[1],
+                                       (mem_inputs, reg_inputs))
         return total, per_loc, stats
 
     def analyze_interpretive(
@@ -1336,7 +1346,8 @@ class IntervalTransfer:
         r_state = _run_interval(self.rewrite, self.memory.copy(),
                                 self.concrete_gp, mem_inputs, reg_inputs,
                                 stats)
-        total, per_loc = self._outputs(t_state, r_state)
+        total, per_loc = self._outputs(t_state, r_state,
+                                       (mem_inputs, reg_inputs))
         return total, per_loc, stats
 
     # -- engine work units -------------------------------------------------
@@ -1416,7 +1427,8 @@ class IntervalTransfer:
             states[p] = state
         if l_res is None:
             try:
-                total, per_loc = self._outputs(states[0], states[1])
+                total, per_loc = self._outputs(states[0], states[1],
+                                               (l_mem, l_reg))
                 l_res = (total, per_loc,
                          (1, l_stats.concrete_bit_ops,
                           l_stats.widened_bit_ops), None)
@@ -1452,7 +1464,8 @@ class IntervalTransfer:
             states[p] = state
         if r_res is None:
             try:
-                total, per_loc = self._outputs(states[0], states[1])
+                total, per_loc = self._outputs(states[0], states[1],
+                                               (r_mem, r_reg))
                 r_res = (total, per_loc,
                          (1, r_stats.concrete_bit_ops,
                           r_stats.widened_bit_ops), None)

@@ -1,0 +1,532 @@
+"""Paired-expression difference bounding for the relational domain.
+
+The separate interval domain bounds target and rewrite independently and
+subtracts hulls, which throws away every correlation between the two
+programs.  This module evaluates both programs' expression DAGs
+(:mod:`repro.verify.symbolic`, extended fragment) over one input box and
+bounds the *difference* ``val(t) - val(r)`` of paired sub-expressions
+directly:
+
+* **Identity** — structurally equal nodes are bitwise-equal values for
+  every input (each node is a pure function of its argument nodes, with
+  flag dependencies reified as explicit arguments), so their difference
+  is exactly ``[0, 0]``.  Hash-consed structural equality makes shared
+  range reduction, shared prefixes and shared coefficients collapse for
+  free, even across operators the hull evaluator cannot interpret.
+* **Structural rules** — for paired ops of the same kind the real
+  difference factors through the argument differences
+  (``t1*t2 - r1*r2 = d1*t2 + r1*d2`` and so on); each rule adds one
+  outward-rounded slack per rounded operation, bounded by the result
+  hull's ULP spacing.
+* **Hull fallback** — every pair is additionally met with the plain
+  hull subtraction, so the relational difference is never *wider* than
+  what the separate domain knows.
+
+The final :func:`window_ulp_bound` converts a value-difference interval
+into a ULP distance: any two floats within ``m`` of each other inside a
+hull ``H`` are separated by at most the number of representables in the
+densest width-``m`` window of ``H`` (float spacing is non-decreasing in
+magnitude, so the window sits at the hull's minimum magnitude).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.verify.interval import (
+    IntervalD,
+    IntervalUnsupported,
+    IntInterval,
+    _ARITH_D,
+    _ARITH_F,
+    _MAX_FINITE_BITS,
+    _decide_cmov,
+    _down,
+    _down32,
+    _int_and,
+    _int_or,
+    _require_signed64,
+    _round_half_even,
+    _rounded_int,
+    _up,
+    _up32,
+)
+from repro.verify.partition import index_of
+from repro.verify.symbolic import Const, ExtractNode, InputNode, Node, OpNode
+from repro.x86.scalar import d2u, sint64, u2d, u2f
+
+_ZERO = IntervalD(0.0, 0.0)
+
+# Scalar-double arithmetic whose difference factors through the argument
+# differences; value is the _Arith method name.
+_SD_ARITH = {"addsd": "add", "subsd": "sub", "mulsd": "mul",
+             "divsd": "div", "minsd": "min", "maxsd": "max"}
+_SS_ARITH = {"addss": "add", "subss": "sub", "mulss": "mul",
+             "divss": "div", "minss": "min", "maxss": "max"}
+
+
+def _safe(fn, *args):
+    """Interval arithmetic with failure-as-None (NaN corners, empty
+    meets and domain errors all mean "no information", not "error")."""
+    try:
+        return fn(*args)
+    except IntervalUnsupported:
+        return None
+
+
+def _meet(a: Optional[IntervalD], b: Optional[IntervalD]
+          ) -> Optional[IntervalD]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return _safe(IntervalD, max(a.lo, b.lo), min(a.hi, b.hi)) or a
+
+
+class PairEvaluator:
+    """Per-box evaluator over two programs' expression DAGs.
+
+    ``f64_inputs`` maps input-node names (``x0l``, ``arg+0``, ...) to
+    the box's double intervals; ``f32_inputs`` maps ``(name, bit
+    offset)`` to single intervals.  All evaluation is memoized on the
+    hash-consed node keys, so cost is linear in DAG size per box.
+
+    Every method returns ``None`` for "no information" — unsupported
+    node kinds degrade the relational bound gracefully toward the
+    separate-domain bound, they never raise.
+    """
+
+    def __init__(self, f64_inputs: Dict[str, IntervalD],
+                 f32_inputs: Dict[Tuple[str, int], IntervalD]):
+        self._f64_inputs = f64_inputs
+        self._f32_inputs = f32_inputs
+        self._f64: Dict[tuple, Optional[IntervalD]] = {}
+        self._f32: Dict[tuple, Optional[IntervalD]] = {}
+        self._int: Dict[tuple, Optional[IntInterval]] = {}
+        self._diff: Dict[tuple, Optional[IntervalD]] = {}
+
+    # -- hull evaluation ---------------------------------------------------
+
+    def f64(self, node: Node) -> Optional[IntervalD]:
+        """Sound double-value hull of a 64-bit node, or None."""
+        key = node._key
+        if key in self._f64:
+            return self._f64[key]
+        self._f64[key] = None  # cycle-proof default; DAGs are acyclic
+        result = self._f64_of(node)
+        self._f64[key] = result
+        return result
+
+    def _f64_of(self, node: Node) -> Optional[IntervalD]:
+        if node.width != 64:
+            return None
+        if isinstance(node, Const):
+            x = u2d(node.value)
+            if math.isnan(x):
+                return None
+            return IntervalD.point(x)
+        if isinstance(node, InputNode):
+            interval = self._f64_inputs.get(node.name)
+            if interval is not None:
+                return interval
+        elif isinstance(node, OpNode):
+            name = node.op
+            method = _SD_ARITH.get(name)
+            if method is not None:
+                a = self.f64(node.args[0])
+                b = self.f64(node.args[1])
+                if a is None or b is None:
+                    return None
+                return _safe(getattr(_ARITH_D, method), a, b)
+            if name == "sqrtsd":
+                a = self.f64(node.args[0])
+                return None if a is None else _safe(_ARITH_D.sqrt, a)
+            if name == "fma_mul":
+                a = self.f64(node.args[0])
+                b = self.f64(node.args[1])
+                if a is None or b is None:
+                    return None
+                return _safe(_ARITH_D.mul, a, b)
+            if name == "fma_add":
+                # Fused results are at least as accurate as the
+                # two-op outward-rounded interval.
+                a = self.f64(node.args[0])
+                b = self.f64(node.args[1])
+                if a is None or b is None:
+                    return None
+                return _safe(_ARITH_D.add, a, b)
+            if name == "cvtss2sd":
+                return self.f32(node.args[0])  # exact widening
+            if name in ("cvtsi2sd64", "cvtsi2sd32"):
+                value = self.sint(node.args[0])
+                if value is None:
+                    return None
+                lo, hi = float(value.lo), float(value.hi)
+                if int(lo) != value.lo:
+                    lo = _down(lo)
+                if int(hi) != value.hi:
+                    hi = _up(hi)
+                return _safe(IntervalD, lo, hi)
+        # Bit-pattern view: non-negative finite patterns map
+        # monotonically to doubles (covers shifted exponent fields and
+        # conditional-move results re-injected via movq).
+        pattern = self.sint(node)
+        if pattern is not None and pattern.lo >= 0 \
+                and pattern.hi <= _MAX_FINITE_BITS:
+            return _safe(IntervalD, u2d(pattern.lo), u2d(pattern.hi))
+        return None
+
+    def f32(self, node: Node) -> Optional[IntervalD]:
+        """Sound single-value hull of a 32-bit node, or None."""
+        key = node._key
+        if key in self._f32:
+            return self._f32[key]
+        self._f32[key] = None
+        result = self._f32_of(node)
+        self._f32[key] = result
+        return result
+
+    def _f32_of(self, node: Node) -> Optional[IntervalD]:
+        if node.width != 32:
+            return None
+        if isinstance(node, Const):
+            x = u2f(node.value)
+            if math.isnan(x):
+                return None
+            return IntervalD.point(x)
+        if isinstance(node, InputNode):
+            return self._f32_inputs.get((node.name, 0))
+        if isinstance(node, ExtractNode) and isinstance(node.child,
+                                                        InputNode):
+            return self._f32_inputs.get((node.child.name, node.offset))
+        if isinstance(node, OpNode):
+            name = node.op
+            method = _SS_ARITH.get(name)
+            if method is not None:
+                a = self.f32(node.args[0])
+                b = self.f32(node.args[1])
+                if a is None or b is None:
+                    return None
+                return _safe(getattr(_ARITH_F, method), a, b)
+            if name == "sqrtss":
+                a = self.f32(node.args[0])
+                return None if a is None else _safe(_ARITH_F.sqrt, a)
+            if name == "cvtsd2ss":
+                a = self.f64(node.args[0])
+                if a is None:
+                    return None
+                return _safe(IntervalD, _down32(a.lo), _up32(a.hi))
+        return None
+
+    def sint(self, node: Node) -> Optional[IntInterval]:
+        """Sound signed integer-value hull of a 64-bit node, or None.
+
+        Mirrors the interval domain's GP fragment: results that could
+        leave the signed 64-bit range (where pattern arithmetic wraps)
+        are reported as unknown.
+        """
+        key = node._key
+        if key in self._int:
+            return self._int[key]
+        self._int[key] = None
+        result = self._sint_of(node)
+        self._int[key] = result
+        return result
+
+    def _sint_of(self, node: Node) -> Optional[IntInterval]:
+        if isinstance(node, Const):
+            value = sint64(node.value) if node.width == 64 else node.value
+            return IntInterval(value, value)
+        if node.width != 64:
+            return None
+        if isinstance(node, InputNode):
+            # An input double read as bits (movq xmm -> gp): u2d is
+            # monotone on non-negative finite patterns.
+            interval = self._f64_inputs.get(node.name)
+            if interval is not None and interval.lo >= 0.0 \
+                    and math.isfinite(interval.hi):
+                return IntInterval(d2u(interval.lo), d2u(interval.hi))
+            return None
+        if not isinstance(node, OpNode):
+            return None
+        name = node.op
+        args = node.args
+        if name in ("add", "sub", "imul", "and", "or"):
+            a = self.sint(args[0])
+            b = self.sint(args[1])
+            if a is None or b is None:
+                return None
+            if name == "add":
+                return _safe(_require_signed64, a.lo + b.lo, a.hi + b.hi)
+            if name == "sub":
+                return _safe(_require_signed64, a.lo - b.hi, a.hi - b.lo)
+            if name == "imul":
+                corners = (a.lo * b.lo, a.lo * b.hi,
+                           a.hi * b.lo, a.hi * b.hi)
+                return _safe(_require_signed64, min(corners), max(corners))
+            if name == "and":
+                return _safe(_int_and, a, b)
+            return _safe(_int_or, a, b)
+        if name in ("shl", "shr", "sar"):
+            a = self.sint(args[0])
+            amount = args[1]
+            if a is None or not isinstance(amount, Const):
+                return None
+            n = amount.value
+            if name == "sar":
+                # Python's >> is arithmetic and monotone for any sign.
+                return IntInterval(a.lo >> n, a.hi >> n)
+            if a.lo < 0:
+                return None
+            if name == "shl":
+                return _safe(_require_signed64, a.lo << n, a.hi << n)
+            return IntInterval(a.lo >> n, a.hi >> n)
+        if name in ("cvtsd2si", "cvttsd2si"):
+            src = self.f64(args[0])
+            if src is None:
+                return None
+            rounder = _round_half_even if name == "cvtsd2si" else math.trunc
+            try:
+                return IntInterval(_rounded_int(src.lo, rounder),
+                                   _rounded_int(src.hi, rounder))
+            except IntervalUnsupported:
+                return None
+        if name.startswith("cmov_"):
+            flags, current, src = args
+            decision = self._decide(name[5:], flags)
+            if decision is True:
+                return self.sint(src)
+            if decision is False:
+                return self.sint(current)
+            a = self.sint(current)
+            b = self.sint(src)
+            if a is None or b is None:
+                return None
+            return IntInterval(min(a.lo, b.lo), max(a.hi, b.hi))
+        return None
+
+    def _decide(self, cc: str, flags: Node) -> Optional[bool]:
+        """Decide a cmov condition from a reified flags node, if the
+        flag-setting instruction was a ucomisd/ucomiss whose operand
+        hulls we can evaluate."""
+        if not isinstance(flags, OpNode):
+            return None
+        if flags.op == "flags_ucomisd":
+            a = self.f64(flags.args[0])
+            b = self.f64(flags.args[1])
+        elif flags.op == "flags_ucomiss":
+            a = self.f32(flags.args[0])
+            b = self.f32(flags.args[1])
+        else:
+            return None
+        if a is None or b is None:
+            return None
+        return _decide_cmov(cc, (a, b))
+
+    # -- difference bounding ----------------------------------------------
+
+    def diff(self, t: Node, r: Node) -> Optional[IntervalD]:
+        """Sound enclosure of ``val(t) - val(r)`` (doubles), or None."""
+        key = (t._key, r._key)
+        if key in self._diff:
+            return self._diff[key]
+        self._diff[key] = None
+        if t._key == r._key:
+            result: Optional[IntervalD] = _ZERO
+        else:
+            result = self._structural_diff(t, r)
+            th = self.f64(t)
+            rh = self.f64(r)
+            if th is not None and rh is not None:
+                # The separate-domain view; a meet keeps the structural
+                # rules from ever being worse than hull subtraction.
+                result = _meet(result, _safe(_ARITH_D.sub, th, rh))
+        self._diff[key] = result
+        return result
+
+    def _slack(self, node: Node) -> Optional[float]:
+        """Bound on one rounding error of ``node``'s operation: the ULP
+        spacing at the result hull's largest magnitude (>= half an ULP
+        everywhere in the hull, the round-to-nearest error bound)."""
+        hull = self.f64(node)
+        if hull is None:
+            return None
+        m = max(abs(hull.lo), abs(hull.hi))
+        if not math.isfinite(m):
+            return None
+        return math.ulp(m)
+
+    def _widen(self, d: Optional[IntervalD], slack: Optional[float]
+               ) -> Optional[IntervalD]:
+        if d is None or slack is None:
+            return None
+        return _safe(IntervalD, _down(d.lo - slack), _up(d.hi + slack))
+
+    def _structural_diff(self, t: Node, r: Node) -> Optional[IntervalD]:
+        if isinstance(t, Const) and isinstance(r, Const) \
+                and t.width == r.width == 64:
+            a = self.f64(t)
+            b = self.f64(r)
+            if a is None or b is None:
+                return None
+            return _safe(_ARITH_D.sub, a, b)
+        if not (isinstance(t, OpNode) and isinstance(r, OpNode)
+                and t.op == r.op and t.width == r.width == 64):
+            return None
+        name = t.op
+        fused = name in ("fma_mul", "fma_add")
+        if name in ("addsd", "subsd", "mulsd", "minsd", "maxsd",
+                    "fma_mul", "fma_add"):
+            # Commutative ops arrive with sorted arguments, so the
+            # semantically matching pairing may be either one; every
+            # pairing's rule is independently sound, so meet them all.
+            pairings = [((t.args[0], r.args[0]), (t.args[1], r.args[1]))]
+            if name in ("addsd", "mulsd", "minsd", "maxsd", "fma_mul",
+                        "fma_add"):
+                pairings.append(
+                    ((t.args[0], r.args[1]), (t.args[1], r.args[0])))
+            result: Optional[IntervalD] = None
+            for (t1, r1), (t2, r2) in pairings:
+                result = _meet(result, self._rule(name, t, r,
+                                                  t1, r1, t2, r2, fused))
+            return result
+        if name == "divsd":
+            return self._div_rule(t, r)
+        if name == "sqrtsd":
+            return self._sqrt_rule(t, r)
+        return None
+
+    def _rule(self, name: str, t: Node, r: Node, t1: Node, r1: Node,
+              t2: Node, r2: Node, fused: bool) -> Optional[IntervalD]:
+        d1 = self.diff(t1, r1)
+        d2 = self.diff(t2, r2)
+        if d1 is None or d2 is None:
+            return None
+        if name in ("minsd", "maxsd"):
+            # 1-Lipschitz selections: the difference lies in the hull of
+            # the argument differences, with no rounding of their own.
+            return _safe(IntervalD, min(d1.lo, d2.lo), max(d1.hi, d2.hi))
+        if name in ("addsd", "fma_add"):
+            d = _safe(_ARITH_D.add, d1, d2)
+        elif name == "subsd":
+            d = _safe(_ARITH_D.sub, d1, d2)
+        else:
+            # mulsd / fma_mul: both exact decompositions of
+            # t1*t2 - r1*r2 enclose the true difference; meet them.
+            d = None
+            for u, v in (((self.f64(t2)), (self.f64(r1))),
+                         ((self.f64(r2)), (self.f64(t1)))):
+                if u is None or v is None:
+                    continue
+                p1 = _safe(_ARITH_D.mul, d1, u)   # d1 * t2  (or d1 * r2)
+                p2 = _safe(_ARITH_D.mul, v, d2)   # r1 * d2  (or t1 * d2)
+                if p1 is None or p2 is None:
+                    continue
+                d = _meet(d, _safe(_ARITH_D.add, p1, p2))
+            if d is None:
+                return None
+        if name == "fma_mul":
+            # The multiply inside an FMA is exact; its single rounding
+            # is charged to the enclosing fma_add.
+            return d
+        if fused:
+            name_slack = self._fma_slack(t, r)
+        else:
+            name_slack = self._pair_slack(t, r)
+        return self._widen(d, name_slack)
+
+    def _pair_slack(self, t: Node, r: Node) -> Optional[float]:
+        st = self._slack(t)
+        sr = self._slack(r)
+        if st is None or sr is None:
+            return None
+        return st + sr
+
+    def _fma_slack(self, t: Node, r: Node) -> Optional[float]:
+        # One fused rounding per program for the whole a*b + c.
+        return self._pair_slack(t, r)
+
+    def _div_rule(self, t: Node, r: Node) -> Optional[IntervalD]:
+        t1, t2 = t.args
+        r1, r2 = r.args
+        d1 = self.diff(t1, r1)
+        d2 = self.diff(t2, r2)
+        t2h = self.f64(t2)
+        r1h = self.f64(r1)
+        r2h = self.f64(r2)
+        if None in (d1, d2, t2h, r1h, r2h):
+            return None
+        denom = _safe(_ARITH_D.mul, t2h, r2h)
+        if denom is None or denom.lo <= 0.0 <= denom.hi:
+            return None
+        # t1/t2 - r1/r2 = (d1*r2 - d2*r1) / (t2*r2)
+        p1 = _safe(_ARITH_D.mul, d1, r2h)
+        p2 = _safe(_ARITH_D.mul, d2, r1h)
+        if p1 is None or p2 is None:
+            return None
+        num = _safe(_ARITH_D.sub, p1, p2)
+        if num is None:
+            return None
+        return self._widen(_safe(_ARITH_D.div, num, denom),
+                           self._pair_slack(t, r))
+
+    def _sqrt_rule(self, t: Node, r: Node) -> Optional[IntervalD]:
+        d1 = self.diff(t.args[0], r.args[0])
+        th = self.f64(t.args[0])
+        rh = self.f64(r.args[0])
+        if None in (d1, th, rh) or th.lo < 0.0 or rh.lo < 0.0:
+            return None
+        st = _safe(_ARITH_D.sqrt, th)
+        sr = _safe(_ARITH_D.sqrt, rh)
+        if st is None or sr is None:
+            return None
+        denom = _safe(_ARITH_D.add, st, sr)
+        if denom is None or denom.lo <= 0.0:
+            return None
+        # sqrt(t1) - sqrt(r1) = d1 / (sqrt(t1) + sqrt(r1))
+        return self._widen(_safe(_ARITH_D.div, d1, denom),
+                           self._pair_slack(t, r))
+
+
+def _float_up(count: int) -> float:
+    """Exact integer ULP count -> float, rounding *up* (counts past
+    2^53 must not shrink when they leave integer arithmetic)."""
+    f = float(count)
+    if f < count:
+        f = math.nextafter(f, math.inf)
+    return f
+
+
+def window_ulp_bound(ftype: str, t_hull: IntervalD, r_hull: IntervalD,
+                     diff: Optional[IntervalD]) -> float:
+    """Max ULP distance between floats ``t in t_hull``, ``r in r_hull``
+    with ``|t - r|`` bounded by ``diff``.
+
+    The pair spans a value window of width ``m = max |diff|`` inside the
+    joint hull; float spacing is non-decreasing in magnitude, so sliding
+    the window to the hull's minimum magnitude maximizes the number of
+    representables it contains (a window containing zero fits inside
+    ``[-m, m]``).  All window endpoints are pushed outward one ULP to
+    absorb the endpoint arithmetic's own rounding.
+    """
+    if diff is None:
+        return math.inf
+    m = max(abs(diff.lo), abs(diff.hi))
+    if m == 0.0:
+        return 0.0
+    if not math.isfinite(m):
+        return math.inf
+    lo = min(t_hull.lo, r_hull.lo)
+    hi = max(t_hull.hi, r_hull.hi)
+    up = _up32 if ftype == "f32" else _up
+    down = _down32 if ftype == "f32" else _down
+    if lo >= 0.0:
+        top = min(up(lo + m), hi)
+        return _float_up(index_of(top, ftype) - index_of(lo, ftype))
+    if hi <= 0.0:
+        bot = max(down(hi - m), lo)
+        return _float_up(index_of(hi, ftype) - index_of(bot, ftype))
+    top = min(up(m), hi)
+    bot = max(down(-m), lo)
+    return _float_up(index_of(top, ftype) - index_of(bot, ftype))

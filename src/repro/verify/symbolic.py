@@ -11,6 +11,14 @@ The executor deliberately supports only the instruction subset this style
 of proof can handle; anything else raises :class:`SymbolicUnsupported`,
 which the UF checker reports as "unknown" (verification is sound but
 incomplete, Equation 12).
+
+``symbolic_execute(..., extended=True)`` additionally models the GP
+integer fragment (ALU ops, shifts, compares, conditional moves, FP<->int
+conversions) as uninterpreted nodes.  The relational domain
+(:mod:`repro.verify.relational`) uses the extended DAGs to pair up
+corresponding sub-expressions of target and rewrite; the UF equivalence
+checker keeps the historical default so its supported-program set (and
+every recorded outcome) is unchanged.
 """
 
 from __future__ import annotations
@@ -272,6 +280,10 @@ class SymbolicState:
             for i in range(16)
         ]
         self.mem = SymbolicMemory(mem)
+        # RFLAGS as a node over the last flag-writing instruction's
+        # operands (extended mode only); None means unmodelled, which a
+        # consuming cmov reports as unsupported.
+        self.flags: Optional[Node] = None
 
     # -- operand access ---------------------------------------------------
 
@@ -317,7 +329,8 @@ class SymbolicState:
 # instruction semantics (UF-checkable subset)
 
 
-def _exec_instr(state: SymbolicState, instr: Instruction) -> None:
+def _exec_instr(state: SymbolicState, instr: Instruction,
+                extended: bool = False) -> None:
     name = instr.opcode
     ops = instr.operands
 
@@ -627,14 +640,127 @@ def _exec_instr(state: SymbolicState, instr: Instruction) -> None:
             0, op(f"roundsd{imm}", src, width=64))
         return
 
+    if extended and _exec_extended(state, instr):
+        return
+
     raise SymbolicUnsupported(f"opcode {name} not in the UF-checkable subset")
+
+
+# ---------------------------------------------------------------------------
+# extended fragment: GP integer ops, flags, cmov, FP<->int conversions
+#
+# Every node remains a pure function of its argument nodes, so the
+# relational domain's identity rule (equal nodes => bitwise-equal values)
+# stays valid: flag-dependent results carry the flags node as an explicit
+# argument instead of reading hidden state.
+
+_INT_BINOPS = frozenset({"add", "sub", "imul", "and", "or", "xor"})
+_SHIFTS = frozenset({"shl", "shr", "sar"})
+
+
+def _exec_extended(state: SymbolicState, instr: Instruction) -> bool:
+    name = instr.opcode
+    ops = instr.operands
+
+    if name in _INT_BINOPS:
+        src_op, dst_op = ops
+        if isinstance(src_op, Mem) or isinstance(dst_op, Mem):
+            raise SymbolicUnsupported("integer ALU with memory operand")
+        if isinstance(dst_op, Reg32):
+            a = state.read32(dst_op)
+            b = state.read32(src_op)
+            result = op(name, a, b, width=32)
+            # 32-bit writes zero-extend.
+            state.gp[dst_op.index] = concat(result, Const(0, 32))
+        else:
+            a = state.read64(dst_op)
+            b = state.read64(src_op)
+            result = op(name, a, b, width=64)
+            state.gp[dst_op.index] = result
+        state.flags = op("flags_" + name, a, b, width=8)
+        return True
+
+    if name in _SHIFTS:
+        imm, dst_op = ops
+        if not isinstance(imm, Imm):
+            raise SymbolicUnsupported("register-count shift")
+        width = 32 if isinstance(dst_op, Reg32) else 64
+        n = imm.value & (width - 1)
+        a = state.read32(dst_op) if width == 32 else state.read64(dst_op)
+        result = op(name, a, Const(n, width), width=width)
+        if width == 32:
+            state.gp[dst_op.index] = concat(result, Const(0, 32))
+        else:
+            state.gp[dst_op.index] = result
+        # A zero-count shift leaves the flags untouched; anything else
+        # makes them a function of (value, count).
+        if n != 0:
+            state.flags = op("flags_" + name, a, Const(n, width), width=8)
+        return True
+
+    if name in ("cmp", "test"):
+        src_op, dst_op = ops
+        if isinstance(dst_op, Reg32) or isinstance(src_op, Reg32):
+            a = state.read32(dst_op)
+            b = state.read32(src_op)
+        else:
+            a = state.read64(dst_op)
+            b = state.read64(src_op)
+        state.flags = op("flags_" + name, a, b, width=8)
+        return True
+
+    if name in ("ucomisd", "ucomiss"):
+        src_op, dst_op = ops
+        if name == "ucomisd":
+            a = state.xmm[dst_op.index].read64(0)
+            b = state.read64(src_op)
+        else:
+            a = state.xmm[dst_op.index].read32(0)
+            b = state.read32(src_op)
+        state.flags = op("flags_" + name, a, b, width=8)
+        return True
+
+    if name.startswith("cmov"):
+        src_op, dst_op = ops
+        if state.flags is None:
+            raise SymbolicUnsupported("cmov with unmodelled flags")
+        if not isinstance(dst_op, Reg64):
+            raise SymbolicUnsupported("cmov to a 32-bit destination")
+        state.gp[dst_op.index] = op(
+            "cmov_" + name[4:], state.flags, state.read64(dst_op),
+            state.read64(src_op), width=64)
+        return True
+
+    if name in ("cvtsd2si", "cvttsd2si"):
+        src_op, dst_op = ops
+        if not isinstance(dst_op, Reg64):
+            raise SymbolicUnsupported(f"{name} to a 32-bit destination")
+        src = (state.xmm[src_op.index].read64(0) if isinstance(src_op, Xmm)
+               else state.read64(src_op))
+        state.gp[dst_op.index] = op(name, src, width=64)
+        return True
+
+    if name == "cvtsi2sd":
+        src_op, dst_op = ops
+        if isinstance(src_op, Reg32):
+            node = op("cvtsi2sd32", state.read32(src_op), width=64)
+        else:
+            node = op("cvtsi2sd64", state.read64(src_op), width=64)
+        state.xmm[dst_op.index].write64(0, node)
+        return True
+
+    return False
 
 
 def symbolic_execute(program: Program, mem: Memory,
                      concrete_gp: Optional[Dict[int, int]] = None,
-                     ) -> SymbolicState:
-    """Run a program symbolically; raises on unsupported constructs."""
+                     extended: bool = False) -> SymbolicState:
+    """Run a program symbolically; raises on unsupported constructs.
+
+    ``extended`` admits the GP integer fragment (for the relational
+    domain); the default keeps the historical UF-checkable subset.
+    """
     state = SymbolicState(mem, concrete_gp)
     for instr in program.slots:
-        _exec_instr(state, instr)
+        _exec_instr(state, instr, extended)
     return state
